@@ -1,0 +1,71 @@
+//! Microbenchmarks of the scheduling decision paths: the hardware
+//! predictor's confidence-cache lookups, and the full `on_begin` hook of
+//! each manager against a populated CPU table.
+
+use bfgts_baselines::PtsCm;
+use bfgts_core::{BfgtsCm, BfgtsConfig, HwPredictor};
+use bfgts_htm::{BeginQuery, ContentionManager, DTxId, STxId, TmState};
+use bfgts_sim::{CostModel, Cycle, SimRng, ThreadId};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn busy_tm() -> TmState {
+    let mut tm = TmState::new(16, 64);
+    for cpu in 1..16usize {
+        tm.begin_tx(
+            ThreadId(cpu),
+            cpu,
+            DTxId::new(ThreadId(cpu), STxId((cpu % 4) as u32)),
+            Cycle::ZERO,
+        );
+    }
+    tm
+}
+
+fn query() -> BeginQuery {
+    BeginQuery {
+        thread: ThreadId(0),
+        cpu: 0,
+        dtx: DTxId::new(ThreadId(0), STxId(0)),
+        now: Cycle::ZERO,
+        retries: 0,
+        waits: 0,
+    }
+}
+
+fn bench_hw_cache(c: &mut Criterion) {
+    let costs = CostModel::default();
+    c.bench_function("hw_predictor_lookup_warm", |b| {
+        let mut p = HwPredictor::new();
+        p.lookup_cost(STxId(1), STxId(2), &costs);
+        b.iter(|| p.lookup_cost(black_box(STxId(1)), black_box(STxId(2)), &costs))
+    });
+}
+
+fn bench_on_begin(c: &mut Criterion) {
+    let tm = busy_tm();
+    let costs = CostModel::default();
+    let mut group = c.benchmark_group("on_begin_full_cpu_table");
+    group.bench_function("bfgts_hw", |b| {
+        let mut cm = BfgtsCm::new(BfgtsConfig::hw());
+        let mut rng = SimRng::seed_from(1);
+        let q = query();
+        b.iter(|| cm.on_begin(black_box(&q), &tm, &costs, &mut rng))
+    });
+    group.bench_function("bfgts_sw", |b| {
+        let mut cm = BfgtsCm::new(BfgtsConfig::sw());
+        let mut rng = SimRng::seed_from(1);
+        let q = query();
+        b.iter(|| cm.on_begin(black_box(&q), &tm, &costs, &mut rng))
+    });
+    group.bench_function("pts", |b| {
+        let mut cm = PtsCm::default();
+        let mut rng = SimRng::seed_from(1);
+        let q = query();
+        b.iter(|| cm.on_begin(black_box(&q), &tm, &costs, &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hw_cache, bench_on_begin);
+criterion_main!(benches);

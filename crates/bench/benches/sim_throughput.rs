@@ -1,0 +1,29 @@
+//! End-to-end simulator throughput: whole scaled-down benchmark runs
+//! under representative managers. This is the cost of one experiment
+//! grid cell.
+
+use bfgts_bench::{run_one, ManagerKind, Platform};
+use bfgts_workloads::presets;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_runs(c: &mut Criterion) {
+    let platform = Platform::small();
+    let mut group = c.benchmark_group("workload_run");
+    group.sample_size(10);
+    for (bench, kind) in [
+        ("Kmeans", ManagerKind::Backoff),
+        ("Kmeans", ManagerKind::BfgtsHw),
+        ("Intruder", ManagerKind::Ats),
+        ("Intruder", ManagerKind::BfgtsHw),
+    ] {
+        let spec = presets::by_name(bench).expect("preset exists").scaled(0.05);
+        group.bench_function(format!("{bench}/{}", kind.label()), |b| {
+            b.iter(|| run_one(black_box(&spec), kind, platform))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runs);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation of the paper's central design choice: similarity-weighted
+//! confidence updates vs. constant (PTS-style) updates, everything else
+//! held equal (BFGTS-HW machinery in both arms).
+//!
+//! ```text
+//! cargo run -p bfgts-bench --release --bin ablation_similarity [--quick]
+//! ```
+
+use bfgts_bench::{
+    arithmetic_mean, parse_common_args, percent_improvement, run_custom, serial_baseline,
+    speedup, ManagerKind,
+};
+use bfgts_core::{BfgtsCm, BfgtsConfig};
+use bfgts_workloads::presets;
+
+fn main() {
+    let (scale, platform) = parse_common_args();
+    println!("Ablation: similarity-weighted vs constant confidence updates (BFGTS-HW)\n");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "Benchmark", "weighted", "constant", "delta"
+    );
+    let mut deltas = Vec::new();
+    for spec in presets::all() {
+        let spec = spec.scaled(scale);
+        let serial = serial_baseline(&spec, platform.seed);
+        let bits = ManagerKind::BfgtsHw.optimal_bloom_bits(spec.name);
+        let weighted = {
+            let cm = BfgtsCm::new(BfgtsConfig::hw().bloom_bits(bits));
+            speedup(&run_custom(&spec, platform, Box::new(cm)), serial)
+        };
+        let constant = {
+            let cm = BfgtsCm::new(
+                BfgtsConfig::hw()
+                    .bloom_bits(bits)
+                    .without_similarity_weighting(),
+            );
+            speedup(&run_custom(&spec, platform, Box::new(cm)), serial)
+        };
+        let delta = percent_improvement(weighted, constant);
+        deltas.push(delta);
+        println!(
+            "{:<10} {:>12.2} {:>12.2} {:>+11.0}%",
+            spec.name, weighted, constant, delta
+        );
+    }
+    println!(
+        "\naverage gain from similarity weighting: {:+.0}%",
+        arithmetic_mean(&deltas)
+    );
+}

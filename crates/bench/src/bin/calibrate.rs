@@ -1,0 +1,65 @@
+//! Calibration report: measured workload statistics vs. the paper's
+//! Tables 1 and 4 targets, under the plain Backoff manager.
+//!
+//! ```text
+//! cargo run -p bfgts-bench --release --bin calibrate [--quick] [--seed N]
+//! ```
+
+use bfgts_bench::{parse_common_args, run_one, ManagerKind};
+use bfgts_htm::STxId;
+use bfgts_workloads::presets;
+use std::time::Instant;
+
+fn main() {
+    let (scale, platform) = parse_common_args();
+    println!(
+        "calibration on {} CPUs / {} threads, scale {scale}, seed {:#x}",
+        platform.cpus, platform.threads, platform.seed
+    );
+    for spec in presets::all() {
+        let spec = spec.scaled(scale);
+        let t0 = Instant::now();
+        let report = run_one(&spec, ManagerKind::Backoff, platform);
+        let wall = t0.elapsed();
+        println!(
+            "\n=== {} ({} txs, {:.2}s wall) ===",
+            spec.name,
+            spec.total_txs,
+            wall.as_secs_f64()
+        );
+        println!(
+            "contention: measured {:.1}% vs paper {:.1}%   (commits {}, aborts {}, stalls {})",
+            report.stats.contention_rate() * 100.0,
+            spec.expected.backoff_contention * 100.0,
+            report.stats.commits(),
+            report.stats.aborts(),
+            report.stats.stalls(),
+        );
+        println!("  stx | paper sim | measured | paper conflicts | measured conflicts");
+        for (stx, paper_sim) in &spec.expected.similarity {
+            let measured = report
+                .stats
+                .measured_similarity(STxId(*stx))
+                .map(|s| format!("{s:.2}"))
+                .unwrap_or_else(|| "--".into());
+            let paper_row = spec
+                .expected
+                .conflict_rows
+                .iter()
+                .find(|(s, _)| s == stx)
+                .map(|(_, row)| format!("{row:?}"))
+                .unwrap_or_default();
+            let measured_row: Vec<u32> = report
+                .stats
+                .conflict_row(STxId(*stx))
+                .iter()
+                .map(|s| s.get())
+                .collect();
+            println!(
+                "  {stx:3} | {paper_sim:9.2} | {measured:>8} | {paper_row:15} | {measured_row:?}"
+            );
+        }
+        let makespan = report.sim.makespan.as_u64();
+        println!("  makespan {makespan} cycles");
+    }
+}

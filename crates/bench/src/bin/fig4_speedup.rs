@@ -1,0 +1,101 @@
+//! Regenerates **Figure 4**: (a) speedup over one core for every
+//! contention manager on every benchmark plus the average, and
+//! (b) percent improvement over PTS.
+//!
+//! ```text
+//! cargo run -p bfgts-bench --release --bin fig4_speedup [--quick]
+//! ```
+
+use bfgts_bench::{
+    arithmetic_mean, parse_common_args, percent_improvement, run_one, serial_baseline,
+    speedup, ManagerKind,
+};
+use bfgts_workloads::presets;
+
+fn main() {
+    let (scale, platform) = parse_common_args();
+    let specs: Vec<_> = presets::all().into_iter().map(|s| s.scaled(scale)).collect();
+
+    // speedups[m][b]
+    let mut speedups = vec![vec![0.0f64; specs.len()]; ManagerKind::ALL.len()];
+    for (b, spec) in specs.iter().enumerate() {
+        let serial = serial_baseline(spec, platform.seed);
+        for (m, kind) in ManagerKind::ALL.into_iter().enumerate() {
+            let report = run_one(spec, kind, platform);
+            speedups[m][b] = speedup(&report, serial);
+        }
+    }
+
+    println!(
+        "Figure 4(a): speedup over one core ({} CPUs / {} threads)\n",
+        platform.cpus, platform.threads
+    );
+    print!("{:<17}", "Manager");
+    for spec in &specs {
+        print!(" {:>9}", spec.name);
+    }
+    println!(" {:>9}", "AVG");
+    for (m, kind) in ManagerKind::ALL.into_iter().enumerate() {
+        print!("{:<17}", kind.label());
+        for b in 0..specs.len() {
+            print!(" {:>9.2}", speedups[m][b]);
+        }
+        println!(" {:>9.2}", arithmetic_mean(&speedups[m]));
+    }
+
+    let pts_index = ManagerKind::ALL
+        .iter()
+        .position(|k| *k == ManagerKind::Pts)
+        .expect("PTS is in the roster");
+    println!("\nFigure 4(b): percent improvement over PTS\n");
+    print!("{:<17}", "Manager");
+    for spec in &specs {
+        print!(" {:>9}", spec.name);
+    }
+    println!(" {:>9}", "AVG");
+    for (m, kind) in ManagerKind::ALL.into_iter().enumerate() {
+        if m == pts_index {
+            continue;
+        }
+        print!("{:<17}", kind.label());
+        let mut imps = Vec::new();
+        for b in 0..specs.len() {
+            let imp = percent_improvement(speedups[m][b], speedups[pts_index][b]);
+            imps.push(imp);
+            print!(" {:>8.0}%", imp);
+        }
+        println!(" {:>8.0}%", arithmetic_mean(&imps));
+    }
+
+    // Headline comparisons the paper's abstract quotes: the mean of
+    // per-benchmark improvements (the AVG bar of Figure 4(b)), plus the
+    // best single-benchmark ratio ("up to ...x on high contention").
+    let row = |k: ManagerKind| {
+        let m = ManagerKind::ALL.iter().position(|x| *x == k).unwrap();
+        &speedups[m]
+    };
+    let vs = |a: ManagerKind, b: ManagerKind| {
+        let (ra, rb) = (row(a), row(b));
+        let imps: Vec<f64> = ra
+            .iter()
+            .zip(rb)
+            .map(|(x, y)| percent_improvement(*x, *y))
+            .collect();
+        let max = imps.iter().cloned().fold(f64::MIN, f64::max);
+        (arithmetic_mean(&imps), max)
+    };
+    let (hw_pts, hw_pts_max) = vs(ManagerKind::BfgtsHw, ManagerKind::Pts);
+    let (hw_ats, hw_ats_max) = vs(ManagerKind::BfgtsHw, ManagerKind::Ats);
+    let (hyb_pts, _) = vs(ManagerKind::BfgtsHwBackoff, ManagerKind::Pts);
+    let (hyb_ats, _) = vs(ManagerKind::BfgtsHwBackoff, ManagerKind::Ats);
+    println!(
+        "\nheadline (paper): BFGTS-HW vs PTS {hw_pts:+.0}% avg, up to {:.1}x (+25%, 1.7x) | \
+         vs ATS {hw_ats:+.0}% avg, up to {:.1}x (+35%, 4.6x)",
+        1.0 + hw_pts_max / 100.0,
+        1.0 + hw_ats_max / 100.0,
+    );
+    println!(
+        "                  BFGTS-HW/Backoff vs PTS {hyb_pts:+.0}% (paper +30%), \
+         vs ATS {hyb_ats:+.0}% (paper +40%)"
+    );
+}

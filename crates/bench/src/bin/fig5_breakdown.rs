@@ -1,0 +1,46 @@
+//! Regenerates **Figure 5**: the runtime breakdown (non-transactional /
+//! kernel / transactional / abort / scheduling) for PTS, ATS and the
+//! BFGTS variants, normalised per benchmark.
+//!
+//! ```text
+//! cargo run -p bfgts-bench --release --bin fig5_breakdown [--quick]
+//! ```
+
+use bfgts_bench::{parse_common_args, run_one, ManagerKind};
+use bfgts_sim::Bucket;
+use bfgts_workloads::presets;
+
+/// The managers Figure 5 shows, bottom-to-top per benchmark group.
+const FIG5_MANAGERS: [ManagerKind; 5] = [
+    ManagerKind::Pts,
+    ManagerKind::Ats,
+    ManagerKind::BfgtsSw,
+    ManagerKind::BfgtsHw,
+    ManagerKind::BfgtsHwBackoff,
+];
+
+fn main() {
+    let (scale, platform) = parse_common_args();
+    println!(
+        "Figure 5: normalized runtime breakdown ({} CPUs / {} threads)\n",
+        platform.cpus, platform.threads
+    );
+    println!(
+        "{:<10} {:<17} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "Benchmark", "Manager", "non-tx", "kernel", "tx", "abort", "sched"
+    );
+    println!("{}", "-".repeat(72));
+    for spec in presets::all() {
+        let spec = spec.scaled(scale);
+        for kind in FIG5_MANAGERS {
+            let report = run_one(&spec, kind, platform);
+            let total = report.sim.total();
+            print!("{:<10} {:<17}", spec.name, kind.label());
+            for bucket in Bucket::ALL {
+                print!(" {:>7.1}%", total.fraction(bucket) * 100.0);
+            }
+            println!();
+        }
+        println!("{}", "-".repeat(72));
+    }
+}

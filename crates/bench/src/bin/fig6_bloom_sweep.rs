@@ -1,0 +1,39 @@
+//! Regenerates **Figure 6**: speedup sensitivity to Bloom filter size
+//! (512–8192 bits) for (a) BFGTS-HW and (b) BFGTS-HW/Backoff.
+//!
+//! ```text
+//! cargo run -p bfgts-bench --release --bin fig6_bloom_sweep [--quick]
+//! ```
+
+use bfgts_bench::{parse_common_args, run_one_with_bloom, serial_baseline, speedup, ManagerKind};
+use bfgts_workloads::presets;
+
+const SIZES: [u32; 5] = [512, 1024, 2048, 4096, 8192];
+
+fn sweep(kind: ManagerKind, scale: f64, platform: bfgts_bench::Platform) {
+    println!(
+        "\nFigure 6 ({}): speedup vs Bloom filter size\n",
+        kind.label()
+    );
+    print!("{:<10}", "Benchmark");
+    for size in SIZES {
+        print!(" {:>9}", format!("{size}b"));
+    }
+    println!();
+    for spec in presets::all() {
+        let spec = spec.scaled(scale);
+        let serial = serial_baseline(&spec, platform.seed);
+        print!("{:<10}", spec.name);
+        for size in SIZES {
+            let report = run_one_with_bloom(&spec, kind, platform, size);
+            print!(" {:>9.2}", speedup(&report, serial));
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let (scale, platform) = parse_common_args();
+    sweep(ManagerKind::BfgtsHw, scale, platform);
+    sweep(ManagerKind::BfgtsHwBackoff, scale, platform);
+}

@@ -1,0 +1,60 @@
+//! Regenerates **Table 1**: the observed conflict-graph matrix and the
+//! measured similarity of every static transaction in each STAMP
+//! benchmark.
+//!
+//! ```text
+//! cargo run -p bfgts-bench --release --bin table1_conflict_graphs [--quick]
+//! ```
+//!
+//! The paper gathers this with a plain backoff manager (the measurement
+//! is manager-independent; contention management only changes how often
+//! conflicts repeat, not which pairs can conflict).
+
+use bfgts_bench::{parse_common_args, run_one, ManagerKind};
+use bfgts_htm::STxId;
+use bfgts_workloads::presets;
+
+fn main() {
+    let (scale, platform) = parse_common_args();
+    println!("Table 1: conflict graph and measured similarity per static transaction");
+    println!(
+        "(platform: {} CPUs / {} threads; paper values in parentheses)\n",
+        platform.cpus, platform.threads
+    );
+    println!(
+        "{:<10} {:>4} | {:<24} | {:>9} {:>9}",
+        "Benchmark", "Tx", "Conflict graph (measured)", "similarity", "(paper)"
+    );
+    println!("{}", "-".repeat(70));
+    for spec in presets::all() {
+        let spec = spec.scaled(scale);
+        let report = run_one(&spec, ManagerKind::Backoff, platform);
+        for (stx, paper_sim) in &spec.expected.similarity {
+            let row: Vec<u32> = report
+                .stats
+                .conflict_row(STxId(*stx))
+                .iter()
+                .map(|s| s.get())
+                .collect();
+            let row_str = row
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+            let measured = report
+                .stats
+                .measured_similarity(STxId(*stx))
+                .map(|s| format!("{s:.2}"))
+                .unwrap_or_else(|| "--".into());
+            println!(
+                "{:<10} {:>4} | {:<24} | {:>9} {:>9}",
+                spec.name,
+                stx,
+                row_str,
+                measured,
+                format!("({paper_sim:.2})")
+            );
+        }
+        println!("{}", "-".repeat(70));
+    }
+}

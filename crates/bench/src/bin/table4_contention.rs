@@ -1,0 +1,34 @@
+//! Regenerates **Table 4**: contention rates for every contention
+//! manager on every STAMP benchmark (16-processor system).
+//!
+//! ```text
+//! cargo run -p bfgts-bench --release --bin table4_contention [--quick]
+//! ```
+
+use bfgts_bench::{parse_common_args, run_one, ManagerKind};
+use bfgts_workloads::presets;
+
+fn main() {
+    let (scale, platform) = parse_common_args();
+    println!(
+        "Table 4: contention rates (aborted attempts / all attempts), {} CPUs / {} threads\n",
+        platform.cpus, platform.threads
+    );
+    print!("{:<10}", "Benchmark");
+    for kind in ManagerKind::ALL {
+        print!(" {:>16}", kind.label());
+    }
+    println!(" {:>16}", "(paper Backoff)");
+    for spec in presets::all() {
+        let spec = spec.scaled(scale);
+        print!("{:<10}", spec.name);
+        for kind in ManagerKind::ALL {
+            let report = run_one(&spec, kind, platform);
+            print!(" {:>15.1}%", report.stats.contention_rate() * 100.0);
+        }
+        println!(
+            " {:>15.1}%",
+            spec.expected.backoff_contention * 100.0
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! Set-size estimation algebra over Bloom filters (paper §3.2).
+//!
+//! BFGTS adapts the extended Bloom filter operations of Michael et al.
+//! (originally for distributed database joins) to estimate transactional
+//! read/write-set overlap:
+//!
+//! * Equation 2 — the number of elements encoded in a filter can be
+//!   estimated from its population count:
+//!   `S⁻¹(t) = ln(1 − t/m) / (k · ln(1 − 1/m))`
+//!   where `t` is the number of set bits, `m` the filter size in bits and
+//!   `k` the number of hash functions.
+//! * Equation 3 — the size of the intersection of two sets follows from
+//!   inclusion–exclusion on their filters:
+//!   `|A ∩ B| ≈ S⁻¹(A) + S⁻¹(B) − S⁻¹(A ∪ B)`.
+//! * Equation 4 — *similarity* between consecutive executions of a
+//!   transaction is the estimated intersection of their read/write sets
+//!   normalised by the transaction's historical average set size.
+
+/// Parameters of the estimation equations: filter geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EstimateParams {
+    /// Total filter size in bits (`m`).
+    pub bits: u32,
+    /// Number of hash functions (`k`).
+    pub hashes: u32,
+}
+
+impl EstimateParams {
+    /// Creates estimation parameters for an `m`-bit, `k`-hash filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 2` or `hashes == 0`: the estimator's logarithm
+    /// denominator degenerates for those geometries.
+    pub fn new(bits: u32, hashes: u32) -> Self {
+        assert!(bits >= 2, "filter must have at least 2 bits");
+        assert!(hashes >= 1, "filter must use at least 1 hash function");
+        Self { bits, hashes }
+    }
+
+    /// The denominator `k · ln(1 − 1/m)` shared by all estimates.
+    #[inline]
+    fn denom(self) -> f64 {
+        self.hashes as f64 * (1.0 - 1.0 / self.bits as f64).ln()
+    }
+}
+
+/// Estimated number of distinct elements encoded in a filter with
+/// `bits_set` population count (paper eq. 2).
+///
+/// A saturated filter (all bits set) encodes "at least" rather than
+/// "exactly"; we return the estimate for one unset bit short of saturation,
+/// which is the largest value the equation can express. This matches the
+/// behaviour of a hardware implementation where `ln(0)` must be clamped.
+///
+/// # Panics
+///
+/// Panics if `bits_set > params.bits`.
+pub fn set_size(params: EstimateParams, bits_set: u32) -> f64 {
+    assert!(
+        bits_set <= params.bits,
+        "bits_set {} exceeds filter size {}",
+        bits_set,
+        params.bits
+    );
+    let m = params.bits as f64;
+    let t = if bits_set == params.bits {
+        m - 1.0
+    } else {
+        bits_set as f64
+    };
+    (1.0 - t / m).ln() / params.denom()
+}
+
+/// Estimated `|A ∩ B|` from the population counts of `A`, `B` and `A ∪ B`
+/// (paper eq. 3). May be slightly negative for disjoint sets due to
+/// estimation noise; callers that need a set size should clamp at zero.
+pub fn intersection_size(
+    params: EstimateParams,
+    bits_a: u32,
+    bits_b: u32,
+    bits_union: u32,
+) -> f64 {
+    set_size(params, bits_a) + set_size(params, bits_b) - set_size(params, bits_union)
+}
+
+/// Similarity between two consecutive read/write sets (paper eq. 4):
+/// estimated intersection size divided by the historical average set size.
+///
+/// Returns a value clamped to `[0, 1]`. A zero or negative
+/// `avg_rw_set_size` yields 0 (an empty-history transaction has no
+/// meaningful similarity yet).
+pub fn similarity(intersection_estimate: f64, avg_rw_set_size: f64) -> f64 {
+    if avg_rw_set_size <= 0.0 {
+        return 0.0;
+    }
+    (intersection_estimate / avg_rw_set_size).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> EstimateParams {
+        EstimateParams::new(2048, 4)
+    }
+
+    #[test]
+    fn empty_filter_estimates_zero() {
+        assert_eq!(set_size(p(), 0), 0.0);
+    }
+
+    #[test]
+    fn estimate_is_monotonic_in_bits_set() {
+        let mut last = -1.0;
+        for t in 0..=2048 {
+            let est = set_size(p(), t);
+            assert!(est >= last, "estimate not monotonic at t={t}");
+            last = est;
+        }
+    }
+
+    #[test]
+    fn estimate_matches_expected_fill_rate() {
+        // Inserting n elements sets each bit with probability
+        // 1 - (1 - 1/m)^(k n); inverting that expectation should recover n.
+        let params = p();
+        let n = 100.0_f64;
+        let expected_bits =
+            params.bits as f64 * (1.0 - (1.0 - 1.0 / params.bits as f64).powf(params.hashes as f64 * n));
+        let est = set_size(params, expected_bits.round() as u32);
+        assert!((est - n).abs() < 2.0, "estimate {est} should be near {n}");
+    }
+
+    #[test]
+    fn saturated_filter_is_finite() {
+        let est = set_size(p(), 2048);
+        assert!(est.is_finite());
+        assert!(est > set_size(p(), 2040));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds filter size")]
+    fn overfull_popcount_panics() {
+        set_size(p(), 4096);
+    }
+
+    #[test]
+    fn intersection_of_identical_popcounts_is_full_size() {
+        // If A == B then union popcount == each popcount and the
+        // intersection estimate equals the set-size estimate.
+        let est_set = set_size(p(), 500);
+        let est_int = intersection_size(p(), 500, 500, 500);
+        assert!((est_set - est_int).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_sets_estimate_near_zero() {
+        // Disjoint sets: union popcount ~ sum of popcounts (minus random
+        // collisions). With exact sum the estimate is slightly negative
+        // because set_size is convex; it must be close to zero.
+        let est = intersection_size(p(), 300, 300, 600);
+        assert!(est.abs() < 25.0, "disjoint estimate {est} should be near 0");
+    }
+
+    #[test]
+    fn similarity_clamps_to_unit_interval() {
+        assert_eq!(similarity(500.0, 10.0), 1.0);
+        assert_eq!(similarity(-3.0, 10.0), 0.0);
+        assert!((similarity(5.0, 10.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_with_no_history_is_zero() {
+        assert_eq!(similarity(10.0, 0.0), 0.0);
+        assert_eq!(similarity(10.0, -1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 bits")]
+    fn degenerate_params_rejected() {
+        EstimateParams::new(1, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 hash")]
+    fn zero_hashes_rejected() {
+        EstimateParams::new(512, 0);
+    }
+}

@@ -1,0 +1,350 @@
+//! The [`BloomFilter`] signature representation.
+
+use crate::estimate::{self, EstimateParams};
+use crate::hash::probe_positions;
+use crate::signature::Signature;
+use std::fmt;
+
+/// A fixed-geometry Bloom filter over 64-bit keys (cache-line addresses).
+///
+/// This models the hardware signatures of the paper: `m` bits (512–8192 in
+/// the evaluation), `k` hash functions, with the union / population-count /
+/// intersection-estimate operations of §3.2 implemented over 64-bit words
+/// so the scheduler's cost model can charge one `popcnt` per word.
+///
+/// # Example
+///
+/// ```
+/// use bfgts_bloomsig::BloomFilter;
+///
+/// let mut f = BloomFilter::new(512, 4);
+/// f.insert(0xdead);
+/// assert!(f.may_contain(0xdead));
+/// assert!(f.count_ones() <= 4);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BloomFilter {
+    words: Vec<u64>,
+    params: EstimateParams,
+}
+
+impl BloomFilter {
+    /// Creates an empty filter of `bits` total size using `hashes` hash
+    /// functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 2` or `hashes == 0` (see [`EstimateParams::new`]),
+    /// or if `bits` is not a multiple of 64 (hardware signatures are built
+    /// from 64-bit registers; the cost model counts whole words).
+    pub fn new(bits: u32, hashes: u32) -> Self {
+        assert!(bits % 64 == 0, "filter size must be a multiple of 64 bits");
+        let params = EstimateParams::new(bits, hashes);
+        Self {
+            words: vec![0; (bits / 64) as usize],
+            params,
+        }
+    }
+
+    /// Filter geometry (size and hash count) used for estimation.
+    pub fn params(&self) -> EstimateParams {
+        self.params
+    }
+
+    /// Total size in bits (`m`).
+    pub fn bits(&self) -> u32 {
+        self.params.bits
+    }
+
+    /// Number of hash functions (`k`).
+    pub fn hashes(&self) -> u32 {
+        self.params.hashes
+    }
+
+    /// Number of 64-bit words backing the filter. The scheduler cost model
+    /// charges one `popcnt` instruction per word.
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: u64) {
+        for pos in probe_positions(key, self.params.hashes, self.params.bits) {
+            self.words[(pos / 64) as usize] |= 1u64 << (pos % 64);
+        }
+    }
+
+    /// Membership test. False positives are possible, false negatives are
+    /// not.
+    pub fn may_contain(&self, key: u64) -> bool {
+        probe_positions(key, self.params.hashes, self.params.bits)
+            .all(|pos| self.words[(pos / 64) as usize] & (1u64 << (pos % 64)) != 0)
+    }
+
+    /// Population count `t`: number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// True if no key has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Bitwise union with `other`, returning a new filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two filters have different geometry.
+    pub fn union(&self, other: &Self) -> Self {
+        self.check_compatible(other);
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a | b)
+            .collect();
+        Self {
+            words,
+            params: self.params,
+        }
+    }
+
+    /// In-place bitwise union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two filters have different geometry.
+    pub fn union_in_place(&mut self, other: &Self) {
+        self.check_compatible(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// True if the bitwise intersection is non-empty. This is the
+    /// `intersectBlooms` test used by `commitTx` (paper Example 4) to decide
+    /// whether a serialisation decision was justified.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two filters have different geometry.
+    pub fn intersects(&self, other: &Self) -> bool {
+        self.check_compatible(other);
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Estimated number of elements encoded in this filter (paper eq. 2).
+    pub fn estimate_len(&self) -> f64 {
+        estimate::set_size(self.params, self.count_ones())
+    }
+
+    /// Estimated `|A ∩ B|` via inclusion–exclusion on population counts
+    /// (paper eq. 3). May be slightly negative for disjoint sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two filters have different geometry.
+    pub fn intersection_estimate(&self, other: &Self) -> f64 {
+        self.check_compatible(other);
+        let union: u32 = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a | b).count_ones())
+            .sum();
+        estimate::intersection_size(self.params, self.count_ones(), other.count_ones(), union)
+    }
+
+    fn check_compatible(&self, other: &Self) {
+        assert_eq!(
+            self.params, other.params,
+            "bloom filter geometry mismatch: {:?} vs {:?}",
+            self.params, other.params
+        );
+    }
+}
+
+impl fmt::Debug for BloomFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BloomFilter")
+            .field("bits", &self.params.bits)
+            .field("hashes", &self.params.hashes)
+            .field("ones", &self.count_ones())
+            .finish()
+    }
+}
+
+impl Signature for BloomFilter {
+    fn insert(&mut self, key: u64) {
+        BloomFilter::insert(self, key)
+    }
+
+    fn may_contain(&self, key: u64) -> bool {
+        BloomFilter::may_contain(self, key)
+    }
+
+    fn estimate_len(&self) -> f64 {
+        BloomFilter::estimate_len(self)
+    }
+
+    fn intersects(&self, other: &Self) -> bool {
+        BloomFilter::intersects(self, other)
+    }
+
+    fn intersection_estimate(&self, other: &Self) -> f64 {
+        BloomFilter::intersection_estimate(self, other)
+    }
+
+    fn union_in_place(&mut self, other: &Self) {
+        BloomFilter::union_in_place(self, other)
+    }
+
+    fn clear(&mut self) {
+        BloomFilter::clear(self)
+    }
+
+    fn is_empty(&self) -> bool {
+        BloomFilter::is_empty(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_filter_is_empty() {
+        let f = BloomFilter::new(512, 4);
+        assert!(f.is_empty());
+        assert_eq!(f.count_ones(), 0);
+        assert_eq!(f.word_count(), 8);
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(1024, 4);
+        for key in 0..200u64 {
+            f.insert(key * 7919);
+        }
+        for key in 0..200u64 {
+            assert!(f.may_contain(key * 7919));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_reasonable() {
+        let mut f = BloomFilter::new(2048, 4);
+        for key in 0..100u64 {
+            f.insert(key);
+        }
+        let fp = (10_000..20_000u64).filter(|&k| f.may_contain(k)).count();
+        // theoretical fp rate for m=2048, k=4, n=100 is ~0.1%
+        assert!(fp < 200, "false positive count too high: {fp}");
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut f = BloomFilter::new(512, 4);
+        f.insert(99);
+        let ones = f.count_ones();
+        f.insert(99);
+        assert_eq!(f.count_ones(), ones);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut f = BloomFilter::new(512, 4);
+        f.insert(1);
+        f.clear();
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn union_contains_both() {
+        let mut a = BloomFilter::new(512, 4);
+        let mut b = BloomFilter::new(512, 4);
+        a.insert(1);
+        b.insert(2);
+        let u = a.union(&b);
+        assert!(u.may_contain(1) && u.may_contain(2));
+    }
+
+    #[test]
+    fn union_in_place_matches_union() {
+        let mut a = BloomFilter::new(512, 4);
+        let mut b = BloomFilter::new(512, 4);
+        for k in 0..50 {
+            a.insert(k);
+            b.insert(k + 25);
+        }
+        let u = a.union(&b);
+        a.union_in_place(&b);
+        assert_eq!(a, u);
+    }
+
+    #[test]
+    fn intersects_detects_shared_key() {
+        let mut a = BloomFilter::new(512, 4);
+        let mut b = BloomFilter::new(512, 4);
+        a.insert(42);
+        b.insert(42);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn empty_filters_do_not_intersect() {
+        let a = BloomFilter::new(512, 4);
+        let b = BloomFilter::new(512, 4);
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn estimate_len_tracks_inserted_count() {
+        let mut f = BloomFilter::new(4096, 4);
+        for key in 0..150u64 {
+            f.insert(key.wrapping_mul(0x9e3779b9));
+        }
+        let est = f.estimate_len();
+        assert!((est - 150.0).abs() < 10.0, "estimate {est} far from 150");
+    }
+
+    #[test]
+    fn intersection_estimate_tracks_overlap() {
+        let mut a = BloomFilter::new(4096, 4);
+        let mut b = BloomFilter::new(4096, 4);
+        for key in 0..100u64 {
+            a.insert(key);
+        }
+        for key in 60..160u64 {
+            b.insert(key);
+        }
+        let est = a.intersection_estimate(&b);
+        assert!((est - 40.0).abs() < 12.0, "estimate {est} far from 40");
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn mismatched_geometry_panics() {
+        let a = BloomFilter::new(512, 4);
+        let b = BloomFilter::new(1024, 4);
+        let _ = a.intersects(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 64")]
+    fn non_word_size_rejected() {
+        BloomFilter::new(100, 4);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let f = BloomFilter::new(512, 4);
+        assert!(!format!("{f:?}").is_empty());
+    }
+}

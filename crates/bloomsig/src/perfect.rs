@@ -1,0 +1,174 @@
+//! Exact-set ("perfect") signatures.
+
+use crate::signature::Signature;
+use std::collections::HashSet;
+
+/// An exact-set signature: stores the precise set of keys.
+///
+/// The paper's evaluation uses perfect signatures in two places: the LogTM
+/// substrate's conflict detection ("perfect signature used for conflict
+/// detection", Table 2) and the `BFGTS-NoOverhead` configuration, which
+/// computes similarity from exact read/write sets instead of Bloom
+/// estimates.
+///
+/// # Example
+///
+/// ```
+/// use bfgts_bloomsig::{PerfectSignature, Signature};
+///
+/// let mut a = PerfectSignature::new();
+/// let mut b = PerfectSignature::new();
+/// a.insert(1);
+/// a.insert(2);
+/// b.insert(2);
+/// assert_eq!(a.intersection_estimate(&b), 1.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PerfectSignature {
+    keys: HashSet<u64>,
+}
+
+impl PerfectSignature {
+    /// Creates an empty signature.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Exact number of keys stored.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Exact size of the intersection with `other`.
+    pub fn intersection_len(&self, other: &Self) -> usize {
+        let (small, large) = if self.keys.len() <= other.keys.len() {
+            (&self.keys, &other.keys)
+        } else {
+            (&other.keys, &self.keys)
+        };
+        small.iter().filter(|k| large.contains(k)).count()
+    }
+
+    /// Iterates over the stored keys in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.keys.iter().copied()
+    }
+}
+
+impl Signature for PerfectSignature {
+    fn insert(&mut self, key: u64) {
+        self.keys.insert(key);
+    }
+
+    fn may_contain(&self, key: u64) -> bool {
+        self.keys.contains(&key)
+    }
+
+    fn estimate_len(&self) -> f64 {
+        self.keys.len() as f64
+    }
+
+    fn intersects(&self, other: &Self) -> bool {
+        let (small, large) = if self.keys.len() <= other.keys.len() {
+            (&self.keys, &other.keys)
+        } else {
+            (&other.keys, &self.keys)
+        };
+        small.iter().any(|k| large.contains(k))
+    }
+
+    fn intersection_estimate(&self, other: &Self) -> f64 {
+        self.intersection_len(other) as f64
+    }
+
+    fn union_in_place(&mut self, other: &Self) {
+        self.keys.extend(other.keys.iter().copied());
+    }
+
+    fn clear(&mut self) {
+        self.keys.clear();
+    }
+
+    fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+impl FromIterator<u64> for PerfectSignature {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        Self {
+            keys: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<u64> for PerfectSignature {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        self.keys.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_membership() {
+        let mut s = PerfectSignature::new();
+        s.insert(5);
+        assert!(s.may_contain(5));
+        assert!(!s.may_contain(6));
+    }
+
+    #[test]
+    fn exact_len() {
+        let s: PerfectSignature = (0..100).collect();
+        assert_eq!(s.len(), 100);
+        assert_eq!(s.estimate_len(), 100.0);
+    }
+
+    #[test]
+    fn duplicate_inserts_counted_once() {
+        let mut s = PerfectSignature::new();
+        s.insert(1);
+        s.insert(1);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn intersection_is_exact() {
+        let a: PerfectSignature = (0..100).collect();
+        let b: PerfectSignature = (60..160).collect();
+        assert_eq!(a.intersection_len(&b), 40);
+        assert_eq!(a.intersection_estimate(&b), 40.0);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn disjoint_sets_do_not_intersect() {
+        let a: PerfectSignature = (0..10).collect();
+        let b: PerfectSignature = (10..20).collect();
+        assert!(!a.intersects(&b));
+        assert_eq!(a.intersection_estimate(&b), 0.0);
+    }
+
+    #[test]
+    fn union_in_place_merges() {
+        let mut a: PerfectSignature = (0..10).collect();
+        let b: PerfectSignature = (5..15).collect();
+        a.union_in_place(&b);
+        assert_eq!(a.len(), 15);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut a: PerfectSignature = (0..10).collect();
+        a.clear();
+        assert!(Signature::is_empty(&a));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the Bloom signature algebra.
+
+use bfgts_bloomsig::{estimate, BloomFilter, EstimateParams, PerfectSignature, Signature};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn filter_from(keys: &[u64], bits: u32) -> BloomFilter {
+    let mut f = BloomFilter::new(bits, 4);
+    for &k in keys {
+        f.insert(k);
+    }
+    f
+}
+
+proptest! {
+    /// No false negatives, ever.
+    #[test]
+    fn prop_no_false_negatives(keys in proptest::collection::vec(any::<u64>(), 0..200)) {
+        let f = filter_from(&keys, 2048);
+        for k in &keys {
+            prop_assert!(f.may_contain(*k));
+        }
+    }
+
+    /// Union is commutative and idempotent on the bit level.
+    #[test]
+    fn prop_union_commutative(
+        a in proptest::collection::vec(any::<u64>(), 0..100),
+        b in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let fa = filter_from(&a, 1024);
+        let fb = filter_from(&b, 1024);
+        prop_assert_eq!(fa.union(&fb), fb.union(&fa));
+        prop_assert_eq!(fa.union(&fa), fa.clone());
+    }
+
+    /// A union filter equals the filter of the concatenated key sets.
+    #[test]
+    fn prop_union_equals_bulk_insert(
+        a in proptest::collection::vec(any::<u64>(), 0..100),
+        b in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let fa = filter_from(&a, 1024);
+        let fb = filter_from(&b, 1024);
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        prop_assert_eq!(fa.union(&fb), filter_from(&both, 1024));
+    }
+
+    /// If two key sets truly intersect, the filters must report
+    /// intersection (no false negatives on the intersect test).
+    #[test]
+    fn prop_intersects_has_no_false_negatives(
+        shared in proptest::collection::vec(any::<u64>(), 1..20),
+        a in proptest::collection::vec(any::<u64>(), 0..50),
+        b in proptest::collection::vec(any::<u64>(), 0..50),
+    ) {
+        let mut ka = a.clone();
+        ka.extend_from_slice(&shared);
+        let mut kb = b.clone();
+        kb.extend_from_slice(&shared);
+        let fa = filter_from(&ka, 1024);
+        let fb = filter_from(&kb, 1024);
+        prop_assert!(fa.intersects(&fb));
+    }
+
+    /// Set-size estimates are monotone under insertion.
+    #[test]
+    fn prop_estimate_monotone(keys in proptest::collection::vec(any::<u64>(), 0..300)) {
+        let mut f = BloomFilter::new(4096, 4);
+        let mut last = 0.0f64;
+        for k in keys {
+            f.insert(k);
+            let est = f.estimate_len();
+            prop_assert!(est >= last - 1e-9);
+            last = est;
+        }
+    }
+
+    /// The Bloom set-size estimate is within a tolerance of the true count
+    /// for moderately loaded filters.
+    #[test]
+    fn prop_estimate_accuracy(keys in proptest::collection::hash_set(any::<u64>(), 0..200)) {
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let f = filter_from(&keys, 8192);
+        let est = f.estimate_len();
+        let n = keys.len() as f64;
+        // Loose statistical bound: estimation error grows with load; for
+        // n<=200 on an 8192-bit filter the relative error stays small.
+        prop_assert!((est - n).abs() <= 5.0 + 0.1 * n, "est={est} n={n}");
+    }
+
+    /// Intersection estimates roughly match true overlap for exact sets.
+    #[test]
+    fn prop_intersection_estimate_tracks_truth(
+        a in proptest::collection::hash_set(0u64..5000, 0..150),
+        b in proptest::collection::hash_set(0u64..5000, 0..150),
+    ) {
+        let va: Vec<u64> = a.iter().copied().collect();
+        let vb: Vec<u64> = b.iter().copied().collect();
+        let fa = filter_from(&va, 8192);
+        let fb = filter_from(&vb, 8192);
+        let truth = a.intersection(&b).count() as f64;
+        let est = fa.intersection_estimate(&fb);
+        prop_assert!((est - truth).abs() <= 10.0 + 0.15 * (va.len() + vb.len()) as f64,
+            "est={est} truth={truth}");
+    }
+
+    /// Perfect signatures agree exactly with HashSet semantics.
+    #[test]
+    fn prop_perfect_signature_is_exact(
+        a in proptest::collection::vec(any::<u64>(), 0..100),
+        b in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let sa: PerfectSignature = a.iter().copied().collect();
+        let sb: PerfectSignature = b.iter().copied().collect();
+        let ha: HashSet<u64> = a.iter().copied().collect();
+        let hb: HashSet<u64> = b.iter().copied().collect();
+        prop_assert_eq!(sa.estimate_len(), ha.len() as f64);
+        prop_assert_eq!(sa.intersection_estimate(&sb), ha.intersection(&hb).count() as f64);
+        prop_assert_eq!(sa.intersects(&sb), ha.intersection(&hb).next().is_some());
+    }
+
+    /// The estimation equations are internally consistent: inverting the
+    /// expected fill level recovers the element count.
+    #[test]
+    fn prop_estimate_inverts_expectation(n in 1u32..400, bits in prop_oneof![Just(1024u32), Just(2048), Just(4096), Just(8192)]) {
+        let params = EstimateParams::new(bits, 4);
+        let m = bits as f64;
+        let expected_bits = m * (1.0 - (1.0 - 1.0 / m).powf(4.0 * n as f64));
+        let est = estimate::set_size(params, expected_bits.round() as u32);
+        prop_assert!((est - n as f64).abs() < 3.0 + 0.02 * n as f64, "est={est} n={n}");
+    }
+
+    /// Similarity is always within [0, 1].
+    #[test]
+    fn prop_similarity_bounded(inter in -1e6f64..1e6, avg in -100f64..1e6) {
+        let s = estimate::similarity(inter, avg);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+}

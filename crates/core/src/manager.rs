@@ -1,0 +1,636 @@
+//! The BFGTS contention manager (paper §4).
+
+use crate::config::{BfgtsConfig, BfgtsVariant};
+use crate::hw::HwPredictor;
+use crate::sig::Sig;
+use crate::tables::{ConfidenceTable, TxStatsTable};
+use bfgts_htm::{
+    AbortPlan, BeginDecision, BeginOutcome, BeginQuery, CommitOutcome, CommitRecord,
+    ConflictEvent, ContentionManager, DTxId, STxId, TmState,
+};
+use bfgts_sim::{CostModel, SimRng};
+use std::collections::BTreeMap;
+
+/// Fixed software-path costs in cycles, calibrated to the instruction
+/// counts of the paper's pseudo-code (Examples 1–4) on the simulated
+/// single-IPC core.
+mod sw_cost {
+    /// Entry to the begin-time scan (software variant): load CPU table
+    /// pointer, loop setup.
+    pub const SCAN_BASE: u64 = 40;
+    /// Per-entry software confidence lookup: the per-CPU tables are
+    /// written by every committing CPU, so reads typically miss to L2.
+    pub const SCAN_ENTRY: u64 = 24;
+    /// Hardware-predictor fixed latency (trigger + compare + vector).
+    pub const HW_BASE: u64 = 3;
+    /// `suspendTx` bookkeeping: similarity average, decay update, record
+    /// `txWaitingOn`.
+    pub const SUSPEND: u64 = 25;
+    /// `txConflict` bookkeeping: two similarity-weighted confidence
+    /// increments.
+    pub const CONFLICT: u64 = 40;
+    /// `commitTx` fixed part: average-size update, serialisation check.
+    pub const COMMIT_BASE: u64 = 30;
+    /// Pressure check/update (HW/Backoff hybrid).
+    pub const PRESSURE: u64 = 3;
+}
+
+/// The Bloom Filter Guided Transaction Scheduler.
+///
+/// One instance serves the whole machine (the paper's runtime is fully
+/// distributed, but its tables are logically global; the per-CPU
+/// replication only matters for timing, which [`HwPredictor`] models).
+///
+/// See the [crate-level documentation](crate) for the variant matrix and
+/// an example.
+pub struct BfgtsCm {
+    cfg: BfgtsConfig,
+    confidence: ConfidenceTable,
+    stats: TxStatsTable,
+    signatures: BTreeMap<u64, Sig>,
+    predictors: Vec<HwPredictor>,
+    pressure: Vec<f64>,
+}
+
+impl BfgtsCm {
+    /// Creates a manager with the given configuration.
+    pub fn new(cfg: BfgtsConfig) -> Self {
+        let stats = TxStatsTable::new(cfg.initial_sim);
+        let confidence = match cfg.alias_slots {
+            Some(slots) => ConfidenceTable::with_alias_slots(slots),
+            None => ConfidenceTable::new(),
+        };
+        Self {
+            cfg,
+            confidence,
+            stats,
+            signatures: BTreeMap::new(),
+            predictors: Vec::new(),
+            pressure: Vec::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &BfgtsConfig {
+        &self.cfg
+    }
+
+    /// The confidence table (for reports/tests).
+    pub fn confidence(&self) -> &ConfidenceTable {
+        &self.confidence
+    }
+
+    /// The per-dTxID statistics table (for reports/tests).
+    pub fn stats(&self) -> &TxStatsTable {
+        &self.stats
+    }
+
+    fn pressure_of(&mut self, stx: STxId) -> &mut f64 {
+        let i = stx.get() as usize;
+        if self.pressure.len() <= i {
+            self.pressure.resize(i + 1, 0.0);
+        }
+        &mut self.pressure[i]
+    }
+
+    fn predictor(&mut self, cpu: usize) -> &mut HwPredictor {
+        if self.predictors.len() <= cpu {
+            self.predictors.resize_with(cpu + 1, HwPredictor::new);
+        }
+        &mut self.predictors[cpu]
+    }
+
+    /// Paired similarity `0.5·(simOf(a)+simOf(b))` (Examples 2–4), or the
+    /// constant 1.0 when similarity weighting is ablated away.
+    fn paired_sim(&self, a: DTxId, b: DTxId) -> f64 {
+        if self.cfg.similarity_weighting {
+            0.5 * (self.stats.sim_of(a) + self.stats.sim_of(b))
+        } else {
+            1.0
+        }
+    }
+
+    /// Builds this dTxID's signature from a committed read/write set.
+    fn build_sig(&self, rw_set: &[bfgts_htm::LineAddr]) -> Sig {
+        Sig::from_set(self.cfg.signature, self.cfg.bloom_hashes, rw_set)
+    }
+
+    fn is_free(&self) -> bool {
+        self.cfg.variant == BfgtsVariant::NoOverhead
+    }
+
+    /// Charge `cycles` unless running the idealised no-overhead variant.
+    fn priced(&self, cycles: u64) -> u64 {
+        if self.is_free() {
+            1
+        } else {
+            cycles
+        }
+    }
+}
+
+impl ContentionManager for BfgtsCm {
+    fn name(&self) -> &'static str {
+        self.cfg.variant.label()
+    }
+
+    fn on_begin(
+        &mut self,
+        q: &BeginQuery,
+        tm: &TmState,
+        costs: &CostModel,
+        _rng: &mut SimRng,
+    ) -> BeginOutcome {
+        let mut cost: u64;
+        match self.cfg.variant {
+            BfgtsVariant::Sw => cost = sw_cost::SCAN_BASE,
+            BfgtsVariant::Hw => cost = sw_cost::HW_BASE,
+            BfgtsVariant::HwBackoff => {
+                cost = sw_cost::PRESSURE;
+                if *self.pressure_of(q.dtx.stx) < self.cfg.pressure_threshold {
+                    // Low contention: skip prediction entirely.
+                    return BeginOutcome {
+                        decision: BeginDecision::Proceed,
+                        cost,
+                    };
+                }
+                cost += sw_cost::HW_BASE;
+            }
+            BfgtsVariant::NoOverhead => cost = 1,
+        }
+
+        // Walk the CPU table (Example 1).
+        let cpu_table: Vec<Option<DTxId>> = tm.cpu_table().to_vec();
+        for (cpu_idx, slot) in cpu_table.iter().enumerate() {
+            if cpu_idx == q.cpu {
+                continue;
+            }
+            let Some(target) = slot else { continue };
+            if target.thread == q.thread {
+                continue;
+            }
+            cost += match self.cfg.variant {
+                BfgtsVariant::Sw => sw_cost::SCAN_ENTRY,
+                BfgtsVariant::Hw | BfgtsVariant::HwBackoff => {
+                    self.predictor(q.cpu)
+                        .lookup_cost(q.dtx.stx, target.stx, costs)
+                }
+                BfgtsVariant::NoOverhead => 0,
+            };
+            if self.confidence.get(q.dtx.stx, target.stx) > self.cfg.conf_threshold
+                && tm.is_active(*target)
+            {
+                // Predicted conflict: suspendTx bookkeeping (Example 2).
+                let sim = self.paired_sim(q.dtx, *target);
+                let decay = self.cfg.decay_val * (1.0 - sim);
+                self.confidence.bump(q.dtx.stx, target.stx, -decay);
+                self.stats.entry(q.dtx).waiting_on = Some(*target);
+                cost += self.priced(sw_cost::SUSPEND);
+                let decision = if self.stats.avg_size_of(*target) >= self.cfg.yield_wait_threshold {
+                    BeginDecision::YieldUntilDone { target: *target }
+                } else {
+                    BeginDecision::SpinUntilDone { target: *target }
+                };
+                return BeginOutcome { decision, cost };
+            }
+        }
+        BeginOutcome {
+            decision: BeginDecision::Proceed,
+            cost,
+        }
+    }
+
+    fn on_conflict_abort(
+        &mut self,
+        ev: &ConflictEvent,
+        _tm: &TmState,
+        _costs: &CostModel,
+        rng: &mut SimRng,
+    ) -> AbortPlan {
+        // txConflict (Example 3): similarity-weighted symmetric increment.
+        let sim = self.paired_sim(ev.aborter, ev.enemy);
+        let inc = self.cfg.inc_val * sim;
+        self.confidence.bump(ev.aborter.stx, ev.enemy.stx, inc);
+        self.confidence.bump(ev.enemy.stx, ev.aborter.stx, inc);
+
+        // Conflict pressure rises (hybrid variant's gate; tracked always,
+        // charged only when the hybrid consults it).
+        let alpha = self.cfg.pressure_alpha;
+        let p = self.pressure_of(ev.aborter.stx);
+        *p = alpha * *p + (1.0 - alpha);
+
+        AbortPlan {
+            backoff: rng.jitter(self.cfg.backoff_window << ev.retries.min(6)),
+            cost: self.priced(sw_cost::CONFLICT),
+        }
+    }
+
+    fn on_commit(
+        &mut self,
+        rec: &CommitRecord<'_>,
+        _tm: &TmState,
+        costs: &CostModel,
+        _rng: &mut SimRng,
+    ) -> CommitOutcome {
+        let mut cost = self.priced(sw_cost::COMMIT_BASE);
+
+        // Pressure decays on commit.
+        let alpha = self.cfg.pressure_alpha;
+        let pressure_low = {
+            let p = self.pressure_of(rec.dtx.stx);
+            *p *= alpha;
+            *p < self.cfg.pressure_threshold
+        };
+
+        // updateAvgSize.
+        let size = rec.rw_set.len() as f64;
+        let stat = self.stats.entry(rec.dtx);
+        stat.commits += 1;
+        stat.avg_size = if stat.commits == 1 {
+            size
+        } else {
+            0.5 * (stat.avg_size + size)
+        };
+        stat.since_sim_update += 1;
+        let is_small = stat.avg_size <= self.cfg.small_tx_size;
+        let interval_due = !is_small || stat.since_sim_update >= self.cfg.small_tx_interval;
+        let avg_size = stat.avg_size;
+        let waiting_on = stat.waiting_on.take();
+
+        // The hybrid skips Bloom work entirely while pressure is low.
+        let skip_bloom =
+            self.cfg.variant == BfgtsVariant::HwBackoff && pressure_low && waiting_on.is_none();
+
+        // updateBloom + calcSim (Example 4), batched for small txs.
+        let mut new_sig: Option<Sig> = None;
+        if interval_due && !skip_bloom {
+            let sig = self.build_sig(rec.rw_set);
+            if let Some(old) = self.signatures.get(&rec.dtx.pack()) {
+                let inter = sig.intersection_estimate(old).max(0.0);
+                let new_sim = if avg_size > 0.0 {
+                    (inter / avg_size).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+                let stat = self.stats.entry(rec.dtx);
+                stat.sim = 0.5 * (stat.sim + new_sim);
+                cost += self.priced(costs.similarity_calc(sig.word_count()));
+            } else {
+                cost += self.priced(2 * sig.word_count());
+            }
+            self.stats.entry(rec.dtx).since_sim_update = 0;
+            new_sig = Some(sig);
+        }
+
+        // checkWasSerialized: was the wait justified?
+        if let Some(target) = waiting_on {
+            let my_sig = match &new_sig {
+                Some(s) => Some(s.clone()),
+                None => {
+                    // Need a signature for the intersection even if the
+                    // similarity update was batched away.
+                    cost += self.priced(2 * 32);
+                    Some(self.build_sig(rec.rw_set))
+                }
+            };
+            if let (Some(mine), Some(theirs)) =
+                (my_sig.as_ref(), self.signatures.get(&target.pack()))
+            {
+                cost += self.priced(costs.bloom_intersect(mine.word_count()));
+                let sim = self.paired_sim(rec.dtx, target);
+                if mine.intersects(theirs) {
+                    self.confidence
+                        .bump(rec.dtx.stx, target.stx, self.cfg.inc_val * sim);
+                } else {
+                    self.confidence
+                        .bump(rec.dtx.stx, target.stx, -self.cfg.dec_val * (1.0 - sim));
+                }
+            }
+        }
+
+        if let Some(sig) = new_sig {
+            self.signatures.insert(rec.dtx.pack(), sig);
+        }
+
+        CommitOutcome {
+            cost,
+            wake: Vec::new(),
+        }
+    }
+
+    fn on_wait_skipped(&mut self, dtx: DTxId) {
+        self.stats.entry(dtx).waiting_on = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfgts_htm::LineAddr;
+    use bfgts_sim::{Cycle, ThreadId};
+
+    fn dtx(t: usize, s: u32) -> DTxId {
+        DTxId::new(ThreadId(t), STxId(s))
+    }
+
+    fn env() -> (TmState, CostModel, SimRng) {
+        (
+            TmState::new(4, 8),
+            CostModel::default(),
+            SimRng::seed_from(11),
+        )
+    }
+
+    fn query(t: usize, s: u32, cpu: usize) -> BeginQuery {
+        BeginQuery {
+            thread: ThreadId(t),
+            cpu,
+            dtx: dtx(t, s),
+            now: Cycle::ZERO,
+            retries: 0,
+            waits: 0,
+        }
+    }
+
+    fn conflict(a: DTxId, b: DTxId) -> ConflictEvent {
+        ConflictEvent {
+            aborter: a,
+            enemy: b,
+            addr: LineAddr(0),
+            now: Cycle::ZERO,
+            retries: 0,
+        }
+    }
+
+    fn commit_rec<'a>(d: DTxId, rw: &'a [LineAddr]) -> CommitRecord<'a> {
+        CommitRecord {
+            dtx: d,
+            rw_set: rw,
+            now: Cycle::ZERO,
+            retries: 0,
+        }
+    }
+
+    fn lines(r: std::ops::Range<u64>) -> Vec<LineAddr> {
+        r.map(LineAddr).collect()
+    }
+
+    #[test]
+    fn names_match_variants() {
+        assert_eq!(BfgtsCm::new(BfgtsConfig::sw()).name(), "BFGTS-SW");
+        assert_eq!(
+            BfgtsCm::new(BfgtsConfig::hw_backoff()).name(),
+            "BFGTS-HW/Backoff"
+        );
+    }
+
+    #[test]
+    fn cold_manager_proceeds() {
+        let (tm, costs, mut rng) = env();
+        let mut cm = BfgtsCm::new(BfgtsConfig::hw());
+        let out = cm.on_begin(&query(0, 0, 0), &tm, &costs, &mut rng);
+        assert_eq!(out.decision, BeginDecision::Proceed);
+    }
+
+    #[test]
+    fn conflicts_raise_confidence_similarity_weighted() {
+        let (tm, costs, mut rng) = env();
+        let mut cm = BfgtsCm::new(BfgtsConfig::hw());
+        // initial sim prior is 0.5 → inc = 80 * 0.5 = 40 per conflict.
+        cm.on_conflict_abort(&conflict(dtx(0, 0), dtx(1, 1)), &tm, &costs, &mut rng);
+        assert_eq!(cm.confidence().get(STxId(0), STxId(1)), 40.0);
+        assert_eq!(cm.confidence().get(STxId(1), STxId(0)), 40.0);
+    }
+
+    #[test]
+    fn ablated_weighting_uses_full_inc() {
+        let (tm, costs, mut rng) = env();
+        let mut cm = BfgtsCm::new(BfgtsConfig::hw().without_similarity_weighting());
+        cm.on_conflict_abort(&conflict(dtx(0, 0), dtx(1, 1)), &tm, &costs, &mut rng);
+        assert_eq!(cm.confidence().get(STxId(0), STxId(1)), 80.0);
+    }
+
+    fn heat_up(cm: &mut BfgtsCm, a: DTxId, b: DTxId, tm: &TmState, costs: &CostModel, rng: &mut SimRng) {
+        for _ in 0..4 {
+            cm.on_conflict_abort(&conflict(a, b), tm, costs, rng);
+        }
+    }
+
+    #[test]
+    fn hot_confidence_predicts_conflict_and_spins_for_small_target() {
+        let (mut tm, costs, mut rng) = env();
+        let mut cm = BfgtsCm::new(BfgtsConfig::hw());
+        heat_up(&mut cm, dtx(0, 0), dtx(1, 1), &tm, &costs, &mut rng);
+        // Target runs on cpu 1; it has no size history (avg 0 < 10) so we
+        // spin rather than yield.
+        tm.begin_tx(ThreadId(1), 1, dtx(1, 1), Cycle::ZERO);
+        let out = cm.on_begin(&query(0, 0, 0), &tm, &costs, &mut rng);
+        assert_eq!(
+            out.decision,
+            BeginDecision::SpinUntilDone { target: dtx(1, 1) }
+        );
+    }
+
+    #[test]
+    fn large_target_yields_instead_of_spinning() {
+        let (mut tm, costs, mut rng) = env();
+        let mut cfg = BfgtsConfig::hw();
+        // Lower the wait-primitive crossover so a 40-line target counts
+        // as "long enough to yield for" in this test.
+        cfg.yield_wait_threshold = 30.0;
+        let mut cm = BfgtsCm::new(cfg);
+        heat_up(&mut cm, dtx(0, 0), dtx(1, 1), &tm, &costs, &mut rng);
+        // Give the target a large average size via a commit.
+        let rw = lines(0..40);
+        cm.on_commit(&commit_rec(dtx(1, 1), &rw), &tm, &costs, &mut rng);
+        tm.begin_tx(ThreadId(1), 1, dtx(1, 1), Cycle::ZERO);
+        let out = cm.on_begin(&query(0, 0, 0), &tm, &costs, &mut rng);
+        assert_eq!(
+            out.decision,
+            BeginDecision::YieldUntilDone { target: dtx(1, 1) }
+        );
+    }
+
+    #[test]
+    fn short_targets_spin_under_default_threshold() {
+        let (mut tm, costs, mut rng) = env();
+        let mut cm = BfgtsCm::new(BfgtsConfig::hw());
+        heat_up(&mut cm, dtx(0, 0), dtx(1, 1), &tm, &costs, &mut rng);
+        let rw = lines(0..40); // well below the 600-line default
+        cm.on_commit(&commit_rec(dtx(1, 1), &rw), &tm, &costs, &mut rng);
+        tm.begin_tx(ThreadId(1), 1, dtx(1, 1), Cycle::ZERO);
+        let out = cm.on_begin(&query(0, 0, 0), &tm, &costs, &mut rng);
+        assert_eq!(
+            out.decision,
+            BeginDecision::SpinUntilDone { target: dtx(1, 1) }
+        );
+    }
+
+    #[test]
+    fn suspend_decays_confidence() {
+        let (mut tm, costs, mut rng) = env();
+        let mut cm = BfgtsCm::new(BfgtsConfig::hw());
+        heat_up(&mut cm, dtx(0, 0), dtx(1, 1), &tm, &costs, &mut rng);
+        let before = cm.confidence().get(STxId(0), STxId(1));
+        tm.begin_tx(ThreadId(1), 1, dtx(1, 1), Cycle::ZERO);
+        cm.on_begin(&query(0, 0, 0), &tm, &costs, &mut rng);
+        let after = cm.confidence().get(STxId(0), STxId(1));
+        assert!(after < before, "suspendTx must decay confidence");
+    }
+
+    #[test]
+    fn hw_begin_is_cheaper_than_sw() {
+        let (mut tm, costs, mut rng) = env();
+        tm.begin_tx(ThreadId(1), 1, dtx(1, 1), Cycle::ZERO);
+        tm.begin_tx(ThreadId(2), 2, dtx(2, 2), Cycle::ZERO);
+        let mut sw = BfgtsCm::new(BfgtsConfig::sw());
+        let mut hw = BfgtsCm::new(BfgtsConfig::hw());
+        let sw_cost = sw.on_begin(&query(0, 0, 0), &tm, &costs, &mut rng).cost;
+        // Warm the predictor cache once, then measure.
+        hw.on_begin(&query(0, 0, 0), &tm, &costs, &mut rng);
+        let hw_cost = hw.on_begin(&query(0, 0, 0), &tm, &costs, &mut rng).cost;
+        assert!(
+            hw_cost < sw_cost / 5,
+            "hw begin {hw_cost} should be far below sw {sw_cost}"
+        );
+    }
+
+    #[test]
+    fn hybrid_skips_prediction_at_low_pressure() {
+        let (mut tm, costs, mut rng) = env();
+        let mut cm = BfgtsCm::new(BfgtsConfig::hw_backoff());
+        heat_up(&mut cm, dtx(0, 0), dtx(1, 1), &tm, &costs, &mut rng);
+        // Decay pressure well below the threshold with many commits.
+        let rw = lines(0..5);
+        for _ in 0..40 {
+            cm.on_commit(&commit_rec(dtx(0, 0), &rw), &tm, &costs, &mut rng);
+        }
+        tm.begin_tx(ThreadId(1), 1, dtx(1, 1), Cycle::ZERO);
+        let out = cm.on_begin(&query(0, 0, 0), &tm, &costs, &mut rng);
+        assert_eq!(
+            out.decision,
+            BeginDecision::Proceed,
+            "low pressure must bypass the predictor"
+        );
+        assert!(out.cost <= sw_cost::PRESSURE);
+    }
+
+    #[test]
+    fn hybrid_predicts_at_high_pressure() {
+        let (mut tm, costs, mut rng) = env();
+        let mut cm = BfgtsCm::new(BfgtsConfig::hw_backoff());
+        heat_up(&mut cm, dtx(0, 0), dtx(1, 1), &tm, &costs, &mut rng);
+        tm.begin_tx(ThreadId(1), 1, dtx(1, 1), Cycle::ZERO);
+        let out = cm.on_begin(&query(0, 0, 0), &tm, &costs, &mut rng);
+        assert!(matches!(
+            out.decision,
+            BeginDecision::SpinUntilDone { .. } | BeginDecision::YieldUntilDone { .. }
+        ));
+    }
+
+    #[test]
+    fn similarity_converges_for_identical_sets() {
+        let (tm, costs, mut rng) = env();
+        let mut cm = BfgtsCm::new(BfgtsConfig::hw());
+        let rw = lines(0..30);
+        for _ in 0..12 {
+            cm.on_commit(&commit_rec(dtx(0, 0), &rw), &tm, &costs, &mut rng);
+        }
+        let sim = cm.stats().sim_of(dtx(0, 0));
+        assert!(sim > 0.85, "identical sets must converge high, got {sim}");
+    }
+
+    #[test]
+    fn similarity_converges_low_for_disjoint_sets() {
+        let (tm, costs, mut rng) = env();
+        let mut cm = BfgtsCm::new(BfgtsConfig::hw());
+        for i in 0..12u64 {
+            let rw = lines(i * 1000..i * 1000 + 30);
+            cm.on_commit(&commit_rec(dtx(0, 0), &rw), &tm, &costs, &mut rng);
+        }
+        let sim = cm.stats().sim_of(dtx(0, 0));
+        assert!(sim < 0.2, "disjoint sets must converge low, got {sim}");
+    }
+
+    #[test]
+    fn small_tx_similarity_updates_are_batched() {
+        let (tm, costs, mut rng) = env();
+        let mut cm = BfgtsCm::new(BfgtsConfig::hw().small_tx_interval(20));
+        let rw = lines(0..5); // small: avg 5 <= 10
+        let mut expensive = 0;
+        for _ in 0..40 {
+            let out = cm.on_commit(&commit_rec(dtx(0, 0), &rw), &tm, &costs, &mut rng);
+            if out.cost > 2 * sw_cost::COMMIT_BASE {
+                expensive += 1;
+            }
+        }
+        assert!(
+            expensive <= 3,
+            "similarity math should run ~1/20 commits, ran {expensive}"
+        );
+    }
+
+    #[test]
+    fn no_overhead_costs_are_unit() {
+        let (tm, costs, mut rng) = env();
+        let mut cm = BfgtsCm::new(BfgtsConfig::no_overhead());
+        let out = cm.on_begin(&query(0, 0, 0), &tm, &costs, &mut rng);
+        assert_eq!(out.cost, 1);
+        let rw = lines(0..50);
+        let commit = cm.on_commit(&commit_rec(dtx(0, 0), &rw), &tm, &costs, &mut rng);
+        assert!(commit.cost <= 3, "NoOverhead commit must be ~free");
+        let plan = cm.on_conflict_abort(&conflict(dtx(0, 0), dtx(1, 0)), &tm, &costs, &mut rng);
+        assert_eq!(plan.cost, 1);
+    }
+
+    #[test]
+    fn justified_wait_strengthens_unjustified_weakens() {
+        let (tm, costs, mut rng) = env();
+        let mut cm = BfgtsCm::new(BfgtsConfig::no_overhead());
+        // Enemy's last set: 30 lines (large, so its signature is stored
+        // immediately rather than batched).
+        let enemy_rw = lines(0..30);
+        cm.on_commit(&commit_rec(dtx(1, 1), &enemy_rw), &tm, &costs, &mut rng);
+
+        // Case 1: we waited, and our set overlaps theirs → strengthen.
+        cm.stats.entry(dtx(0, 0)).waiting_on = Some(dtx(1, 1));
+        let before = cm.confidence().get(STxId(0), STxId(1));
+        let my_rw = lines(20..50);
+        cm.on_commit(&commit_rec(dtx(0, 0), &my_rw), &tm, &costs, &mut rng);
+        let strengthened = cm.confidence().get(STxId(0), STxId(1));
+        assert!(strengthened > before);
+
+        // Case 2: we waited, sets disjoint → weaken.
+        cm.stats.entry(dtx(0, 0)).waiting_on = Some(dtx(1, 1));
+        let my_rw = lines(1000..1030);
+        cm.on_commit(&commit_rec(dtx(0, 0), &my_rw), &tm, &costs, &mut rng);
+        assert!(cm.confidence().get(STxId(0), STxId(1)) < strengthened);
+    }
+
+    #[test]
+    fn wait_skipped_clears_waiting_on() {
+        let mut cm = BfgtsCm::new(BfgtsConfig::hw());
+        cm.stats.entry(dtx(0, 0)).waiting_on = Some(dtx(1, 1));
+        cm.on_wait_skipped(dtx(0, 0));
+        assert_eq!(cm.stats.entry(dtx(0, 0)).waiting_on, None);
+    }
+
+    #[test]
+    fn backoff_grows_with_retries() {
+        let (tm, costs, mut rng) = env();
+        let mut cm = BfgtsCm::new(BfgtsConfig::hw());
+        let mut late = ConflictEvent {
+            retries: 6,
+            ..conflict(dtx(0, 0), dtx(1, 0))
+        };
+        late.retries = 6;
+        let draws_late: u64 = (0..50)
+            .map(|_| cm.on_conflict_abort(&late, &tm, &costs, &mut rng).backoff)
+            .sum();
+        let early = conflict(dtx(0, 0), dtx(1, 0));
+        let draws_early: u64 = (0..50)
+            .map(|_| cm.on_conflict_abort(&early, &tm, &costs, &mut rng).backoff)
+            .sum();
+        assert!(draws_late > draws_early * 4);
+    }
+}

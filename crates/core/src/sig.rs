@@ -1,0 +1,105 @@
+//! Runtime-selected signature representation (Bloom vs perfect).
+
+use bfgts_bloomsig::{BloomFilter, PerfectSignature, Signature, SignatureKind};
+use bfgts_htm::LineAddr;
+
+/// A read/write-set signature in whichever representation the
+/// configuration selected.
+#[derive(Debug, Clone)]
+pub(crate) enum Sig {
+    Bloom(BloomFilter),
+    Perfect(PerfectSignature),
+}
+
+impl Sig {
+    pub(crate) fn new(kind: SignatureKind, hashes: u32) -> Self {
+        match kind {
+            SignatureKind::Bloom { bits } => Sig::Bloom(BloomFilter::new(bits, hashes)),
+            SignatureKind::Perfect => Sig::Perfect(PerfectSignature::new()),
+        }
+    }
+
+    pub(crate) fn from_set(kind: SignatureKind, hashes: u32, set: &[LineAddr]) -> Self {
+        let mut sig = Sig::new(kind, hashes);
+        for addr in set {
+            match &mut sig {
+                Sig::Bloom(b) => b.insert(addr.get()),
+                Sig::Perfect(p) => p.insert(addr.get()),
+            }
+        }
+        sig
+    }
+
+    /// Estimated `|self ∩ other|` (exact for perfect signatures).
+    ///
+    /// Mismatched representations cannot occur in practice (one manager,
+    /// one configuration); we treat it as a logic error.
+    pub(crate) fn intersection_estimate(&self, other: &Sig) -> f64 {
+        match (self, other) {
+            (Sig::Bloom(a), Sig::Bloom(b)) => a.intersection_estimate(b),
+            (Sig::Perfect(a), Sig::Perfect(b)) => a.intersection_estimate(b),
+            _ => panic!("signature representation mismatch"),
+        }
+    }
+
+    /// Whether the signatures (may) overlap.
+    pub(crate) fn intersects(&self, other: &Sig) -> bool {
+        match (self, other) {
+            (Sig::Bloom(a), Sig::Bloom(b)) => a.intersects(b),
+            (Sig::Perfect(a), Sig::Perfect(b)) => a.intersects(b),
+            _ => panic!("signature representation mismatch"),
+        }
+    }
+
+    /// 64-bit words per filter (0 for perfect signatures, which model the
+    /// idealised no-overhead configuration).
+    pub(crate) fn word_count(&self) -> u64 {
+        match self {
+            Sig::Bloom(b) => b.word_count() as u64,
+            Sig::Perfect(_) => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(v: &[u64]) -> Vec<LineAddr> {
+        v.iter().map(|&x| LineAddr(x)).collect()
+    }
+
+    #[test]
+    fn bloom_roundtrip() {
+        let kind = SignatureKind::Bloom { bits: 1024 };
+        let a = Sig::from_set(kind, 4, &addrs(&[1, 2, 3]));
+        let b = Sig::from_set(kind, 4, &addrs(&[3, 4, 5]));
+        assert!(a.intersects(&b));
+        assert!(a.word_count() > 0);
+    }
+
+    #[test]
+    fn perfect_is_exact() {
+        let kind = SignatureKind::Perfect;
+        let a = Sig::from_set(kind, 4, &addrs(&[1, 2, 3]));
+        let b = Sig::from_set(kind, 4, &addrs(&[3, 4, 5]));
+        assert_eq!(a.intersection_estimate(&b), 1.0);
+        assert_eq!(a.word_count(), 0);
+    }
+
+    #[test]
+    fn disjoint_perfect_does_not_intersect() {
+        let kind = SignatureKind::Perfect;
+        let a = Sig::from_set(kind, 4, &addrs(&[1]));
+        let b = Sig::from_set(kind, 4, &addrs(&[2]));
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "representation mismatch")]
+    fn mixed_representations_panic() {
+        let a = Sig::from_set(SignatureKind::Perfect, 4, &addrs(&[1]));
+        let b = Sig::from_set(SignatureKind::Bloom { bits: 512 }, 4, &addrs(&[1]));
+        let _ = a.intersects(&b);
+    }
+}

@@ -1,0 +1,280 @@
+//! The contention-manager interface.
+//!
+//! A contention manager (the paper's term for the scheduling policy) is
+//! consulted at three points of a transaction's life:
+//!
+//! 1. [`ContentionManager::on_begin`] — the `TX_BEGIN` prediction point.
+//!    The manager may let the transaction proceed, or serialise it behind
+//!    a running transaction (the paper's `suspendTx`, Example 2).
+//! 2. [`ContentionManager::on_conflict_abort`] — called after a
+//!    transaction aborts on a conflict (the paper's `txConflict`,
+//!    Example 3). The manager updates its conflict history and chooses a
+//!    backoff.
+//! 3. [`ContentionManager::on_commit`] — commit-time bookkeeping (the
+//!    paper's `commitTx`, Example 4): confidence and similarity updates.
+//!
+//! Every hook returns the *cycle cost* of its bookkeeping, which the
+//! thread driver charges to the scheduling (or kernel) accounting bucket,
+//! so that cheap managers (Backoff) and expensive ones (PTS) are compared
+//! the way the paper's Figure 5 compares them.
+
+use crate::ids::DTxId;
+use crate::ids::LineAddr;
+use crate::state::TmState;
+use bfgts_sim::{CostModel, Cycle, SimRng, ThreadId};
+
+/// What a transaction should do at `TX_BEGIN`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BeginDecision {
+    /// Enter the transaction immediately.
+    Proceed,
+    /// Busy-wait until `target` is no longer executing, then re-run
+    /// `TX_BEGIN` (the paper's `stallOnTx` path for small predicted
+    /// conflictors).
+    SpinUntilDone {
+        /// The dynamic transaction to wait out.
+        target: DTxId,
+    },
+    /// Repeatedly `pthread_yield` until `target` is no longer executing,
+    /// then re-run `TX_BEGIN` (the paper's path for large predicted
+    /// conflictors).
+    YieldUntilDone {
+        /// The dynamic transaction to wait out.
+        target: DTxId,
+    },
+    /// Sleep; the manager promises to include this thread in a later
+    /// [`CommitOutcome::wake`] list (ATS's central serialisation queue).
+    Block,
+    /// Spin for a fixed number of cycles, then re-run `TX_BEGIN`
+    /// (randomised backoff).
+    Delay {
+        /// How long to wait before retrying.
+        cycles: u64,
+    },
+}
+
+/// A begin decision plus the cycles the decision itself cost (the CPU
+/// table scan and confidence lookups, or nothing for hardware-assisted
+/// managers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BeginOutcome {
+    /// What the transaction should do.
+    pub decision: BeginDecision,
+    /// Cycles spent making the decision, charged to scheduling overhead.
+    pub cost: u64,
+}
+
+impl BeginOutcome {
+    /// A free "go ahead".
+    pub const PROCEED_FREE: BeginOutcome = BeginOutcome {
+        decision: BeginDecision::Proceed,
+        cost: 0,
+    };
+}
+
+/// Context for a `TX_BEGIN` query.
+#[derive(Debug, Clone, Copy)]
+pub struct BeginQuery {
+    /// The thread asking.
+    pub thread: ThreadId,
+    /// The CPU it currently runs on.
+    pub cpu: usize,
+    /// The dynamic transaction it wants to start.
+    pub dtx: DTxId,
+    /// Current time.
+    pub now: Cycle,
+    /// How many times this instance has already aborted (0 on the first
+    /// attempt).
+    pub retries: u32,
+    /// How many times this attempt has already been serialised behind a
+    /// predicted conflictor (0 on the first query).
+    pub waits: u32,
+}
+
+/// Details of an abort caused by an access conflict.
+#[derive(Debug, Clone, Copy)]
+pub struct ConflictEvent {
+    /// The transaction that aborted (the requester in LogTM).
+    pub aborter: DTxId,
+    /// The transaction it conflicted with.
+    pub enemy: DTxId,
+    /// The contended line.
+    pub addr: LineAddr,
+    /// Current time.
+    pub now: Cycle,
+    /// How many times this instance had already aborted before this
+    /// abort (0 on the first).
+    pub retries: u32,
+}
+
+/// The manager's reaction to an abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbortPlan {
+    /// Cycles of backoff before the retry re-runs `TX_BEGIN`.
+    pub backoff: u64,
+    /// Cycles of bookkeeping (conflict-history updates), charged to
+    /// scheduling overhead.
+    pub cost: u64,
+}
+
+/// Details of a committed transaction handed to the manager.
+#[derive(Debug, Clone)]
+pub struct CommitRecord<'a> {
+    /// The transaction that committed.
+    pub dtx: DTxId,
+    /// The unique cache lines it read or wrote.
+    pub rw_set: &'a [LineAddr],
+    /// Current time.
+    pub now: Cycle,
+    /// How many times the instance aborted before committing.
+    pub retries: u32,
+}
+
+/// The manager's commit-time bookkeeping result.
+#[derive(Debug, Clone, Default)]
+pub struct CommitOutcome {
+    /// Cycles of bookkeeping, charged to scheduling overhead.
+    pub cost: u64,
+    /// Threads to wake (those the manager had parked with
+    /// [`BeginDecision::Block`]).
+    pub wake: Vec<ThreadId>,
+}
+
+/// A transaction scheduling policy.
+///
+/// Implementations: randomised backoff, ATS, PTS (in `bfgts-baselines`)
+/// and the BFGTS variants (in `bfgts-core`). See the
+/// [module documentation](self) for the hook protocol.
+pub trait ContentionManager {
+    /// Short name used in reports (e.g. `"BFGTS-HW"`).
+    fn name(&self) -> &'static str;
+
+    /// `TX_BEGIN`: decide whether the transaction may proceed.
+    fn on_begin(
+        &mut self,
+        q: &BeginQuery,
+        tm: &TmState,
+        costs: &CostModel,
+        rng: &mut SimRng,
+    ) -> BeginOutcome;
+
+    /// A conflict aborted `ev.aborter`: update history, choose backoff.
+    fn on_conflict_abort(
+        &mut self,
+        ev: &ConflictEvent,
+        tm: &TmState,
+        costs: &CostModel,
+        rng: &mut SimRng,
+    ) -> AbortPlan;
+
+    /// A transaction committed: do bookkeeping, release parked threads.
+    fn on_commit(
+        &mut self,
+        rec: &CommitRecord<'_>,
+        tm: &TmState,
+        costs: &CostModel,
+        rng: &mut SimRng,
+    ) -> CommitOutcome;
+
+    /// The thread driver refused a wait decision because it would have
+    /// deadlocked, and proceeded instead. Managers that recorded
+    /// "waiting on" state in `on_begin` can undo it here.
+    fn on_wait_skipped(&mut self, _dtx: DTxId) {}
+}
+
+/// The trivial manager: always proceed, no backoff, no bookkeeping.
+/// Useful as the no-contention-management baseline in tests and as the
+/// serial-execution reference.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullCm;
+
+impl ContentionManager for NullCm {
+    fn name(&self) -> &'static str {
+        "Null"
+    }
+
+    fn on_begin(
+        &mut self,
+        _q: &BeginQuery,
+        _tm: &TmState,
+        _costs: &CostModel,
+        _rng: &mut SimRng,
+    ) -> BeginOutcome {
+        BeginOutcome::PROCEED_FREE
+    }
+
+    fn on_conflict_abort(
+        &mut self,
+        _ev: &ConflictEvent,
+        _tm: &TmState,
+        _costs: &CostModel,
+        _rng: &mut SimRng,
+    ) -> AbortPlan {
+        AbortPlan {
+            backoff: 0,
+            cost: 0,
+        }
+    }
+
+    fn on_commit(
+        &mut self,
+        _rec: &CommitRecord<'_>,
+        _tm: &TmState,
+        _costs: &CostModel,
+        _rng: &mut SimRng,
+    ) -> CommitOutcome {
+        CommitOutcome::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::STxId;
+
+    #[test]
+    fn null_cm_always_proceeds() {
+        let mut cm = NullCm;
+        let tm = TmState::new(1, 1);
+        let costs = CostModel::default();
+        let mut rng = SimRng::seed_from(0);
+        let q = BeginQuery {
+            thread: ThreadId(0),
+            cpu: 0,
+            dtx: DTxId::new(ThreadId(0), STxId(0)),
+            now: Cycle::ZERO,
+            retries: 0,
+            waits: 0,
+        };
+        let out = cm.on_begin(&q, &tm, &costs, &mut rng);
+        assert_eq!(out.decision, BeginDecision::Proceed);
+        assert_eq!(out.cost, 0);
+        assert_eq!(cm.name(), "Null");
+    }
+
+    #[test]
+    fn null_cm_zero_cost_hooks() {
+        let mut cm = NullCm;
+        let tm = TmState::new(1, 2);
+        let costs = CostModel::default();
+        let mut rng = SimRng::seed_from(0);
+        let ev = ConflictEvent {
+            aborter: DTxId::new(ThreadId(0), STxId(0)),
+            enemy: DTxId::new(ThreadId(1), STxId(0)),
+            addr: LineAddr(9),
+            now: Cycle::ZERO,
+            retries: 0,
+        };
+        let plan = cm.on_conflict_abort(&ev, &tm, &costs, &mut rng);
+        assert_eq!(plan, AbortPlan { backoff: 0, cost: 0 });
+        let rec = CommitRecord {
+            dtx: ev.aborter,
+            rw_set: &[LineAddr(9)],
+            now: Cycle::ZERO,
+            retries: 1,
+        };
+        let out = cm.on_commit(&rec, &tm, &costs, &mut rng);
+        assert_eq!(out.cost, 0);
+        assert!(out.wake.is_empty());
+    }
+}

@@ -1,0 +1,200 @@
+//! Convenience harness: run a set of per-thread transaction sources under
+//! a contention manager and collect both simulator and TM statistics.
+
+use crate::cm::ContentionManager;
+use crate::state::TmWorld;
+use crate::stats::TmStats;
+use crate::thread::{TxThreadConfig, TxThreadLogic};
+use crate::txn::TxSource;
+use bfgts_sim::{CostModel, Engine, EngineConfig, RunReport};
+
+/// Parameters of one workload run.
+#[derive(Debug, Clone)]
+pub struct TmRunConfig {
+    /// Number of CPUs (paper: 16).
+    pub num_cpus: usize,
+    /// Number of threads (paper: 64, i.e. 4 per CPU).
+    pub num_threads: usize,
+    /// Master seed for all random streams.
+    pub seed: u64,
+    /// Machine latency parameters.
+    pub costs: CostModel,
+    /// Thread-driver tunables.
+    pub thread_cfg: TxThreadConfig,
+    /// Live-lock guard passed to the engine.
+    pub max_cycles: u64,
+    /// Record the full execution history for serializability checking
+    /// (memory-heavy; off by default).
+    pub record_history: bool,
+}
+
+impl TmRunConfig {
+    /// A run with `num_cpus` CPUs and `num_threads` threads, default
+    /// everything else.
+    pub fn new(num_cpus: usize, num_threads: usize) -> Self {
+        Self {
+            num_cpus,
+            num_threads,
+            seed: 0xB10_0F17,
+            costs: CostModel::default(),
+            thread_cfg: TxThreadConfig::default(),
+            max_cycles: 50_000_000_000,
+            record_history: false,
+        }
+    }
+
+    /// The paper's evaluation platform: 16 CPUs, 64 threads.
+    pub fn paper_platform() -> Self {
+        Self::new(16, 64)
+    }
+
+    /// A software-TM flavoured run: STM per-operation costs
+    /// ([`CostModel::stm_like`]) and instrumented accesses
+    /// ([`TxThreadConfig::stm_like`]).
+    pub fn stm_like(num_cpus: usize, num_threads: usize) -> Self {
+        let mut cfg = Self::new(num_cpus, num_threads);
+        cfg.costs = CostModel::stm_like();
+        cfg.thread_cfg = TxThreadConfig::stm_like();
+        cfg
+    }
+
+    /// Replaces the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the cost model.
+    pub fn costs(mut self, costs: CostModel) -> Self {
+        self.costs = costs;
+        self
+    }
+}
+
+/// Result of a workload run: the simulator's cycle accounting plus the TM
+/// machine's statistics.
+#[derive(Debug, Clone)]
+pub struct TmRunReport {
+    /// Simulator report (makespan, per-thread cycle buckets).
+    pub sim: RunReport,
+    /// TM statistics (commits, aborts, conflict graph, similarity).
+    pub stats: TmStats,
+    /// Name of the contention manager that ran.
+    pub cm_name: &'static str,
+    /// The execution history, when [`TmRunConfig::record_history`] was
+    /// set.
+    pub history: Option<crate::history::History>,
+}
+
+impl TmRunReport {
+    /// Throughput proxy: committed transactions per million cycles of
+    /// makespan. Zero for an empty run.
+    pub fn commits_per_mcycle(&self) -> f64 {
+        let span = self.sim.makespan.as_u64();
+        if span == 0 {
+            0.0
+        } else {
+            self.stats.commits() as f64 * 1.0e6 / span as f64
+        }
+    }
+}
+
+/// Runs `sources` (one per thread) under `cm` and returns the combined
+/// report.
+///
+/// # Panics
+///
+/// Panics if `sources.len() != cfg.num_threads`, or propagates the
+/// engine's deadlock/live-lock panics (which indicate a buggy contention
+/// manager).
+pub fn run_workload<S>(
+    cfg: &TmRunConfig,
+    sources: Vec<S>,
+    cm: Box<dyn ContentionManager>,
+) -> TmRunReport
+where
+    S: TxSource + 'static,
+{
+    assert_eq!(
+        sources.len(),
+        cfg.num_threads,
+        "need exactly one source per thread"
+    );
+    let cm_name = cm.name();
+    let mut world = TmWorld::new(cfg.num_cpus, cfg.num_threads, cm);
+    if cfg.record_history {
+        world.tm.enable_history();
+    }
+    let mut engine_cfg = EngineConfig::with_cpus(cfg.num_cpus)
+        .costs(cfg.costs.clone())
+        .seed(cfg.seed);
+    engine_cfg.max_cycles = cfg.max_cycles;
+    let mut engine = Engine::new(engine_cfg, world);
+    for source in sources {
+        engine.spawn(Box::new(TxThreadLogic::with_config(
+            source,
+            cfg.thread_cfg,
+        )));
+    }
+    let (sim, mut world) = engine.run_into();
+    TmRunReport {
+        sim,
+        stats: world.tm.stats().clone(),
+        cm_name,
+        history: world.tm.take_history(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cm::NullCm;
+    use crate::ids::STxId;
+    use crate::txn::{ScriptSource, TxInstance};
+
+    #[test]
+    fn report_carries_cm_name() {
+        let cfg = TmRunConfig::new(1, 1);
+        let report = run_workload(
+            &cfg,
+            vec![ScriptSource::new(vec![TxInstance::writer_over(
+                STxId(0),
+                0..3,
+                10,
+            )])],
+            Box::new(NullCm),
+        );
+        assert_eq!(report.cm_name, "Null");
+        assert_eq!(report.stats.commits(), 1);
+        assert!(report.commits_per_mcycle() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one source per thread")]
+    fn source_count_mismatch_panics() {
+        let cfg = TmRunConfig::new(1, 2);
+        let _ = run_workload(
+            &cfg,
+            vec![ScriptSource::new(Vec::new())],
+            Box::new(NullCm),
+        );
+    }
+
+    #[test]
+    fn paper_platform_shape() {
+        let cfg = TmRunConfig::paper_platform();
+        assert_eq!(cfg.num_cpus, 16);
+        assert_eq!(cfg.num_threads, 64);
+    }
+
+    #[test]
+    fn empty_run_has_zero_throughput() {
+        let cfg = TmRunConfig::new(1, 1);
+        let report = run_workload(
+            &cfg,
+            vec![ScriptSource::new(Vec::new())],
+            Box::new(NullCm),
+        );
+        assert_eq!(report.commits_per_mcycle(), 0.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Transactional identifier types.
+
+use bfgts_sim::ThreadId;
+use std::fmt;
+
+/// A cache-line address: the granularity of conflict detection and of
+/// signature insertion (the simulated machine uses 64-byte lines; workload
+/// generators hand out line numbers directly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// Raw line number.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for LineAddr {
+    fn from(v: u64) -> Self {
+        LineAddr(v)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+/// A *static* transaction id: assigned to each `atomic` block in the
+/// program source (paper §4: "statically assigned in the program code").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct STxId(pub u32);
+
+impl STxId {
+    /// Raw id.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for STxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sTx{}", self.0)
+    }
+}
+
+/// A *dynamic* transaction id: the concatenation of a thread id and a
+/// static transaction id (paper §4). One dTxID exists per (thread,
+/// static transaction) pair; successive executions share it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DTxId {
+    /// The executing thread.
+    pub thread: ThreadId,
+    /// The static transaction the thread is executing.
+    pub stx: STxId,
+}
+
+impl DTxId {
+    /// Creates the dynamic id for `stx` running on `thread`.
+    pub const fn new(thread: ThreadId, stx: STxId) -> Self {
+        Self { thread, stx }
+    }
+
+    /// Packs into a single integer (thread in the high bits), mirroring
+    /// the hardware's concatenated representation. The BFGTS hardware
+    /// truncates this back to an sTxID with its shift register.
+    pub fn pack(self) -> u64 {
+        ((self.thread.index() as u64) << 32) | self.stx.get() as u64
+    }
+
+    /// Inverse of [`DTxId::pack`].
+    pub fn unpack(packed: u64) -> Self {
+        Self {
+            thread: ThreadId((packed >> 32) as usize),
+            stx: STxId(packed as u32),
+        }
+    }
+}
+
+impl fmt::Display for DTxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.thread, self.stx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        let d = DTxId::new(ThreadId(63), STxId(4));
+        assert_eq!(DTxId::unpack(d.pack()), d);
+    }
+
+    #[test]
+    fn pack_puts_thread_high() {
+        let d = DTxId::new(ThreadId(1), STxId(0));
+        assert_eq!(d.pack(), 1 << 32);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(LineAddr(255).to_string(), "0xff");
+        assert_eq!(STxId(2).to_string(), "sTx2");
+        assert_eq!(DTxId::new(ThreadId(3), STxId(1)).to_string(), "t3/sTx1");
+    }
+
+    #[test]
+    fn line_addr_from_u64() {
+        let a: LineAddr = 7u64.into();
+        assert_eq!(a.get(), 7);
+    }
+}

@@ -1,0 +1,533 @@
+//! The shared transactional-memory machine state.
+
+use crate::cm::ContentionManager;
+use crate::history::{AttemptId, History};
+use crate::ids::{DTxId, LineAddr, STxId};
+use crate::stats::TmStats;
+use bfgts_sim::{Cycle, ThreadId};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+/// Result of attempting a transactional access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessResult {
+    /// The access succeeded and is now part of the read/write set.
+    Granted,
+    /// Another thread's transaction owns the line incompatibly; in LogTM
+    /// the access is NACKed and the requester stalls or aborts.
+    Conflict {
+        /// The thread whose transaction owns the line.
+        owner: ThreadId,
+    },
+}
+
+/// Per-line ownership record for eager conflict detection.
+#[derive(Debug, Default, Clone)]
+struct LineState {
+    writer: Option<ThreadId>,
+    readers: Vec<ThreadId>,
+}
+
+impl LineState {
+    fn is_free(&self) -> bool {
+        self.writer.is_none() && self.readers.is_empty()
+    }
+}
+
+/// The transaction a thread is currently executing.
+#[derive(Debug, Clone)]
+struct ActiveTx {
+    dtx: DTxId,
+    /// LogTM-style age timestamp: set on the *first* attempt of an
+    /// instance and kept across retries so starved transactions win
+    /// arbitration eventually.
+    timestamp: Cycle,
+    attempt: Option<AttemptId>,
+    read_set: HashSet<u64>,
+    write_set: HashSet<u64>,
+}
+
+/// Exact ("perfect signature") transactional memory state: line ownership,
+/// the per-CPU hardware transaction table, the waits-for graph, and run
+/// statistics.
+#[derive(Debug)]
+pub struct TmState {
+    lines: HashMap<u64, LineState>,
+    active: Vec<Option<ActiveTx>>,
+    /// One slot per CPU: the dTxID most recently broadcast as *started*
+    /// on that CPU and not yet committed/aborted. This mirrors the BFGTS
+    /// hardware CPU table including its overwrite semantics under
+    /// overcommit.
+    cpu_table: Vec<Option<DTxId>>,
+    waiting_on: Vec<Option<ThreadId>>,
+    stats: TmStats,
+    history: Option<History>,
+}
+
+impl TmState {
+    /// Creates state for `num_cpus` CPUs and `num_threads` threads.
+    pub fn new(num_cpus: usize, num_threads: usize) -> Self {
+        Self {
+            lines: HashMap::new(),
+            active: vec![None; num_threads],
+            cpu_table: vec![None; num_cpus],
+            waiting_on: vec![None; num_threads],
+            stats: TmStats::new(),
+            history: None,
+        }
+    }
+
+    /// Enables execution-history recording (see [`crate::History`]).
+    /// Costs memory proportional to the access count; off by default.
+    pub fn enable_history(&mut self) {
+        self.history = Some(History::new());
+    }
+
+    /// The recorded history, if recording was enabled.
+    pub fn history(&self) -> Option<&History> {
+        self.history.as_ref()
+    }
+
+    /// Takes ownership of the recorded history.
+    pub fn take_history(&mut self) -> Option<History> {
+        self.history.take()
+    }
+
+    /// Number of CPUs in the machine (the CPU table's size).
+    pub fn num_cpus(&self) -> usize {
+        self.cpu_table.len()
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Run statistics gathered so far.
+    pub fn stats(&self) -> &TmStats {
+        &self.stats
+    }
+
+    /// Mutable access to statistics (for the thread driver).
+    pub fn stats_mut(&mut self) -> &mut TmStats {
+        &mut self.stats
+    }
+
+    /// The hardware CPU table: entry `i` holds the dTxID last broadcast as
+    /// running on CPU `i`, if its outcome has not been broadcast yet.
+    pub fn cpu_table(&self) -> &[Option<DTxId>] {
+        &self.cpu_table
+    }
+
+    /// True if `dtx` is currently executing (its thread has it active).
+    pub fn is_active(&self, dtx: DTxId) -> bool {
+        self.active[dtx.thread.index()]
+            .as_ref()
+            .is_some_and(|a| a.dtx == dtx)
+    }
+
+    /// The dTxID `thread` is currently executing, if any.
+    pub fn active_dtx(&self, thread: ThreadId) -> Option<DTxId> {
+        self.active[thread.index()].as_ref().map(|a| a.dtx)
+    }
+
+    /// The age timestamp of `thread`'s active transaction.
+    pub fn active_timestamp(&self, thread: ThreadId) -> Option<Cycle> {
+        self.active[thread.index()].as_ref().map(|a| a.timestamp)
+    }
+
+    /// Begins a transaction on `thread`, broadcasting it to the CPU table
+    /// slot of `cpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread already has an active transaction.
+    pub fn begin_tx(&mut self, thread: ThreadId, cpu: usize, dtx: DTxId, timestamp: Cycle) {
+        assert!(
+            self.active[thread.index()].is_none(),
+            "{thread} began a transaction while one is active"
+        );
+        let attempt = self.history.as_mut().map(|h| h.begin(dtx));
+        self.active[thread.index()] = Some(ActiveTx {
+            dtx,
+            timestamp,
+            attempt,
+            read_set: HashSet::new(),
+            write_set: HashSet::new(),
+        });
+        self.cpu_table[cpu] = Some(dtx);
+    }
+
+    /// Attempts a transactional read of `addr` by `thread`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread has no active transaction.
+    pub fn read(&mut self, thread: ThreadId, addr: LineAddr) -> AccessResult {
+        let tx = self.active[thread.index()]
+            .as_mut()
+            .expect("read outside transaction");
+        if tx.read_set.contains(&addr.get()) || tx.write_set.contains(&addr.get()) {
+            return AccessResult::Granted;
+        }
+        let line = self.lines.entry(addr.get()).or_default();
+        if let Some(writer) = line.writer {
+            if writer != thread {
+                return AccessResult::Conflict { owner: writer };
+            }
+        }
+        line.readers.push(thread);
+        tx.read_set.insert(addr.get());
+        let attempt = tx.attempt;
+        if let (Some(h), Some(a)) = (self.history.as_mut(), attempt) {
+            h.access(a, addr, false);
+        }
+        AccessResult::Granted
+    }
+
+    /// Attempts a transactional write of `addr` by `thread`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread has no active transaction.
+    pub fn write(&mut self, thread: ThreadId, addr: LineAddr) -> AccessResult {
+        let tx = self.active[thread.index()]
+            .as_mut()
+            .expect("write outside transaction");
+        if tx.write_set.contains(&addr.get()) {
+            return AccessResult::Granted;
+        }
+        let line = self.lines.entry(addr.get()).or_default();
+        if let Some(writer) = line.writer {
+            if writer != thread {
+                return AccessResult::Conflict { owner: writer };
+            }
+        }
+        if let Some(&reader) = line.readers.iter().find(|&&r| r != thread) {
+            return AccessResult::Conflict { owner: reader };
+        }
+        line.writer = Some(thread);
+        tx.write_set.insert(addr.get());
+        let attempt = tx.attempt;
+        if let (Some(h), Some(a)) = (self.history.as_mut(), attempt) {
+            h.access(a, addr, true);
+        }
+        AccessResult::Granted
+    }
+
+    /// Commits `thread`'s transaction: releases isolation, clears the CPU
+    /// table broadcast, and returns the unique lines it touched (its
+    /// read/write set) for contention-manager bookkeeping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread has no active transaction.
+    pub fn commit_tx(&mut self, thread: ThreadId) -> (DTxId, Vec<LineAddr>) {
+        let tx = self.active[thread.index()]
+            .take()
+            .expect("commit outside transaction");
+        self.release_lines(thread, &tx);
+        self.clear_cpu_broadcast(tx.dtx);
+        if let (Some(h), Some(a)) = (self.history.as_mut(), tx.attempt) {
+            h.commit(a);
+        }
+        let rw_set: Vec<LineAddr> = tx
+            .read_set
+            .iter()
+            .chain(tx.write_set.iter().filter(|a| !tx.read_set.contains(a)))
+            .map(|&a| LineAddr(a))
+            .collect();
+        self.stats.record_commit(tx.dtx, &rw_set);
+        (tx.dtx, rw_set)
+    }
+
+    /// Aborts `thread`'s transaction, returning its dTxID and the number
+    /// of lines in its write set (the undo-log length, which sets the
+    /// rollback cost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread has no active transaction.
+    pub fn abort_tx(&mut self, thread: ThreadId) -> (DTxId, usize) {
+        let tx = self.active[thread.index()]
+            .take()
+            .expect("abort outside transaction");
+        self.release_lines(thread, &tx);
+        self.clear_cpu_broadcast(tx.dtx);
+        if let (Some(h), Some(a)) = (self.history.as_mut(), tx.attempt) {
+            h.abort(a);
+        }
+        self.stats.record_abort(tx.dtx);
+        (tx.dtx, tx.write_set.len())
+    }
+
+    fn release_lines(&mut self, thread: ThreadId, tx: &ActiveTx) {
+        for &addr in tx.read_set.iter().chain(tx.write_set.iter()) {
+            if let Entry::Occupied(mut e) = self.lines.entry(addr) {
+                let line = e.get_mut();
+                if line.writer == Some(thread) {
+                    line.writer = None;
+                }
+                line.readers.retain(|&r| r != thread);
+                if line.is_free() {
+                    e.remove();
+                }
+            }
+        }
+    }
+
+    fn clear_cpu_broadcast(&mut self, dtx: DTxId) {
+        for slot in &mut self.cpu_table {
+            if *slot == Some(dtx) {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Registers that `thread` is waiting for `on` (a conflict stall or a
+    /// predicted-conflict wait).
+    pub fn set_waiting(&mut self, thread: ThreadId, on: ThreadId) {
+        self.waiting_on[thread.index()] = Some(on);
+    }
+
+    /// Clears `thread`'s wait edge.
+    pub fn clear_waiting(&mut self, thread: ThreadId) {
+        self.waiting_on[thread.index()] = None;
+    }
+
+    /// True if `thread` waiting on `on` would close a cycle in the
+    /// waits-for graph (counting the proposed edge).
+    pub fn would_deadlock(&self, thread: ThreadId, on: ThreadId) -> bool {
+        if thread == on {
+            return true;
+        }
+        let mut cur = on;
+        let mut hops = 0;
+        while let Some(next) = self.waiting_on[cur.index()] {
+            if next == thread {
+                return true;
+            }
+            cur = next;
+            hops += 1;
+            if hops > self.waiting_on.len() {
+                // Existing cycle not involving us; treat as dangerous.
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The static transaction owner `thread` is running, for conflict
+    /// bookkeeping. Returns `None` if it has no active transaction (its
+    /// transaction completed between the conflict and this query).
+    pub fn active_stx(&self, thread: ThreadId) -> Option<STxId> {
+        self.active_dtx(thread).map(|d| d.stx)
+    }
+}
+
+/// The world threaded through the simulator: TM state plus the contention
+/// manager under test.
+pub struct TmWorld {
+    /// The transactional memory machine.
+    pub tm: TmState,
+    /// The contention manager (scheduler) under test.
+    pub cm: Box<dyn ContentionManager>,
+}
+
+impl TmWorld {
+    /// Creates a world for `num_cpus`/`num_threads` with manager `cm`.
+    pub fn new(num_cpus: usize, num_threads: usize, cm: Box<dyn ContentionManager>) -> Self {
+        Self {
+            tm: TmState::new(num_cpus, num_threads),
+            cm,
+        }
+    }
+}
+
+impl std::fmt::Debug for TmWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TmWorld")
+            .field("tm", &self.tm)
+            .field("cm", &self.cm.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> TmState {
+        TmState::new(2, 4)
+    }
+
+    fn dtx(t: usize, s: u32) -> DTxId {
+        DTxId::new(ThreadId(t), STxId(s))
+    }
+
+    #[test]
+    fn begin_updates_cpu_table() {
+        let mut tm = state();
+        tm.begin_tx(ThreadId(0), 0, dtx(0, 1), Cycle::new(5));
+        assert_eq!(tm.cpu_table()[0], Some(dtx(0, 1)));
+        assert!(tm.is_active(dtx(0, 1)));
+        assert_eq!(tm.active_timestamp(ThreadId(0)), Some(Cycle::new(5)));
+    }
+
+    #[test]
+    fn cpu_table_overwritten_by_next_broadcast() {
+        // Overcommit: a second thread starts a tx on the same CPU while
+        // the first is descheduled mid-transaction. The hardware table
+        // has one slot per CPU and is overwritten.
+        let mut tm = state();
+        tm.begin_tx(ThreadId(0), 0, dtx(0, 1), Cycle::ZERO);
+        tm.begin_tx(ThreadId(2), 0, dtx(2, 3), Cycle::ZERO);
+        assert_eq!(tm.cpu_table()[0], Some(dtx(2, 3)));
+        // Thread 0's tx is still active even though its broadcast is gone.
+        assert!(tm.is_active(dtx(0, 1)));
+    }
+
+    #[test]
+    fn read_read_sharing_is_granted() {
+        let mut tm = state();
+        tm.begin_tx(ThreadId(0), 0, dtx(0, 0), Cycle::ZERO);
+        tm.begin_tx(ThreadId(1), 1, dtx(1, 0), Cycle::ZERO);
+        assert_eq!(tm.read(ThreadId(0), LineAddr(7)), AccessResult::Granted);
+        assert_eq!(tm.read(ThreadId(1), LineAddr(7)), AccessResult::Granted);
+    }
+
+    #[test]
+    fn write_write_conflicts() {
+        let mut tm = state();
+        tm.begin_tx(ThreadId(0), 0, dtx(0, 0), Cycle::ZERO);
+        tm.begin_tx(ThreadId(1), 1, dtx(1, 0), Cycle::ZERO);
+        assert_eq!(tm.write(ThreadId(0), LineAddr(7)), AccessResult::Granted);
+        assert_eq!(
+            tm.write(ThreadId(1), LineAddr(7)),
+            AccessResult::Conflict {
+                owner: ThreadId(0)
+            }
+        );
+    }
+
+    #[test]
+    fn read_after_remote_write_conflicts() {
+        let mut tm = state();
+        tm.begin_tx(ThreadId(0), 0, dtx(0, 0), Cycle::ZERO);
+        tm.begin_tx(ThreadId(1), 1, dtx(1, 0), Cycle::ZERO);
+        assert_eq!(tm.write(ThreadId(0), LineAddr(7)), AccessResult::Granted);
+        assert_eq!(
+            tm.read(ThreadId(1), LineAddr(7)),
+            AccessResult::Conflict {
+                owner: ThreadId(0)
+            }
+        );
+    }
+
+    #[test]
+    fn write_after_remote_read_conflicts() {
+        let mut tm = state();
+        tm.begin_tx(ThreadId(0), 0, dtx(0, 0), Cycle::ZERO);
+        tm.begin_tx(ThreadId(1), 1, dtx(1, 0), Cycle::ZERO);
+        assert_eq!(tm.read(ThreadId(0), LineAddr(7)), AccessResult::Granted);
+        assert_eq!(
+            tm.write(ThreadId(1), LineAddr(7)),
+            AccessResult::Conflict {
+                owner: ThreadId(0)
+            }
+        );
+    }
+
+    #[test]
+    fn own_upgrades_are_granted() {
+        let mut tm = state();
+        tm.begin_tx(ThreadId(0), 0, dtx(0, 0), Cycle::ZERO);
+        assert_eq!(tm.read(ThreadId(0), LineAddr(7)), AccessResult::Granted);
+        assert_eq!(tm.write(ThreadId(0), LineAddr(7)), AccessResult::Granted);
+        assert_eq!(tm.read(ThreadId(0), LineAddr(7)), AccessResult::Granted);
+    }
+
+    #[test]
+    fn commit_releases_isolation() {
+        let mut tm = state();
+        tm.begin_tx(ThreadId(0), 0, dtx(0, 0), Cycle::ZERO);
+        tm.write(ThreadId(0), LineAddr(7));
+        let (d, rw) = tm.commit_tx(ThreadId(0));
+        assert_eq!(d, dtx(0, 0));
+        assert_eq!(rw, vec![LineAddr(7)]);
+        assert!(!tm.is_active(dtx(0, 0)));
+        assert_eq!(tm.cpu_table()[0], None);
+        tm.begin_tx(ThreadId(1), 1, dtx(1, 0), Cycle::ZERO);
+        assert_eq!(tm.write(ThreadId(1), LineAddr(7)), AccessResult::Granted);
+    }
+
+    #[test]
+    fn commit_returns_union_of_read_and_write_sets() {
+        let mut tm = state();
+        tm.begin_tx(ThreadId(0), 0, dtx(0, 0), Cycle::ZERO);
+        tm.read(ThreadId(0), LineAddr(1));
+        tm.write(ThreadId(0), LineAddr(2));
+        tm.read(ThreadId(0), LineAddr(3));
+        tm.write(ThreadId(0), LineAddr(3)); // upgrade, not duplicated
+        let (_, mut rw) = tm.commit_tx(ThreadId(0));
+        rw.sort();
+        assert_eq!(rw, vec![LineAddr(1), LineAddr(2), LineAddr(3)]);
+    }
+
+    #[test]
+    fn abort_releases_isolation_and_counts() {
+        let mut tm = state();
+        tm.begin_tx(ThreadId(0), 0, dtx(0, 0), Cycle::ZERO);
+        tm.write(ThreadId(0), LineAddr(7));
+        tm.write(ThreadId(0), LineAddr(8));
+        let (d, undo) = tm.abort_tx(ThreadId(0));
+        assert_eq!(d, dtx(0, 0));
+        assert_eq!(undo, 2);
+        assert_eq!(tm.stats().aborts(), 1);
+        tm.begin_tx(ThreadId(1), 1, dtx(1, 0), Cycle::ZERO);
+        assert_eq!(tm.write(ThreadId(1), LineAddr(7)), AccessResult::Granted);
+    }
+
+    #[test]
+    #[should_panic(expected = "while one is active")]
+    fn nested_begin_panics() {
+        let mut tm = state();
+        tm.begin_tx(ThreadId(0), 0, dtx(0, 0), Cycle::ZERO);
+        tm.begin_tx(ThreadId(0), 0, dtx(0, 1), Cycle::ZERO);
+    }
+
+    #[test]
+    fn deadlock_detection_direct_cycle() {
+        let mut tm = state();
+        tm.set_waiting(ThreadId(0), ThreadId(1));
+        assert!(tm.would_deadlock(ThreadId(1), ThreadId(0)));
+        assert!(!tm.would_deadlock(ThreadId(2), ThreadId(0)));
+    }
+
+    #[test]
+    fn deadlock_detection_transitive_cycle() {
+        let mut tm = state();
+        tm.set_waiting(ThreadId(0), ThreadId(1));
+        tm.set_waiting(ThreadId(1), ThreadId(2));
+        assert!(tm.would_deadlock(ThreadId(2), ThreadId(0)));
+        tm.clear_waiting(ThreadId(1));
+        assert!(!tm.would_deadlock(ThreadId(2), ThreadId(0)));
+    }
+
+    #[test]
+    fn self_wait_is_deadlock() {
+        let tm = state();
+        assert!(tm.would_deadlock(ThreadId(0), ThreadId(0)));
+    }
+
+    #[test]
+    fn commit_sheds_line_state() {
+        let mut tm = state();
+        tm.begin_tx(ThreadId(0), 0, dtx(0, 0), Cycle::ZERO);
+        for i in 0..10 {
+            tm.write(ThreadId(0), LineAddr(i));
+        }
+        tm.commit_tx(ThreadId(0));
+        assert!(tm.lines.is_empty(), "line map should be garbage-free");
+    }
+}

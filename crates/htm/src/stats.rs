@@ -1,0 +1,278 @@
+//! Run statistics: contention rates, the observed conflict graph and
+//! measured per-transaction similarity (the paper's Tables 1 and 4).
+
+use crate::ids::{DTxId, LineAddr, STxId};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Measured statistics of one simulation run.
+///
+/// Everything here is *measurement infrastructure*, independent of the
+/// contention manager under test: it observes the ground-truth behaviour
+/// of the transactional workload the way the paper's Table 1 (conflict
+/// graph + similarity) and Table 4 (contention rate) do.
+#[derive(Debug, Clone, Default)]
+pub struct TmStats {
+    commits: u64,
+    aborts: u64,
+    stalls: u64,
+    per_stx: BTreeMap<STxId, StxCounters>,
+    conflict_edges: BTreeSet<(STxId, STxId)>,
+    similarity: HashMap<DTxId, SimTracker>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct StxCounters {
+    commits: u64,
+    aborts: u64,
+}
+
+/// Exact similarity measurement for one dynamic transaction, mirroring
+/// the paper's definition (eq. 1): intersection of consecutive
+/// read/write sets over the historical average set size, smoothed the
+/// same way the runtime smooths it (`sim = 0.5·(sim + newSim)`).
+#[derive(Debug, Clone, Default)]
+struct SimTracker {
+    prev_set: HashSet<u64>,
+    avg_size: f64,
+    sim: f64,
+    commits: u64,
+}
+
+impl TmStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total committed transactions.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// Total aborted transaction attempts.
+    pub fn aborts(&self) -> u64 {
+        self.aborts
+    }
+
+    /// Total conflict stalls (NACKed accesses that later succeeded).
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Contention rate: aborted attempts over all attempts, the metric of
+    /// the paper's Table 4. Zero for an empty run.
+    pub fn contention_rate(&self) -> f64 {
+        let attempts = self.commits + self.aborts;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / attempts as f64
+        }
+    }
+
+    /// Commit/abort counts for one static transaction.
+    pub fn stx_counts(&self, stx: STxId) -> (u64, u64) {
+        self.per_stx
+            .get(&stx)
+            .map(|c| (c.commits, c.aborts))
+            .unwrap_or((0, 0))
+    }
+
+    /// Static transaction ids seen during the run, in order.
+    pub fn stx_ids(&self) -> Vec<STxId> {
+        self.per_stx.keys().copied().collect()
+    }
+
+    /// The observed conflict graph as normalised `(low, high)` sTxID
+    /// pairs; self-conflicts appear as `(x, x)` (Table 1's matrix).
+    pub fn conflict_edges(&self) -> impl Iterator<Item = (STxId, STxId)> + '_ {
+        self.conflict_edges.iter().copied()
+    }
+
+    /// The sTxIDs that `stx` was observed conflicting with (one row of the
+    /// paper's Table 1 conflict matrix).
+    pub fn conflict_row(&self, stx: STxId) -> Vec<STxId> {
+        let mut row: Vec<STxId> = self
+            .conflict_edges
+            .iter()
+            .filter_map(|&(a, b)| {
+                if a == stx {
+                    Some(b)
+                } else if b == stx {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        row.dedup();
+        row
+    }
+
+    /// Measured similarity of a static transaction: commit-weighted mean
+    /// over its dynamic instances. `None` until something commits twice.
+    pub fn measured_similarity(&self, stx: STxId) -> Option<f64> {
+        let mut weight = 0u64;
+        let mut acc = 0.0;
+        for (dtx, t) in &self.similarity {
+            if dtx.stx == stx && t.commits >= 2 {
+                acc += t.sim * t.commits as f64;
+                weight += t.commits;
+            }
+        }
+        if weight == 0 {
+            None
+        } else {
+            Some(acc / weight as f64)
+        }
+    }
+
+    /// Records a committed transaction and updates the exact similarity
+    /// tracker from its read/write set.
+    pub fn record_commit(&mut self, dtx: DTxId, rw_set: &[LineAddr]) {
+        self.commits += 1;
+        self.per_stx.entry(dtx.stx).or_default().commits += 1;
+        let cur: HashSet<u64> = rw_set.iter().map(|a| a.get()).collect();
+        let t = self.similarity.entry(dtx).or_default();
+        t.commits += 1;
+        if t.commits == 1 {
+            t.avg_size = cur.len() as f64;
+        } else {
+            let inter = t.prev_set.intersection(&cur).count() as f64;
+            let new_sim = if t.avg_size > 0.0 {
+                (inter / t.avg_size).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            t.sim = if t.commits == 2 {
+                new_sim
+            } else {
+                0.5 * (t.sim + new_sim)
+            };
+            t.avg_size = 0.5 * (t.avg_size + cur.len() as f64);
+        }
+        t.prev_set = cur;
+    }
+
+    /// Records an aborted attempt.
+    pub fn record_abort(&mut self, dtx: DTxId) {
+        self.aborts += 1;
+        self.per_stx.entry(dtx.stx).or_default().aborts += 1;
+    }
+
+    /// Records a conflict between two transactions (stall or abort), which
+    /// adds an edge to the observed conflict graph.
+    pub fn record_conflict(&mut self, a: STxId, b: STxId) {
+        let edge = if a <= b { (a, b) } else { (b, a) };
+        self.conflict_edges.insert(edge);
+    }
+
+    /// Records a NACK stall that did not lead to an abort.
+    pub fn record_stall(&mut self) {
+        self.stalls += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfgts_sim::ThreadId;
+
+    fn dtx(t: usize, s: u32) -> DTxId {
+        DTxId::new(ThreadId(t), STxId(s))
+    }
+
+    fn lines(v: &[u64]) -> Vec<LineAddr> {
+        v.iter().map(|&x| LineAddr(x)).collect()
+    }
+
+    #[test]
+    fn contention_rate_basic() {
+        let mut s = TmStats::new();
+        for _ in 0..3 {
+            s.record_commit(dtx(0, 0), &lines(&[1]));
+        }
+        s.record_abort(dtx(0, 0));
+        assert_eq!(s.commits(), 3);
+        assert_eq!(s.aborts(), 1);
+        assert!((s.contention_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_has_zero_contention() {
+        assert_eq!(TmStats::new().contention_rate(), 0.0);
+    }
+
+    #[test]
+    fn per_stx_counts() {
+        let mut s = TmStats::new();
+        s.record_commit(dtx(0, 1), &lines(&[1]));
+        s.record_commit(dtx(1, 1), &lines(&[2]));
+        s.record_abort(dtx(0, 2));
+        assert_eq!(s.stx_counts(STxId(1)), (2, 0));
+        assert_eq!(s.stx_counts(STxId(2)), (0, 1));
+        assert_eq!(s.stx_counts(STxId(9)), (0, 0));
+        assert_eq!(s.stx_ids(), vec![STxId(1), STxId(2)]);
+    }
+
+    #[test]
+    fn conflict_edges_normalised() {
+        let mut s = TmStats::new();
+        s.record_conflict(STxId(2), STxId(1));
+        s.record_conflict(STxId(1), STxId(2));
+        s.record_conflict(STxId(3), STxId(3));
+        let edges: Vec<_> = s.conflict_edges().collect();
+        assert_eq!(edges, vec![(STxId(1), STxId(2)), (STxId(3), STxId(3))]);
+        assert_eq!(s.conflict_row(STxId(1)), vec![STxId(2)]);
+        assert_eq!(s.conflict_row(STxId(3)), vec![STxId(3)]);
+    }
+
+    #[test]
+    fn identical_sets_give_similarity_one() {
+        let mut s = TmStats::new();
+        let set = lines(&[1, 2, 3, 4]);
+        for _ in 0..5 {
+            s.record_commit(dtx(0, 0), &set);
+        }
+        let sim = s.measured_similarity(STxId(0)).unwrap();
+        assert!((sim - 1.0).abs() < 1e-9, "sim={sim}");
+    }
+
+    #[test]
+    fn disjoint_sets_give_similarity_zero() {
+        let mut s = TmStats::new();
+        for i in 0..5u64 {
+            let set = lines(&[i * 10, i * 10 + 1]);
+            s.record_commit(dtx(0, 0), &set);
+        }
+        let sim = s.measured_similarity(STxId(0)).unwrap();
+        assert!(sim < 1e-9, "sim={sim}");
+    }
+
+    #[test]
+    fn half_overlap_gives_intermediate_similarity() {
+        let mut s = TmStats::new();
+        // consecutive sets share half their lines
+        s.record_commit(dtx(0, 0), &lines(&[0, 1, 2, 3]));
+        s.record_commit(dtx(0, 0), &lines(&[2, 3, 4, 5]));
+        s.record_commit(dtx(0, 0), &lines(&[4, 5, 6, 7]));
+        let sim = s.measured_similarity(STxId(0)).unwrap();
+        assert!(sim > 0.2 && sim < 0.8, "sim={sim}");
+    }
+
+    #[test]
+    fn similarity_none_before_two_commits() {
+        let mut s = TmStats::new();
+        assert!(s.measured_similarity(STxId(0)).is_none());
+        s.record_commit(dtx(0, 0), &lines(&[1]));
+        assert!(s.measured_similarity(STxId(0)).is_none());
+    }
+
+    #[test]
+    fn stall_counter() {
+        let mut s = TmStats::new();
+        s.record_stall();
+        s.record_stall();
+        assert_eq!(s.stalls(), 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Transaction instances and the workload-source interface.
+
+use crate::ids::{LineAddr, STxId};
+use bfgts_sim::SimRng;
+use std::ops::Range;
+
+/// One memory access inside a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// The cache line touched.
+    pub addr: LineAddr,
+    /// True for a write, false for a read.
+    pub is_write: bool,
+}
+
+impl Access {
+    /// A read of `addr`.
+    pub fn read(addr: u64) -> Self {
+        Self {
+            addr: LineAddr(addr),
+            is_write: false,
+        }
+    }
+
+    /// A write of `addr`.
+    pub fn write(addr: u64) -> Self {
+        Self {
+            addr: LineAddr(addr),
+            is_write: true,
+        }
+    }
+}
+
+/// One dynamic execution of a static transaction: the access trace plus
+/// the non-transactional work preceding it.
+///
+/// On abort, the same instance is replayed from the first access (LogTM
+/// restores the register checkpoint and jumps back to `TX_BEGIN`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxInstance {
+    /// The static transaction this instance executes.
+    pub stx: STxId,
+    /// The access trace, in program order.
+    pub accesses: Vec<Access>,
+    /// Non-transactional cycles executed before the transaction begins.
+    pub pre_work: u64,
+}
+
+impl TxInstance {
+    /// Creates an instance from parts.
+    pub fn new(stx: STxId, accesses: Vec<Access>, pre_work: u64) -> Self {
+        Self {
+            stx,
+            accesses,
+            pre_work,
+        }
+    }
+
+    /// Convenience: a transaction that writes every line in `lines`.
+    pub fn writer_over(stx: STxId, lines: Range<u64>, pre_work: u64) -> Self {
+        Self::new(stx, lines.map(Access::write).collect(), pre_work)
+    }
+
+    /// Convenience: a transaction that reads every line in `lines`.
+    pub fn reader_over(stx: STxId, lines: Range<u64>, pre_work: u64) -> Self {
+        Self::new(stx, lines.map(Access::read).collect(), pre_work)
+    }
+
+    /// Number of accesses (not necessarily distinct lines).
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// True if the transaction performs no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+}
+
+/// Supplies the stream of transactions one thread executes.
+///
+/// Workload generators (the `bfgts-workloads` crate) implement this;
+/// `next_tx` draws from the thread's deterministic RNG stream.
+pub trait TxSource {
+    /// The next transaction to run, or `None` when the thread's share of
+    /// the benchmark is done.
+    fn next_tx(&mut self, rng: &mut SimRng) -> Option<TxInstance>;
+}
+
+/// A [`TxSource`] that replays a fixed list of instances. Used by tests
+/// and examples.
+#[derive(Debug, Clone)]
+pub struct ScriptSource {
+    script: std::vec::IntoIter<TxInstance>,
+}
+
+impl ScriptSource {
+    /// Creates a source that yields `script` in order.
+    pub fn new(script: Vec<TxInstance>) -> Self {
+        Self {
+            script: script.into_iter(),
+        }
+    }
+}
+
+impl TxSource for ScriptSource {
+    fn next_tx(&mut self, _rng: &mut SimRng) -> Option<TxInstance> {
+        self.script.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_constructors() {
+        assert!(Access::write(3).is_write);
+        assert!(!Access::read(3).is_write);
+        assert_eq!(Access::read(3).addr, LineAddr(3));
+    }
+
+    #[test]
+    fn writer_over_builds_writes() {
+        let tx = TxInstance::writer_over(STxId(1), 10..13, 50);
+        assert_eq!(tx.len(), 3);
+        assert!(tx.accesses.iter().all(|a| a.is_write));
+        assert_eq!(tx.pre_work, 50);
+        assert!(!tx.is_empty());
+    }
+
+    #[test]
+    fn reader_over_builds_reads() {
+        let tx = TxInstance::reader_over(STxId(1), 0..2, 0);
+        assert!(tx.accesses.iter().all(|a| !a.is_write));
+    }
+
+    #[test]
+    fn script_source_yields_in_order() {
+        let mut rng = SimRng::seed_from(0);
+        let mut s = ScriptSource::new(vec![
+            TxInstance::writer_over(STxId(0), 0..1, 0),
+            TxInstance::writer_over(STxId(1), 1..2, 0),
+        ]);
+        assert_eq!(s.next_tx(&mut rng).unwrap().stx, STxId(0));
+        assert_eq!(s.next_tx(&mut rng).unwrap().stx, STxId(1));
+        assert!(s.next_tx(&mut rng).is_none());
+    }
+}

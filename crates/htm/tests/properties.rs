@@ -1,0 +1,136 @@
+//! Property tests of the TM machine: random transactional workloads must
+//! always complete, conserve transactions, and leave no residual
+//! isolation state.
+
+use bfgts_htm::{
+    run_workload, Access, NullCm, ScriptSource, STxId, TmRunConfig, TxInstance,
+};
+use bfgts_sim::CostModel;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct TxPlan {
+    stx: u8,
+    // (line in a small shared space, is_write)
+    accesses: Vec<(u8, bool)>,
+    pre_work: u16,
+}
+
+fn tx_plan() -> impl Strategy<Value = TxPlan> {
+    (
+        0u8..4,
+        proptest::collection::vec((any::<u8>(), any::<bool>()), 1..12),
+        any::<u16>(),
+    )
+        .prop_map(|(stx, accesses, pre_work)| TxPlan {
+            stx,
+            accesses,
+            pre_work,
+        })
+}
+
+fn build_scripts(plans: &[Vec<TxPlan>]) -> Vec<ScriptSource> {
+    plans
+        .iter()
+        .map(|script| {
+            ScriptSource::new(
+                script
+                    .iter()
+                    .map(|p| {
+                        TxInstance::new(
+                            STxId(p.stx as u32),
+                            p.accesses
+                                .iter()
+                                .map(|&(line, w)| Access {
+                                    addr: (line as u64).into(),
+                                    is_write: w,
+                                })
+                                .collect(),
+                            p.pre_work as u64,
+                        )
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any mix of conflicting transactions over a tiny line space (so
+    /// conflicts and deadlock-avoidance aborts are common) completes,
+    /// with every scripted transaction committing exactly once.
+    #[test]
+    fn adversarial_workloads_always_complete(
+        plans in proptest::collection::vec(
+            proptest::collection::vec(tx_plan(), 0..6), 1..8),
+        cpus in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let total: u64 = plans.iter().map(|s| s.len() as u64).sum();
+        let mut cfg = TmRunConfig::new(cpus, plans.len()).seed(seed);
+        cfg.max_cycles = 2_000_000_000;
+        let report = run_workload(&cfg, build_scripts(&plans), Box::new(NullCm));
+        prop_assert_eq!(report.stats.commits(), total);
+    }
+
+    /// With zeroed OS costs (the degenerate configuration that once
+    /// live-locked), completion still holds.
+    #[test]
+    fn zero_cost_configs_do_not_livelock(
+        plans in proptest::collection::vec(
+            proptest::collection::vec(tx_plan(), 0..4), 2..6),
+        seed in any::<u64>(),
+    ) {
+        let total: u64 = plans.iter().map(|s| s.len() as u64).sum();
+        let costs = CostModel {
+            context_switch: 0,
+            yield_syscall: 0,
+            futex_block: 0,
+            futex_wake: 0,
+            tx_begin: 0,
+            tx_commit: 0,
+            abort_trap: 0,
+            abort_per_line: 0,
+            ..CostModel::default()
+        };
+        let mut cfg = TmRunConfig::new(2, plans.len()).seed(seed).costs(costs);
+        cfg.max_cycles = 2_000_000_000;
+        let report = run_workload(&cfg, build_scripts(&plans), Box::new(NullCm));
+        prop_assert_eq!(report.stats.commits(), total);
+    }
+
+    /// Contention statistics are internally consistent: attempts =
+    /// commits + aborts, and the contention rate matches.
+    #[test]
+    fn contention_rate_is_consistent(
+        plans in proptest::collection::vec(
+            proptest::collection::vec(tx_plan(), 1..5), 2..6),
+        seed in any::<u64>(),
+    ) {
+        let cfg = TmRunConfig::new(4, plans.len()).seed(seed);
+        let report = run_workload(&cfg, build_scripts(&plans), Box::new(NullCm));
+        let (c, a) = (report.stats.commits(), report.stats.aborts());
+        let expected = if c + a == 0 { 0.0 } else { a as f64 / (c + a) as f64 };
+        prop_assert!((report.stats.contention_rate() - expected).abs() < 1e-12);
+    }
+
+    /// Determinism end-to-end under adversarial interleavings.
+    #[test]
+    fn identical_seeds_identical_outcomes(
+        plans in proptest::collection::vec(
+            proptest::collection::vec(tx_plan(), 0..4), 1..5),
+        seed in any::<u64>(),
+    ) {
+        let run = || {
+            let cfg = TmRunConfig::new(3, plans.len()).seed(seed);
+            run_workload(&cfg, build_scripts(&plans), Box::new(NullCm))
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.sim.makespan, b.sim.makespan);
+        prop_assert_eq!(a.stats.aborts(), b.stats.aborts());
+        prop_assert_eq!(a.stats.stalls(), b.stats.stalls());
+    }
+}

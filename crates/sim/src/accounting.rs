@@ -1,0 +1,242 @@
+//! Cycle-bucket accounting matching the paper's Figure 5 breakdown.
+
+use crate::time::Cycle;
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// The execution-time category a slice of cycles belongs to.
+///
+/// These are the five categories of the paper's Figure 5 runtime
+/// breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bucket {
+    /// Useful work outside any transaction.
+    NonTx,
+    /// Kernel mode: context switches, yields, futex waits, OS bookkeeping.
+    Kernel,
+    /// Useful work inside transactions that eventually committed.
+    Tx,
+    /// Wasted work: cycles spent in transactions that aborted, plus
+    /// rollback costs and post-abort backoff stalls.
+    Abort,
+    /// Contention-manager overhead: begin-time prediction scans, commit
+    /// bookkeeping, similarity calculations, confidence updates.
+    Scheduling,
+}
+
+impl Bucket {
+    /// All buckets in report order.
+    pub const ALL: [Bucket; 5] = [
+        Bucket::NonTx,
+        Bucket::Kernel,
+        Bucket::Tx,
+        Bucket::Abort,
+        Bucket::Scheduling,
+    ];
+
+    /// Short label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Bucket::NonTx => "non-tx",
+            Bucket::Kernel => "kernel",
+            Bucket::Tx => "tx",
+            Bucket::Abort => "abort",
+            Bucket::Scheduling => "sched",
+        }
+    }
+}
+
+impl fmt::Display for Bucket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-bucket cycle totals for one thread or one whole run.
+///
+/// # Example
+///
+/// ```
+/// use bfgts_sim::{Bucket, TimeBuckets};
+/// let mut t = TimeBuckets::default();
+/// t.charge(Bucket::Tx, 75);
+/// t.charge(Bucket::Abort, 25);
+/// assert_eq!(t.total_cycles(), 100);
+/// assert!((t.fraction(Bucket::Tx) - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimeBuckets {
+    non_tx: u64,
+    kernel: u64,
+    tx: u64,
+    abort: u64,
+    scheduling: u64,
+}
+
+impl TimeBuckets {
+    /// Adds `cycles` to `bucket`. (Named `charge` to avoid clashing with
+    /// [`std::ops::Add::add`].)
+    pub fn charge(&mut self, bucket: Bucket, cycles: u64) {
+        *self.slot(bucket) += cycles;
+    }
+
+    /// Adds a [`Cycle`] duration to `bucket`.
+    pub fn add_cycles(&mut self, bucket: Bucket, cycles: Cycle) {
+        self.charge(bucket, cycles.as_u64());
+    }
+
+    /// Cycles recorded in `bucket`.
+    pub fn get(&self, bucket: Bucket) -> u64 {
+        match bucket {
+            Bucket::NonTx => self.non_tx,
+            Bucket::Kernel => self.kernel,
+            Bucket::Tx => self.tx,
+            Bucket::Abort => self.abort,
+            Bucket::Scheduling => self.scheduling,
+        }
+    }
+
+    fn slot(&mut self, bucket: Bucket) -> &mut u64 {
+        match bucket {
+            Bucket::NonTx => &mut self.non_tx,
+            Bucket::Kernel => &mut self.kernel,
+            Bucket::Tx => &mut self.tx,
+            Bucket::Abort => &mut self.abort,
+            Bucket::Scheduling => &mut self.scheduling,
+        }
+    }
+
+    /// Moves up to `cycles` from one bucket to another (saturating at the
+    /// source bucket's balance). Used when work charged optimistically to
+    /// [`Bucket::Tx`] turns out to be wasted: an abort re-files it under
+    /// [`Bucket::Abort`].
+    pub fn transfer(&mut self, from: Bucket, to: Bucket, cycles: u64) {
+        let moved = cycles.min(self.get(from));
+        *self.slot(from) -= moved;
+        *self.slot(to) += moved;
+    }
+
+    /// Sum over all buckets.
+    pub fn total_cycles(&self) -> u64 {
+        self.non_tx + self.kernel + self.tx + self.abort + self.scheduling
+    }
+
+    /// Fraction of the total in `bucket`; 0 when empty.
+    pub fn fraction(&self, bucket: Bucket) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(bucket) as f64 / total as f64
+        }
+    }
+
+    /// Normalised `(bucket, fraction)` pairs in report order.
+    pub fn breakdown(&self) -> [(Bucket, f64); 5] {
+        Bucket::ALL.map(|b| (b, self.fraction(b)))
+    }
+}
+
+impl Add for TimeBuckets {
+    type Output = TimeBuckets;
+    fn add(self, rhs: TimeBuckets) -> TimeBuckets {
+        TimeBuckets {
+            non_tx: self.non_tx + rhs.non_tx,
+            kernel: self.kernel + rhs.kernel,
+            tx: self.tx + rhs.tx,
+            abort: self.abort + rhs.abort,
+            scheduling: self.scheduling + rhs.scheduling,
+        }
+    }
+}
+
+impl AddAssign for TimeBuckets {
+    fn add_assign(&mut self, rhs: TimeBuckets) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for TimeBuckets {
+    fn sum<I: Iterator<Item = TimeBuckets>>(iter: I) -> TimeBuckets {
+        iter.fold(TimeBuckets::default(), |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut t = TimeBuckets::default();
+        t.charge(Bucket::Kernel, 10);
+        t.charge(Bucket::Kernel, 5);
+        assert_eq!(t.get(Bucket::Kernel), 15);
+        assert_eq!(t.get(Bucket::Tx), 0);
+    }
+
+    #[test]
+    fn total_sums_all_buckets() {
+        let mut t = TimeBuckets::default();
+        for (i, b) in Bucket::ALL.into_iter().enumerate() {
+            t.charge(b, (i + 1) as u64);
+        }
+        assert_eq!(t.total_cycles(), 15);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut t = TimeBuckets::default();
+        t.charge(Bucket::NonTx, 30);
+        t.charge(Bucket::Tx, 50);
+        t.charge(Bucket::Abort, 20);
+        let sum: f64 = t.breakdown().iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        let t = TimeBuckets::default();
+        assert_eq!(t.fraction(Bucket::Tx), 0.0);
+        assert_eq!(t.total_cycles(), 0);
+    }
+
+    #[test]
+    fn buckets_combine_with_add() {
+        let mut a = TimeBuckets::default();
+        a.charge(Bucket::Tx, 1);
+        let mut b = TimeBuckets::default();
+        b.charge(Bucket::Tx, 2);
+        b.charge(Bucket::Abort, 3);
+        let c = a + b;
+        assert_eq!(c.get(Bucket::Tx), 3);
+        assert_eq!(c.get(Bucket::Abort), 3);
+        let s: TimeBuckets = [a, b].into_iter().sum();
+        assert_eq!(s, c);
+    }
+
+    #[test]
+    fn transfer_moves_between_buckets() {
+        let mut t = TimeBuckets::default();
+        t.charge(Bucket::Tx, 100);
+        t.transfer(Bucket::Tx, Bucket::Abort, 60);
+        assert_eq!(t.get(Bucket::Tx), 40);
+        assert_eq!(t.get(Bucket::Abort), 60);
+        assert_eq!(t.total_cycles(), 100);
+    }
+
+    #[test]
+    fn transfer_saturates_at_source_balance() {
+        let mut t = TimeBuckets::default();
+        t.charge(Bucket::Tx, 10);
+        t.transfer(Bucket::Tx, Bucket::Abort, 999);
+        assert_eq!(t.get(Bucket::Tx), 0);
+        assert_eq!(t.get(Bucket::Abort), 10);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Bucket::Scheduling.label(), "sched");
+        assert_eq!(Bucket::NonTx.to_string(), "non-tx");
+    }
+}

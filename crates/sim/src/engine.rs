@@ -1,0 +1,782 @@
+//! The discrete-event execution engine: CPUs, run queues, the OS scheduler
+//! model and the main event loop.
+
+use crate::accounting::{Bucket, TimeBuckets};
+use crate::cost::CostModel;
+use crate::ids::{CpuId, ThreadId};
+use crate::rng::SimRng;
+use crate::time::Cycle;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// What a thread does next when the engine schedules it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Consume CPU for `cycles`, accounted to `bucket`.
+    Work {
+        /// Number of cycles the action takes.
+        cycles: u64,
+        /// Accounting category for these cycles.
+        bucket: Bucket,
+    },
+    /// Give up the CPU voluntarily (`pthread_yield`): the thread stays
+    /// runnable but moves to the back of its CPU's run queue. The yield
+    /// syscall cost is charged to the kernel bucket.
+    Yield,
+    /// Sleep until another thread calls [`ThreadCtx::wake`] for this
+    /// thread. The futex block cost is charged to the kernel bucket.
+    Block,
+    /// The thread has finished its program.
+    Finish,
+}
+
+impl Action {
+    /// Convenience constructor for [`Action::Work`].
+    pub fn work(cycles: u64, bucket: Bucket) -> Action {
+        Action::Work { cycles, bucket }
+    }
+}
+
+/// Behaviour of one simulated thread, generic over the shared `World`
+/// (e.g. a transactional-memory model).
+///
+/// `step` is called whenever the thread holds a CPU and its previous
+/// action has completed; it returns the next action. Implementations keep
+/// their own program state (what to run next) internally.
+pub trait ThreadLogic<W> {
+    /// Advance the thread's program by one action.
+    fn step(&mut self, world: &mut W, ctx: &mut ThreadCtx) -> Action;
+}
+
+/// Per-step context handed to [`ThreadLogic::step`].
+#[derive(Debug)]
+pub struct ThreadCtx<'a> {
+    /// The thread being stepped.
+    pub thread: ThreadId,
+    /// The CPU it is running on.
+    pub cpu: CpuId,
+    /// Current simulated time.
+    pub now: Cycle,
+    /// The thread's private deterministic RNG stream.
+    pub rng: &'a mut SimRng,
+    /// The thread's cycle accounting. Logics normally only *read* this;
+    /// the one sanctioned mutation is [`TimeBuckets::transfer`], used to
+    /// re-file optimistically-charged transactional work as aborted work.
+    pub buckets: &'a mut TimeBuckets,
+    costs: &'a CostModel,
+    wakes: Vec<ThreadId>,
+}
+
+impl ThreadCtx<'_> {
+    /// The machine's latency parameters.
+    pub fn costs(&self) -> &CostModel {
+        self.costs
+    }
+
+    /// Requests that `target` be woken (if blocked) when this step's
+    /// action is committed. The futex wake cost is charged to the calling
+    /// thread's kernel bucket.
+    pub fn wake(&mut self, target: ThreadId) {
+        self.wakes.push(target);
+    }
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of CPUs (the paper uses 16).
+    pub num_cpus: usize,
+    /// Machine latency parameters.
+    pub costs: CostModel,
+    /// Master seed; per-thread RNG streams derive from it.
+    pub seed: u64,
+    /// Hard cap on simulated time; exceeding it panics (guards against
+    /// live-lock in a buggy scheduler under test).
+    pub max_cycles: u64,
+}
+
+impl EngineConfig {
+    /// A configuration with `num_cpus` CPUs and default costs and seed.
+    pub fn with_cpus(num_cpus: usize) -> Self {
+        Self {
+            num_cpus,
+            costs: CostModel::default(),
+            seed: 0xBF67_5000,
+            max_cycles: u64::MAX,
+        }
+    }
+
+    /// Replaces the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the cost model.
+    pub fn costs(mut self, costs: CostModel) -> Self {
+        self.costs = costs;
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadState {
+    Ready,
+    Running,
+    Blocked,
+    Finished,
+}
+
+struct ThreadSlot<W> {
+    logic: Box<dyn ThreadLogic<W>>,
+    state: ThreadState,
+    cpu: CpuId,
+    buckets: TimeBuckets,
+    rng: SimRng,
+    finish_time: Option<Cycle>,
+    /// A wake that arrived while the thread was not blocked; consumed by
+    /// the next `Block` (futex/semaphore semantics, so wakes delivered
+    /// between a block *decision* and the block itself are not lost).
+    pending_wake: bool,
+}
+
+#[derive(Debug, Default)]
+struct Cpu {
+    run_queue: VecDeque<ThreadId>,
+    current: Option<ThreadId>,
+    /// Last thread that held this CPU; a re-pickup of the same thread
+    /// (yield with an empty queue) skips the context-switch charge.
+    last: Option<ThreadId>,
+    ran_since_switch: u64,
+    /// True when a pickup/step event for this CPU is already in the heap.
+    armed: bool,
+}
+
+/// Outcome of a completed simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Time at which the last thread finished (the parallel makespan).
+    pub makespan: Cycle,
+    /// Per-thread cycle accounting, indexed by [`ThreadId`].
+    pub per_thread: Vec<TimeBuckets>,
+}
+
+impl RunReport {
+    /// Sum of all threads' buckets.
+    pub fn total(&self) -> TimeBuckets {
+        self.per_thread.iter().copied().sum()
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+pub struct Engine<W> {
+    config: EngineConfig,
+    world: W,
+    threads: Vec<ThreadSlot<W>>,
+    cpus: Vec<Cpu>,
+    heap: BinaryHeap<Reverse<(Cycle, u64, usize)>>,
+    seq: u64,
+    now: Cycle,
+    finished: usize,
+}
+
+impl<W> Engine<W> {
+    /// Creates an engine over `world` with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.num_cpus == 0`.
+    pub fn new(config: EngineConfig, world: W) -> Self {
+        assert!(config.num_cpus > 0, "engine needs at least one CPU");
+        let cpus = (0..config.num_cpus).map(|_| Cpu::default()).collect();
+        Self {
+            config,
+            world,
+            threads: Vec::new(),
+            cpus,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Cycle::ZERO,
+            finished: 0,
+        }
+    }
+
+    /// Adds a thread with round-robin CPU affinity (thread `i` runs on CPU
+    /// `i % num_cpus`, giving the paper's four-threads-per-core layout for
+    /// 64 threads on 16 CPUs). Returns the new thread's id.
+    pub fn spawn(&mut self, logic: Box<dyn ThreadLogic<W>>) -> ThreadId {
+        let cpu = CpuId(self.threads.len() % self.config.num_cpus);
+        self.spawn_on(cpu, logic)
+    }
+
+    /// Adds a thread pinned to `cpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn spawn_on(&mut self, cpu: CpuId, logic: Box<dyn ThreadLogic<W>>) -> ThreadId {
+        assert!(cpu.index() < self.cpus.len(), "cpu {cpu} out of range");
+        let id = ThreadId(self.threads.len());
+        let rng = SimRng::seed_from(self.config.seed).derive(id.index() as u64 + 1);
+        self.threads.push(ThreadSlot {
+            logic,
+            state: ThreadState::Ready,
+            cpu,
+            buckets: TimeBuckets::default(),
+            rng,
+            finish_time: None,
+            pending_wake: false,
+        });
+        self.cpus[cpu.index()].run_queue.push_back(id);
+        id
+    }
+
+    /// Shared world state.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the shared world state (for pre-run setup).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulated program deadlocks (all remaining threads
+    /// blocked with nothing to wake them) or exceeds
+    /// [`EngineConfig::max_cycles`].
+    pub fn run(self) -> RunReport {
+        self.run_into().0
+    }
+
+    /// Like [`Engine::run`], but also returns the world so callers can
+    /// extract statistics accumulated in shared state.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Engine::run`].
+    pub fn run_into(mut self) -> (RunReport, W) {
+        for cpu in 0..self.cpus.len() {
+            self.arm(CpuId(cpu), Cycle::ZERO);
+        }
+        while let Some(Reverse((time, _, cpu_idx))) = self.heap.pop() {
+            debug_assert!(time >= self.now, "event time went backwards");
+            self.now = time;
+            assert!(
+                self.now.as_u64() <= self.config.max_cycles,
+                "simulation exceeded max_cycles={} (live-lock?)",
+                self.config.max_cycles
+            );
+            self.cpus[cpu_idx].armed = false;
+            self.service_cpu(CpuId(cpu_idx));
+        }
+        if self.finished != self.threads.len() {
+            let stuck: Vec<String> = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.state != ThreadState::Finished)
+                .map(|(i, t)| format!("{}:{:?}", ThreadId(i), t.state))
+                .collect();
+            panic!("simulated deadlock at {}: stuck threads {stuck:?}", self.now);
+        }
+        let report = RunReport {
+            makespan: self
+                .threads
+                .iter()
+                .filter_map(|t| t.finish_time)
+                .max()
+                .unwrap_or(Cycle::ZERO),
+            per_thread: self.threads.iter().map(|t| t.buckets).collect(),
+        };
+        (report, self.world)
+    }
+
+    /// Schedules a service event for `cpu` at `time` unless one is armed.
+    fn arm(&mut self, cpu: CpuId, time: Cycle) {
+        let slot = &mut self.cpus[cpu.index()];
+        if !slot.armed {
+            slot.armed = true;
+            self.seq += 1;
+            self.heap.push(Reverse((time, self.seq, cpu.index())));
+        }
+    }
+
+    fn service_cpu(&mut self, cpu: CpuId) {
+        let costs = self.config.costs.clone();
+        // Pick up a thread if the CPU is free.
+        if self.cpus[cpu.index()].current.is_none() {
+            let Some(next) = self.cpus[cpu.index()].run_queue.pop_front() else {
+                return; // idle: a future wake will re-arm us
+            };
+            let slot = &mut self.cpus[cpu.index()];
+            let switch = if slot.last == Some(next) {
+                0
+            } else {
+                costs.context_switch
+            };
+            slot.current = Some(next);
+            slot.last = Some(next);
+            slot.ran_since_switch = 0;
+            self.threads[next.index()].state = ThreadState::Running;
+            if switch > 0 {
+                self.threads[next.index()].buckets.charge(Bucket::Kernel, switch);
+            }
+            self.arm(cpu, self.now + Cycle::new(switch));
+            return;
+        }
+
+        let tid = self.cpus[cpu.index()].current.expect("current checked above");
+
+        // Quantum preemption: only if someone else is waiting.
+        {
+            let slot = &mut self.cpus[cpu.index()];
+            if slot.ran_since_switch >= costs.quantum && !slot.run_queue.is_empty() {
+                slot.current = None;
+                slot.run_queue.push_back(tid);
+                self.threads[tid.index()].state = ThreadState::Ready;
+                self.arm(cpu, self.now);
+                return;
+            }
+        }
+
+        // Step the thread.
+        let thread = &mut self.threads[tid.index()];
+        let mut ctx = ThreadCtx {
+            thread: tid,
+            cpu,
+            now: self.now,
+            rng: &mut thread.rng,
+            buckets: &mut thread.buckets,
+            costs: &costs,
+            wakes: Vec::new(),
+        };
+        let action = thread.logic.step(&mut self.world, &mut ctx);
+        let wakes = std::mem::take(&mut ctx.wakes);
+
+        // Charge wake costs to the waker and apply the wakes.
+        let mut extra = 0u64;
+        for target in wakes {
+            extra += costs.futex_wake;
+            self.wake_internal(target);
+        }
+        if extra > 0 {
+            self.threads[tid.index()].buckets.charge(Bucket::Kernel, extra);
+        }
+
+        match action {
+            Action::Work { cycles, bucket } => {
+                self.threads[tid.index()].buckets.charge(bucket, cycles);
+                self.cpus[cpu.index()].ran_since_switch += cycles + extra;
+                // Clamp to >=1 so a degenerate zero-cost action stream
+                // (possible under all-zero cost models) cannot pin the
+                // event heap to one timestamp and starve other CPUs.
+                self.arm(cpu, self.now + Cycle::new((cycles + extra).max(1)));
+            }
+            Action::Yield => {
+                self.threads[tid.index()]
+                    .buckets
+                    .charge(Bucket::Kernel, costs.yield_syscall);
+                self.threads[tid.index()].state = ThreadState::Ready;
+                let slot = &mut self.cpus[cpu.index()];
+                slot.current = None;
+                slot.run_queue.push_back(tid);
+                // A yield must advance time even with a zero-cost OS
+                // model, or a lone yielding thread would re-arm at the
+                // same timestamp forever and starve other CPUs' events.
+                self.arm(
+                    cpu,
+                    self.now + Cycle::new((costs.yield_syscall + extra).max(1)),
+                );
+            }
+            Action::Block => {
+                self.threads[tid.index()]
+                    .buckets
+                    .charge(Bucket::Kernel, costs.futex_block);
+                let slot = &mut self.threads[tid.index()];
+                if slot.pending_wake {
+                    // A wake raced ahead of the block: consume it and
+                    // stay runnable (futex semantics).
+                    slot.pending_wake = false;
+                    slot.state = ThreadState::Ready;
+                    self.cpus[cpu.index()].run_queue.push_back(tid);
+                } else {
+                    slot.state = ThreadState::Blocked;
+                }
+                self.cpus[cpu.index()].current = None;
+                self.arm(
+                    cpu,
+                    self.now + Cycle::new((costs.futex_block + extra).max(1)),
+                );
+            }
+            Action::Finish => {
+                self.threads[tid.index()].state = ThreadState::Finished;
+                self.threads[tid.index()].finish_time = Some(self.now);
+                self.finished += 1;
+                self.cpus[cpu.index()].current = None;
+                self.arm(cpu, self.now + Cycle::new(extra));
+            }
+        }
+    }
+
+    fn wake_internal(&mut self, target: ThreadId) {
+        let slot = &mut self.threads[target.index()];
+        match slot.state {
+            ThreadState::Blocked => {
+                slot.state = ThreadState::Ready;
+                let cpu = slot.cpu;
+                self.cpus[cpu.index()].run_queue.push_back(target);
+                if self.cpus[cpu.index()].current.is_none() {
+                    self.arm(cpu, self.now);
+                }
+            }
+            ThreadState::Finished => {}
+            // The target has not blocked yet: remember the wake so the
+            // upcoming Block consumes it instead of sleeping forever.
+            ThreadState::Ready | ThreadState::Running => {
+                slot.pending_wake = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs `n` work slices of `cycles` each, then finishes.
+    struct Looper {
+        slices: u32,
+        cycles: u64,
+        bucket: Bucket,
+    }
+
+    impl<W> ThreadLogic<W> for Looper {
+        fn step(&mut self, _world: &mut W, _ctx: &mut ThreadCtx) -> Action {
+            if self.slices == 0 {
+                return Action::Finish;
+            }
+            self.slices -= 1;
+            Action::work(self.cycles, self.bucket)
+        }
+    }
+
+    fn quiet_costs() -> CostModel {
+        // Zero OS costs make arithmetic exact in tests.
+        CostModel {
+            context_switch: 0,
+            yield_syscall: 0,
+            futex_block: 0,
+            futex_wake: 0,
+            ..CostModel::default()
+        }
+    }
+
+    #[test]
+    fn single_thread_accounting() {
+        let cfg = EngineConfig::with_cpus(1).costs(quiet_costs());
+        let mut e = Engine::new(cfg, ());
+        e.spawn(Box::new(Looper {
+            slices: 4,
+            cycles: 25,
+            bucket: Bucket::Tx,
+        }));
+        let report = e.run();
+        assert_eq!(report.total().get(Bucket::Tx), 100);
+        assert_eq!(report.makespan, Cycle::new(100));
+    }
+
+    #[test]
+    fn two_cpus_run_in_parallel() {
+        let cfg = EngineConfig::with_cpus(2).costs(quiet_costs());
+        let mut e = Engine::new(cfg, ());
+        for _ in 0..2 {
+            e.spawn(Box::new(Looper {
+                slices: 1,
+                cycles: 1000,
+                bucket: Bucket::NonTx,
+            }));
+        }
+        let report = e.run();
+        // Both threads work 1000 cycles but on different CPUs: the
+        // makespan is 1000, not 2000.
+        assert_eq!(report.makespan, Cycle::new(1000));
+        assert_eq!(report.total().get(Bucket::NonTx), 2000);
+    }
+
+    #[test]
+    fn two_threads_one_cpu_serialize() {
+        let cfg = EngineConfig::with_cpus(1).costs(quiet_costs());
+        let mut e = Engine::new(cfg, ());
+        for _ in 0..2 {
+            e.spawn(Box::new(Looper {
+                slices: 1,
+                cycles: 1000,
+                bucket: Bucket::NonTx,
+            }));
+        }
+        let report = e.run();
+        assert_eq!(report.makespan, Cycle::new(2000));
+    }
+
+    #[test]
+    fn context_switch_cost_is_charged() {
+        let costs = CostModel {
+            context_switch: 100,
+            yield_syscall: 0,
+            futex_block: 0,
+            futex_wake: 0,
+            ..CostModel::default()
+        };
+        let cfg = EngineConfig::with_cpus(1).costs(costs);
+        let mut e = Engine::new(cfg, ());
+        e.spawn(Box::new(Looper {
+            slices: 1,
+            cycles: 10,
+            bucket: Bucket::NonTx,
+        }));
+        e.spawn(Box::new(Looper {
+            slices: 1,
+            cycles: 10,
+            bucket: Bucket::NonTx,
+        }));
+        let report = e.run();
+        // Each thread pays one context switch when first scheduled.
+        assert_eq!(report.total().get(Bucket::Kernel), 200);
+        assert_eq!(report.makespan, Cycle::new(220));
+    }
+
+    /// Yields between each work slice.
+    struct Yielder {
+        slices: u32,
+        yielded: bool,
+    }
+
+    impl<W> ThreadLogic<W> for Yielder {
+        fn step(&mut self, _world: &mut W, _ctx: &mut ThreadCtx) -> Action {
+            if self.slices == 0 {
+                return Action::Finish;
+            }
+            if self.yielded {
+                self.yielded = false;
+                self.slices -= 1;
+                Action::work(10, Bucket::NonTx)
+            } else {
+                self.yielded = true;
+                Action::Yield
+            }
+        }
+    }
+
+    #[test]
+    fn yield_rotates_threads() {
+        let cfg = EngineConfig::with_cpus(1).costs(quiet_costs());
+        let mut e = Engine::new(cfg, ());
+        e.spawn(Box::new(Yielder {
+            slices: 3,
+            yielded: false,
+        }));
+        e.spawn(Box::new(Yielder {
+            slices: 3,
+            yielded: false,
+        }));
+        let report = e.run();
+        assert_eq!(report.total().get(Bucket::NonTx), 60);
+    }
+
+    /// Blocks once; expects a waker to release it.
+    struct Sleeper {
+        slept: bool,
+    }
+
+    impl ThreadLogic<()> for Sleeper {
+        fn step(&mut self, _world: &mut (), _ctx: &mut ThreadCtx) -> Action {
+            if self.slept {
+                Action::Finish
+            } else {
+                self.slept = true;
+                Action::Block
+            }
+        }
+    }
+
+    /// Works, then wakes thread 0.
+    struct Waker {
+        woke: bool,
+    }
+
+    impl ThreadLogic<()> for Waker {
+        fn step(&mut self, _world: &mut (), ctx: &mut ThreadCtx) -> Action {
+            if self.woke {
+                Action::Finish
+            } else {
+                self.woke = true;
+                ctx.wake(ThreadId(0));
+                Action::work(500, Bucket::NonTx)
+            }
+        }
+    }
+
+    #[test]
+    fn block_and_wake() {
+        let cfg = EngineConfig::with_cpus(2).costs(quiet_costs());
+        let mut e = Engine::new(cfg, ());
+        e.spawn(Box::new(Sleeper { slept: false })); // t0 on cpu0
+        e.spawn(Box::new(Waker { woke: false })); // t1 on cpu1
+        let report = e.run();
+        assert_eq!(report.total().get(Bucket::NonTx), 500);
+    }
+
+    #[test]
+    fn wake_cost_charged_to_waker() {
+        let costs = CostModel {
+            context_switch: 0,
+            yield_syscall: 0,
+            futex_block: 30,
+            futex_wake: 70,
+            ..CostModel::default()
+        };
+        let cfg = EngineConfig::with_cpus(2).costs(costs);
+        let mut e = Engine::new(cfg, ());
+        e.spawn(Box::new(Sleeper { slept: false }));
+        e.spawn(Box::new(Waker { woke: false }));
+        let report = e.run();
+        // Sleeper pays futex_block, waker pays futex_wake.
+        assert_eq!(report.per_thread[0].get(Bucket::Kernel), 30);
+        assert_eq!(report.per_thread[1].get(Bucket::Kernel), 70);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated deadlock")]
+    fn deadlock_is_detected() {
+        let cfg = EngineConfig::with_cpus(1).costs(quiet_costs());
+        let mut e = Engine::new(cfg, ());
+        e.spawn(Box::new(Sleeper { slept: false })); // nobody wakes it
+        let _ = e.run();
+    }
+
+    #[test]
+    fn quantum_preempts_long_runner() {
+        let costs = CostModel {
+            context_switch: 0,
+            yield_syscall: 0,
+            futex_block: 0,
+            futex_wake: 0,
+            quantum: 50,
+            ..CostModel::default()
+        };
+        let cfg = EngineConfig::with_cpus(1).costs(costs);
+        let mut e = Engine::new(cfg, ());
+        // Thread 0 wants 10 slices of 20 cycles; thread 1 only one slice.
+        e.spawn(Box::new(Looper {
+            slices: 10,
+            cycles: 20,
+            bucket: Bucket::NonTx,
+        }));
+        e.spawn(Box::new(Looper {
+            slices: 1,
+            cycles: 20,
+            bucket: Bucket::Tx,
+        }));
+        let report = e.run();
+        // Thread 1 must have been let in before thread 0 finished its full
+        // 200 cycles: t1 finishes well before the makespan.
+        assert_eq!(report.total().get(Bucket::NonTx), 200);
+        assert_eq!(report.total().get(Bucket::Tx), 20);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let build = || {
+            let cfg = EngineConfig::with_cpus(4).seed(99);
+            let mut e = Engine::new(cfg, ());
+            for i in 0..8u32 {
+                e.spawn(Box::new(Looper {
+                    slices: 3 + i,
+                    cycles: 17,
+                    bucket: Bucket::NonTx,
+                }));
+            }
+            e.run()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.per_thread.len(), b.per_thread.len());
+        for (x, y) in a.per_thread.iter().zip(&b.per_thread) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn spawn_round_robin_affinity() {
+        let cfg = EngineConfig::with_cpus(4);
+        let mut e = Engine::new(cfg, ());
+        for _ in 0..8 {
+            e.spawn(Box::new(Looper {
+                slices: 0,
+                cycles: 0,
+                bucket: Bucket::NonTx,
+            }));
+        }
+        assert_eq!(e.threads[0].cpu, CpuId(0));
+        assert_eq!(e.threads[4].cpu, CpuId(0));
+        assert_eq!(e.threads[5].cpu, CpuId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one CPU")]
+    fn zero_cpus_rejected() {
+        let _ = Engine::new(EngineConfig::with_cpus(0), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "max_cycles")]
+    fn max_cycles_guard() {
+        let mut cfg = EngineConfig::with_cpus(1).costs(quiet_costs());
+        cfg.max_cycles = 100;
+        let mut e = Engine::new(cfg, ());
+        e.spawn(Box::new(Looper {
+            slices: 100,
+            cycles: 50,
+            bucket: Bucket::NonTx,
+        }));
+        let _ = e.run();
+    }
+
+    #[test]
+    fn rng_streams_differ_per_thread() {
+        struct RngProbe {
+            out: std::rc::Rc<std::cell::RefCell<Vec<u64>>>,
+            done: bool,
+        }
+        impl ThreadLogic<()> for RngProbe {
+            fn step(&mut self, _w: &mut (), ctx: &mut ThreadCtx) -> Action {
+                if self.done {
+                    return Action::Finish;
+                }
+                self.done = true;
+                self.out.borrow_mut().push(ctx.rng.next_u64());
+                Action::work(1, Bucket::NonTx)
+            }
+        }
+        let out = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let cfg = EngineConfig::with_cpus(2).costs(quiet_costs());
+        let mut e = Engine::new(cfg, ());
+        for _ in 0..2 {
+            e.spawn(Box::new(RngProbe {
+                out: out.clone(),
+                done: false,
+            }));
+        }
+        let _ = e.run();
+        let v = out.borrow();
+        assert_eq!(v.len(), 2);
+        assert_ne!(v[0], v[1]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Identifier newtypes for simulated hardware and software entities.
+
+use std::fmt;
+
+/// Index of a simulated CPU core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CpuId(pub usize);
+
+impl CpuId {
+    /// Raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for CpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+/// Index of a simulated software thread. Threads are numbered in spawn
+/// order, starting at zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub usize);
+
+impl ThreadId {
+    /// Raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(CpuId(3).to_string(), "cpu3");
+        assert_eq!(ThreadId(12).to_string(), "t12");
+    }
+
+    #[test]
+    fn ordering_by_index() {
+        assert!(ThreadId(1) < ThreadId(2));
+        assert_eq!(CpuId(4).index(), 4);
+    }
+}

@@ -1,0 +1,201 @@
+//! Deterministic pseudo-random number generation for the simulator.
+//!
+//! Everything random in a simulation run — workload address streams,
+//! backoff jitter, tie-breaking — flows from [`SimRng`], a xoshiro256++
+//! generator seeded from the experiment seed. Identical seeds give
+//! bit-identical runs, which the test suite and the experiment harness rely
+//! on.
+
+/// A xoshiro256++ pseudo-random number generator.
+///
+/// # Example
+///
+/// ```
+/// use bfgts_sim::SimRng;
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    state: [u64; 4],
+}
+
+fn splitmix64(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed (expanded via SplitMix64).
+    pub fn seed_from(seed: u64) -> Self {
+        let mut s = seed;
+        Self {
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
+        }
+    }
+
+    /// Derives an independent stream for a sub-entity (e.g. one thread of a
+    /// run) without correlating with the parent stream.
+    pub fn derive(&self, stream: u64) -> Self {
+        let mut s = self.state[0] ^ stream.wrapping_mul(0xa076_1d64_78bd_642f);
+        Self {
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
+        }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0
+            .wrapping_add(s3)
+            .rotate_left(23)
+            .wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2n = s2 ^ s0;
+        let s3n = s3 ^ s1;
+        let s1n = s1 ^ s2;
+        let s0n = s0 ^ s3n;
+        s2n ^= t;
+        self.state = [s0n, s1n, s2n, s3n.rotate_left(45)];
+        result
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be positive");
+        // Lemire's multiply-shift rejection method.
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(bound as u128);
+        let mut l = m as u64;
+        if l < bound {
+            let t = bound.wrapping_neg() % bound;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(bound as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Approximate geometric jitter used by backoff: uniform in
+    /// `[0, bound]`.
+    pub fn jitter(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.gen_range(bound + 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn derived_streams_are_independent() {
+        let parent = SimRng::seed_from(9);
+        let mut c1 = parent.derive(0);
+        let mut c2 = parent.derive(1);
+        assert_ne!(c1.next_u64(), c2.next_u64());
+        // Deriving twice with the same stream id gives the same stream.
+        let mut c1b = parent.derive(0);
+        let mut c1a = parent.derive(0);
+        assert_eq!(c1a.next_u64(), c1b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bound() {
+        let mut r = SimRng::seed_from(3);
+        for _ in 0..10_000 {
+            assert!(r.gen_range(17) < 17);
+        }
+        assert_eq!(r.gen_range(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn gen_range_zero_panics() {
+        SimRng::seed_from(0).gen_range(0);
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut r = SimRng::seed_from(11);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[r.gen_range(10) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c} not uniform");
+        }
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut r = SimRng::seed_from(5);
+        for _ in 0..10_000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SimRng::seed_from(5);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    fn jitter_zero_bound() {
+        let mut r = SimRng::seed_from(5);
+        assert_eq!(r.jitter(0), 0);
+        assert!(r.jitter(4) <= 4);
+    }
+}

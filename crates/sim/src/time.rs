@@ -1,0 +1,132 @@
+//! Simulated time in processor cycles.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (or duration of) simulated time, measured in cycles of the
+/// simulated 2 GHz cores.
+///
+/// # Example
+///
+/// ```
+/// use bfgts_sim::Cycle;
+/// let t = Cycle::new(100) + Cycle::new(32);
+/// assert_eq!(t.as_u64(), 132);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// Time zero.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a cycle count.
+    pub const fn new(cycles: u64) -> Self {
+        Cycle(cycles)
+    }
+
+    /// Raw cycle count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Duration since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is later than `self`.
+    pub fn since(self, earlier: Cycle) -> Cycle {
+        debug_assert!(earlier.0 <= self.0, "time went backwards");
+        Cycle(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, other: Cycle) -> Cycle {
+        Cycle(self.0.saturating_add(other.0))
+    }
+
+    /// Converts to seconds assuming the simulated 2 GHz clock.
+    pub fn as_seconds_at_2ghz(self) -> f64 {
+        self.0 as f64 / 2.0e9
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycle {
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        iter.fold(Cycle::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(cycles: u64) -> Self {
+        Cycle(cycles)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Cycle::new(5) + Cycle::new(3), Cycle::new(8));
+        assert_eq!(Cycle::new(5) - Cycle::new(3), Cycle::new(2));
+        let mut t = Cycle::ZERO;
+        t += Cycle::new(7);
+        assert_eq!(t.as_u64(), 7);
+    }
+
+    #[test]
+    fn since_measures_duration() {
+        assert_eq!(Cycle::new(10).since(Cycle::new(4)), Cycle::new(6));
+    }
+
+    #[test]
+    fn sum_of_cycles() {
+        let total: Cycle = [1u64, 2, 3].into_iter().map(Cycle::new).sum();
+        assert_eq!(total, Cycle::new(6));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Cycle::new(1) < Cycle::new(2));
+        assert_eq!(Cycle::ZERO, Cycle::new(0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Cycle::new(42).to_string(), "42cy");
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        assert!((Cycle::new(2_000_000_000).as_seconds_at_2ghz() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests of the discrete-event engine: arbitrary well-formed
+//! thread programs must complete, conserve accounting, and respect the
+//! parallelism bound.
+
+use bfgts_sim::{
+    Action, Bucket, CostModel, Cycle, Engine, EngineConfig, ThreadCtx, ThreadLogic,
+};
+use proptest::prelude::*;
+
+/// A scripted thread: a list of pre-baked actions, then Finish.
+struct Scripted {
+    actions: Vec<ScriptAction>,
+    next: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ScriptAction {
+    Work(u16),
+    Yield,
+}
+
+impl ThreadLogic<()> for Scripted {
+    fn step(&mut self, _world: &mut (), _ctx: &mut ThreadCtx) -> Action {
+        let Some(action) = self.actions.get(self.next) else {
+            return Action::Finish;
+        };
+        self.next += 1;
+        match *action {
+            ScriptAction::Work(c) => Action::work(c as u64, Bucket::NonTx),
+            ScriptAction::Yield => Action::Yield,
+        }
+    }
+}
+
+fn script_strategy() -> impl Strategy<Value = Vec<ScriptAction>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u16..500).prop_map(ScriptAction::Work),
+            Just(ScriptAction::Yield),
+        ],
+        0..30,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every mix of scripted threads over any machine shape completes,
+    /// and the sum of charged work cycles equals the scripted total.
+    #[test]
+    fn programs_complete_and_conserve_work(
+        scripts in proptest::collection::vec(script_strategy(), 1..12),
+        cpus in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let scripted_work: u64 = scripts
+            .iter()
+            .flatten()
+            .map(|a| match a {
+                ScriptAction::Work(c) => *c as u64,
+                ScriptAction::Yield => 0,
+            })
+            .sum();
+        let cfg = EngineConfig::with_cpus(cpus).seed(seed).costs(CostModel {
+            context_switch: 11,
+            yield_syscall: 7,
+            ..CostModel::default()
+        });
+        let mut engine = Engine::new(cfg, ());
+        let n = scripts.len();
+        for actions in scripts {
+            engine.spawn(Box::new(Scripted { actions, next: 0 }));
+        }
+        let report = engine.run();
+        prop_assert_eq!(report.per_thread.len(), n);
+        prop_assert_eq!(report.total().get(Bucket::NonTx), scripted_work);
+    }
+
+    /// The makespan is bounded below by total-work / num-cpus and above
+    /// by total busy time (work + kernel costs).
+    #[test]
+    fn makespan_respects_parallelism_bounds(
+        scripts in proptest::collection::vec(script_strategy(), 1..10),
+        cpus in 1usize..4,
+    ) {
+        let cfg = EngineConfig::with_cpus(cpus).costs(CostModel {
+            context_switch: 13,
+            yield_syscall: 5,
+            ..CostModel::default()
+        });
+        let mut engine = Engine::new(cfg, ());
+        for actions in scripts {
+            engine.spawn(Box::new(Scripted { actions, next: 0 }));
+        }
+        let report = engine.run();
+        let busy = report.total().total_cycles();
+        let span = report.makespan.as_u64();
+        // Upper bound: one CPU could have run everything serially, plus
+        // one cycle of forced progress per zero-length action (bounded
+        // by the action count, itself bounded by busy + 30*threads).
+        let slack = 30 * report.per_thread.len() as u64 + 1;
+        prop_assert!(span <= busy + slack, "span {span} > busy {busy} + slack");
+        // Lower bound: work cannot be compressed below perfect speedup.
+        prop_assert!(span.saturating_mul(cpus as u64) + slack >= busy,
+            "span {span} * {cpus} < busy {busy}");
+    }
+
+    /// Identical configurations give identical reports.
+    #[test]
+    fn engine_is_deterministic(
+        scripts in proptest::collection::vec(script_strategy(), 1..8),
+        seed in any::<u64>(),
+    ) {
+        let run = || {
+            let cfg = EngineConfig::with_cpus(2).seed(seed);
+            let mut engine = Engine::new(cfg, ());
+            for actions in scripts.clone() {
+                engine.spawn(Box::new(Scripted { actions, next: 0 }));
+            }
+            engine.run()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.makespan, b.makespan);
+        for (x, y) in a.per_thread.iter().zip(&b.per_thread) {
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    /// Blocked threads woken by a peer always resume: a token-passing
+    /// chain through every thread terminates. (Wakes of not-yet-blocked
+    /// threads are lost, as with futexes, so each thread re-checks the
+    /// token in the shared world — the standard condition protocol.)
+    #[test]
+    fn wake_chains_terminate(n in 2usize..10, cpus in 1usize..4) {
+        use bfgts_sim::ThreadId;
+
+        /// Thread i waits for its token, then passes to thread i+1.
+        struct Chain {
+            me: usize,
+            n: usize,
+            done: bool,
+        }
+        impl ThreadLogic<Vec<bool>> for Chain {
+            fn step(&mut self, tokens: &mut Vec<bool>, ctx: &mut ThreadCtx) -> Action {
+                if self.done {
+                    return Action::Finish;
+                }
+                if !tokens[self.me] {
+                    return Action::Block;
+                }
+                self.done = true;
+                let next = (self.me + 1) % self.n;
+                if next != 0 {
+                    tokens[next] = true;
+                    ctx.wake(ThreadId(next));
+                }
+                Action::work(10, Bucket::NonTx)
+            }
+        }
+        let cfg = EngineConfig::with_cpus(cpus);
+        let mut tokens = vec![false; n];
+        tokens[0] = true; // thread 0 starts with its token
+        let mut engine = Engine::new(cfg, tokens);
+        for me in 0..n {
+            engine.spawn(Box::new(Chain { me, n, done: false }));
+        }
+        let report = engine.run();
+        prop_assert_eq!(report.total().get(Bucket::NonTx), 10 * n as u64);
+    }
+}

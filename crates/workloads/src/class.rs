@@ -1,0 +1,194 @@
+//! Transaction classes: the building blocks of a synthetic benchmark.
+
+/// A contiguous range of cache lines in the simulated address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First line number.
+    pub base: u64,
+    /// Number of lines.
+    pub lines: u64,
+}
+
+impl Region {
+    /// Creates a region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines == 0`.
+    pub fn new(base: u64, lines: u64) -> Self {
+        assert!(lines > 0, "region must contain at least one line");
+        Self { base, lines }
+    }
+
+    /// Whether two regions share any line.
+    pub fn overlaps(&self, other: &Region) -> bool {
+        self.base < other.base + other.lines && other.base < self.base + self.lines
+    }
+}
+
+/// Where a class draws its random (transient) accesses from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RandomRegion {
+    /// A region shared by all threads (and possibly other classes):
+    /// produces transient conflicts.
+    Shared(Region),
+    /// A per-thread region of this many lines: no conflicts at all
+    /// (models thread-partitioned data).
+    PerThread {
+        /// Lines in each thread's private region.
+        lines: u64,
+    },
+}
+
+/// One static transaction of a benchmark: a recipe for generating its
+/// dynamic read/write sets.
+///
+/// An instance's accesses are the union of three pools, shuffled into a
+/// random program order:
+///
+/// 1. `private_hot` lines unique to (thread, class), reused verbatim on
+///    every execution — they create *similarity* without conflicts;
+/// 2. `shared_picks` draws from the small `shared_pool` all threads
+///    share — they create *persistent* conflicts (and similarity when
+///    the pool is small enough to repeat);
+/// 3. `random_picks` draws from the large random region — *transient*
+///    conflicts.
+#[derive(Debug, Clone)]
+pub struct TxClass {
+    /// Static transaction id this class generates.
+    pub stx: u32,
+    /// Relative selection weight among the benchmark's classes.
+    pub weight: f64,
+    /// Per-thread lines reused on every execution.
+    pub private_hot: usize,
+    /// Accesses drawn from the shared pool per execution.
+    pub shared_picks: usize,
+    /// The shared pool, if the class has one.
+    pub shared_pool: Option<Region>,
+    /// Whether shared-pool accesses are writes (`true`, e.g. a queue
+    /// head) or reads (`false`, e.g. a lookup table another class
+    /// writes).
+    pub shared_writes: bool,
+    /// Accesses drawn from the random region per execution.
+    pub random_picks: usize,
+    /// Where random accesses land.
+    pub random_region: RandomRegion,
+    /// Probability that a private/random access is a write.
+    pub write_frac: f64,
+    /// Uniform range of non-transactional cycles preceding each
+    /// execution.
+    pub pre_work: (u64, u64),
+}
+
+impl TxClass {
+    /// Total accesses each instance performs.
+    pub fn size(&self) -> usize {
+        self.private_hot + self.shared_picks + self.random_picks
+    }
+
+    /// The similarity this class should exhibit: the hot fraction of its
+    /// accesses (private lines always repeat; shared-pool picks repeat
+    /// when the pool is small).
+    pub fn nominal_similarity(&self) -> f64 {
+        if self.size() == 0 {
+            return 0.0;
+        }
+        let repeating_shared = match self.shared_pool {
+            // Picks from a pool no larger than ~4x the pick count mostly
+            // repeat between consecutive executions.
+            Some(pool) if pool.lines <= 4 * self.shared_picks as u64 => {
+                self.shared_picks as f64
+            }
+            _ => 0.0,
+        };
+        (self.private_hot as f64 + repeating_shared) / self.size() as f64
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class draws from a shared pool it does not define,
+    /// or performs no accesses.
+    pub fn validate(&self) {
+        assert!(self.size() > 0, "class sTx{} performs no accesses", self.stx);
+        assert!(
+            self.shared_picks == 0 || self.shared_pool.is_some(),
+            "class sTx{} draws from a missing shared pool",
+            self.stx
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.write_frac),
+            "write_frac out of range"
+        );
+        assert!(self.pre_work.0 <= self.pre_work.1, "pre_work range inverted");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class() -> TxClass {
+        TxClass {
+            stx: 0,
+            weight: 1.0,
+            private_hot: 6,
+            shared_picks: 2,
+            shared_pool: Some(Region::new(100, 8)),
+            shared_writes: true,
+            random_picks: 4,
+            random_region: RandomRegion::Shared(Region::new(1000, 4096)),
+            write_frac: 0.5,
+            pre_work: (100, 200),
+        }
+    }
+
+    #[test]
+    fn size_sums_pools() {
+        assert_eq!(class().size(), 12);
+    }
+
+    #[test]
+    fn nominal_similarity_counts_hot_fractions() {
+        // 6 private + 2 repeating shared of 12 accesses.
+        let sim = class().nominal_similarity();
+        assert!((sim - 8.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_pool_does_not_count_as_repeating() {
+        let mut c = class();
+        c.shared_pool = Some(Region::new(100, 1000));
+        let sim = c.nominal_similarity();
+        assert!((sim - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn region_overlap() {
+        let a = Region::new(0, 10);
+        let b = Region::new(9, 5);
+        let c = Region::new(10, 5);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn empty_region_rejected() {
+        Region::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing shared pool")]
+    fn missing_pool_rejected() {
+        let mut c = class();
+        c.shared_pool = None;
+        c.validate();
+    }
+
+    #[test]
+    fn valid_class_passes() {
+        class().validate();
+    }
+}

@@ -1,0 +1,63 @@
+//! Manager showdown on the paper's high-contention Intruder workload:
+//! runs all seven contention managers and prints speedup over one core,
+//! contention, and where the time went — the scenario the paper's
+//! introduction motivates (reactive backoff collapses, ATS
+//! over-serialises, BFGTS schedules around the conflicts).
+//!
+//! ```text
+//! cargo run --release --example intruder_showdown
+//! ```
+
+use bfgts_baselines::{AtsCm, BackoffCm, PtsCm};
+use bfgts_core::{BfgtsCm, BfgtsConfig};
+use bfgts_htm::{run_workload, ContentionManager, TmRunConfig};
+use bfgts_sim::Bucket;
+use bfgts_workloads::presets;
+
+fn managers() -> Vec<Box<dyn ContentionManager>> {
+    vec![
+        Box::new(BackoffCm::default()),
+        Box::new(PtsCm::default()),
+        Box::new(AtsCm::default()),
+        Box::new(BfgtsCm::new(BfgtsConfig::sw().bloom_bits(512))),
+        Box::new(BfgtsCm::new(BfgtsConfig::hw().bloom_bits(512))),
+        Box::new(BfgtsCm::new(BfgtsConfig::hw_backoff().bloom_bits(1024))),
+        Box::new(BfgtsCm::new(BfgtsConfig::no_overhead())),
+    ]
+}
+
+fn main() {
+    let spec = presets::intruder().scaled(0.5);
+    let seed = 42;
+
+    // Serial reference: same work, one thread, one CPU.
+    let serial_cfg = TmRunConfig::new(1, 1).seed(seed);
+    let serial = run_workload(
+        &serial_cfg,
+        spec.sources(1),
+        Box::new(BackoffCm::default()),
+    )
+    .sim
+    .makespan
+    .as_u64();
+    println!("serial makespan: {serial} cycles\n");
+
+    println!(
+        "{:<17} {:>8} {:>11} {:>8} {:>8} {:>8}",
+        "Manager", "speedup", "contention", "kernel%", "abort%", "sched%"
+    );
+    for cm in managers() {
+        let cfg = TmRunConfig::new(16, 64).seed(seed);
+        let report = run_workload(&cfg, spec.sources(64), cm);
+        let total = report.sim.total();
+        println!(
+            "{:<17} {:>8.2} {:>10.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
+            report.cm_name,
+            serial as f64 / report.sim.makespan.as_u64() as f64,
+            report.stats.contention_rate() * 100.0,
+            total.fraction(Bucket::Kernel) * 100.0,
+            total.fraction(Bucket::Abort) * 100.0,
+            total.fraction(Bucket::Scheduling) * 100.0,
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Demonstrates the paper's §3 similarity machinery directly: how well
+//! Bloom-filter set-size algebra (equations 2–4) estimates the true
+//! overlap of consecutive read/write sets, across filter sizes.
+//!
+//! ```text
+//! cargo run --release --example similarity_probe
+//! ```
+//!
+//! Prints, for a "similar" transaction (Figure 1a) and a "dissimilar"
+//! one (Figure 1b), the exact similarity and the Bloom estimate at each
+//! filter size the paper sweeps.
+
+use bfgts_bloomsig::{BloomFilter, PerfectSignature, Signature};
+use bfgts_sim::SimRng;
+
+/// Generates consecutive read/write sets with a controlled hot fraction.
+fn consecutive_sets(
+    hot_lines: u64,
+    total: u64,
+    executions: usize,
+    rng: &mut SimRng,
+) -> Vec<Vec<u64>> {
+    (0..executions)
+        .map(|_| {
+            let mut set: Vec<u64> = (0..hot_lines).collect();
+            while (set.len() as u64) < total {
+                set.push(1_000 + rng.gen_range(1_000_000));
+            }
+            set
+        })
+        .collect()
+}
+
+fn exact_similarity(sets: &[Vec<u64>]) -> f64 {
+    let mut sims = Vec::new();
+    for pair in sets.windows(2) {
+        let a: PerfectSignature = pair[0].iter().copied().collect();
+        let b: PerfectSignature = pair[1].iter().copied().collect();
+        let avg = 0.5 * (a.estimate_len() + b.estimate_len());
+        sims.push(a.intersection_estimate(&b) / avg);
+    }
+    sims.iter().sum::<f64>() / sims.len() as f64
+}
+
+fn bloom_similarity(sets: &[Vec<u64>], bits: u32) -> f64 {
+    let mut sims = Vec::new();
+    for pair in sets.windows(2) {
+        let mut a = BloomFilter::new(bits, 4);
+        let mut b = BloomFilter::new(bits, 4);
+        for &x in &pair[0] {
+            a.insert(x);
+        }
+        for &x in &pair[1] {
+            b.insert(x);
+        }
+        let avg = 0.5 * (a.estimate_len() + b.estimate_len());
+        sims.push((a.intersection_estimate(&b) / avg).clamp(0.0, 1.0));
+    }
+    sims.iter().sum::<f64>() / sims.len() as f64
+}
+
+fn main() {
+    let mut rng = SimRng::seed_from(1234);
+    let cases = [
+        ("similar tx (Fig 1a): 45/50 hot lines", 45u64, 50u64),
+        ("mixed tx: 25/50 hot lines", 25, 50),
+        ("dissimilar tx (Fig 1b): 2/50 hot lines", 2, 50),
+    ];
+    println!(
+        "{:<40} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "transaction", "exact", "512b", "1024b", "2048b", "4096b", "8192b"
+    );
+    for (label, hot, total) in cases {
+        let sets = consecutive_sets(hot, total, 20, &mut rng);
+        print!("{label:<40} {:>7.2}", exact_similarity(&sets));
+        for bits in [512u32, 1024, 2048, 4096, 8192] {
+            print!(" {:>8.2}", bloom_similarity(&sets, bits));
+        }
+        println!();
+    }
+    println!(
+        "\nSmaller filters saturate and overestimate overlap; the paper's \
+         512–8192-bit sweep (Figure 6) trades this accuracy against the \
+         popcount/log cost of the similarity calculation."
+    );
+}

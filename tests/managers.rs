@@ -1,0 +1,186 @@
+//! End-to-end contention-manager tests: every manager completes every
+//! benchmark correctly, and the qualitative relationships the paper
+//! reports hold on the scaled-down workloads.
+
+use bfgts_baselines::{AtsCm, BackoffCm, PtsCm};
+use bfgts_core::{BfgtsCm, BfgtsConfig};
+use bfgts_htm::{run_workload, ContentionManager, TmRunConfig, TmRunReport};
+use bfgts_workloads::{presets, BenchmarkSpec};
+
+fn roster() -> Vec<Box<dyn ContentionManager>> {
+    vec![
+        Box::new(BackoffCm::default()),
+        Box::new(PtsCm::default()),
+        Box::new(AtsCm::default()),
+        Box::new(BfgtsCm::new(BfgtsConfig::sw())),
+        Box::new(BfgtsCm::new(BfgtsConfig::hw())),
+        Box::new(BfgtsCm::new(BfgtsConfig::hw_backoff())),
+        Box::new(BfgtsCm::new(BfgtsConfig::no_overhead())),
+    ]
+}
+
+fn run(spec: &BenchmarkSpec, cm: Box<dyn ContentionManager>, scale: f64) -> TmRunReport {
+    let spec = spec.clone().scaled(scale);
+    let cfg = TmRunConfig::new(16, 64).seed(0xE2E);
+    run_workload(&cfg, spec.sources(64), cm)
+}
+
+#[test]
+fn every_manager_completes_every_benchmark() {
+    for spec in presets::all() {
+        let expected_commits = spec.clone().scaled(0.1).total_txs;
+        for cm in roster() {
+            let name = cm.name();
+            let report = run(&spec, cm, 0.1);
+            assert_eq!(
+                report.stats.commits(),
+                expected_commits,
+                "{name} lost transactions on {}",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn bfgts_cuts_contention_on_moderate_benchmarks() {
+    // Table 4 shape that survives this substrate: BFGTS-HW's prediction
+    // clearly cuts the abort rate on Genome, Kmeans and Labyrinth.
+    for (bench, factor) in [("Genome", 0.75), ("Kmeans", 0.6), ("Labyrinth", 0.6)] {
+        let spec = presets::by_name(bench).expect("preset exists");
+        let backoff = run(&spec, Box::new(BackoffCm::default()), 0.5);
+        let bits = if bench == "Genome" { 1024 } else { 512 };
+        let bfgts = run(
+            &spec,
+            Box::new(BfgtsCm::new(BfgtsConfig::hw().bloom_bits(bits))),
+            0.5,
+        );
+        assert!(
+            bfgts.stats.contention_rate() < backoff.stats.contention_rate() * factor,
+            "{bench}: BFGTS-HW ({:.3}) must cut Backoff contention ({:.3}) by {factor}",
+            bfgts.stats.contention_rate(),
+            backoff.stats.contention_rate()
+        );
+    }
+}
+
+#[test]
+fn bfgts_outruns_backoff_on_dense_benchmarks() {
+    // On Delaunay/Intruder the dense conflict structure keeps the abort
+    // *rate* high for everyone; BFGTS's win there is throughput — it
+    // finishes the same work in fewer cycles (Figure 4a).
+    for bench in ["Delaunay", "Intruder"] {
+        let spec = presets::by_name(bench).expect("preset exists");
+        let backoff = run(&spec, Box::new(BackoffCm::default()), 0.5);
+        let bits = if bench == "Delaunay" { 2048 } else { 512 };
+        let bfgts = run(
+            &spec,
+            Box::new(BfgtsCm::new(BfgtsConfig::hw().bloom_bits(bits))),
+            0.5,
+        );
+        assert!(
+            bfgts.sim.makespan < backoff.sim.makespan,
+            "{bench}: BFGTS-HW ({}) must finish before Backoff ({})",
+            bfgts.sim.makespan,
+            backoff.sim.makespan
+        );
+    }
+}
+
+#[test]
+fn ats_serialization_shows_up_as_kernel_time_on_high_contention() {
+    // Figure 5: where ATS throttles (Delaunay/Kmeans/Intruder), its
+    // central queue's pthread operations put it in kernel mode far more
+    // than BFGTS-HW.
+    use bfgts_sim::Bucket;
+    let spec = presets::intruder();
+    let ats = run(&spec, Box::new(AtsCm::default()), 0.5);
+    let bfgts = run(&spec, Box::new(BfgtsCm::new(BfgtsConfig::hw())), 0.5);
+    let ats_kernel = ats.sim.total().fraction(Bucket::Kernel);
+    let bfgts_kernel = bfgts.sim.total().fraction(Bucket::Kernel);
+    assert!(
+        ats_kernel > bfgts_kernel,
+        "ATS kernel share ({ats_kernel:.3}) should exceed BFGTS-HW ({bfgts_kernel:.3})"
+    );
+}
+
+#[test]
+fn bfgts_scheduling_overhead_is_visible_but_bounded() {
+    use bfgts_sim::Bucket;
+    let spec = presets::genome();
+    let report = run(&spec, Box::new(BfgtsCm::new(BfgtsConfig::sw())), 0.25);
+    let sched = report.sim.total().fraction(Bucket::Scheduling);
+    assert!(sched > 0.0, "BFGTS-SW must spend time in scheduling code");
+    assert!(
+        sched < 0.6,
+        "scheduling should not dominate the run, got {sched:.2}"
+    );
+}
+
+#[test]
+fn hw_spends_less_on_scheduling_than_sw() {
+    use bfgts_sim::Bucket;
+    let spec = presets::kmeans();
+    let sw = run(&spec, Box::new(BfgtsCm::new(BfgtsConfig::sw())), 0.25);
+    let hw = run(&spec, Box::new(BfgtsCm::new(BfgtsConfig::hw())), 0.25);
+    let sw_sched = sw.sim.total().get(Bucket::Scheduling);
+    let hw_sched = hw.sim.total().get(Bucket::Scheduling);
+    assert!(
+        hw_sched < sw_sched,
+        "hardware acceleration must reduce scheduling cycles (sw {sw_sched}, hw {hw_sched})"
+    );
+}
+
+#[test]
+fn no_overhead_spends_least_on_scheduling() {
+    use bfgts_sim::Bucket;
+    let spec = presets::vacation();
+    let hw = run(&spec, Box::new(BfgtsCm::new(BfgtsConfig::hw())), 0.25);
+    let ideal = run(
+        &spec,
+        Box::new(BfgtsCm::new(BfgtsConfig::no_overhead())),
+        0.25,
+    );
+    assert!(
+        ideal.sim.total().get(Bucket::Scheduling) < hw.sim.total().get(Bucket::Scheduling),
+        "the idealised variant must have the least scheduling time"
+    );
+}
+
+#[test]
+fn hybrid_skips_overhead_on_low_contention_ssca2() {
+    use bfgts_sim::Bucket;
+    // Ssca2 has ~no contention: the pressure gate should keep the
+    // hybrid's scheduling share below plain BFGTS-HW's.
+    let spec = presets::ssca2();
+    let hw = run(&spec, Box::new(BfgtsCm::new(BfgtsConfig::hw())), 0.25);
+    let hybrid = run(
+        &spec,
+        Box::new(BfgtsCm::new(BfgtsConfig::hw_backoff())),
+        0.25,
+    );
+    assert!(
+        hybrid.sim.total().get(Bucket::Scheduling) <= hw.sim.total().get(Bucket::Scheduling),
+        "pressure gating must not add scheduling work on Ssca2"
+    );
+}
+
+#[test]
+fn all_managers_deterministic() {
+    let spec = presets::kmeans().scaled(0.05);
+    let factories: Vec<(&str, fn() -> Box<dyn ContentionManager>)> = vec![
+        ("backoff", || Box::new(BackoffCm::default())),
+        ("pts", || Box::new(PtsCm::default())),
+        ("ats", || Box::new(AtsCm::default())),
+        ("bfgts-hw", || Box::new(BfgtsCm::new(BfgtsConfig::hw()))),
+    ];
+    for (name, factory) in factories {
+        let run_once = || {
+            let cfg = TmRunConfig::new(8, 16).seed(31);
+            run_workload(&cfg, spec.sources(16), factory())
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.sim.makespan, b.sim.makespan, "{name} not deterministic");
+    }
+}

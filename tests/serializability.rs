@@ -1,0 +1,50 @@
+//! End-to-end isolation validation: record the full execution history of
+//! contended runs under every contention manager and verify that the
+//! committed history is conflict-serializable.
+
+use bfgts_baselines::{AtsCm, BackoffCm, PtsCm};
+use bfgts_core::{BfgtsCm, BfgtsConfig};
+use bfgts_htm::{run_workload, ContentionManager, TmRunConfig};
+use bfgts_workloads::presets;
+
+fn check(bench: &str, cm: Box<dyn ContentionManager>) {
+    let name = cm.name();
+    let spec = presets::by_name(bench).expect("preset exists").scaled(0.1);
+    let mut cfg = TmRunConfig::new(8, 32).seed(0x5E51A);
+    cfg.record_history = true;
+    let report = run_workload(&cfg, spec.sources(32), cm);
+    let history = report.history.expect("history was recorded");
+    assert!(!history.is_empty(), "{bench}/{name}: history must have events");
+    let result = history.check_serializable();
+    assert!(
+        result.is_serializable(),
+        "{bench}/{name}: committed history must be conflict-serializable: {result}"
+    );
+}
+
+#[test]
+fn dense_conflicts_are_serializable_under_every_manager() {
+    for bench in ["Delaunay", "Intruder"] {
+        check(bench, Box::new(BackoffCm::default()));
+        check(bench, Box::new(AtsCm::default()));
+        check(bench, Box::new(PtsCm::default()));
+        check(bench, Box::new(BfgtsCm::new(BfgtsConfig::hw())));
+        check(bench, Box::new(BfgtsCm::new(BfgtsConfig::hw_backoff())));
+    }
+}
+
+#[test]
+fn sparse_benchmarks_are_serializable() {
+    for bench in ["Genome", "Kmeans", "Vacation", "Ssca2", "Labyrinth"] {
+        check(bench, Box::new(BackoffCm::default()));
+        check(bench, Box::new(BfgtsCm::new(BfgtsConfig::hw())));
+    }
+}
+
+#[test]
+fn history_is_opt_in() {
+    let spec = presets::kmeans().scaled(0.02);
+    let cfg = TmRunConfig::new(4, 8).seed(1);
+    let report = run_workload(&cfg, spec.sources(8), Box::new(BackoffCm::default()));
+    assert!(report.history.is_none(), "history defaults to off");
+}
