@@ -1,8 +1,8 @@
 //! Adaptive Transaction Scheduling (Yoo & Lee, SPAA'08).
 
 use bfgts_htm::{
-    AbortPlan, BeginDecision, BeginOutcome, BeginQuery, CommitOutcome, CommitRecord,
-    ConflictEvent, ContentionManager, TmState,
+    AbortPlan, BeginDecision, BeginOutcome, BeginQuery, CommitOutcome, CommitRecord, ConflictEvent,
+    ContentionManager, TmState,
 };
 use bfgts_sim::{CostModel, SimRng, ThreadId};
 use std::collections::VecDeque;
@@ -209,7 +209,11 @@ mod tests {
     }
 
     fn env() -> (TmState, CostModel, SimRng) {
-        (TmState::new(4, 8), CostModel::default(), SimRng::seed_from(5))
+        (
+            TmState::new(4, 8),
+            CostModel::default(),
+            SimRng::seed_from(5),
+        )
     }
 
     #[test]
@@ -320,5 +324,4 @@ mod tests {
         let ci = cm.intensity_of(ThreadId(3));
         assert!(ci > 0.95 && ci <= 1.0, "ci should converge to 1, got {ci}");
     }
-
 }

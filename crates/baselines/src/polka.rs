@@ -137,7 +137,11 @@ mod tests {
     }
 
     fn env() -> (TmState, CostModel, SimRng) {
-        (TmState::new(2, 4), CostModel::default(), SimRng::seed_from(3))
+        (
+            TmState::new(2, 4),
+            CostModel::default(),
+            SimRng::seed_from(3),
+        )
     }
 
     #[test]

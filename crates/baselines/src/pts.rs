@@ -2,8 +2,8 @@
 
 use bfgts_bloomsig::BloomFilter;
 use bfgts_htm::{
-    AbortPlan, BeginDecision, BeginOutcome, BeginQuery, CommitOutcome, CommitRecord,
-    ConflictEvent, ContentionManager, DTxId, TmState,
+    AbortPlan, BeginDecision, BeginOutcome, BeginQuery, CommitOutcome, CommitRecord, ConflictEvent,
+    ContentionManager, DTxId, TmState,
 };
 use bfgts_sim::{CostModel, SimRng};
 use std::collections::BTreeMap;
@@ -216,7 +216,11 @@ mod tests {
     }
 
     fn env() -> (TmState, CostModel, SimRng) {
-        (TmState::new(4, 8), CostModel::default(), SimRng::seed_from(5))
+        (
+            TmState::new(4, 8),
+            CostModel::default(),
+            SimRng::seed_from(5),
+        )
     }
 
     fn query(t: usize, s: u32) -> BeginQuery {

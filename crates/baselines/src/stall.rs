@@ -3,8 +3,8 @@
 //! backing off blindly.
 
 use bfgts_htm::{
-    AbortPlan, BeginDecision, BeginOutcome, BeginQuery, CommitOutcome, CommitRecord,
-    ConflictEvent, ContentionManager, DTxId, TmState,
+    AbortPlan, BeginDecision, BeginOutcome, BeginQuery, CommitOutcome, CommitRecord, ConflictEvent,
+    ContentionManager, DTxId, TmState,
 };
 use bfgts_sim::{CostModel, SimRng};
 use std::collections::BTreeMap;
@@ -135,7 +135,11 @@ mod tests {
     }
 
     fn env() -> (TmState, CostModel, SimRng) {
-        (TmState::new(4, 8), CostModel::default(), SimRng::seed_from(9))
+        (
+            TmState::new(4, 8),
+            CostModel::default(),
+            SimRng::seed_from(9),
+        )
     }
 
     fn query(t: usize) -> BeginQuery {

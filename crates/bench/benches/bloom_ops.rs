@@ -3,7 +3,7 @@
 //! filter-size sweep.
 
 use bfgts_bloomsig::{estimate, BloomFilter, EstimateParams};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bfgts_testkit::bench::Harness;
 use std::hint::black_box;
 
 fn filter_with(bits: u32, n: u64) -> BloomFilter {
@@ -14,57 +14,49 @@ fn filter_with(bits: u32, n: u64) -> BloomFilter {
     f
 }
 
-fn bench_insert(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bloom_insert_100");
+fn main() {
+    let mut h = Harness::from_args();
+
     for bits in [512u32, 2048, 8192] {
-        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
-            b.iter(|| {
-                let mut f = BloomFilter::new(bits, 4);
-                for k in 0..100u64 {
-                    f.insert(black_box(k));
-                }
-                f
-            })
+        h.bench(&format!("bloom_insert_100/{bits}"), || {
+            let mut f = BloomFilter::new(bits, 4);
+            for k in 0..100u64 {
+                f.insert(black_box(k));
+            }
+            black_box(&f);
         });
     }
-    group.finish();
-}
 
-fn bench_count_ones(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bloom_count_ones");
     for bits in [512u32, 2048, 8192] {
         let f = filter_with(bits, 200);
-        group.bench_with_input(BenchmarkId::from_parameter(bits), &f, |b, f| {
-            b.iter(|| black_box(f).count_ones())
+        h.bench(&format!("bloom_count_ones/{bits}"), || {
+            black_box(black_box(&f).count_ones());
         });
     }
-    group.finish();
-}
 
-fn bench_intersection_estimate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bloom_intersection_estimate");
     for bits in [512u32, 2048, 8192] {
         let a = filter_with(bits, 150);
-        let b2 = filter_with(bits, 120);
-        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
-            b.iter(|| black_box(&a).intersection_estimate(black_box(&b2)))
+        let b = filter_with(bits, 120);
+        h.bench(&format!("bloom_intersection_estimate/{bits}"), || {
+            black_box(black_box(&a).intersection_estimate(black_box(&b)));
         });
     }
-    group.finish();
-}
 
-fn bench_set_size_equation(c: &mut Criterion) {
+    for bits in [512u32, 2048, 8192] {
+        let a = filter_with(bits, 150);
+        let b = filter_with(bits, 120);
+        h.bench(&format!("bloom_union/{bits}"), || {
+            black_box(black_box(&a).union(black_box(&b)));
+        });
+        h.bench(&format!("bloom_intersects/{bits}"), || {
+            black_box(black_box(&a).intersects(black_box(&b)));
+        });
+    }
+
     let params = EstimateParams::new(2048, 4);
-    c.bench_function("set_size_eq2", |b| {
-        b.iter(|| estimate::set_size(black_box(params), black_box(700)))
+    h.bench("set_size_eq2", || {
+        black_box(estimate::set_size(black_box(params), black_box(700)));
     });
-}
 
-criterion_group!(
-    benches,
-    bench_insert,
-    bench_count_ones,
-    bench_intersection_estimate,
-    bench_set_size_equation
-);
-criterion_main!(benches);
+    h.finish();
+}

@@ -6,7 +6,7 @@ use bfgts_baselines::PtsCm;
 use bfgts_core::{BfgtsCm, BfgtsConfig, HwPredictor};
 use bfgts_htm::{BeginQuery, ContentionManager, DTxId, STxId, TmState};
 use bfgts_sim::{CostModel, Cycle, SimRng, ThreadId};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bfgts_testkit::bench::Harness;
 use std::hint::black_box;
 
 fn busy_tm() -> TmState {
@@ -33,39 +33,43 @@ fn query() -> BeginQuery {
     }
 }
 
-fn bench_hw_cache(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args();
     let costs = CostModel::default();
-    c.bench_function("hw_predictor_lookup_warm", |b| {
+
+    {
         let mut p = HwPredictor::new();
         p.lookup_cost(STxId(1), STxId(2), &costs);
-        b.iter(|| p.lookup_cost(black_box(STxId(1)), black_box(STxId(2)), &costs))
-    });
-}
+        h.bench("hw_predictor_lookup_warm", || {
+            black_box(p.lookup_cost(black_box(STxId(1)), black_box(STxId(2)), &costs));
+        });
+    }
 
-fn bench_on_begin(c: &mut Criterion) {
     let tm = busy_tm();
-    let costs = CostModel::default();
-    let mut group = c.benchmark_group("on_begin_full_cpu_table");
-    group.bench_function("bfgts_hw", |b| {
+    {
         let mut cm = BfgtsCm::new(BfgtsConfig::hw());
         let mut rng = SimRng::seed_from(1);
         let q = query();
-        b.iter(|| cm.on_begin(black_box(&q), &tm, &costs, &mut rng))
-    });
-    group.bench_function("bfgts_sw", |b| {
+        h.bench("on_begin_full_cpu_table/bfgts_hw", || {
+            black_box(cm.on_begin(black_box(&q), &tm, &costs, &mut rng));
+        });
+    }
+    {
         let mut cm = BfgtsCm::new(BfgtsConfig::sw());
         let mut rng = SimRng::seed_from(1);
         let q = query();
-        b.iter(|| cm.on_begin(black_box(&q), &tm, &costs, &mut rng))
-    });
-    group.bench_function("pts", |b| {
+        h.bench("on_begin_full_cpu_table/bfgts_sw", || {
+            black_box(cm.on_begin(black_box(&q), &tm, &costs, &mut rng));
+        });
+    }
+    {
         let mut cm = PtsCm::default();
         let mut rng = SimRng::seed_from(1);
         let q = query();
-        b.iter(|| cm.on_begin(black_box(&q), &tm, &costs, &mut rng))
-    });
-    group.finish();
-}
+        h.bench("on_begin_full_cpu_table/pts", || {
+            black_box(cm.on_begin(black_box(&q), &tm, &costs, &mut rng));
+        });
+    }
 
-criterion_group!(benches, bench_hw_cache, bench_on_begin);
-criterion_main!(benches);
+    h.finish();
+}

@@ -3,14 +3,13 @@
 //! grid cell.
 
 use bfgts_bench::{run_one, ManagerKind, Platform};
+use bfgts_testkit::bench::Harness;
 use bfgts_workloads::presets;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_runs(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args();
     let platform = Platform::small();
-    let mut group = c.benchmark_group("workload_run");
-    group.sample_size(10);
     for (bench, kind) in [
         ("Kmeans", ManagerKind::Backoff),
         ("Kmeans", ManagerKind::BfgtsHw),
@@ -18,12 +17,9 @@ fn bench_runs(c: &mut Criterion) {
         ("Intruder", ManagerKind::BfgtsHw),
     ] {
         let spec = presets::by_name(bench).expect("preset exists").scaled(0.05);
-        group.bench_function(format!("{bench}/{}", kind.label()), |b| {
-            b.iter(|| run_one(black_box(&spec), kind, platform))
+        h.bench(&format!("workload_run/{bench}/{}", kind.label()), || {
+            black_box(run_one(black_box(&spec), kind, platform));
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_runs);
-criterion_main!(benches);

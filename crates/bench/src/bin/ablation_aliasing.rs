@@ -4,17 +4,46 @@
 //! and reports the performance cost of the aliasing collisions.
 //!
 //! ```text
-//! cargo run -p bfgts-bench --release --bin ablation_aliasing [--quick]
+//! cargo run -p bfgts-bench --release --bin ablation_aliasing [--quick] [--jobs N]
 //! ```
 
-use bfgts_bench::{parse_common_args, run_custom, serial_baseline, speedup, ManagerKind};
+use bfgts_bench::runner::{run_grid_with_args, RunCell};
+use bfgts_bench::{parse_common_args, ManagerKind};
 use bfgts_core::{BfgtsCm, BfgtsConfig};
 use bfgts_workloads::presets;
 
 const SLOTS: [u32; 3] = [1, 2, 4];
 
 fn main() {
-    let (scale, platform) = parse_common_args();
+    let args = parse_common_args();
+    let specs: Vec<_> = presets::all()
+        .into_iter()
+        .map(|s| s.scaled(args.scale))
+        .collect();
+
+    // Per benchmark: serial baseline, the exact (unaliased) table, one
+    // cell per bounded slot count.
+    let mut cells = Vec::new();
+    for spec in &specs {
+        cells.push(RunCell::serial(spec, args.platform));
+        cells.push(RunCell::one(spec, ManagerKind::BfgtsHw, args.platform));
+        let bits = ManagerKind::BfgtsHw.optimal_bloom_bits(spec.name);
+        for slots in SLOTS {
+            cells.push(RunCell::custom(
+                spec,
+                args.platform,
+                format!("bfgts-hw/bits={bits}/alias_slots={slots}"),
+                move || {
+                    Box::new(BfgtsCm::new(
+                        BfgtsConfig::hw().bloom_bits(bits).with_alias_slots(slots),
+                    ))
+                },
+            ));
+        }
+    }
+    let results = run_grid_with_args(&cells, &args);
+    let stride = 2 + SLOTS.len();
+
     println!(
         "Aliasing extension (paper §4.2.1 future work): BFGTS-HW speedup with a\n\
          bounded, sTxID-hashed confidence table vs the exact table\n"
@@ -24,22 +53,12 @@ fn main() {
         print!(" {:>9}", format!("{s} slot(s)"));
     }
     println!();
-    for spec in presets::all() {
-        let spec = spec.scaled(scale);
-        let serial = serial_baseline(&spec, platform.seed);
-        let bits = ManagerKind::BfgtsHw.optimal_bloom_bits(spec.name);
-        let exact = {
-            let cm = BfgtsCm::new(BfgtsConfig::hw().bloom_bits(bits));
-            speedup(&run_custom(&spec, platform, Box::new(cm)), serial)
-        };
+    for (b, spec) in specs.iter().enumerate() {
+        let serial = results[b * stride].makespan;
+        let exact = results[b * stride + 1].speedup_over(serial);
         print!("{:<10} {:>9.2}", spec.name, exact);
-        for slots in SLOTS {
-            let cm = BfgtsCm::new(
-                BfgtsConfig::hw()
-                    .bloom_bits(bits)
-                    .with_alias_slots(slots),
-            );
-            let aliased = speedup(&run_custom(&spec, platform, Box::new(cm)), serial);
+        for k in 0..SLOTS.len() {
+            let aliased = results[b * stride + 2 + k].speedup_over(serial);
             print!(" {:>9.2}", aliased);
         }
         println!();

@@ -3,40 +3,53 @@
 //! held equal (BFGTS-HW machinery in both arms).
 //!
 //! ```text
-//! cargo run -p bfgts-bench --release --bin ablation_similarity [--quick]
+//! cargo run -p bfgts-bench --release --bin ablation_similarity [--quick] [--jobs N]
 //! ```
 
-use bfgts_bench::{
-    arithmetic_mean, parse_common_args, percent_improvement, run_custom, serial_baseline,
-    speedup, ManagerKind,
-};
+use bfgts_bench::runner::{run_grid_with_args, RunCell};
+use bfgts_bench::{arithmetic_mean, parse_common_args, percent_improvement, ManagerKind};
 use bfgts_core::{BfgtsCm, BfgtsConfig};
 use bfgts_workloads::presets;
 
 fn main() {
-    let (scale, platform) = parse_common_args();
+    let args = parse_common_args();
+    let specs: Vec<_> = presets::all()
+        .into_iter()
+        .map(|s| s.scaled(args.scale))
+        .collect();
+
+    // Per benchmark: serial baseline, the weighted (stock BFGTS-HW) arm,
+    // the constant-update arm.
+    let mut cells = Vec::new();
+    for spec in &specs {
+        cells.push(RunCell::serial(spec, args.platform));
+        cells.push(RunCell::one(spec, ManagerKind::BfgtsHw, args.platform));
+        let bits = ManagerKind::BfgtsHw.optimal_bloom_bits(spec.name);
+        cells.push(RunCell::custom(
+            spec,
+            args.platform,
+            format!("bfgts-hw/bits={bits}/constant_updates"),
+            move || {
+                Box::new(BfgtsCm::new(
+                    BfgtsConfig::hw()
+                        .bloom_bits(bits)
+                        .without_similarity_weighting(),
+                ))
+            },
+        ));
+    }
+    let results = run_grid_with_args(&cells, &args);
+
     println!("Ablation: similarity-weighted vs constant confidence updates (BFGTS-HW)\n");
     println!(
         "{:<10} {:>12} {:>12} {:>12}",
         "Benchmark", "weighted", "constant", "delta"
     );
     let mut deltas = Vec::new();
-    for spec in presets::all() {
-        let spec = spec.scaled(scale);
-        let serial = serial_baseline(&spec, platform.seed);
-        let bits = ManagerKind::BfgtsHw.optimal_bloom_bits(spec.name);
-        let weighted = {
-            let cm = BfgtsCm::new(BfgtsConfig::hw().bloom_bits(bits));
-            speedup(&run_custom(&spec, platform, Box::new(cm)), serial)
-        };
-        let constant = {
-            let cm = BfgtsCm::new(
-                BfgtsConfig::hw()
-                    .bloom_bits(bits)
-                    .without_similarity_weighting(),
-            );
-            speedup(&run_custom(&spec, platform, Box::new(cm)), serial)
-        };
+    for (b, spec) in specs.iter().enumerate() {
+        let serial = results[b * 3].makespan;
+        let weighted = results[b * 3 + 1].speedup_over(serial);
+        let constant = results[b * 3 + 2].speedup_over(serial);
         let delta = percent_improvement(weighted, constant);
         deltas.push(delta);
         println!(

@@ -3,48 +3,65 @@
 //! Zilles/Ansari stall-on-abort) to the Figure 4 comparison.
 //!
 //! ```text
-//! cargo run -p bfgts-bench --release --bin extended_roster [--quick]
+//! cargo run -p bfgts-bench --release --bin extended_roster [--quick] [--jobs N]
 //! ```
 
-use bfgts_baselines::{BackoffCm, PolkaCm, StallCm};
-use bfgts_bench::{parse_common_args, run_custom, serial_baseline, speedup, ManagerKind};
-use bfgts_core::{BfgtsCm, BfgtsConfig};
-use bfgts_htm::ContentionManager;
+use bfgts_baselines::{PolkaCm, StallCm};
+use bfgts_bench::runner::{run_grid_with_args, RunCell};
+use bfgts_bench::{parse_common_args, ManagerKind};
 use bfgts_workloads::presets;
 
+const LABELS: [&str; 4] = ["Backoff", "Polka", "StallOnAbort", "BFGTS-HW"];
+
 fn main() {
-    let (scale, platform) = parse_common_args();
+    let args = parse_common_args();
+    let specs: Vec<_> = presets::all()
+        .into_iter()
+        .map(|s| s.scaled(args.scale))
+        .collect();
+
+    // Per benchmark: serial baseline then the four roster managers, in
+    // LABELS order.
+    let mut cells = Vec::new();
+    for spec in &specs {
+        cells.push(RunCell::serial(spec, args.platform));
+        cells.push(RunCell::one(spec, ManagerKind::Backoff, args.platform));
+        cells.push(RunCell::custom(
+            spec,
+            args.platform,
+            "polka/default",
+            || Box::new(PolkaCm::default()),
+        ));
+        cells.push(RunCell::custom(
+            spec,
+            args.platform,
+            "stall/default",
+            || Box::new(StallCm::default()),
+        ));
+        cells.push(RunCell::one(spec, ManagerKind::BfgtsHw, args.platform));
+    }
+    let results = run_grid_with_args(&cells, &args);
+    let stride = 1 + LABELS.len();
+
     println!(
         "Extended roster: related-work reactive managers vs Backoff and BFGTS-HW\n\
          ({} CPUs / {} threads)\n",
-        platform.cpus, platform.threads
+        args.platform.cpus, args.platform.threads
     );
-    let roster: Vec<(&str, fn(&str) -> Box<dyn ContentionManager>)> = vec![
-        ("Backoff", |_| Box::new(BackoffCm::default())),
-        ("Polka", |_| Box::new(PolkaCm::default())),
-        ("StallOnAbort", |_| Box::new(StallCm::default())),
-        ("BFGTS-HW", |bench| {
-            Box::new(BfgtsCm::new(
-                BfgtsConfig::hw()
-                    .bloom_bits(ManagerKind::BfgtsHw.optimal_bloom_bits(bench)),
-            ))
-        }),
-    ];
     print!("{:<10}", "Benchmark");
-    for (label, _) in &roster {
+    for label in LABELS {
         print!(" {:>14}", label);
     }
     println!("   (speedup over one core; contention in parentheses)");
-    for spec in presets::all() {
-        let spec = spec.scaled(scale);
-        let serial = serial_baseline(&spec, platform.seed);
+    for (b, spec) in specs.iter().enumerate() {
+        let serial = results[b * stride].makespan;
         print!("{:<10}", spec.name);
-        for (_, build) in &roster {
-            let report = run_custom(&spec, platform, build(spec.name));
+        for k in 0..LABELS.len() {
+            let summary = &results[b * stride + 1 + k];
             print!(
                 " {:>6.2} ({:>4.1}%)",
-                speedup(&report, serial),
-                report.stats.contention_rate() * 100.0
+                summary.speedup_over(serial),
+                summary.contention_rate() * 100.0
             );
         }
         println!();

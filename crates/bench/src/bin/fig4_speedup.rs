@@ -3,32 +3,36 @@
 //! (b) percent improvement over PTS.
 //!
 //! ```text
-//! cargo run -p bfgts-bench --release --bin fig4_speedup [--quick]
+//! cargo run -p bfgts-bench --release --bin fig4_speedup [--quick] [--jobs N]
 //! ```
 
-use bfgts_bench::{
-    arithmetic_mean, parse_common_args, percent_improvement, run_one, serial_baseline,
-    speedup, ManagerKind,
-};
+use bfgts_bench::runner::speedup_grid;
+use bfgts_bench::{arithmetic_mean, parse_common_args, percent_improvement, ManagerKind};
 use bfgts_workloads::presets;
 
 fn main() {
-    let (scale, platform) = parse_common_args();
-    let specs: Vec<_> = presets::all().into_iter().map(|s| s.scaled(scale)).collect();
+    let args = parse_common_args();
+    let specs: Vec<_> = presets::all()
+        .into_iter()
+        .map(|s| s.scaled(args.scale))
+        .collect();
 
-    // speedups[m][b]
-    let mut speedups = vec![vec![0.0f64; specs.len()]; ManagerKind::ALL.len()];
-    for (b, spec) in specs.iter().enumerate() {
-        let serial = serial_baseline(spec, platform.seed);
-        for (m, kind) in ManagerKind::ALL.into_iter().enumerate() {
-            let report = run_one(spec, kind, platform);
-            speedups[m][b] = speedup(&report, serial);
-        }
-    }
+    // One grid: every serial baseline plus every (manager, benchmark)
+    // cell, executed across the worker pool. speedups[m][b].
+    let (serials, per_manager) = speedup_grid(&specs, &ManagerKind::ALL, &args);
+    let speedups: Vec<Vec<f64>> = per_manager
+        .iter()
+        .map(|row| {
+            row.iter()
+                .zip(&serials)
+                .map(|(cell, &serial)| cell.speedup_over(serial))
+                .collect()
+        })
+        .collect();
 
     println!(
         "Figure 4(a): speedup over one core ({} CPUs / {} threads)\n",
-        platform.cpus, platform.threads
+        args.platform.cpus, args.platform.threads
     );
     print!("{:<17}", "Manager");
     for spec in &specs {
@@ -37,8 +41,8 @@ fn main() {
     println!(" {:>9}", "AVG");
     for (m, kind) in ManagerKind::ALL.into_iter().enumerate() {
         print!("{:<17}", kind.label());
-        for b in 0..specs.len() {
-            print!(" {:>9.2}", speedups[m][b]);
+        for s in &speedups[m] {
+            print!(" {s:>9.2}");
         }
         println!(" {:>9.2}", arithmetic_mean(&speedups[m]));
     }
@@ -59,10 +63,10 @@ fn main() {
         }
         print!("{:<17}", kind.label());
         let mut imps = Vec::new();
-        for b in 0..specs.len() {
-            let imp = percent_improvement(speedups[m][b], speedups[pts_index][b]);
+        for (s, pts) in speedups[m].iter().zip(&speedups[pts_index]) {
+            let imp = percent_improvement(*s, *pts);
             imps.push(imp);
-            print!(" {:>8.0}%", imp);
+            print!(" {imp:>8.0}%");
         }
         println!(" {:>8.0}%", arithmetic_mean(&imps));
     }

@@ -3,10 +3,11 @@
 //! BFGTS variants, normalised per benchmark.
 //!
 //! ```text
-//! cargo run -p bfgts-bench --release --bin fig5_breakdown [--quick]
+//! cargo run -p bfgts-bench --release --bin fig5_breakdown [--quick] [--jobs N]
 //! ```
 
-use bfgts_bench::{parse_common_args, run_one, ManagerKind};
+use bfgts_bench::runner::{run_grid_with_args, RunCell};
+use bfgts_bench::{parse_common_args, ManagerKind};
 use bfgts_sim::Bucket;
 use bfgts_workloads::presets;
 
@@ -20,24 +21,37 @@ const FIG5_MANAGERS: [ManagerKind; 5] = [
 ];
 
 fn main() {
-    let (scale, platform) = parse_common_args();
+    let args = parse_common_args();
+    let specs: Vec<_> = presets::all()
+        .into_iter()
+        .map(|s| s.scaled(args.scale))
+        .collect();
+    let cells: Vec<RunCell> = specs
+        .iter()
+        .flat_map(|spec| {
+            FIG5_MANAGERS
+                .iter()
+                .map(|&kind| RunCell::one(spec, kind, args.platform))
+        })
+        .collect();
+    let results = run_grid_with_args(&cells, &args);
+
     println!(
         "Figure 5: normalized runtime breakdown ({} CPUs / {} threads)\n",
-        platform.cpus, platform.threads
+        args.platform.cpus, args.platform.threads
     );
     println!(
         "{:<10} {:<17} {:>8} {:>8} {:>8} {:>8} {:>8}",
         "Benchmark", "Manager", "non-tx", "kernel", "tx", "abort", "sched"
     );
     println!("{}", "-".repeat(72));
-    for spec in presets::all() {
-        let spec = spec.scaled(scale);
+    let mut rows = results.iter();
+    for spec in &specs {
         for kind in FIG5_MANAGERS {
-            let report = run_one(&spec, kind, platform);
-            let total = report.sim.total();
+            let summary = rows.next().expect("one summary per cell");
             print!("{:<10} {:<17}", spec.name, kind.label());
             for bucket in Bucket::ALL {
-                print!(" {:>7.1}%", total.fraction(bucket) * 100.0);
+                print!(" {:>7.1}%", summary.fraction(bucket) * 100.0);
             }
             println!();
         }

@@ -2,38 +2,55 @@
 //! (512–8192 bits) for (a) BFGTS-HW and (b) BFGTS-HW/Backoff.
 //!
 //! ```text
-//! cargo run -p bfgts-bench --release --bin fig6_bloom_sweep [--quick]
+//! cargo run -p bfgts-bench --release --bin fig6_bloom_sweep [--quick] [--jobs N]
 //! ```
 
-use bfgts_bench::{parse_common_args, run_one_with_bloom, serial_baseline, speedup, ManagerKind};
+use bfgts_bench::runner::{run_grid_with_args, RunCell};
+use bfgts_bench::{parse_common_args, ManagerKind};
 use bfgts_workloads::presets;
 
 const SIZES: [u32; 5] = [512, 1024, 2048, 4096, 8192];
-
-fn sweep(kind: ManagerKind, scale: f64, platform: bfgts_bench::Platform) {
-    println!(
-        "\nFigure 6 ({}): speedup vs Bloom filter size\n",
-        kind.label()
-    );
-    print!("{:<10}", "Benchmark");
-    for size in SIZES {
-        print!(" {:>9}", format!("{size}b"));
-    }
-    println!();
-    for spec in presets::all() {
-        let spec = spec.scaled(scale);
-        let serial = serial_baseline(&spec, platform.seed);
-        print!("{:<10}", spec.name);
-        for size in SIZES {
-            let report = run_one_with_bloom(&spec, kind, platform, size);
-            print!(" {:>9.2}", speedup(&report, serial));
-        }
-        println!();
-    }
-}
+const KINDS: [ManagerKind; 2] = [ManagerKind::BfgtsHw, ManagerKind::BfgtsHwBackoff];
 
 fn main() {
-    let (scale, platform) = parse_common_args();
-    sweep(ManagerKind::BfgtsHw, scale, platform);
-    sweep(ManagerKind::BfgtsHwBackoff, scale, platform);
+    let args = parse_common_args();
+    let specs: Vec<_> = presets::all()
+        .into_iter()
+        .map(|s| s.scaled(args.scale))
+        .collect();
+
+    // Both sweeps share one grid; each benchmark's serial baseline cell
+    // appears twice but is simulated once (identical cache key).
+    let mut cells = Vec::new();
+    for kind in KINDS {
+        for spec in &specs {
+            cells.push(RunCell::serial(spec, args.platform));
+            for size in SIZES {
+                cells.push(RunCell::with_bloom(spec, kind, args.platform, size));
+            }
+        }
+    }
+    let results = run_grid_with_args(&cells, &args);
+
+    let mut rows = results.iter();
+    for kind in KINDS {
+        println!(
+            "\nFigure 6 ({}): speedup vs Bloom filter size\n",
+            kind.label()
+        );
+        print!("{:<10}", "Benchmark");
+        for size in SIZES {
+            print!(" {:>9}", format!("{size}b"));
+        }
+        println!();
+        for spec in &specs {
+            let serial = rows.next().expect("serial cell").makespan;
+            print!("{:<10}", spec.name);
+            for _ in SIZES {
+                let summary = rows.next().expect("sweep cell");
+                print!(" {:>9.2}", summary.speedup_over(serial));
+            }
+            println!();
+        }
+    }
 }

@@ -10,20 +10,41 @@
 //! is amortised by fatter transactions.
 //!
 //! ```text
-//! cargo run -p bfgts-bench --release --bin stm_adaptation [--quick]
+//! cargo run -p bfgts-bench --release --bin stm_adaptation [--quick] [--jobs N]
 //! ```
 
-use bfgts_baselines::BackoffCm;
-use bfgts_bench::{parse_common_args, speedup, ManagerKind};
-use bfgts_htm::{run_workload, TmRunConfig};
+use bfgts_bench::runner::{run_grid_with_args, RunCell};
+use bfgts_bench::{parse_common_args, ManagerKind};
 use bfgts_workloads::presets;
 
 fn main() {
-    let (scale, platform) = parse_common_args();
+    let args = parse_common_args();
+    let specs: Vec<_> = presets::all()
+        .into_iter()
+        .map(|s| s.scaled(args.scale))
+        .collect();
+
+    // Per benchmark: the STM serial baseline and all managers under STM
+    // costs, plus the HTM-cost reference cells (serial, BFGTS-HW,
+    // BFGTS-SW) the closing ratio needs. The HTM cells are the same as
+    // fig4's, so a warm cache makes them free.
+    let mut cells = Vec::new();
+    for spec in &specs {
+        cells.push(RunCell::serial(spec, args.platform).stm());
+        for kind in ManagerKind::ALL {
+            cells.push(RunCell::one(spec, kind, args.platform).stm());
+        }
+        cells.push(RunCell::serial(spec, args.platform));
+        cells.push(RunCell::one(spec, ManagerKind::BfgtsHw, args.platform));
+        cells.push(RunCell::one(spec, ManagerKind::BfgtsSw, args.platform));
+    }
+    let results = run_grid_with_args(&cells, &args);
+    let stride = 1 + ManagerKind::ALL.len() + 3;
+
     println!(
         "STM adaptation: manager comparison under software-TM costs\n\
          ({} CPUs / {} threads)\n",
-        platform.cpus, platform.threads
+        args.platform.cpus, args.platform.threads
     );
     print!("{:<10} {:>10}", "Benchmark", "serial-ish");
     for kind in ManagerKind::ALL {
@@ -33,24 +54,13 @@ fn main() {
 
     let mut sw_gap_htm = Vec::new();
     let mut sw_gap_stm = Vec::new();
-    for spec in presets::all() {
-        let spec = spec.scaled(scale);
-        // STM serial baseline.
-        let serial = {
-            let cfg = TmRunConfig::stm_like(1, 1).seed(platform.seed);
-            run_workload(&cfg, spec.sources(1), Box::new(BackoffCm::default()))
-                .sim
-                .makespan
-                .as_u64()
-        };
+    for (b, spec) in specs.iter().enumerate() {
+        let row = &results[b * stride..(b + 1) * stride];
+        let serial = row[0].makespan;
         print!("{:<10} {:>10}", spec.name, serial);
         let mut per_kind = Vec::new();
-        for kind in ManagerKind::ALL {
-            let cfg =
-                TmRunConfig::stm_like(platform.cpus, platform.threads).seed(platform.seed);
-            let bits = kind.optimal_bloom_bits(spec.name);
-            let report = run_workload(&cfg, spec.sources(platform.threads), kind.build(bits));
-            let s = speedup(&report, serial);
+        for (m, kind) in ManagerKind::ALL.into_iter().enumerate() {
+            let s = row[1 + m].speedup_over(serial);
             per_kind.push((kind, s));
             print!(" {:>16.2}", s);
         }
@@ -63,24 +73,9 @@ fn main() {
                 .map(|(_, s)| *s)
                 .expect("kind present")
         };
-        // HTM-cost reference gap comes from the fig4 data; recompute here
-        // so the binary is self-contained.
-        let htm_serial = {
-            let cfg = TmRunConfig::new(1, 1).seed(platform.seed);
-            run_workload(&cfg, spec.sources(1), Box::new(BackoffCm::default()))
-                .sim
-                .makespan
-                .as_u64()
-        };
-        let htm_speed = |k: ManagerKind| {
-            let cfg =
-                TmRunConfig::new(platform.cpus, platform.threads).seed(platform.seed);
-            let bits = k.optimal_bloom_bits(spec.name);
-            let report = run_workload(&cfg, spec.sources(platform.threads), k.build(bits));
-            speedup(&report, htm_serial)
-        };
-        let htm_hw = htm_speed(ManagerKind::BfgtsHw);
-        let htm_sw = htm_speed(ManagerKind::BfgtsSw);
+        let htm_serial = row[stride - 3].makespan;
+        let htm_hw = row[stride - 2].speedup_over(htm_serial);
+        let htm_sw = row[stride - 1].speedup_over(htm_serial);
         if htm_sw > 0.0 {
             sw_gap_htm.push(htm_hw / htm_sw);
         }

@@ -10,40 +10,42 @@
 //! is manager-independent; contention management only changes how often
 //! conflicts repeat, not which pairs can conflict).
 
-use bfgts_bench::{parse_common_args, run_one, ManagerKind};
-use bfgts_htm::STxId;
+use bfgts_bench::runner::{run_grid_with_args, RunCell};
+use bfgts_bench::{parse_common_args, ManagerKind};
 use bfgts_workloads::presets;
 
 fn main() {
-    let (scale, platform) = parse_common_args();
+    let args = parse_common_args();
+    let specs: Vec<_> = presets::all()
+        .into_iter()
+        .map(|s| s.scaled(args.scale))
+        .collect();
+    let cells: Vec<RunCell> = specs
+        .iter()
+        .map(|spec| RunCell::one(spec, ManagerKind::Backoff, args.platform))
+        .collect();
+    let results = run_grid_with_args(&cells, &args);
+
     println!("Table 1: conflict graph and measured similarity per static transaction");
     println!(
         "(platform: {} CPUs / {} threads; paper values in parentheses)\n",
-        platform.cpus, platform.threads
+        args.platform.cpus, args.platform.threads
     );
     println!(
         "{:<10} {:>4} | {:<24} | {:>9} {:>9}",
         "Benchmark", "Tx", "Conflict graph (measured)", "similarity", "(paper)"
     );
     println!("{}", "-".repeat(70));
-    for spec in presets::all() {
-        let spec = spec.scaled(scale);
-        let report = run_one(&spec, ManagerKind::Backoff, platform);
+    for (spec, summary) in specs.iter().zip(&results) {
         for (stx, paper_sim) in &spec.expected.similarity {
-            let row: Vec<u32> = report
-                .stats
-                .conflict_row(STxId(*stx))
-                .iter()
-                .map(|s| s.get())
-                .collect();
-            let row_str = row
+            let row_str = summary
+                .conflict_row(*stx)
                 .iter()
                 .map(|s| s.to_string())
                 .collect::<Vec<_>>()
                 .join(" ");
-            let measured = report
-                .stats
-                .measured_similarity(STxId(*stx))
+            let measured = summary
+                .measured_similarity(*stx)
                 .map(|s| format!("{s:.2}"))
                 .unwrap_or_else(|| "--".into());
             println!(

@@ -2,33 +2,45 @@
 //! manager on every STAMP benchmark (16-processor system).
 //!
 //! ```text
-//! cargo run -p bfgts-bench --release --bin table4_contention [--quick]
+//! cargo run -p bfgts-bench --release --bin table4_contention [--quick] [--jobs N]
 //! ```
 
-use bfgts_bench::{parse_common_args, run_one, ManagerKind};
+use bfgts_bench::runner::{run_grid_with_args, RunCell};
+use bfgts_bench::{parse_common_args, ManagerKind};
 use bfgts_workloads::presets;
 
 fn main() {
-    let (scale, platform) = parse_common_args();
+    let args = parse_common_args();
+    let specs: Vec<_> = presets::all()
+        .into_iter()
+        .map(|s| s.scaled(args.scale))
+        .collect();
+    let cells: Vec<RunCell> = specs
+        .iter()
+        .flat_map(|spec| {
+            ManagerKind::ALL
+                .iter()
+                .map(|&kind| RunCell::one(spec, kind, args.platform))
+        })
+        .collect();
+    let results = run_grid_with_args(&cells, &args);
+
     println!(
         "Table 4: contention rates (aborted attempts / all attempts), {} CPUs / {} threads\n",
-        platform.cpus, platform.threads
+        args.platform.cpus, args.platform.threads
     );
     print!("{:<10}", "Benchmark");
     for kind in ManagerKind::ALL {
         print!(" {:>16}", kind.label());
     }
     println!(" {:>16}", "(paper Backoff)");
-    for spec in presets::all() {
-        let spec = spec.scaled(scale);
+    let mut rows = results.iter();
+    for spec in &specs {
         print!("{:<10}", spec.name);
-        for kind in ManagerKind::ALL {
-            let report = run_one(&spec, kind, platform);
-            print!(" {:>15.1}%", report.stats.contention_rate() * 100.0);
+        for _ in ManagerKind::ALL {
+            let summary = rows.next().expect("one summary per cell");
+            print!(" {:>15.1}%", summary.contention_rate() * 100.0);
         }
-        println!(
-            " {:>15.1}%",
-            spec.expected.backoff_contention * 100.0
-        );
+        println!(" {:>15.1}%", spec.expected.backoff_contention * 100.0);
     }
 }

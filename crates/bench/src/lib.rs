@@ -10,6 +10,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod runner;
+
 use bfgts_baselines::{AtsCm, BackoffCm, PtsCm, PtsConfig};
 use bfgts_core::{BfgtsCm, BfgtsConfig};
 use bfgts_htm::{run_workload, ContentionManager, TmRunConfig, TmRunReport};
@@ -67,8 +70,12 @@ impl ManagerKind {
             ManagerKind::Backoff => Box::new(BackoffCm::default()),
             ManagerKind::Pts => Box::new(PtsCm::new(PtsConfig::default())),
             ManagerKind::Ats => Box::new(AtsCm::default()),
-            ManagerKind::BfgtsSw => Box::new(BfgtsCm::new(BfgtsConfig::sw().bloom_bits(bloom_bits))),
-            ManagerKind::BfgtsHw => Box::new(BfgtsCm::new(BfgtsConfig::hw().bloom_bits(bloom_bits))),
+            ManagerKind::BfgtsSw => {
+                Box::new(BfgtsCm::new(BfgtsConfig::sw().bloom_bits(bloom_bits)))
+            }
+            ManagerKind::BfgtsHw => {
+                Box::new(BfgtsCm::new(BfgtsConfig::hw().bloom_bits(bloom_bits)))
+            }
             ManagerKind::BfgtsHwBackoff => Box::new(BfgtsCm::new(
                 BfgtsConfig::hw_backoff().bloom_bits(bloom_bits),
             )),
@@ -85,36 +92,13 @@ impl ManagerKind {
     /// prefers larger filters than plain BFGTS-HW (notably on Vacation).
     pub fn optimal_bloom_bits(self, benchmark: &str) -> u32 {
         let hybrid = matches!(self, ManagerKind::BfgtsHwBackoff);
-        match benchmark {
-            "Delaunay" => {
-                if hybrid {
-                    512
-                } else {
-                    2048
-                }
-            }
-            "Genome" => 1024,
-            "Vacation" => {
-                if hybrid {
-                    2048
-                } else {
-                    512
-                }
-            }
-            "Intruder" => {
-                if hybrid {
-                    2048
-                } else {
-                    512
-                }
-            }
-            "Labyrinth" => {
-                if hybrid {
-                    1024
-                } else {
-                    512
-                }
-            }
+        match (benchmark, hybrid) {
+            ("Delaunay", true) => 512,
+            ("Delaunay", false) => 2048,
+            ("Genome", _) => 1024,
+            ("Vacation", true) => 2048,
+            ("Intruder", true) => 2048,
+            ("Labyrinth", true) => 1024,
             _ => 512,
         }
     }
@@ -154,12 +138,7 @@ impl Platform {
 /// Runs `spec` under `kind` on `platform` with the benchmark's optimal
 /// Bloom filter size.
 pub fn run_one(spec: &BenchmarkSpec, kind: ManagerKind, platform: Platform) -> TmRunReport {
-    run_one_with_bloom(
-        spec,
-        kind,
-        platform,
-        kind.optimal_bloom_bits(spec.name),
-    )
+    run_one_with_bloom(spec, kind, platform, kind.optimal_bloom_bits(spec.name))
 }
 
 /// Runs `spec` under `kind` with an explicit Bloom filter size (the
@@ -224,40 +203,125 @@ pub fn percent_improvement(x: f64, baseline: f64) -> f64 {
     }
 }
 
-/// Parses `--quick` / `--seed N` / `--scale F` from argv; returns
-/// `(scale, seed, platform)`.
-pub fn parse_common_args() -> (f64, Platform) {
-    let mut scale = 1.0f64;
-    let mut platform = Platform::paper();
-    let args: Vec<String> = std::env::args().collect();
-    let mut i = 1;
+/// The command-line options shared by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct CommonArgs {
+    /// Workload scale factor (`--quick` = 0.25, `--scale F`).
+    pub scale: f64,
+    /// Platform shape and master seed (`--small`, `--seed N`).
+    pub platform: Platform,
+    /// Worker threads for the experiment grid (`--jobs N`).
+    pub jobs: usize,
+    /// Whether the on-disk cell cache is consulted (`--no-cache` clears).
+    pub use_cache: bool,
+    /// Optional path for a machine-readable grid dump (`--json PATH`).
+    pub json: Option<std::path::PathBuf>,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        Self {
+            scale: 1.0,
+            platform: Platform::paper(),
+            jobs: runner::default_jobs(),
+            use_cache: true,
+            json: None,
+        }
+    }
+}
+
+/// The usage text printed on `--help` or an argument error.
+pub const USAGE: &str = "\
+options:
+  --quick        run at 0.25x workload scale
+  --small        use the small platform (4 CPUs, 8 threads)
+  --scale F      workload scale factor (default 1.0)
+  --seed N       master RNG seed (default 0xB16B00B5)
+  --jobs N       worker threads for the experiment grid
+                 (default: available parallelism)
+  --no-cache     ignore and bypass results/cache
+  --json PATH    also write per-cell results as JSON to PATH
+  -h, --help     show this help";
+
+/// Parses the shared flags from `args` (binary name already stripped).
+/// Returns `Err` with a message on unknown flags or malformed values;
+/// `Ok(None)` when help was requested.
+pub fn parse_args_from(args: &[String]) -> Result<Option<CommonArgs>, String> {
+    let mut out = CommonArgs::default();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
     while i < args.len() {
         match args[i].as_str() {
-            "--quick" => scale = 0.25,
+            "-h" | "--help" => return Ok(None),
+            "--quick" => out.scale = 0.25,
+            "--small" => {
+                let seed = out.platform.seed;
+                out.platform = Platform::small();
+                out.platform.seed = seed;
+            }
             "--scale" => {
-                i += 1;
-                scale = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .expect("--scale needs a number");
+                let v = value(&mut i, "--scale")?;
+                out.scale = v
+                    .parse()
+                    .map_err(|_| format!("--scale needs a number, got '{v}'"))?;
             }
             "--seed" => {
-                i += 1;
-                platform.seed = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .expect("--seed needs an integer");
+                let v = value(&mut i, "--seed")?;
+                out.platform.seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed needs an integer, got '{v}'"))?;
             }
-            "--small" => {
-                let seed = platform.seed;
-                platform = Platform::small();
-                platform.seed = seed;
+            "--jobs" => {
+                let v = value(&mut i, "--jobs")?;
+                let jobs: usize = v
+                    .parse()
+                    .map_err(|_| format!("--jobs needs an integer, got '{v}'"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                out.jobs = jobs;
             }
-            other => eprintln!("ignoring unknown argument {other}"),
+            "--no-cache" => out.use_cache = false,
+            "--json" => {
+                out.json = Some(std::path::PathBuf::from(value(&mut i, "--json")?));
+            }
+            other => return Err(format!("unknown argument '{other}'")),
         }
         i += 1;
     }
-    (scale, platform)
+    Ok(Some(out))
+}
+
+/// Parses the shared flags from the process arguments. Prints usage and
+/// exits with status 2 on any unknown flag or malformed value (and with
+/// status 0 on `--help`).
+pub fn parse_common_args() -> CommonArgs {
+    let argv: Vec<String> = std::env::args().collect();
+    let bin = argv
+        .first()
+        .map(|p| {
+            std::path::Path::new(p)
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| p.clone())
+        })
+        .unwrap_or_else(|| "bench".to_string());
+    match parse_args_from(&argv[1..]) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            println!("usage: {bin} [options]\n{USAGE}");
+            std::process::exit(0);
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\nusage: {bin} [options]\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -301,6 +365,49 @@ mod tests {
         assert_eq!(percent_improvement(1.5, 1.0), 50.0);
         assert_eq!(arithmetic_mean(&[1.0, 3.0]), 2.0);
         assert_eq!(arithmetic_mean(&[]), 0.0);
+    }
+
+    fn parse(args: &[&str]) -> Result<Option<CommonArgs>, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_args_from(&owned)
+    }
+
+    #[test]
+    fn common_args_parse_the_full_flag_set() {
+        let args = parse(&[
+            "--quick",
+            "--small",
+            "--seed",
+            "7",
+            "--jobs",
+            "3",
+            "--no-cache",
+            "--json",
+            "out.json",
+        ])
+        .unwrap()
+        .unwrap();
+        assert_eq!(args.scale, 0.25);
+        assert_eq!(args.platform.cpus, 4);
+        assert_eq!(args.platform.seed, 7);
+        assert_eq!(args.jobs, 3);
+        assert!(!args.use_cache);
+        assert_eq!(args.json.as_deref(), Some(std::path::Path::new("out.json")));
+    }
+
+    #[test]
+    fn unknown_arguments_are_hard_errors() {
+        assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--scale", "fast"]).is_err());
+        assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["extra"]).is_err());
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert!(parse(&["--help"]).unwrap().is_none());
+        assert!(parse(&["-h", "--frobnicate"]).unwrap().is_none());
     }
 
     #[test]

@@ -1,0 +1,822 @@
+//! The parallel experiment runner.
+//!
+//! Every figure and table of the paper is a grid of *independent,
+//! deterministic* simulations: a benchmark spec × a contention manager ×
+//! a Bloom geometry × a seed. Each cell's outcome depends only on its own
+//! inputs (fixed seeds, per-run RNG streams), which makes the grid
+//! embarrassingly parallel with bitwise-identical results regardless of
+//! execution order. This module exploits that:
+//!
+//! * [`RunCell`] describes one cell declaratively; binaries build their
+//!   whole grid up front and call [`run_grid`].
+//! * [`run_grid`] executes cells across a [`std::thread::scope`] worker
+//!   pool (an atomic work index hands out jobs; `--jobs N` sets the pool
+//!   size) and reassembles [`CellSummary`] results in grid order, so the
+//!   printed output is byte-identical to a sequential run.
+//! * Cells with identical cache keys are computed once per grid — the
+//!   serial baselines every benchmark needs are therefore memoised
+//!   automatically instead of being re-simulated per manager.
+//! * Completed cells are persisted to `results/cache/<hash>.json`
+//!   (hand-rolled JSON, see [`crate::json`]); re-running a binary after a
+//!   code-irrelevant change skips finished cells. `--no-cache` bypasses
+//!   the cache, and bumping [`CACHE_VERSION`] invalidates it wholesale.
+//!
+//! Floating-point statistics are cached as `u64` bit patterns, so a
+//! cache hit reproduces the fresh run's output byte for byte.
+
+use crate::json::Json;
+use crate::{CommonArgs, ManagerKind, Platform};
+use bfgts_baselines::BackoffCm;
+use bfgts_htm::{run_workload, ContentionManager, TmRunConfig, TmRunReport};
+use bfgts_sim::{Bucket, TimeBuckets};
+use bfgts_workloads::BenchmarkSpec;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Bump to invalidate every cached cell (e.g. after a change to the
+/// simulator, the cost model or the summary layout).
+pub const CACHE_VERSION: u64 = 1;
+
+/// Which cost model a cell runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostKind {
+    /// Hardware-TM costs ([`TmRunConfig::new`]), the paper's platform.
+    Htm,
+    /// Software-TM costs ([`TmRunConfig::stm_like`]), the adaptation study.
+    Stm,
+}
+
+impl CostKind {
+    fn config(self, cpus: usize, threads: usize, seed: u64) -> TmRunConfig {
+        match self {
+            CostKind::Htm => TmRunConfig::new(cpus, threads).seed(seed),
+            CostKind::Stm => TmRunConfig::stm_like(cpus, threads).seed(seed),
+        }
+    }
+
+    fn key_part(self) -> &'static str {
+        match self {
+            CostKind::Htm => "htm",
+            CostKind::Stm => "stm",
+        }
+    }
+}
+
+/// How a cell's contention manager is constructed.
+#[derive(Clone)]
+pub enum CellManager {
+    /// A roster manager with its benchmark-optimal Bloom size.
+    Kind(ManagerKind),
+    /// A roster manager with an explicit Bloom size (the Figure 6 sweep).
+    KindWithBloom(ManagerKind, u32),
+    /// An arbitrary manager. `key` must uniquely describe the
+    /// configuration — it becomes part of the cache key.
+    Custom {
+        /// Cache-key fragment identifying this configuration.
+        key: String,
+        /// Builds a fresh manager instance for the run.
+        build: Arc<dyn Fn() -> Box<dyn ContentionManager> + Send + Sync>,
+    },
+    /// The serial baseline: the same total work on 1 CPU / 1 thread under
+    /// plain Backoff (no conflicts are possible, so the manager choice is
+    /// irrelevant and adds zero overhead).
+    Serial,
+}
+
+impl CellManager {
+    fn key_part(&self, spec_name: &str) -> String {
+        match self {
+            CellManager::Kind(kind) => format!(
+                "kind:{}/bits={}",
+                kind.label(),
+                kind.optimal_bloom_bits(spec_name)
+            ),
+            CellManager::KindWithBloom(kind, bits) => {
+                format!("kind:{}/bits={bits}", kind.label())
+            }
+            CellManager::Custom { key, .. } => format!("custom:{key}"),
+            CellManager::Serial => "serial".to_string(),
+        }
+    }
+}
+
+/// One cell of an experiment grid.
+#[derive(Clone)]
+pub struct RunCell {
+    /// The (already scaled) benchmark to run.
+    pub spec: BenchmarkSpec,
+    /// The contention manager configuration.
+    pub manager: CellManager,
+    /// CPUs / threads / seed. Ignored (except the seed) by
+    /// [`CellManager::Serial`] cells, which always run 1×1.
+    pub platform: Platform,
+    /// Cost model flavour.
+    pub costs: CostKind,
+}
+
+impl RunCell {
+    /// A cell running `spec` under `kind` with its optimal Bloom size.
+    pub fn one(spec: &BenchmarkSpec, kind: ManagerKind, platform: Platform) -> Self {
+        Self {
+            spec: spec.clone(),
+            manager: CellManager::Kind(kind),
+            platform,
+            costs: CostKind::Htm,
+        }
+    }
+
+    /// A cell running `spec` under `kind` with an explicit Bloom size.
+    pub fn with_bloom(
+        spec: &BenchmarkSpec,
+        kind: ManagerKind,
+        platform: Platform,
+        bits: u32,
+    ) -> Self {
+        Self {
+            spec: spec.clone(),
+            manager: CellManager::KindWithBloom(kind, bits),
+            platform,
+            costs: CostKind::Htm,
+        }
+    }
+
+    /// A cell running `spec` under a custom-configured manager. `key`
+    /// must uniquely describe the configuration (it joins the cache key).
+    pub fn custom(
+        spec: &BenchmarkSpec,
+        platform: Platform,
+        key: impl Into<String>,
+        build: impl Fn() -> Box<dyn ContentionManager> + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            spec: spec.clone(),
+            manager: CellManager::Custom {
+                key: key.into(),
+                build: Arc::new(build),
+            },
+            platform,
+            costs: CostKind::Htm,
+        }
+    }
+
+    /// The serial baseline cell for `spec` (1 CPU / 1 thread).
+    pub fn serial(spec: &BenchmarkSpec, platform: Platform) -> Self {
+        Self {
+            spec: spec.clone(),
+            manager: CellManager::Serial,
+            platform,
+            costs: CostKind::Htm,
+        }
+    }
+
+    /// Switches the cell to software-TM costs.
+    pub fn stm(mut self) -> Self {
+        self.costs = CostKind::Stm;
+        self
+    }
+
+    /// The canonical cache key: every input that can change the outcome.
+    pub fn cache_key(&self) -> String {
+        let (cpus, threads) = match self.manager {
+            CellManager::Serial => (1, 1),
+            _ => (self.platform.cpus, self.platform.threads),
+        };
+        format!(
+            "v{CACHE_VERSION}|{}|txs={}|cpus={cpus}|threads={threads}|seed={:#x}|{}|{}",
+            self.spec.name,
+            self.spec.total_txs,
+            self.platform.seed,
+            self.costs.key_part(),
+            self.manager.key_part(self.spec.name),
+        )
+    }
+
+    /// Runs the cell to completion (no caching).
+    pub fn execute(&self) -> CellSummary {
+        let seed = self.platform.seed;
+        let report = match &self.manager {
+            CellManager::Serial => {
+                let cfg = self.costs.config(1, 1, seed);
+                run_workload(&cfg, self.spec.sources(1), Box::new(BackoffCm::default()))
+            }
+            manager => {
+                let cfg = self
+                    .costs
+                    .config(self.platform.cpus, self.platform.threads, seed);
+                let cm: Box<dyn ContentionManager> = match manager {
+                    CellManager::Kind(kind) => kind.build(kind.optimal_bloom_bits(self.spec.name)),
+                    CellManager::KindWithBloom(kind, bits) => kind.build(*bits),
+                    CellManager::Custom { build, .. } => build(),
+                    CellManager::Serial => unreachable!("handled above"),
+                };
+                run_workload(&cfg, self.spec.sources(self.platform.threads), cm)
+            }
+        };
+        CellSummary::from_report(&report)
+    }
+}
+
+/// The persistable summary of one completed cell: everything the
+/// experiment binaries print, in exactly-round-trippable form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSummary {
+    /// Name of the contention manager that ran.
+    pub cm_name: String,
+    /// Parallel makespan in cycles.
+    pub makespan: u64,
+    /// Whole-run cycle accounting summed over threads (Figure 5).
+    pub buckets: TimeBuckets,
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted attempts.
+    pub aborts: u64,
+    /// NACK stalls that did not abort.
+    pub stalls: u64,
+    /// Per-static-transaction `(stx, commits, aborts)`, sorted by stx.
+    pub per_stx: Vec<(u32, u64, u64)>,
+    /// Observed conflict edges as normalised `(low, high)` pairs, sorted.
+    pub conflict_edges: Vec<(u32, u32)>,
+    /// Measured similarity per static transaction (only entries that
+    /// committed at least twice), sorted by stx.
+    pub similarity: Vec<(u32, f64)>,
+}
+
+impl CellSummary {
+    /// Summarises a full run report.
+    pub fn from_report(report: &TmRunReport) -> Self {
+        let stats = &report.stats;
+        let per_stx = stats
+            .stx_ids()
+            .into_iter()
+            .map(|stx| {
+                let (c, a) = stats.stx_counts(stx);
+                (stx.get(), c, a)
+            })
+            .collect();
+        let similarity = stats
+            .stx_ids()
+            .into_iter()
+            .filter_map(|stx| stats.measured_similarity(stx).map(|s| (stx.get(), s)))
+            .collect();
+        Self {
+            cm_name: report.cm_name.to_string(),
+            makespan: report.sim.makespan.as_u64(),
+            buckets: report.sim.total(),
+            commits: stats.commits(),
+            aborts: stats.aborts(),
+            stalls: stats.stalls(),
+            per_stx,
+            conflict_edges: stats
+                .conflict_edges()
+                .map(|(a, b)| (a.get(), b.get()))
+                .collect(),
+            similarity,
+        }
+    }
+
+    /// Speedup of this run over a serial makespan.
+    pub fn speedup_over(&self, serial_makespan: u64) -> f64 {
+        if self.makespan == 0 {
+            0.0
+        } else {
+            serial_makespan as f64 / self.makespan as f64
+        }
+    }
+
+    /// Contention rate: aborted attempts over all attempts (Table 4).
+    pub fn contention_rate(&self) -> f64 {
+        let attempts = self.commits + self.aborts;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / attempts as f64
+        }
+    }
+
+    /// Fraction of all cycles in `bucket` (Figure 5).
+    pub fn fraction(&self, bucket: Bucket) -> f64 {
+        self.buckets.fraction(bucket)
+    }
+
+    /// Throughput proxy: commits per million cycles of makespan.
+    pub fn commits_per_mcycle(&self) -> f64 {
+        if self.makespan == 0 {
+            0.0
+        } else {
+            self.commits as f64 * 1.0e6 / self.makespan as f64
+        }
+    }
+
+    /// The sTxIDs observed conflicting with `stx` (one row of Table 1).
+    pub fn conflict_row(&self, stx: u32) -> Vec<u32> {
+        let mut row: Vec<u32> = self
+            .conflict_edges
+            .iter()
+            .filter_map(|&(a, b)| {
+                if a == stx {
+                    Some(b)
+                } else if b == stx {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        row.dedup();
+        row
+    }
+
+    /// Measured similarity of `stx`, if it committed at least twice.
+    pub fn measured_similarity(&self, stx: u32) -> Option<f64> {
+        self.similarity
+            .iter()
+            .find(|(s, _)| *s == stx)
+            .map(|(_, sim)| *sim)
+    }
+
+    fn to_json(&self, key: &str) -> Json {
+        Json::obj([
+            ("v", Json::UInt(CACHE_VERSION)),
+            ("key", Json::Str(key.to_string())),
+            ("cm_name", Json::Str(self.cm_name.clone())),
+            ("makespan", Json::UInt(self.makespan)),
+            (
+                "buckets",
+                Json::Arr(
+                    Bucket::ALL
+                        .iter()
+                        .map(|&b| Json::UInt(self.buckets.get(b)))
+                        .collect(),
+                ),
+            ),
+            ("commits", Json::UInt(self.commits)),
+            ("aborts", Json::UInt(self.aborts)),
+            ("stalls", Json::UInt(self.stalls)),
+            (
+                "per_stx",
+                Json::Arr(
+                    self.per_stx
+                        .iter()
+                        .map(|&(stx, c, a)| {
+                            Json::Arr(vec![Json::UInt(stx as u64), Json::UInt(c), Json::UInt(a)])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "conflict_edges",
+                Json::Arr(
+                    self.conflict_edges
+                        .iter()
+                        .map(|&(a, b)| Json::Arr(vec![Json::UInt(a as u64), Json::UInt(b as u64)]))
+                        .collect(),
+                ),
+            ),
+            (
+                // f64 as IEEE-754 bit patterns: cache hits must reproduce
+                // the fresh run's formatted output byte for byte.
+                "similarity_bits",
+                Json::Arr(
+                    self.similarity
+                        .iter()
+                        .map(|&(stx, sim)| {
+                            Json::Arr(vec![Json::UInt(stx as u64), Json::UInt(sim.to_bits())])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Option<Self> {
+        let buckets_raw = value.get("buckets")?.as_arr()?;
+        if buckets_raw.len() != Bucket::ALL.len() {
+            return None;
+        }
+        let mut buckets = TimeBuckets::default();
+        for (&bucket, raw) in Bucket::ALL.iter().zip(buckets_raw) {
+            buckets.charge(bucket, raw.as_u64()?);
+        }
+        let triple = |item: &Json| -> Option<(u32, u64, u64)> {
+            let arr = item.as_arr()?;
+            Some((
+                u32::try_from(arr.first()?.as_u64()?).ok()?,
+                arr.get(1)?.as_u64()?,
+                arr.get(2)?.as_u64()?,
+            ))
+        };
+        let pair = |item: &Json| -> Option<(u32, u32)> {
+            let arr = item.as_arr()?;
+            Some((
+                u32::try_from(arr.first()?.as_u64()?).ok()?,
+                u32::try_from(arr.get(1)?.as_u64()?).ok()?,
+            ))
+        };
+        let sim = |item: &Json| -> Option<(u32, f64)> {
+            let arr = item.as_arr()?;
+            Some((
+                u32::try_from(arr.first()?.as_u64()?).ok()?,
+                f64::from_bits(arr.get(1)?.as_u64()?),
+            ))
+        };
+        Some(Self {
+            cm_name: value.get("cm_name")?.as_str()?.to_string(),
+            makespan: value.get("makespan")?.as_u64()?,
+            buckets,
+            commits: value.get("commits")?.as_u64()?,
+            aborts: value.get("aborts")?.as_u64()?,
+            stalls: value.get("stalls")?.as_u64()?,
+            per_stx: value
+                .get("per_stx")?
+                .as_arr()?
+                .iter()
+                .map(triple)
+                .collect::<Option<_>>()?,
+            conflict_edges: value
+                .get("conflict_edges")?
+                .as_arr()?
+                .iter()
+                .map(pair)
+                .collect::<Option<_>>()?,
+            similarity: value
+                .get("similarity_bits")?
+                .as_arr()?
+                .iter()
+                .map(sim)
+                .collect::<Option<_>>()?,
+        })
+    }
+}
+
+/// Execution options for [`run_grid`], usually derived from
+/// [`CommonArgs`].
+#[derive(Debug, Clone)]
+pub struct RunnerOptions {
+    /// Worker threads. 0 or 1 runs the grid on the calling thread.
+    pub jobs: usize,
+    /// Cell cache directory; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for RunnerOptions {
+    fn default() -> Self {
+        Self {
+            jobs: default_jobs(),
+            cache_dir: Some(PathBuf::from(DEFAULT_CACHE_DIR)),
+        }
+    }
+}
+
+/// Where completed cells are cached, relative to the working directory.
+pub const DEFAULT_CACHE_DIR: &str = "results/cache";
+
+/// The default worker count: one per available hardware thread.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+impl RunnerOptions {
+    /// Options selected by the common command-line flags.
+    pub fn from_args(args: &CommonArgs) -> Self {
+        Self {
+            jobs: args.jobs,
+            cache_dir: args.use_cache.then(|| PathBuf::from(DEFAULT_CACHE_DIR)),
+        }
+    }
+}
+
+/// Executes every cell of `cells` and returns their summaries in grid
+/// order.
+///
+/// Cells with identical [`RunCell::cache_key`]s are simulated once and
+/// the summary shared — the automatic memoisation of serial baselines.
+/// With a cache directory, previously completed cells are loaded instead
+/// of re-simulated and fresh results are persisted. Workers claim cells
+/// through an atomic index; because each simulation is deterministic and
+/// results are reassembled by position, the returned vector (and thus any
+/// output printed from it) is identical for every `jobs` value.
+pub fn run_grid(cells: &[RunCell], opts: &RunnerOptions) -> Vec<CellSummary> {
+    let keys: Vec<String> = cells.iter().map(RunCell::cache_key).collect();
+    // First cell index for each distinct key, in grid order.
+    let mut first_of: HashMap<&str, usize> = HashMap::new();
+    let mut unique: Vec<usize> = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        first_of.entry(key).or_insert_with(|| {
+            unique.push(i);
+            i
+        });
+    }
+
+    if let Some(dir) = &opts.cache_dir {
+        // Best-effort: a read-only tree simply runs without persistence.
+        let _ = std::fs::create_dir_all(dir);
+    }
+
+    let results: Vec<OnceLock<CellSummary>> = (0..cells.len()).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    let workers = opts.jobs.max(1).min(unique.len().max(1));
+
+    let run_one_cell = |slot: usize| {
+        let cell = &cells[slot];
+        let key = &keys[slot];
+        let cached = opts
+            .cache_dir
+            .as_deref()
+            .and_then(|dir| load_cached(dir, key));
+        let summary = match cached {
+            Some(summary) => summary,
+            None => {
+                let summary = cell.execute();
+                if let Some(dir) = opts.cache_dir.as_deref() {
+                    store_cached(dir, key, &summary);
+                }
+                summary
+            }
+        };
+        results[slot]
+            .set(summary)
+            .expect("each unique cell is computed exactly once");
+    };
+
+    if workers <= 1 {
+        for &slot in &unique {
+            run_one_cell(slot);
+        }
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let j = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&slot) = unique.get(j) else { break };
+                    run_one_cell(slot);
+                });
+            }
+        });
+    }
+
+    keys.iter()
+        .map(|key| {
+            results[first_of[key.as_str()]]
+                .get()
+                .expect("every unique key was computed")
+                .clone()
+        })
+        .collect()
+}
+
+/// Runs the grid with the options selected on the command line and, when
+/// `--json PATH` was given, writes every cell summary there.
+pub fn run_grid_with_args(cells: &[RunCell], args: &CommonArgs) -> Vec<CellSummary> {
+    let results = run_grid(cells, &RunnerOptions::from_args(args));
+    if let Some(path) = &args.json {
+        if let Err(err) = write_grid_json(path, cells, &results) {
+            eprintln!("warning: could not write {}: {err}", path.display());
+        }
+    }
+    results
+}
+
+/// Serialises a completed grid to `path` as a JSON document.
+pub fn write_grid_json(
+    path: &Path,
+    cells: &[RunCell],
+    results: &[CellSummary],
+) -> std::io::Result<()> {
+    let doc = Json::obj([
+        ("version", Json::UInt(CACHE_VERSION)),
+        (
+            "cells",
+            Json::Arr(
+                cells
+                    .iter()
+                    .zip(results)
+                    .map(|(cell, summary)| summary.to_json(&cell.cache_key()))
+                    .collect(),
+            ),
+        ),
+    ]);
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, doc.to_string() + "\n")
+}
+
+/// FNV-1a over `text`, with an offset-basis tweak so two independent
+/// 64-bit digests can be concatenated into the cache file name.
+fn fnv1a(text: &str, tweak: u64) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ tweak;
+    for byte in text.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+fn cache_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!(
+        "{:016x}{:016x}.json",
+        fnv1a(key, 0),
+        fnv1a(key, 0x9e37_79b9_7f4a_7c15)
+    ))
+}
+
+fn load_cached(dir: &Path, key: &str) -> Option<CellSummary> {
+    let text = std::fs::read_to_string(cache_path(dir, key)).ok()?;
+    let value = Json::parse(&text).ok()?;
+    // The full key is stored in the file: a filename-hash collision or a
+    // stale version entry is rejected, never silently trusted.
+    if value.get("v")?.as_u64()? != CACHE_VERSION || value.get("key")?.as_str()? != key {
+        return None;
+    }
+    CellSummary::from_json(&value)
+}
+
+fn store_cached(dir: &Path, key: &str, summary: &CellSummary) {
+    let path = cache_path(dir, key);
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    // Best-effort persistence: failures only cost a future recompute.
+    if std::fs::write(&tmp, summary.to_json(key).to_string() + "\n").is_ok() {
+        let _ = std::fs::rename(&tmp, &path);
+    }
+}
+
+/// Convenience wrapper for the speedup-table binaries: runs one serial
+/// baseline cell plus one cell per manager for each spec, all through the
+/// same grid, and returns `(serial_makespans, summaries[manager][spec])`.
+pub fn speedup_grid(
+    specs: &[BenchmarkSpec],
+    managers: &[ManagerKind],
+    args: &CommonArgs,
+) -> (Vec<u64>, Vec<Vec<CellSummary>>) {
+    let mut cells = Vec::with_capacity(specs.len() * (managers.len() + 1));
+    for spec in specs {
+        cells.push(RunCell::serial(spec, args.platform));
+        for &kind in managers {
+            cells.push(RunCell::one(spec, kind, args.platform));
+        }
+    }
+    let results = run_grid_with_args(&cells, args);
+    let stride = managers.len() + 1;
+    let serials: Vec<u64> = specs
+        .iter()
+        .enumerate()
+        .map(|(b, _)| results[b * stride].makespan)
+        .collect();
+    let per_manager: Vec<Vec<CellSummary>> = (0..managers.len())
+        .map(|m| {
+            (0..specs.len())
+                .map(|b| results[b * stride + 1 + m].clone())
+                .collect()
+        })
+        .collect();
+    (serials, per_manager)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Platform;
+    use bfgts_workloads::presets;
+
+    fn tiny_spec() -> BenchmarkSpec {
+        presets::kmeans().scaled(0.01)
+    }
+
+    fn no_cache() -> RunnerOptions {
+        RunnerOptions {
+            jobs: 2,
+            cache_dir: None,
+        }
+    }
+
+    #[test]
+    fn cache_keys_separate_configurations() {
+        let spec = tiny_spec();
+        let p = Platform::small();
+        let base = RunCell::one(&spec, ManagerKind::Backoff, p);
+        let mut keys = vec![
+            base.cache_key(),
+            RunCell::one(&spec, ManagerKind::BfgtsHw, p).cache_key(),
+            RunCell::with_bloom(&spec, ManagerKind::BfgtsHw, p, 8192).cache_key(),
+            RunCell::serial(&spec, p).cache_key(),
+            RunCell::one(&spec, ManagerKind::Backoff, p)
+                .stm()
+                .cache_key(),
+            RunCell::custom(&spec, p, "interval=10", || Box::new(BackoffCm::default())).cache_key(),
+        ];
+        let mut seeded = RunCell::one(&spec, ManagerKind::Backoff, p);
+        seeded.platform.seed ^= 1;
+        keys.push(seeded.cache_key());
+        let unique: std::collections::HashSet<_> = keys.iter().collect();
+        assert_eq!(unique.len(), keys.len(), "colliding keys: {keys:#?}");
+    }
+
+    #[test]
+    fn serial_cells_ignore_platform_shape() {
+        let spec = tiny_spec();
+        let a = RunCell::serial(&spec, Platform::small()).cache_key();
+        let b = RunCell::serial(&spec, Platform::paper()).cache_key();
+        assert_eq!(a, b, "serial key must not depend on cpus/threads");
+    }
+
+    #[test]
+    fn grid_matches_direct_execution() {
+        let spec = tiny_spec();
+        let p = Platform::small();
+        let cells = vec![
+            RunCell::serial(&spec, p),
+            RunCell::one(&spec, ManagerKind::Backoff, p),
+        ];
+        let grid = run_grid(&cells, &no_cache());
+        assert_eq!(grid[0], cells[0].execute());
+        assert_eq!(grid[1], cells[1].execute());
+    }
+
+    #[test]
+    fn duplicate_cells_share_one_computation() {
+        let spec = tiny_spec();
+        let p = Platform::small();
+        let cells: Vec<RunCell> = (0..6).map(|_| RunCell::serial(&spec, p)).collect();
+        let grid = run_grid(&cells, &no_cache());
+        assert!(grid.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn summary_json_round_trips_exactly() {
+        let spec = tiny_spec();
+        let summary = RunCell::one(&spec, ManagerKind::BfgtsHw, Platform::small()).execute();
+        let round = CellSummary::from_json(&summary.to_json("k")).expect("parses");
+        assert_eq!(summary, round);
+        // Bit-exact similarity is what makes cached output byte-identical.
+        for ((_, a), (_, b)) in summary.similarity.iter().zip(&round.similarity) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn cache_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join(format!(
+            "bfgts-cache-test-{}-{:x}",
+            std::process::id(),
+            fnv1a("cache_round_trip_on_disk", 0)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = RunnerOptions {
+            jobs: 2,
+            cache_dir: Some(dir.clone()),
+        };
+        let spec = tiny_spec();
+        let p = Platform::small();
+        let cells = vec![
+            RunCell::serial(&spec, p),
+            RunCell::one(&spec, ManagerKind::Ats, p),
+        ];
+        let fresh = run_grid(&cells, &opts);
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 2);
+        let cached = run_grid(&cells, &opts);
+        assert_eq!(fresh, cached);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_entries_are_recomputed() {
+        let dir =
+            std::env::temp_dir().join(format!("bfgts-cache-test-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = tiny_spec();
+        let cell = RunCell::serial(&spec, Platform::small());
+        std::fs::write(cache_path(&dir, &cell.cache_key()), "{not json").unwrap();
+        let opts = RunnerOptions {
+            jobs: 1,
+            cache_dir: Some(dir.clone()),
+        };
+        let grid = run_grid(std::slice::from_ref(&cell), &opts);
+        assert_eq!(grid[0], cell.execute());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn conflict_row_and_similarity_lookups() {
+        let summary = CellSummary {
+            cm_name: "X".into(),
+            makespan: 100,
+            buckets: TimeBuckets::default(),
+            commits: 4,
+            aborts: 1,
+            stalls: 0,
+            per_stx: vec![(0, 2, 1), (1, 2, 0)],
+            conflict_edges: vec![(0, 1), (1, 1)],
+            similarity: vec![(1, 0.5)],
+        };
+        assert_eq!(summary.conflict_row(1), vec![0, 1]);
+        assert_eq!(summary.measured_similarity(1), Some(0.5));
+        assert_eq!(summary.measured_similarity(9), None);
+        assert!((summary.contention_rate() - 0.2).abs() < 1e-12);
+        assert_eq!(summary.speedup_over(200), 2.0);
+    }
+}

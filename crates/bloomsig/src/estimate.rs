@@ -56,6 +56,7 @@ impl EstimateParams {
 /// # Panics
 ///
 /// Panics if `bits_set > params.bits`.
+#[inline]
 pub fn set_size(params: EstimateParams, bits_set: u32) -> f64 {
     assert!(
         bits_set <= params.bits,
@@ -75,12 +76,8 @@ pub fn set_size(params: EstimateParams, bits_set: u32) -> f64 {
 /// Estimated `|A ∩ B|` from the population counts of `A`, `B` and `A ∪ B`
 /// (paper eq. 3). May be slightly negative for disjoint sets due to
 /// estimation noise; callers that need a set size should clamp at zero.
-pub fn intersection_size(
-    params: EstimateParams,
-    bits_a: u32,
-    bits_b: u32,
-    bits_union: u32,
-) -> f64 {
+#[inline]
+pub fn intersection_size(params: EstimateParams, bits_a: u32, bits_b: u32, bits_union: u32) -> f64 {
     set_size(params, bits_a) + set_size(params, bits_b) - set_size(params, bits_union)
 }
 
@@ -126,8 +123,8 @@ mod tests {
         // 1 - (1 - 1/m)^(k n); inverting that expectation should recover n.
         let params = p();
         let n = 100.0_f64;
-        let expected_bits =
-            params.bits as f64 * (1.0 - (1.0 - 1.0 / params.bits as f64).powf(params.hashes as f64 * n));
+        let expected_bits = params.bits as f64
+            * (1.0 - (1.0 - 1.0 / params.bits as f64).powf(params.hashes as f64 * n));
         let est = set_size(params, expected_bits.round() as u32);
         assert!((est - n).abs() < 2.0, "estimate {est} should be near {n}");
     }

@@ -82,7 +82,10 @@ mod tests {
                 collisions += 1;
             }
         }
-        assert!(collisions < 20, "too many intra-key collisions: {collisions}");
+        assert!(
+            collisions < 20,
+            "too many intra-key collisions: {collisions}"
+        );
     }
 
     #[test]

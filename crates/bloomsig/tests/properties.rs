@@ -1,8 +1,11 @@
-//! Property-based tests for the Bloom signature algebra.
+//! Property-based tests for the Bloom signature algebra, driven by the
+//! deterministic case generator in `bfgts-testkit`.
 
 use bfgts_bloomsig::{estimate, BloomFilter, EstimateParams, PerfectSignature, Signature};
-use proptest::prelude::*;
+use bfgts_testkit::{run_cases, Gen};
 use std::collections::HashSet;
+
+const CASES: u32 = 64;
 
 fn filter_from(keys: &[u64], bits: u32) -> BloomFilter {
     let mut f = BloomFilter::new(bits, 4);
@@ -12,130 +15,164 @@ fn filter_from(keys: &[u64], bits: u32) -> BloomFilter {
     f
 }
 
-proptest! {
-    /// No false negatives, ever.
-    #[test]
-    fn prop_no_false_negatives(keys in proptest::collection::vec(any::<u64>(), 0..200)) {
+fn key_set(g: &mut Gen, lo: u64, hi: u64, max_len: usize) -> HashSet<u64> {
+    let len = g.usize_in(0, max_len);
+    let mut set = HashSet::new();
+    while set.len() < len {
+        set.insert(g.u64_in(lo, hi));
+    }
+    set
+}
+
+/// No false negatives, ever.
+#[test]
+fn prop_no_false_negatives() {
+    run_cases("no_false_negatives", CASES, |g| {
+        let keys = g.u64_vec(0, 200);
         let f = filter_from(&keys, 2048);
         for k in &keys {
-            prop_assert!(f.may_contain(*k));
+            assert!(f.may_contain(*k));
         }
-    }
+    });
+}
 
-    /// Union is commutative and idempotent on the bit level.
-    #[test]
-    fn prop_union_commutative(
-        a in proptest::collection::vec(any::<u64>(), 0..100),
-        b in proptest::collection::vec(any::<u64>(), 0..100),
-    ) {
+/// Union is commutative and idempotent on the bit level.
+#[test]
+fn prop_union_commutative() {
+    run_cases("union_commutative", CASES, |g| {
+        let a = g.u64_vec(0, 100);
+        let b = g.u64_vec(0, 100);
         let fa = filter_from(&a, 1024);
         let fb = filter_from(&b, 1024);
-        prop_assert_eq!(fa.union(&fb), fb.union(&fa));
-        prop_assert_eq!(fa.union(&fa), fa.clone());
-    }
+        assert_eq!(fa.union(&fb), fb.union(&fa));
+        assert_eq!(fa.union(&fa), fa.clone());
+    });
+}
 
-    /// A union filter equals the filter of the concatenated key sets.
-    #[test]
-    fn prop_union_equals_bulk_insert(
-        a in proptest::collection::vec(any::<u64>(), 0..100),
-        b in proptest::collection::vec(any::<u64>(), 0..100),
-    ) {
+/// A union filter equals the filter of the concatenated key sets.
+#[test]
+fn prop_union_equals_bulk_insert() {
+    run_cases("union_equals_bulk_insert", CASES, |g| {
+        let a = g.u64_vec(0, 100);
+        let b = g.u64_vec(0, 100);
         let fa = filter_from(&a, 1024);
         let fb = filter_from(&b, 1024);
         let mut both = a.clone();
         both.extend_from_slice(&b);
-        prop_assert_eq!(fa.union(&fb), filter_from(&both, 1024));
-    }
+        assert_eq!(fa.union(&fb), filter_from(&both, 1024));
+    });
+}
 
-    /// If two key sets truly intersect, the filters must report
-    /// intersection (no false negatives on the intersect test).
-    #[test]
-    fn prop_intersects_has_no_false_negatives(
-        shared in proptest::collection::vec(any::<u64>(), 1..20),
-        a in proptest::collection::vec(any::<u64>(), 0..50),
-        b in proptest::collection::vec(any::<u64>(), 0..50),
-    ) {
-        let mut ka = a.clone();
+/// If two key sets truly intersect, the filters must report intersection
+/// (no false negatives on the intersect test).
+#[test]
+fn prop_intersects_has_no_false_negatives() {
+    run_cases("intersects_no_false_negatives", CASES, |g| {
+        let shared = g.u64_vec(1, 20);
+        let mut ka = g.u64_vec(0, 50);
         ka.extend_from_slice(&shared);
-        let mut kb = b.clone();
+        let mut kb = g.u64_vec(0, 50);
         kb.extend_from_slice(&shared);
         let fa = filter_from(&ka, 1024);
         let fb = filter_from(&kb, 1024);
-        prop_assert!(fa.intersects(&fb));
-    }
+        assert!(fa.intersects(&fb));
+    });
+}
 
-    /// Set-size estimates are monotone under insertion.
-    #[test]
-    fn prop_estimate_monotone(keys in proptest::collection::vec(any::<u64>(), 0..300)) {
+/// Set-size estimates are monotone under insertion.
+#[test]
+fn prop_estimate_monotone() {
+    run_cases("estimate_monotone", CASES, |g| {
+        let keys = g.u64_vec(0, 300);
         let mut f = BloomFilter::new(4096, 4);
         let mut last = 0.0f64;
         for k in keys {
             f.insert(k);
             let est = f.estimate_len();
-            prop_assert!(est >= last - 1e-9);
+            assert!(est >= last - 1e-9, "estimate shrank: {est} < {last}");
             last = est;
         }
-    }
+    });
+}
 
-    /// The Bloom set-size estimate is within a tolerance of the true count
-    /// for moderately loaded filters.
-    #[test]
-    fn prop_estimate_accuracy(keys in proptest::collection::hash_set(any::<u64>(), 0..200)) {
-        let keys: Vec<u64> = keys.into_iter().collect();
+/// The Bloom set-size estimate is within a tolerance of the true count for
+/// moderately loaded filters.
+#[test]
+fn prop_estimate_accuracy() {
+    run_cases("estimate_accuracy", CASES, |g| {
+        let keys: Vec<u64> = key_set(g, 0, u64::MAX, 200).into_iter().collect();
         let f = filter_from(&keys, 8192);
         let est = f.estimate_len();
         let n = keys.len() as f64;
         // Loose statistical bound: estimation error grows with load; for
         // n<=200 on an 8192-bit filter the relative error stays small.
-        prop_assert!((est - n).abs() <= 5.0 + 0.1 * n, "est={est} n={n}");
-    }
+        assert!((est - n).abs() <= 5.0 + 0.1 * n, "est={est} n={n}");
+    });
+}
 
-    /// Intersection estimates roughly match true overlap for exact sets.
-    #[test]
-    fn prop_intersection_estimate_tracks_truth(
-        a in proptest::collection::hash_set(0u64..5000, 0..150),
-        b in proptest::collection::hash_set(0u64..5000, 0..150),
-    ) {
+/// Intersection estimates roughly match true overlap for exact sets.
+#[test]
+fn prop_intersection_estimate_tracks_truth() {
+    run_cases("intersection_estimate_tracks_truth", CASES, |g| {
+        let a = key_set(g, 0, 5000, 150);
+        let b = key_set(g, 0, 5000, 150);
         let va: Vec<u64> = a.iter().copied().collect();
         let vb: Vec<u64> = b.iter().copied().collect();
         let fa = filter_from(&va, 8192);
         let fb = filter_from(&vb, 8192);
         let truth = a.intersection(&b).count() as f64;
         let est = fa.intersection_estimate(&fb);
-        prop_assert!((est - truth).abs() <= 10.0 + 0.15 * (va.len() + vb.len()) as f64,
-            "est={est} truth={truth}");
-    }
+        assert!(
+            (est - truth).abs() <= 10.0 + 0.15 * (va.len() + vb.len()) as f64,
+            "est={est} truth={truth}"
+        );
+    });
+}
 
-    /// Perfect signatures agree exactly with HashSet semantics.
-    #[test]
-    fn prop_perfect_signature_is_exact(
-        a in proptest::collection::vec(any::<u64>(), 0..100),
-        b in proptest::collection::vec(any::<u64>(), 0..100),
-    ) {
+/// Perfect signatures agree exactly with HashSet semantics.
+#[test]
+fn prop_perfect_signature_is_exact() {
+    run_cases("perfect_signature_is_exact", CASES, |g| {
+        let a = g.u64_vec(0, 100);
+        let b = g.u64_vec(0, 100);
         let sa: PerfectSignature = a.iter().copied().collect();
         let sb: PerfectSignature = b.iter().copied().collect();
         let ha: HashSet<u64> = a.iter().copied().collect();
         let hb: HashSet<u64> = b.iter().copied().collect();
-        prop_assert_eq!(sa.estimate_len(), ha.len() as f64);
-        prop_assert_eq!(sa.intersection_estimate(&sb), ha.intersection(&hb).count() as f64);
-        prop_assert_eq!(sa.intersects(&sb), ha.intersection(&hb).next().is_some());
-    }
+        assert_eq!(sa.estimate_len(), ha.len() as f64);
+        assert_eq!(
+            sa.intersection_estimate(&sb),
+            ha.intersection(&hb).count() as f64
+        );
+        assert_eq!(sa.intersects(&sb), ha.intersection(&hb).next().is_some());
+    });
+}
 
-    /// The estimation equations are internally consistent: inverting the
-    /// expected fill level recovers the element count.
-    #[test]
-    fn prop_estimate_inverts_expectation(n in 1u32..400, bits in prop_oneof![Just(1024u32), Just(2048), Just(4096), Just(8192)]) {
+/// The estimation equations are internally consistent: inverting the
+/// expected fill level recovers the element count.
+#[test]
+fn prop_estimate_inverts_expectation() {
+    run_cases("estimate_inverts_expectation", CASES, |g| {
+        let n = g.u32_in(1, 400);
+        let bits = *g.choose(&[1024u32, 2048, 4096, 8192]);
         let params = EstimateParams::new(bits, 4);
         let m = bits as f64;
         let expected_bits = m * (1.0 - (1.0 - 1.0 / m).powf(4.0 * n as f64));
         let est = estimate::set_size(params, expected_bits.round() as u32);
-        prop_assert!((est - n as f64).abs() < 3.0 + 0.02 * n as f64, "est={est} n={n}");
-    }
+        assert!(
+            (est - n as f64).abs() < 3.0 + 0.02 * n as f64,
+            "est={est} n={n}"
+        );
+    });
+}
 
-    /// Similarity is always within [0, 1].
-    #[test]
-    fn prop_similarity_bounded(inter in -1e6f64..1e6, avg in -100f64..1e6) {
+/// Similarity is always within [0, 1].
+#[test]
+fn prop_similarity_bounded() {
+    run_cases("similarity_bounded", 256, |g| {
+        let inter = g.f64_in(-1e6, 1e6);
+        let avg = g.f64_in(-100.0, 1e6);
         let s = estimate::similarity(inter, avg);
-        prop_assert!((0.0..=1.0).contains(&s));
-    }
+        assert!((0.0..=1.0).contains(&s), "similarity {s} out of range");
+    });
 }

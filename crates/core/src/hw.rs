@@ -60,7 +60,7 @@ impl HwPredictor {
     /// Creates a predictor with a cold confidence cache.
     pub fn new() -> Self {
         Self {
-            sets: vec![Vec::with_capacity(WAYS); SETS],
+            sets: (0..SETS).map(|_| Vec::with_capacity(WAYS)).collect(),
             hits: 0,
             misses: 0,
         }

@@ -5,8 +5,8 @@ use crate::hw::HwPredictor;
 use crate::sig::Sig;
 use crate::tables::{ConfidenceTable, TxStatsTable};
 use bfgts_htm::{
-    AbortPlan, BeginDecision, BeginOutcome, BeginQuery, CommitOutcome, CommitRecord,
-    ConflictEvent, ContentionManager, DTxId, STxId, TmState,
+    AbortPlan, BeginDecision, BeginOutcome, BeginQuery, CommitOutcome, CommitRecord, ConflictEvent,
+    ContentionManager, DTxId, STxId, TmState,
 };
 use bfgts_sim::{CostModel, SimRng};
 use std::collections::BTreeMap;
@@ -171,10 +171,9 @@ impl ContentionManager for BfgtsCm {
             }
             cost += match self.cfg.variant {
                 BfgtsVariant::Sw => sw_cost::SCAN_ENTRY,
-                BfgtsVariant::Hw | BfgtsVariant::HwBackoff => {
-                    self.predictor(q.cpu)
-                        .lookup_cost(q.dtx.stx, target.stx, costs)
-                }
+                BfgtsVariant::Hw | BfgtsVariant::HwBackoff => self
+                    .predictor(q.cpu)
+                    .lookup_cost(q.dtx.stx, target.stx, costs),
                 BfgtsVariant::NoOverhead => 0,
             };
             if self.confidence.get(q.dtx.stx, target.stx) > self.cfg.conf_threshold
@@ -410,7 +409,14 @@ mod tests {
         assert_eq!(cm.confidence().get(STxId(0), STxId(1)), 80.0);
     }
 
-    fn heat_up(cm: &mut BfgtsCm, a: DTxId, b: DTxId, tm: &TmState, costs: &CostModel, rng: &mut SimRng) {
+    fn heat_up(
+        cm: &mut BfgtsCm,
+        a: DTxId,
+        b: DTxId,
+        tm: &TmState,
+        costs: &CostModel,
+        rng: &mut SimRng,
+    ) {
         for _ in 0..4 {
             cm.on_conflict_abort(&conflict(a, b), tm, costs, rng);
         }

@@ -5,6 +5,10 @@ use bfgts_htm::LineAddr;
 
 /// A read/write-set signature in whichever representation the
 /// configuration selected.
+// The Bloom variant embeds up to 2048 bits inline so per-transaction
+// signature construction never heap-allocates; boxing it to shrink the
+// enum would reintroduce exactly that allocation.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub(crate) enum Sig {
     Bloom(BloomFilter),

@@ -44,9 +44,7 @@ impl ConfidenceTable {
     fn slot_of(&self, stx: STxId) -> usize {
         match self.alias_slots {
             // Multiplicative hash so adjacent sTxIDs spread over slots.
-            Some(slots) => {
-                (stx.get().wrapping_mul(0x9E37_79B9) % slots) as usize
-            }
+            Some(slots) => (stx.get().wrapping_mul(0x9E37_79B9) % slots) as usize,
             None => stx.get() as usize,
         }
     }
@@ -227,7 +225,11 @@ mod tests {
         for stx in 0..1000u32 {
             t.bump(STxId(stx), STxId(stx + 1), 1.0);
         }
-        assert!(t.dim() <= 4, "aliased table must stay bounded, dim {}", t.dim());
+        assert!(
+            t.dim() <= 4,
+            "aliased table must stay bounded, dim {}",
+            t.dim()
+        );
         assert!(t.footprint_bytes() <= 4 * 4 * 8);
     }
 

@@ -266,7 +266,13 @@ mod tests {
             retries: 0,
         };
         let plan = cm.on_conflict_abort(&ev, &tm, &costs, &mut rng);
-        assert_eq!(plan, AbortPlan { backoff: 0, cost: 0 });
+        assert_eq!(
+            plan,
+            AbortPlan {
+                backoff: 0,
+                cost: 0
+            }
+        );
         let rec = CommitRecord {
             dtx: ev.aborter,
             rw_set: &[LineAddr(9)],

@@ -131,10 +131,7 @@ where
     engine_cfg.max_cycles = cfg.max_cycles;
     let mut engine = Engine::new(engine_cfg, world);
     for source in sources {
-        engine.spawn(Box::new(TxThreadLogic::with_config(
-            source,
-            cfg.thread_cfg,
-        )));
+        engine.spawn(Box::new(TxThreadLogic::with_config(source, cfg.thread_cfg)));
     }
     let (sim, mut world) = engine.run_into();
     TmRunReport {
@@ -173,11 +170,7 @@ mod tests {
     #[should_panic(expected = "one source per thread")]
     fn source_count_mismatch_panics() {
         let cfg = TmRunConfig::new(1, 2);
-        let _ = run_workload(
-            &cfg,
-            vec![ScriptSource::new(Vec::new())],
-            Box::new(NullCm),
-        );
+        let _ = run_workload(&cfg, vec![ScriptSource::new(Vec::new())], Box::new(NullCm));
     }
 
     #[test]
@@ -190,11 +183,7 @@ mod tests {
     #[test]
     fn empty_run_has_zero_throughput() {
         let cfg = TmRunConfig::new(1, 1);
-        let report = run_workload(
-            &cfg,
-            vec![ScriptSource::new(Vec::new())],
-            Box::new(NullCm),
-        );
+        let report = run_workload(&cfg, vec![ScriptSource::new(Vec::new())], Box::new(NullCm));
         assert_eq!(report.commits_per_mcycle(), 0.0);
     }
 }

@@ -195,8 +195,7 @@ impl History {
         let index_to_attempt: HashMap<usize, AttemptId> =
             committed.iter().map(|(a, i)| (*i, *a)).collect();
         if order.len() == n {
-            let mut witness: Vec<AttemptId> =
-                order.iter().map(|i| index_to_attempt[i]).collect();
+            let mut witness: Vec<AttemptId> = order.iter().map(|i| index_to_attempt[i]).collect();
             witness.sort(); // canonical presentation
             SerializabilityResult::Serializable(witness)
         } else {

@@ -52,8 +52,8 @@ mod thread;
 pub mod txn;
 
 pub use cm::{
-    AbortPlan, BeginDecision, BeginOutcome, BeginQuery, CommitOutcome, CommitRecord,
-    ConflictEvent, ContentionManager, NullCm,
+    AbortPlan, BeginDecision, BeginOutcome, BeginQuery, CommitOutcome, CommitRecord, ConflictEvent,
+    ContentionManager, NullCm,
 };
 pub use harness::{run_workload, TmRunConfig, TmRunReport};
 pub use history::{AttemptId, History, HistoryEvent, SerializabilityResult};

@@ -404,9 +404,7 @@ mod tests {
         assert_eq!(tm.write(ThreadId(0), LineAddr(7)), AccessResult::Granted);
         assert_eq!(
             tm.write(ThreadId(1), LineAddr(7)),
-            AccessResult::Conflict {
-                owner: ThreadId(0)
-            }
+            AccessResult::Conflict { owner: ThreadId(0) }
         );
     }
 
@@ -418,9 +416,7 @@ mod tests {
         assert_eq!(tm.write(ThreadId(0), LineAddr(7)), AccessResult::Granted);
         assert_eq!(
             tm.read(ThreadId(1), LineAddr(7)),
-            AccessResult::Conflict {
-                owner: ThreadId(0)
-            }
+            AccessResult::Conflict { owner: ThreadId(0) }
         );
     }
 
@@ -432,9 +428,7 @@ mod tests {
         assert_eq!(tm.read(ThreadId(0), LineAddr(7)), AccessResult::Granted);
         assert_eq!(
             tm.write(ThreadId(1), LineAddr(7)),
-            AccessResult::Conflict {
-                owner: ThreadId(0)
-            }
+            AccessResult::Conflict { owner: ThreadId(0) }
         );
     }
 

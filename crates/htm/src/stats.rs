@@ -2,7 +2,7 @@
 //! measured per-transaction similarity (the paper's Tables 1 and 4).
 
 use crate::ids::{DTxId, LineAddr, STxId};
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// Measured statistics of one simulation run.
 ///
@@ -17,7 +17,9 @@ pub struct TmStats {
     stalls: u64,
     per_stx: BTreeMap<STxId, StxCounters>,
     conflict_edges: BTreeSet<(STxId, STxId)>,
-    similarity: HashMap<DTxId, SimTracker>,
+    // BTreeMap, not HashMap: `measured_similarity` sums floats in
+    // iteration order, so the order must not vary between map instances.
+    similarity: BTreeMap<DTxId, SimTracker>,
 }
 
 #[derive(Debug, Clone, Copy, Default)]

@@ -174,8 +174,7 @@ impl<S: TxSource> TxThreadLogic<S> {
                     BeginDecision::Proceed => self.phase = Phase::DoBegin,
                     BeginDecision::SpinUntilDone { target }
                     | BeginDecision::YieldUntilDone { target } => {
-                        let yielding =
-                            matches!(out.decision, BeginDecision::YieldUntilDone { .. });
+                        let yielding = matches!(out.decision, BeginDecision::YieldUntilDone { .. });
                         if !world.tm.is_active(target) {
                             // The predicted conflictor already finished.
                             self.waits += 1;
@@ -208,9 +207,7 @@ impl<S: TxSource> TxThreadLogic<S> {
             Phase::DoBegin => {
                 let dtx = self.cur_dtx(ctx);
                 let ts = self.timestamp.expect("timestamp set at begin query");
-                world
-                    .tm
-                    .begin_tx(ctx.thread, ctx.cpu.index(), dtx, ts);
+                world.tm.begin_tx(ctx.thread, ctx.cpu.index(), dtx, ts);
                 self.tx_work = 0;
                 self.phase = Phase::InTx { next: 0 };
                 Some(Action::work(ctx.costs().tx_begin, Bucket::Tx))
@@ -323,8 +320,8 @@ impl<S: TxSource> TxThreadLogic<S> {
                             // deterministic retry loops cannot
                             // phase-lock into a livelock (LogTM
                             // randomises its retry for the same reason).
-                            let poll = self.cfg.conflict_poll
-                                + ctx.rng.jitter(self.cfg.conflict_poll);
+                            let poll =
+                                self.cfg.conflict_poll + ctx.rng.jitter(self.cfg.conflict_poll);
                             Some(Action::work(poll, Bucket::Abort))
                         }
                     }
@@ -338,14 +335,15 @@ impl<S: TxSource> TxThreadLogic<S> {
             Phase::AbortRollback => {
                 world.tm.clear_waiting(ctx.thread);
                 let (_dtx, undo_lines) = world.tm.abort_tx(ctx.thread);
-                ctx.buckets.transfer(Bucket::Tx, Bucket::Abort, self.tx_work);
+                ctx.buckets
+                    .transfer(Bucket::Tx, Bucket::Abort, self.tx_work);
                 ctx.buckets
                     .transfer(Bucket::Tx, Bucket::Abort, ctx.costs().tx_begin);
                 self.tx_work = 0;
                 let enemy = self.commit_dtx.take().expect("abort without enemy");
                 self.phase = Phase::AbortCm { enemy };
-                let rollback = ctx.costs().abort_trap
-                    + ctx.costs().abort_per_line * undo_lines as u64;
+                let rollback =
+                    ctx.costs().abort_trap + ctx.costs().abort_per_line * undo_lines as u64;
                 Some(Action::work(rollback, Bucket::Abort))
             }
             Phase::AbortCm { enemy } => {
@@ -357,9 +355,7 @@ impl<S: TxSource> TxThreadLogic<S> {
                     retries: self.retries,
                 };
                 let costs = ctx.costs().clone();
-                let plan = world
-                    .cm
-                    .on_conflict_abort(&ev, &world.tm, &costs, ctx.rng);
+                let plan = world.cm.on_conflict_abort(&ev, &world.tm, &costs, ctx.rng);
                 self.retries += 1;
                 self.phase = Phase::Backoff { left: plan.backoff };
                 if plan.cost > 0 {
@@ -428,9 +424,7 @@ impl<S: TxSource> ThreadLogic<TmWorld> for TxThreadLogic<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cm::{
-        AbortPlan, BeginOutcome, CommitOutcome, ContentionManager, NullCm,
-    };
+    use crate::cm::{AbortPlan, BeginOutcome, CommitOutcome, ContentionManager, NullCm};
     use crate::ids::STxId;
     use crate::state::TmState;
     use crate::txn::{Access, ScriptSource};
@@ -508,16 +502,8 @@ mod tests {
     fn symmetric_deadlock_aborts_one() {
         // Thread A writes 0 then 1; thread B writes 1 then 0. If they
         // interleave they deadlock; cycle detection must abort one.
-        let a = TxInstance::new(
-            STxId(0),
-            vec![Access::write(0), Access::write(1)],
-            0,
-        );
-        let b = TxInstance::new(
-            STxId(1),
-            vec![Access::write(1), Access::write(0)],
-            0,
-        );
+        let a = TxInstance::new(STxId(0), vec![Access::write(0), Access::write(1)], 0);
+        let b = TxInstance::new(STxId(1), vec![Access::write(1), Access::write(0)], 0);
         let cfg = TmRunConfig::new(2, 2).seed(3).costs(quiet_costs());
         let report = run_workload(
             &cfg,
@@ -531,16 +517,8 @@ mod tests {
     fn aborted_work_moves_to_abort_bucket() {
         // Force an abort via deadlock; wasted tx cycles must land in the
         // Abort bucket, not Tx.
-        let a = TxInstance::new(
-            STxId(0),
-            vec![Access::write(0), Access::write(1)],
-            0,
-        );
-        let b = TxInstance::new(
-            STxId(1),
-            vec![Access::write(1), Access::write(0)],
-            0,
-        );
+        let a = TxInstance::new(STxId(0), vec![Access::write(0), Access::write(1)], 0);
+        let b = TxInstance::new(STxId(1), vec![Access::write(1), Access::write(0)], 0);
         let cfg = TmRunConfig::new(2, 2).seed(3).costs(quiet_costs());
         let report = run_workload(
             &cfg,
@@ -623,11 +601,7 @@ mod tests {
             ScriptSource::new(vec![one_tx(0, 0..30, 0)]),
             ScriptSource::new(vec![one_tx(1, 0..30, 0)]),
         ];
-        let report = run_workload(
-            &cfg,
-            scripts,
-            Box::new(AlwaysWait { yielding: false }),
-        );
+        let report = run_workload(&cfg, scripts, Box::new(AlwaysWait { yielding: false }));
         assert_eq!(report.stats.commits(), 2);
         // Scheduling bucket saw the decision costs and spin slices.
         assert!(report.sim.total().get(Bucket::Scheduling) > 0);
@@ -640,11 +614,7 @@ mod tests {
             ScriptSource::new(vec![one_tx(0, 0..30, 0)]),
             ScriptSource::new(vec![one_tx(1, 0..30, 0)]),
         ];
-        let report = run_workload(
-            &cfg,
-            scripts,
-            Box::new(AlwaysWait { yielding: true }),
-        );
+        let report = run_workload(&cfg, scripts, Box::new(AlwaysWait { yielding: true }));
         assert_eq!(report.stats.commits(), 2);
     }
 
@@ -787,11 +757,7 @@ mod tests {
     #[test]
     fn empty_source_finishes_immediately() {
         let cfg = TmRunConfig::new(1, 1).seed(5).costs(quiet_costs());
-        let report = run_workload(
-            &cfg,
-            vec![ScriptSource::new(Vec::new())],
-            Box::new(NullCm),
-        );
+        let report = run_workload(&cfg, vec![ScriptSource::new(Vec::new())], Box::new(NullCm));
         assert_eq!(report.stats.commits(), 0);
         assert_eq!(report.sim.makespan, Cycle::ZERO);
         let _ = TimeBuckets::default(); // keep import used

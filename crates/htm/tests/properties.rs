@@ -1,12 +1,11 @@
 //! Property tests of the TM machine: random transactional workloads must
 //! always complete, conserve transactions, and leave no residual
-//! isolation state.
+//! isolation state. Driven by the deterministic case generator in
+//! `bfgts-testkit`.
 
-use bfgts_htm::{
-    run_workload, Access, NullCm, ScriptSource, STxId, TmRunConfig, TxInstance,
-};
+use bfgts_htm::{run_workload, Access, NullCm, STxId, ScriptSource, TmRunConfig, TxInstance};
 use bfgts_sim::CostModel;
-use proptest::prelude::*;
+use bfgts_testkit::{run_cases, Gen};
 
 #[derive(Debug, Clone)]
 struct TxPlan {
@@ -16,17 +15,22 @@ struct TxPlan {
     pre_work: u16,
 }
 
-fn tx_plan() -> impl Strategy<Value = TxPlan> {
-    (
-        0u8..4,
-        proptest::collection::vec((any::<u8>(), any::<bool>()), 1..12),
-        any::<u16>(),
-    )
-        .prop_map(|(stx, accesses, pre_work)| TxPlan {
-            stx,
-            accesses,
-            pre_work,
-        })
+fn tx_plan(g: &mut Gen) -> TxPlan {
+    TxPlan {
+        stx: g.u8() % 4,
+        accesses: g.vec_with(1, 12, |g| (g.u8(), g.bool())),
+        pre_work: g.u16(),
+    }
+}
+
+fn plan_matrix(
+    g: &mut Gen,
+    per_thread: (usize, usize),
+    threads: (usize, usize),
+) -> Vec<Vec<TxPlan>> {
+    g.vec_with(threads.0, threads.1, |g| {
+        g.vec_with(per_thread.0, per_thread.1, tx_plan)
+    })
 }
 
 fn build_scripts(plans: &[Vec<TxPlan>]) -> Vec<ScriptSource> {
@@ -55,34 +59,30 @@ fn build_scripts(plans: &[Vec<TxPlan>]) -> Vec<ScriptSource> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Any mix of conflicting transactions over a tiny line space (so
-    /// conflicts and deadlock-avoidance aborts are common) completes,
-    /// with every scripted transaction committing exactly once.
-    #[test]
-    fn adversarial_workloads_always_complete(
-        plans in proptest::collection::vec(
-            proptest::collection::vec(tx_plan(), 0..6), 1..8),
-        cpus in 1usize..5,
-        seed in any::<u64>(),
-    ) {
+/// Any mix of conflicting transactions over a tiny line space (so
+/// conflicts and deadlock-avoidance aborts are common) completes, with
+/// every scripted transaction committing exactly once.
+#[test]
+fn adversarial_workloads_always_complete() {
+    run_cases("adversarial_workloads_always_complete", 48, |g| {
+        let plans = plan_matrix(g, (0, 6), (1, 8));
+        let cpus = g.usize_in(1, 5);
+        let seed = g.u64();
         let total: u64 = plans.iter().map(|s| s.len() as u64).sum();
         let mut cfg = TmRunConfig::new(cpus, plans.len()).seed(seed);
         cfg.max_cycles = 2_000_000_000;
         let report = run_workload(&cfg, build_scripts(&plans), Box::new(NullCm));
-        prop_assert_eq!(report.stats.commits(), total);
-    }
+        assert_eq!(report.stats.commits(), total);
+    });
+}
 
-    /// With zeroed OS costs (the degenerate configuration that once
-    /// live-locked), completion still holds.
-    #[test]
-    fn zero_cost_configs_do_not_livelock(
-        plans in proptest::collection::vec(
-            proptest::collection::vec(tx_plan(), 0..4), 2..6),
-        seed in any::<u64>(),
-    ) {
+/// With zeroed OS costs (the degenerate configuration that once
+/// live-locked), completion still holds.
+#[test]
+fn zero_cost_configs_do_not_livelock() {
+    run_cases("zero_cost_configs_do_not_livelock", 48, |g| {
+        let plans = plan_matrix(g, (0, 4), (2, 6));
+        let seed = g.u64();
         let total: u64 = plans.iter().map(|s| s.len() as u64).sum();
         let costs = CostModel {
             context_switch: 0,
@@ -98,39 +98,43 @@ proptest! {
         let mut cfg = TmRunConfig::new(2, plans.len()).seed(seed).costs(costs);
         cfg.max_cycles = 2_000_000_000;
         let report = run_workload(&cfg, build_scripts(&plans), Box::new(NullCm));
-        prop_assert_eq!(report.stats.commits(), total);
-    }
+        assert_eq!(report.stats.commits(), total);
+    });
+}
 
-    /// Contention statistics are internally consistent: attempts =
-    /// commits + aborts, and the contention rate matches.
-    #[test]
-    fn contention_rate_is_consistent(
-        plans in proptest::collection::vec(
-            proptest::collection::vec(tx_plan(), 1..5), 2..6),
-        seed in any::<u64>(),
-    ) {
+/// Contention statistics are internally consistent: attempts = commits +
+/// aborts, and the contention rate matches.
+#[test]
+fn contention_rate_is_consistent() {
+    run_cases("contention_rate_is_consistent", 48, |g| {
+        let plans = plan_matrix(g, (1, 5), (2, 6));
+        let seed = g.u64();
         let cfg = TmRunConfig::new(4, plans.len()).seed(seed);
         let report = run_workload(&cfg, build_scripts(&plans), Box::new(NullCm));
         let (c, a) = (report.stats.commits(), report.stats.aborts());
-        let expected = if c + a == 0 { 0.0 } else { a as f64 / (c + a) as f64 };
-        prop_assert!((report.stats.contention_rate() - expected).abs() < 1e-12);
-    }
+        let expected = if c + a == 0 {
+            0.0
+        } else {
+            a as f64 / (c + a) as f64
+        };
+        assert!((report.stats.contention_rate() - expected).abs() < 1e-12);
+    });
+}
 
-    /// Determinism end-to-end under adversarial interleavings.
-    #[test]
-    fn identical_seeds_identical_outcomes(
-        plans in proptest::collection::vec(
-            proptest::collection::vec(tx_plan(), 0..4), 1..5),
-        seed in any::<u64>(),
-    ) {
+/// Determinism end-to-end under adversarial interleavings.
+#[test]
+fn identical_seeds_identical_outcomes() {
+    run_cases("identical_seeds_identical_outcomes", 48, |g| {
+        let plans = plan_matrix(g, (0, 4), (1, 5));
+        let seed = g.u64();
         let run = || {
             let cfg = TmRunConfig::new(3, plans.len()).seed(seed);
             run_workload(&cfg, build_scripts(&plans), Box::new(NullCm))
         };
         let a = run();
         let b = run();
-        prop_assert_eq!(a.sim.makespan, b.sim.makespan);
-        prop_assert_eq!(a.stats.aborts(), b.stats.aborts());
-        prop_assert_eq!(a.stats.stalls(), b.stats.stalls());
-    }
+        assert_eq!(a.sim.makespan, b.sim.makespan);
+        assert_eq!(a.stats.aborts(), b.stats.aborts());
+        assert_eq!(a.stats.stalls(), b.stats.stalls());
+    });
 }

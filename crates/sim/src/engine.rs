@@ -283,7 +283,10 @@ impl<W> Engine<W> {
                 .filter(|(_, t)| t.state != ThreadState::Finished)
                 .map(|(i, t)| format!("{}:{:?}", ThreadId(i), t.state))
                 .collect();
-            panic!("simulated deadlock at {}: stuck threads {stuck:?}", self.now);
+            panic!(
+                "simulated deadlock at {}: stuck threads {stuck:?}",
+                self.now
+            );
         }
         let report = RunReport {
             makespan: self
@@ -325,13 +328,17 @@ impl<W> Engine<W> {
             slot.ran_since_switch = 0;
             self.threads[next.index()].state = ThreadState::Running;
             if switch > 0 {
-                self.threads[next.index()].buckets.charge(Bucket::Kernel, switch);
+                self.threads[next.index()]
+                    .buckets
+                    .charge(Bucket::Kernel, switch);
             }
             self.arm(cpu, self.now + Cycle::new(switch));
             return;
         }
 
-        let tid = self.cpus[cpu.index()].current.expect("current checked above");
+        let tid = self.cpus[cpu.index()]
+            .current
+            .expect("current checked above");
 
         // Quantum preemption: only if someone else is waiting.
         {
@@ -366,7 +373,9 @@ impl<W> Engine<W> {
             self.wake_internal(target);
         }
         if extra > 0 {
-            self.threads[tid.index()].buckets.charge(Bucket::Kernel, extra);
+            self.threads[tid.index()]
+                .buckets
+                .charge(Bucket::Kernel, extra);
         }
 
         match action {

@@ -1,11 +1,10 @@
 //! Property tests of the discrete-event engine: arbitrary well-formed
 //! thread programs must complete, conserve accounting, and respect the
-//! parallelism bound.
+//! parallelism bound. Driven by the deterministic case generator in
+//! `bfgts-testkit`.
 
-use bfgts_sim::{
-    Action, Bucket, CostModel, Cycle, Engine, EngineConfig, ThreadCtx, ThreadLogic,
-};
-use proptest::prelude::*;
+use bfgts_sim::{Action, Bucket, CostModel, Engine, EngineConfig, ThreadCtx, ThreadLogic};
+use bfgts_testkit::{run_cases, Gen};
 
 /// A scripted thread: a list of pre-baked actions, then Finish.
 struct Scripted {
@@ -32,27 +31,28 @@ impl ThreadLogic<()> for Scripted {
     }
 }
 
-fn script_strategy() -> impl Strategy<Value = Vec<ScriptAction>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u16..500).prop_map(ScriptAction::Work),
-            Just(ScriptAction::Yield),
-        ],
-        0..30,
-    )
+fn script(g: &mut Gen) -> Vec<ScriptAction> {
+    g.vec_with(0, 30, |g| {
+        if g.bool() {
+            ScriptAction::Work(g.u16() % 500)
+        } else {
+            ScriptAction::Yield
+        }
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn scripts(g: &mut Gen, min: usize, max: usize) -> Vec<Vec<ScriptAction>> {
+    g.vec_with(min, max, script)
+}
 
-    /// Every mix of scripted threads over any machine shape completes,
-    /// and the sum of charged work cycles equals the scripted total.
-    #[test]
-    fn programs_complete_and_conserve_work(
-        scripts in proptest::collection::vec(script_strategy(), 1..12),
-        cpus in 1usize..5,
-        seed in any::<u64>(),
-    ) {
+/// Every mix of scripted threads over any machine shape completes, and
+/// the sum of charged work cycles equals the scripted total.
+#[test]
+fn programs_complete_and_conserve_work() {
+    run_cases("programs_complete_and_conserve_work", 64, |g| {
+        let scripts = scripts(g, 1, 12);
+        let cpus = g.usize_in(1, 5);
+        let seed = g.u64();
         let scripted_work: u64 = scripts
             .iter()
             .flatten()
@@ -72,17 +72,18 @@ proptest! {
             engine.spawn(Box::new(Scripted { actions, next: 0 }));
         }
         let report = engine.run();
-        prop_assert_eq!(report.per_thread.len(), n);
-        prop_assert_eq!(report.total().get(Bucket::NonTx), scripted_work);
-    }
+        assert_eq!(report.per_thread.len(), n);
+        assert_eq!(report.total().get(Bucket::NonTx), scripted_work);
+    });
+}
 
-    /// The makespan is bounded below by total-work / num-cpus and above
-    /// by total busy time (work + kernel costs).
-    #[test]
-    fn makespan_respects_parallelism_bounds(
-        scripts in proptest::collection::vec(script_strategy(), 1..10),
-        cpus in 1usize..4,
-    ) {
+/// The makespan is bounded below by total-work / num-cpus and above by
+/// total busy time (work + kernel costs).
+#[test]
+fn makespan_respects_parallelism_bounds() {
+    run_cases("makespan_respects_parallelism_bounds", 64, |g| {
+        let scripts = scripts(g, 1, 10);
+        let cpus = g.usize_in(1, 4);
         let cfg = EngineConfig::with_cpus(cpus).costs(CostModel {
             context_switch: 13,
             yield_syscall: 5,
@@ -99,18 +100,21 @@ proptest! {
         // one cycle of forced progress per zero-length action (bounded
         // by the action count, itself bounded by busy + 30*threads).
         let slack = 30 * report.per_thread.len() as u64 + 1;
-        prop_assert!(span <= busy + slack, "span {span} > busy {busy} + slack");
+        assert!(span <= busy + slack, "span {span} > busy {busy} + slack");
         // Lower bound: work cannot be compressed below perfect speedup.
-        prop_assert!(span.saturating_mul(cpus as u64) + slack >= busy,
-            "span {span} * {cpus} < busy {busy}");
-    }
+        assert!(
+            span.saturating_mul(cpus as u64) + slack >= busy,
+            "span {span} * {cpus} < busy {busy}"
+        );
+    });
+}
 
-    /// Identical configurations give identical reports.
-    #[test]
-    fn engine_is_deterministic(
-        scripts in proptest::collection::vec(script_strategy(), 1..8),
-        seed in any::<u64>(),
-    ) {
+/// Identical configurations give identical reports.
+#[test]
+fn engine_is_deterministic() {
+    run_cases("engine_is_deterministic", 48, |g| {
+        let scripts = scripts(g, 1, 8);
+        let seed = g.u64();
         let run = || {
             let cfg = EngineConfig::with_cpus(2).seed(seed);
             let mut engine = Engine::new(cfg, ());
@@ -121,18 +125,20 @@ proptest! {
         };
         let a = run();
         let b = run();
-        prop_assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.makespan, b.makespan);
         for (x, y) in a.per_thread.iter().zip(&b.per_thread) {
-            prop_assert_eq!(x, y);
+            assert_eq!(x, y);
         }
-    }
+    });
+}
 
-    /// Blocked threads woken by a peer always resume: a token-passing
-    /// chain through every thread terminates. (Wakes of not-yet-blocked
-    /// threads are lost, as with futexes, so each thread re-checks the
-    /// token in the shared world — the standard condition protocol.)
-    #[test]
-    fn wake_chains_terminate(n in 2usize..10, cpus in 1usize..4) {
+/// Blocked threads woken by a peer always resume: a token-passing chain
+/// through every thread terminates. (Wakes of not-yet-blocked threads are
+/// lost, as with futexes, so each thread re-checks the token in the
+/// shared world — the standard condition protocol.)
+#[test]
+fn wake_chains_terminate() {
+    run_cases("wake_chains_terminate", 48, |g| {
         use bfgts_sim::ThreadId;
 
         /// Thread i waits for its token, then passes to thread i+1.
@@ -158,6 +164,8 @@ proptest! {
                 Action::work(10, Bucket::NonTx)
             }
         }
+        let n = g.usize_in(2, 10);
+        let cpus = g.usize_in(1, 4);
         let cfg = EngineConfig::with_cpus(cpus);
         let mut tokens = vec![false; n];
         tokens[0] = true; // thread 0 starts with its token
@@ -166,6 +174,6 @@ proptest! {
             engine.spawn(Box::new(Chain { me, n, done: false }));
         }
         let report = engine.run();
-        prop_assert_eq!(report.total().get(Bucket::NonTx), 10 * n as u64);
-    }
+        assert_eq!(report.total().get(Bucket::NonTx), 10 * n as u64);
+    });
 }

@@ -96,9 +96,7 @@ impl TxClass {
         let repeating_shared = match self.shared_pool {
             // Picks from a pool no larger than ~4x the pick count mostly
             // repeat between consecutive executions.
-            Some(pool) if pool.lines <= 4 * self.shared_picks as u64 => {
-                self.shared_picks as f64
-            }
+            Some(pool) if pool.lines <= 4 * self.shared_picks as u64 => self.shared_picks as f64,
             _ => 0.0,
         };
         (self.private_hot as f64 + repeating_shared) / self.size() as f64
@@ -111,7 +109,11 @@ impl TxClass {
     /// Panics if the class draws from a shared pool it does not define,
     /// or performs no accesses.
     pub fn validate(&self) {
-        assert!(self.size() > 0, "class sTx{} performs no accesses", self.stx);
+        assert!(
+            self.size() > 0,
+            "class sTx{} performs no accesses",
+            self.stx
+        );
         assert!(
             self.shared_picks == 0 || self.shared_pool.is_some(),
             "class sTx{} draws from a missing shared pool",
@@ -121,7 +123,10 @@ impl TxClass {
             (0.0..=1.0).contains(&self.write_frac),
             "write_frac out of range"
         );
-        assert!(self.pre_work.0 <= self.pre_work.1, "pre_work range inverted");
+        assert!(
+            self.pre_work.0 <= self.pre_work.1,
+            "pre_work range inverted"
+        );
     }
 }
 

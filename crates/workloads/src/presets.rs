@@ -477,7 +477,8 @@ pub fn all() -> Vec<BenchmarkSpec> {
 
 /// Looks a benchmark up by (case-insensitive) name.
 pub fn by_name(name: &str) -> Option<BenchmarkSpec> {
-    all().into_iter()
+    all()
+        .into_iter()
         .find(|s| s.name.eq_ignore_ascii_case(name))
 }
 
@@ -505,7 +506,10 @@ mod tests {
     fn lookup_by_name() {
         assert_eq!(by_name("kmeans").unwrap().name, "Kmeans");
         assert_eq!(by_name("KMEANS").unwrap().name, "Kmeans");
-        assert!(by_name("bayes").is_none(), "Bayes is omitted as in the paper");
+        assert!(
+            by_name("bayes").is_none(),
+            "Bayes is omitted as in the paper"
+        );
     }
 
     #[test]
@@ -534,19 +538,11 @@ mod tests {
     #[test]
     fn shared_pools_disjoint_within_benchmark() {
         for spec in all() {
-            let pools: Vec<_> = spec
-                .classes
-                .iter()
-                .filter_map(|c| c.shared_pool)
-                .collect();
+            let pools: Vec<_> = spec.classes.iter().filter_map(|c| c.shared_pool).collect();
             for (i, a) in pools.iter().enumerate() {
                 for b in &pools[i + 1..] {
                     if a.base != b.base {
-                        assert!(
-                            !a.overlaps(b),
-                            "{}: distinct pools overlap",
-                            spec.name
-                        );
+                        assert!(!a.overlaps(b), "{}: distinct pools overlap", spec.name);
                     }
                 }
             }

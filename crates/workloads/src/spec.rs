@@ -67,7 +67,7 @@ impl BenchmarkSpec {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+
     use crate::presets;
     use bfgts_htm::TxSource;
     use bfgts_sim::SimRng;

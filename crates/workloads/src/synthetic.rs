@@ -131,26 +131,17 @@ impl SyntheticBuilder {
                 Contention::Low => (
                     0,
                     None,
-                    RandomRegion::Shared(Region::new(
-                        0x1_0000 + (stx as u64) * 0x10_0000,
-                        50_000,
-                    )),
+                    RandomRegion::Shared(Region::new(0x1_0000 + (stx as u64) * 0x10_0000, 50_000)),
                 ),
                 Contention::Medium => (
                     cold.min(2),
                     Some(Region::new(0x1000 + (stx as u64) * 0x100, 32)),
-                    RandomRegion::Shared(Region::new(
-                        0x1_0000 + (stx as u64) * 0x10_0000,
-                        20_000,
-                    )),
+                    RandomRegion::Shared(Region::new(0x1_0000 + (stx as u64) * 0x10_0000, 20_000)),
                 ),
                 Contention::High => (
                     cold.min(3),
                     Some(Region::new(0x1000 + (stx as u64) * 0x100, 6)),
-                    RandomRegion::Shared(Region::new(
-                        0x1_0000 + (stx as u64) * 0x10_0000,
-                        5_000,
-                    )),
+                    RandomRegion::Shared(Region::new(0x1_0000 + (stx as u64) * 0x10_0000, 5_000)),
                 ),
             };
             let random_picks = cold - shared_picks;

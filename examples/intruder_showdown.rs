@@ -32,14 +32,10 @@ fn main() {
 
     // Serial reference: same work, one thread, one CPU.
     let serial_cfg = TmRunConfig::new(1, 1).seed(seed);
-    let serial = run_workload(
-        &serial_cfg,
-        spec.sources(1),
-        Box::new(BackoffCm::default()),
-    )
-    .sim
-    .makespan
-    .as_u64();
+    let serial = run_workload(&serial_cfg, spec.sources(1), Box::new(BackoffCm::default()))
+        .sim
+        .makespan
+        .as_u64();
     println!("serial makespan: {serial} cycles\n");
 
     println!(

@@ -27,7 +27,7 @@ impl TxSource for TwoPhase {
             return None;
         }
         self.remaining -= 1;
-        if self.remaining % 2 == 0 {
+        if self.remaining.is_multiple_of(2) {
             // sTx0: read-modify-write a shared 4-line counter block.
             Some(TxInstance::writer_over(STxId(0), 0..4, 200))
         } else {
@@ -63,10 +63,7 @@ fn main() {
     println!("commits:    {}", report.stats.commits());
     println!("aborts:     {}", report.stats.aborts());
     println!("stalls:     {}", report.stats.stalls());
-    println!(
-        "contention: {:.1}%",
-        report.stats.contention_rate() * 100.0
-    );
+    println!("contention: {:.1}%", report.stats.contention_rate() * 100.0);
     println!("makespan:   {} cycles", report.sim.makespan.as_u64());
     for stx in report.stats.stx_ids() {
         let (commits, aborts) = report.stats.stx_counts(stx);

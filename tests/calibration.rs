@@ -93,7 +93,11 @@ fn contention_ordering_matches_table4() {
     let vacation = rate("Vacation");
     let ssca2 = rate("Ssca2");
 
-    for (name, high) in [("Delaunay", delaunay), ("Intruder", intruder), ("Genome", genome)] {
+    for (name, high) in [
+        ("Delaunay", delaunay),
+        ("Intruder", intruder),
+        ("Genome", genome),
+    ] {
         assert!(
             high > 0.25,
             "{name} should be high-contention, measured {high:.3}"
@@ -105,7 +109,10 @@ fn contention_ordering_matches_table4() {
             "{name} ({med:.3}) must be below the high-contention group"
         );
     }
-    assert!(ssca2 < 0.03, "Ssca2 is nearly contention-free, got {ssca2:.3}");
+    assert!(
+        ssca2 < 0.03,
+        "Ssca2 is nearly contention-free, got {ssca2:.3}"
+    );
 }
 
 #[test]

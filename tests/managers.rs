@@ -7,6 +7,8 @@ use bfgts_core::{BfgtsCm, BfgtsConfig};
 use bfgts_htm::{run_workload, ContentionManager, TmRunConfig, TmRunReport};
 use bfgts_workloads::{presets, BenchmarkSpec};
 
+type CmFactory = fn() -> Box<dyn ContentionManager>;
+
 fn roster() -> Vec<Box<dyn ContentionManager>> {
     vec![
         Box::new(BackoffCm::default()),
@@ -168,7 +170,7 @@ fn hybrid_skips_overhead_on_low_contention_ssca2() {
 #[test]
 fn all_managers_deterministic() {
     let spec = presets::kmeans().scaled(0.05);
-    let factories: Vec<(&str, fn() -> Box<dyn ContentionManager>)> = vec![
+    let factories: Vec<(&str, CmFactory)> = vec![
         ("backoff", || Box::new(BackoffCm::default())),
         ("pts", || Box::new(PtsCm::default())),
         ("ats", || Box::new(AtsCm::default())),

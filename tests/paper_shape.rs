@@ -12,7 +12,9 @@ const SCALE: f64 = 0.5;
 const SEED: u64 = 0xB16_B00B5;
 
 fn speedup_of(bench: &str, cm: Box<dyn ContentionManager>) -> f64 {
-    let spec = presets::by_name(bench).expect("preset exists").scaled(SCALE);
+    let spec = presets::by_name(bench)
+        .expect("preset exists")
+        .scaled(SCALE);
     let serial = {
         let cfg = TmRunConfig::new(1, 1).seed(SEED);
         run_workload(&cfg, spec.sources(1), Box::new(BackoffCm::default()))
@@ -105,7 +107,10 @@ fn hw_acceleration_beats_software_scan() {
             wins += 1;
         }
     }
-    assert!(wins >= 4, "BFGTS-HW should beat BFGTS-SW almost everywhere, won {wins}/5");
+    assert!(
+        wins >= 4,
+        "BFGTS-HW should beat BFGTS-SW almost everywhere, won {wins}/5"
+    );
 }
 
 #[test]
@@ -121,8 +126,8 @@ fn ats_throttling_cuts_contention_hardest_on_delaunay() {
             .stats
             .contention_rate()
     };
-    let backoff = contention(Box::new(BackoffCm::default()));
-    let ats = contention(Box::new(AtsCm::default()));
+    let backoff = contention(Box::<BackoffCm>::default());
+    let ats = contention(Box::<AtsCm>::default());
     let _ = PtsCm::default(); // keep import used
     assert!(
         ats < backoff * 0.7,
@@ -136,10 +141,7 @@ fn no_overhead_is_the_best_bfgts_variant_on_average() {
     let mut ideal_total = 0.0;
     let mut hw_total = 0.0;
     for bench in benches {
-        ideal_total += speedup_of(
-            bench,
-            Box::new(BfgtsCm::new(BfgtsConfig::no_overhead())),
-        );
+        ideal_total += speedup_of(bench, Box::new(BfgtsCm::new(BfgtsConfig::no_overhead())));
         hw_total += speedup_of(bench, hw(512));
     }
     assert!(

@@ -14,7 +14,10 @@ fn check(bench: &str, cm: Box<dyn ContentionManager>) {
     cfg.record_history = true;
     let report = run_workload(&cfg, spec.sources(32), cm);
     let history = report.history.expect("history was recorded");
-    assert!(!history.is_empty(), "{bench}/{name}: history must have events");
+    assert!(
+        !history.is_empty(),
+        "{bench}/{name}: history must have events"
+    );
     let result = history.check_serializable();
     assert!(
         result.is_serializable(),
