@@ -150,7 +150,7 @@ mod tests {
                     .backoff
             })
             .collect();
-        let distinct: std::collections::HashSet<_> = draws.iter().collect();
+        let distinct: std::collections::BTreeSet<_> = draws.iter().collect();
         assert!(distinct.len() > 10, "backoff should be randomised");
     }
 }

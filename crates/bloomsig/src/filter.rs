@@ -498,6 +498,7 @@ mod tests {
 
     #[test]
     fn eq_and_hash_use_active_slice() {
+        // detlint: allow(D001,D004) -- test asserts Hash-impl consistency within one process; no ordering or cross-run value is derived
         use std::collections::hash_map::DefaultHasher;
         use std::hash::{Hash, Hasher};
         let mut a = BloomFilter::new(1024, 4);
@@ -508,7 +509,7 @@ mod tests {
         }
         assert_eq!(a, b);
         let hash = |f: &BloomFilter| {
-            let mut h = DefaultHasher::new();
+            let mut h = DefaultHasher::new(); // detlint: allow(D004) -- same-process hash comparison only
             f.hash(&mut h);
             h.finish()
         };

@@ -1,7 +1,7 @@
 //! Exact-set ("perfect") signatures.
 
 use crate::signature::Signature;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// An exact-set signature: stores the precise set of keys.
 ///
@@ -25,7 +25,9 @@ use std::collections::HashSet;
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PerfectSignature {
-    keys: HashSet<u64>,
+    // BTreeSet, not HashSet: `iter` escapes to callers, so the order
+    // must not depend on hash randomisation (determinism policy, D001).
+    keys: BTreeSet<u64>,
 }
 
 impl PerfectSignature {
@@ -54,7 +56,7 @@ impl PerfectSignature {
         small.iter().filter(|k| large.contains(k)).count()
     }
 
-    /// Iterates over the stored keys in arbitrary order.
+    /// Iterates over the stored keys in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
         self.keys.iter().copied()
     }

@@ -3,7 +3,7 @@
 
 use bfgts_bloomsig::{estimate, BloomFilter, EstimateParams, PerfectSignature, Signature};
 use bfgts_testkit::{run_cases, Gen};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 const CASES: u32 = 64;
 
@@ -15,9 +15,9 @@ fn filter_from(keys: &[u64], bits: u32) -> BloomFilter {
     f
 }
 
-fn key_set(g: &mut Gen, lo: u64, hi: u64, max_len: usize) -> HashSet<u64> {
+fn key_set(g: &mut Gen, lo: u64, hi: u64, max_len: usize) -> BTreeSet<u64> {
     let len = g.usize_in(0, max_len);
-    let mut set = HashSet::new();
+    let mut set = BTreeSet::new();
     while set.len() < len {
         set.insert(g.u64_in(lo, hi));
     }
@@ -129,7 +129,7 @@ fn prop_intersection_estimate_tracks_truth() {
     });
 }
 
-/// Perfect signatures agree exactly with HashSet semantics.
+/// Perfect signatures agree exactly with ordinary set semantics.
 #[test]
 fn prop_perfect_signature_is_exact() {
     run_cases("perfect_signature_is_exact", CASES, |g| {
@@ -137,8 +137,8 @@ fn prop_perfect_signature_is_exact() {
         let b = g.u64_vec(0, 100);
         let sa: PerfectSignature = a.iter().copied().collect();
         let sb: PerfectSignature = b.iter().copied().collect();
-        let ha: HashSet<u64> = a.iter().copied().collect();
-        let hb: HashSet<u64> = b.iter().copied().collect();
+        let ha: BTreeSet<u64> = a.iter().copied().collect();
+        let hb: BTreeSet<u64> = b.iter().copied().collect();
         assert_eq!(sa.estimate_len(), ha.len() as f64);
         assert_eq!(
             sa.intersection_estimate(&sb),

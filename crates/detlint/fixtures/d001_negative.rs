@@ -1,0 +1,12 @@
+// D001 negative: ordered collections are the house style.
+use std::collections::{BTreeMap, BTreeSet};
+
+fn count(xs: &[u64]) -> BTreeMap<u64, u64> {
+    let mut m = BTreeMap::new();
+    let mut seen = BTreeSet::new();
+    for &x in xs {
+        seen.insert(x);
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}

@@ -1,0 +1,11 @@
+// D001 positive: hash collections in a (default) critical fixture.
+use std::collections::HashMap;
+use std::collections::hash_map::Entry;
+
+fn count(xs: &[u64]) -> HashMap<u64, u64> {
+    let mut m = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}

@@ -1,0 +1,8 @@
+// detlint-fixture-class: tooling
+// D001 does not apply to tooling crates: their output never feeds
+// simulation state.
+use std::collections::HashMap;
+
+fn memoise() -> HashMap<String, u64> {
+    HashMap::new()
+}

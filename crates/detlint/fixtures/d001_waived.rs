@@ -1,0 +1,8 @@
+// D001 waived: membership-only set whose order never escapes.
+// detlint: allow(D001) -- membership queries only; iteration order never observed
+use std::collections::HashSet;
+
+fn dedup_len(xs: &[u64]) -> usize {
+    let set: HashSet<u64> = xs.iter().copied().collect(); // detlint: allow(D001) -- only len() is read
+    set.len()
+}

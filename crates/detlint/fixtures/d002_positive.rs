@@ -1,0 +1,11 @@
+// detlint-fixture-class: tooling
+// D002 positive: wall-clock reads are flagged even in tooling crates
+// (they may be waived there, but must be visible).
+use std::time::{Instant, SystemTime};
+
+fn stamp() -> u128 {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    let _ = wall;
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,9 @@
+// detlint-fixture-class: tooling
+// D002 waived: the canonical bench-harness pattern.
+use std::time::Instant;
+
+fn measure(mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now(); // detlint: allow(D002) -- bench harness measures wall time by design
+    f();
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,11 @@
+// D003 negative: accumulation over ordered containers is fine, and
+// hash iteration without accumulation is D001's business, not D003's.
+use std::collections::BTreeMap;
+
+fn total(m: &BTreeMap<u64, f64>) -> f64 {
+    let mut acc = 0.0;
+    for v in m.values() {
+        acc += v;
+    }
+    acc
+}

@@ -1,0 +1,15 @@
+// D003 positive: float accumulation fed by hash-ordered iteration.
+use std::collections::HashMap;
+
+fn total(m: &HashMap<u64, f64>) -> f64 {
+    let mut weights: HashMap<u64, f64> = HashMap::new();
+    weights.insert(1, 0.5);
+    let mut acc = 0.0;
+    for w in weights.values() {
+        acc += w;
+    }
+    let direct: f64 = weights.values().sum();
+    let folded = weights.values().fold(0.0, |a, b| a + b);
+    let _ = (m, direct, folded);
+    acc
+}

@@ -1,0 +1,11 @@
+// D004 positive: per-process hash randomisation and thread identity.
+use std::collections::hash_map::{DefaultHasher, RandomState};
+use std::thread;
+
+fn fingerprints() -> (u64, String) {
+    let h = DefaultHasher::new();
+    let s = RandomState::new();
+    let _ = (h, s);
+    let name = format!("{:?}", thread::current().id());
+    (0, name)
+}

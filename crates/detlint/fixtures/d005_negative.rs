@@ -1,0 +1,10 @@
+// D005 negative: immutable statics and argv parsing are fine even in
+// critical crates (argv is an explicit input, not ambient state).
+static DEFAULT_SEED: u64 = 0xB10_0F17;
+
+fn seed_from_args() -> u64 {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}

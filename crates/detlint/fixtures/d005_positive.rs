@@ -1,0 +1,9 @@
+// D005 positive: ambient mutable and environmental state.
+static mut COUNTER: u64 = 0;
+
+fn seed_from_env() -> u64 {
+    match std::env::var("BFGTS_SEED") {
+        Ok(s) => s.parse().unwrap_or(0),
+        Err(_) => 0,
+    }
+}

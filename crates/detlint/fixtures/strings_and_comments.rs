@@ -1,0 +1,13 @@
+// Lexer discipline: rule words inside strings, doc comments and raw
+// strings must never fire. A grep-based lint fails this file.
+//
+// HashMap HashSet Instant::now SystemTime static mut env::var
+
+/// Mentions HashMap and `Instant::now()` in prose, which is fine.
+/// Docs may even show waiver syntax: `// detlint: allow(D001) -- example`.
+fn describe() -> String {
+    let a = "HashMap::new() and SystemTime::now()";
+    let b = r#"HashSet<u64> via RandomState"#;
+    let c = 'x';
+    format!("{a}{b}{c}")
+}

@@ -1,0 +1,8 @@
+// Waiver hygiene: a reason is mandatory, and codes must be real.
+// detlint: allow(D001)
+use std::collections::HashSet;
+
+// detlint: allow(D999) -- no such rule
+fn f() -> HashSet<u64> {
+    HashSet::new()
+}

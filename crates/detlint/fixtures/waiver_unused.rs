@@ -1,0 +1,5 @@
+// Waiver hygiene: waivers that match nothing must not rot in place.
+// detlint: allow(D002) -- left behind after a refactor
+fn f() -> u64 {
+    42
+}

@@ -1,0 +1,538 @@
+//! A lightweight Rust lexer: just enough token structure for the
+//! determinism rules, with none of `syn`'s weight (the build must work
+//! against an offline registry).
+//!
+//! The scanner understands the constructs that would otherwise produce
+//! false positives in a plain text search: line and (nested) block
+//! comments, cooked/raw/byte string literals, char literals vs.
+//! lifetimes, and raw identifiers. Everything else becomes a flat token
+//! stream of identifiers, numbers and punctuation with 1-based
+//! line/column positions. Comments are returned separately because they
+//! carry the waiver syntax.
+
+/// Kind of a lexed code token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `static`, `mut`, ...).
+    Ident,
+    /// A numeric literal.
+    Number,
+    /// A string literal (cooked, raw or byte); content not retained.
+    Str,
+    /// A char or byte-char literal.
+    CharLit,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation. `::` and `+=` are single tokens; everything else is
+    /// one character per token.
+    Punct,
+}
+
+/// One code token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text (empty for string literals).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (bytes).
+    pub col: u32,
+}
+
+impl Token {
+    /// True if this is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True if this is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == text
+    }
+}
+
+/// A comment (the carrier of `detlint: allow(...)` waivers).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// The comment body, leading `//`/`/*` markers stripped.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True if a code token precedes the comment on its line (a
+    /// trailing comment waives its own line; a standalone comment
+    /// waives the next code line).
+    pub trailing: bool,
+    /// True for doc comments (`///`, `//!`, `/**`, `/*!`). Doc comments
+    /// are documentation, not annotations: they never carry waivers, so
+    /// example waiver syntax in docs stays inert.
+    pub doc: bool,
+}
+
+/// A lexed source file: code tokens and comments, separately.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The code tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// The comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source text.
+///
+/// Unterminated strings or block comments yield `Err((line, message))`;
+/// anything else is tolerated (the lexer is a linter front-end, not a
+/// compiler, so unknown bytes become single-character punctuation).
+pub fn lex(src: &str) -> Result<Lexed, (u32, String)> {
+    let mut cur = Cursor {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+    let mut last_code_line = 0u32;
+
+    while let Some(c) = cur.peek() {
+        if c.is_ascii_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let (line, col) = (cur.line, cur.col);
+
+        if cur.starts_with("//") {
+            cur.bump_n(2);
+            let mut doc = false;
+            while matches!(cur.peek(), Some(b'/') | Some(b'!')) {
+                doc = true;
+                cur.bump(); // doc-comment markers
+            }
+            let mut text = String::new();
+            while let Some(ch) = cur.peek() {
+                if ch == b'\n' {
+                    break;
+                }
+                text.push(cur.bump_char());
+            }
+            out.comments.push(Comment {
+                text: text.trim().to_string(),
+                line,
+                trailing: last_code_line == line,
+                doc,
+            });
+            continue;
+        }
+
+        if cur.starts_with("/*") {
+            cur.bump_n(2);
+            let doc = matches!(cur.peek(), Some(b'*') | Some(b'!'));
+            let mut depth = 1u32;
+            let mut text = String::new();
+            while depth > 0 {
+                if cur.starts_with("/*") {
+                    cur.bump_n(2);
+                    depth += 1;
+                } else if cur.starts_with("*/") {
+                    cur.bump_n(2);
+                    depth -= 1;
+                } else if cur.peek().is_some() {
+                    text.push(cur.bump_char());
+                } else {
+                    return Err((line, "unterminated block comment".into()));
+                }
+            }
+            out.comments.push(Comment {
+                text: text.trim().to_string(),
+                line,
+                trailing: last_code_line == line,
+                doc,
+            });
+            continue;
+        }
+
+        // Raw strings / byte strings / raw identifiers, before plain
+        // identifiers would swallow the `r`/`b` prefix.
+        if c == b'r' || c == b'b' {
+            if let Some(tok) = lex_raw_or_byte(&mut cur, line, col)? {
+                last_code_line = line;
+                out.tokens.push(tok);
+                continue;
+            }
+        }
+
+        let tok = if c == b'"' {
+            lex_cooked_string(&mut cur, line, col)?
+        } else if c == b'\'' {
+            lex_char_or_lifetime(&mut cur, line, col)?
+        } else if c == b'_' || c.is_ascii_alphabetic() {
+            lex_ident(&mut cur, line, col)
+        } else if c.is_ascii_digit() {
+            lex_number(&mut cur, line, col)
+        } else if cur.starts_with("::") || cur.starts_with("+=") {
+            let text = format!("{}{}", cur.bump_char(), cur.bump_char());
+            Token {
+                kind: TokKind::Punct,
+                text,
+                line,
+                col,
+            }
+        } else {
+            Token {
+                kind: TokKind::Punct,
+                text: cur.bump_char().to_string(),
+                line,
+                col,
+            }
+        };
+        last_code_line = line;
+        out.tokens.push(tok);
+    }
+    Ok(out)
+}
+
+struct Cursor<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn peek_at(&self, k: usize) -> Option<u8> {
+        self.b.get(self.i + k).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.b[self.i..].starts_with(s.as_bytes())
+    }
+
+    /// Consumes one byte, maintaining line/col.
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    /// Consumes one full UTF-8 scalar and returns it (for copying text).
+    fn bump_char(&mut self) -> char {
+        let rest = &self.b[self.i..];
+        let s = std::str::from_utf8(rest).unwrap_or("\u{fffd}");
+        let c = s.chars().next().unwrap_or('\u{fffd}');
+        self.bump_n(c.len_utf8());
+        c
+    }
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+fn lex_ident(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    while cur.peek().is_some_and(is_ident_char) {
+        text.push(cur.bump_char());
+    }
+    Token {
+        kind: TokKind::Ident,
+        text,
+        line,
+        col,
+    }
+}
+
+fn lex_number(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    while cur.peek().is_some_and(is_ident_char) {
+        text.push(cur.bump_char());
+    }
+    // Fractional part: `.` followed by a digit (leaves `0..10` alone).
+    if cur.peek() == Some(b'.') && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+        text.push(cur.bump_char());
+        while cur.peek().is_some_and(is_ident_char) {
+            text.push(cur.bump_char());
+        }
+    }
+    // Signed exponent: `1e-3` / `2.5E+10`.
+    if (text.ends_with('e') || text.ends_with('E'))
+        && matches!(cur.peek(), Some(b'+') | Some(b'-'))
+        && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit())
+    {
+        text.push(cur.bump_char());
+        while cur.peek().is_some_and(|c| c.is_ascii_digit()) {
+            text.push(cur.bump_char());
+        }
+    }
+    Token {
+        kind: TokKind::Number,
+        text,
+        line,
+        col,
+    }
+}
+
+fn lex_cooked_string(cur: &mut Cursor, line: u32, col: u32) -> Result<Token, (u32, String)> {
+    cur.bump(); // opening quote
+    loop {
+        match cur.peek() {
+            None => return Err((line, "unterminated string literal".into())),
+            Some(b'"') => {
+                cur.bump();
+                break;
+            }
+            Some(b'\\') => {
+                cur.bump();
+                cur.bump();
+            }
+            Some(_) => {
+                cur.bump();
+            }
+        }
+    }
+    Ok(Token {
+        kind: TokKind::Str,
+        text: String::new(),
+        line,
+        col,
+    })
+}
+
+/// Handles `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'` and raw
+/// identifiers (`r#type`). Returns `Ok(None)` when the `r`/`b` is just
+/// the start of a plain identifier.
+fn lex_raw_or_byte(cur: &mut Cursor, line: u32, col: u32) -> Result<Option<Token>, (u32, String)> {
+    let mut j = 1; // bytes of prefix consumed so far (the `r` or `b`)
+    let first = cur.peek().unwrap();
+    if first == b'b' && cur.peek_at(1) == Some(b'r') {
+        j = 2;
+    }
+    let raw = first == b'r' || j == 2;
+
+    if raw {
+        let mut hashes = 0usize;
+        while cur.peek_at(j + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if cur.peek_at(j + hashes) == Some(b'"') {
+            cur.bump_n(j + hashes + 1);
+            let closer = format!("\"{}", "#".repeat(hashes));
+            loop {
+                if cur.starts_with(&closer) {
+                    cur.bump_n(closer.len());
+                    break;
+                }
+                if cur.bump().is_none() {
+                    return Err((line, "unterminated raw string literal".into()));
+                }
+            }
+            return Ok(Some(Token {
+                kind: TokKind::Str,
+                text: String::new(),
+                line,
+                col,
+            }));
+        }
+        // `r#ident`: lex as the identifier it escapes.
+        if first == b'r'
+            && hashes == 1
+            && cur
+                .peek_at(j + 1)
+                .is_some_and(|c| c == b'_' || c.is_ascii_alphabetic())
+        {
+            cur.bump_n(2);
+            return Ok(Some(lex_ident(cur, line, col)));
+        }
+        return Ok(None);
+    }
+
+    // Plain byte string or byte char: `b"..."` / `b'x'`.
+    if cur.peek_at(1) == Some(b'"') {
+        cur.bump();
+        return lex_cooked_string(cur, line, col).map(Some);
+    }
+    if cur.peek_at(1) == Some(b'\'') {
+        cur.bump();
+        return lex_char_or_lifetime(cur, line, col).map(Some);
+    }
+    Ok(None)
+}
+
+fn lex_char_or_lifetime(cur: &mut Cursor, line: u32, col: u32) -> Result<Token, (u32, String)> {
+    cur.bump(); // opening quote
+                // Lifetime: `'ident` not followed by a closing quote.
+    if cur
+        .peek()
+        .is_some_and(|c| c == b'_' || c.is_ascii_alphabetic())
+    {
+        let mut k = 1;
+        while cur.peek_at(k).is_some_and(is_ident_char) {
+            k += 1;
+        }
+        if cur.peek_at(k) != Some(b'\'') {
+            let mut text = String::new();
+            while cur.peek().is_some_and(is_ident_char) {
+                text.push(cur.bump_char());
+            }
+            return Ok(Token {
+                kind: TokKind::Lifetime,
+                text,
+                line,
+                col,
+            });
+        }
+    }
+    // Char literal: consume (with escapes) to the closing quote.
+    loop {
+        match cur.peek() {
+            None => return Err((line, "unterminated char literal".into())),
+            Some(b'\'') => {
+                cur.bump();
+                break;
+            }
+            Some(b'\\') => {
+                cur.bump();
+                cur.bump();
+            }
+            Some(_) => {
+                cur.bump();
+            }
+        }
+    }
+    Ok(Token {
+        kind: TokKind::CharLit,
+        text: String::new(),
+        line,
+        col,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .unwrap()
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn identifiers_and_positions() {
+        let l = lex("let map = HashMap::new();").unwrap();
+        let hm = l.tokens.iter().find(|t| t.is_ident("HashMap")).unwrap();
+        assert_eq!((hm.line, hm.col), (1, 11));
+        assert!(l.tokens.iter().any(|t| t.is_punct("::")));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(idents(r#"let s = "HashMap::new()";"#), vec!["let", "s"]);
+        assert_eq!(idents(r##"let s = r#"HashSet"#;"##), vec!["let", "s"]);
+        assert_eq!(idents(r#"let s = b"HashMap";"#), vec!["let", "s"]);
+    }
+
+    #[test]
+    fn comments_are_separated_from_code() {
+        let l = lex("let x = 1; // HashMap here\n/* and\nHashSet there */ let y = 2;").unwrap();
+        assert!(!l.tokens.iter().any(|t| t.is_ident("HashMap")));
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].trailing);
+        assert!(!l.comments[1].trailing);
+        assert_eq!(l.comments[0].text, "HashMap here");
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let l = lex("/// uses HashMap internally\nfn f() {}").unwrap();
+        assert!(!l.tokens.iter().any(|t| t.is_ident("HashMap")));
+        assert_eq!(l.comments[0].text, "uses HashMap internally");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still */ fn f() {}").unwrap();
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(idents("/* a /* b */ c */ x"), vec!["x"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }").unwrap();
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::CharLit)
+                .count(),
+            1
+        );
+        // 'static is a lifetime, not an unterminated char
+        assert!(lex("&'static str").is_ok());
+    }
+
+    #[test]
+    fn escaped_quotes_and_chars() {
+        assert_eq!(
+            idents(r#"let a = "\""; let c = '\''; done"#)
+                .last()
+                .unwrap(),
+            "done"
+        );
+    }
+
+    #[test]
+    fn numbers_including_ranges_and_floats() {
+        let l = lex("for i in 0..10 { let x = 1.5e-3 + 0xFF; }").unwrap();
+        let nums: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5e-3", "0xFF"]);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn compound_puncts() {
+        let l = lex("x += 1; y::z").unwrap();
+        assert!(l.tokens.iter().any(|t| t.is_punct("+=")));
+        assert!(l.tokens.iter().any(|t| t.is_punct("::")));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(lex("let s = \"oops").is_err());
+        assert!(lex("/* never closed").is_err());
+    }
+}

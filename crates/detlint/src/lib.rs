@@ -1,0 +1,28 @@
+//! `detlint` — the BFGTS workspace's determinism lint.
+//!
+//! Every headline number this repository reproduces (Fig. 4–6 speedups,
+//! Tables 1/4) rests on `bfgts-sim` being a *deterministic*
+//! discrete-event simulator: identical seeds must give bit-identical
+//! conflict orderings, similarity statistics and cycle counts. The
+//! classic way that property rots is innocuous-looking code — a
+//! `HashMap` iterated in a conflict-resolution path, a float sum over
+//! an unordered container, a stray wall-clock read. PR 1 caught exactly
+//! one such bug (`TmStats::measured_similarity` summed floats in
+//! `HashMap` order) by diffing benchmark bytes after the fact; this
+//! crate catches the whole class at lint time instead.
+//!
+//! The tool is std-only (the build must survive an offline registry, so
+//! no `syn`): a small Rust lexer ([`lexer`]), a rule set over the token
+//! stream ([`rules`], D001–D005), waiver handling and output formats
+//! ([`engine`]), workspace discovery ([`workspace`]) and a
+//! fixture-driven self-test ([`selftest`]). See DESIGN.md §7 for the
+//! policy the rules encode, and README.md for waiver etiquette.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod selftest;
+pub mod workspace;

@@ -1,0 +1,367 @@
+//! The determinism rules (D001–D005).
+//!
+//! Each rule walks the token stream of one file and produces raw
+//! diagnostics; waiver handling, sorting and rendering live in
+//! [`crate::engine`]. The rules are lexical by design: a token scanner
+//! cannot do type inference, so each rule names the *syntactic shape*
+//! of a hazard and the determinism policy (DESIGN.md §7) decides where
+//! it applies.
+
+use crate::lexer::{TokKind, Token};
+
+/// How strictly a crate is held to the determinism policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrateClass {
+    /// Simulation-result-affecting crates: every rule applies.
+    Critical,
+    /// Test/bench/lint tooling: only wall-clock (D002) applies, since
+    /// tooling output never feeds simulation state.
+    Tooling,
+}
+
+/// A diagnostic before waiver matching.
+#[derive(Debug, Clone)]
+pub struct RawDiag {
+    /// Rule code (`D001`...).
+    pub code: &'static str,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What was found.
+    pub message: String,
+    /// How to fix it.
+    pub hint: &'static str,
+}
+
+/// One rule's code and one-line description, for `--list-rules` and the
+/// JSON report.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "D001",
+        "HashMap/HashSet in a determinism-critical crate (iteration order varies per process)",
+    ),
+    (
+        "D002",
+        "wall-clock read (Instant::now / SystemTime); simulation time must come from the engine",
+    ),
+    (
+        "D003",
+        "float accumulation fed by iteration over a hash-ordered container",
+    ),
+    (
+        "D004",
+        "hash randomisation or thread identity (RandomState / DefaultHasher / thread::current)",
+    ),
+    (
+        "D005",
+        "ambient mutable or environmental state (static mut / std::env::var*) in a critical crate",
+    ),
+];
+
+/// True if `code` names a rule that may be waived.
+pub fn is_waivable(code: &str) -> bool {
+    RULES.iter().any(|(c, _)| *c == code)
+}
+
+/// Runs every applicable rule over one file's token stream.
+pub fn run_rules(tokens: &[Token], class: CrateClass, crate_name: &str) -> Vec<RawDiag> {
+    let mut out = Vec::new();
+    if class == CrateClass::Critical {
+        d001_hash_collections(tokens, crate_name, &mut out);
+        d003_float_accumulation(tokens, &mut out);
+        d004_hash_randomisation(tokens, &mut out);
+        d005_ambient_state(tokens, crate_name, &mut out);
+    }
+    d002_wall_clock(tokens, &mut out);
+    out
+}
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+const HASH_MODULES: &[&str] = &["hash_map", "hash_set"];
+
+fn d001_hash_collections(tokens: &[Token], crate_name: &str, out: &mut Vec<RawDiag>) {
+    for t in tokens {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if HASH_TYPES.contains(&t.text.as_str()) || HASH_MODULES.contains(&t.text.as_str()) {
+            out.push(RawDiag {
+                code: "D001",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}` in determinism-critical crate `{crate_name}`: iteration order \
+                     depends on per-process hash randomisation",
+                    t.text
+                ),
+                hint: "use BTreeMap/BTreeSet, or collect into a Vec and sort before any \
+                       order-sensitive use; if the order provably never escapes, waive with \
+                       `// detlint: allow(D001) -- <why>`",
+            });
+        }
+    }
+}
+
+fn d002_wall_clock(tokens: &[Token], out: &mut Vec<RawDiag>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_ident("Instant")
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && tokens.get(i + 2).is_some_and(|n| n.is_ident("now"))
+        {
+            out.push(RawDiag {
+                code: "D002",
+                line: t.line,
+                col: t.col,
+                message: "`Instant::now()` reads the wall clock".into(),
+                hint: D002_HINT,
+            });
+        }
+        if t.is_ident("SystemTime") {
+            out.push(RawDiag {
+                code: "D002",
+                line: t.line,
+                col: t.col,
+                message: "`SystemTime` reads the wall clock".into(),
+                hint: D002_HINT,
+            });
+        }
+    }
+}
+
+const D002_HINT: &str = "simulation time must come from the engine's `Cycle` clock; \
+                         bench harness timing is the only legitimate use and must carry \
+                         `// detlint: allow(D002) -- <why>`";
+
+/// Accumulation markers searched for downstream of a hash-container
+/// iteration call.
+const ACCUMULATORS: &[&str] = &["sum", "fold", "product"];
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "values",
+    "values_mut",
+    "keys",
+    "drain",
+];
+
+/// D003 is a two-pass heuristic: first collect names bound to a
+/// `HashMap`/`HashSet` (`let x: HashMap<..>` or `x = HashMap::new()`),
+/// then flag iteration calls on those names whose enclosing statement
+/// or loop body accumulates (`+=`, `.sum()`, `.fold(..)`).
+fn d003_float_accumulation(tokens: &[Token], out: &mut Vec<RawDiag>) {
+    let mut hash_names: Vec<&str> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind == TokKind::Ident && HASH_TYPES.contains(&t.text.as_str()) && i >= 2 {
+            let sep = &tokens[i - 1];
+            let name = &tokens[i - 2];
+            if (sep.is_punct(":") || sep.is_punct("=")) && name.kind == TokKind::Ident {
+                hash_names.push(name.text.as_str());
+            }
+        }
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        let is_source = t.kind == TokKind::Ident
+            && hash_names.contains(&t.text.as_str())
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct("."))
+            && tokens.get(i + 2).is_some_and(|n| {
+                n.kind == TokKind::Ident && ITER_METHODS.contains(&n.text.as_str())
+            });
+        if !is_source {
+            continue;
+        }
+        // Scan forward through the rest of the statement (or the loop
+        // body it opens) for an accumulation marker.
+        let mut depth = 0i32;
+        for n in tokens.iter().skip(i + 3).take(120) {
+            match n.text.as_str() {
+                "{" if n.kind == TokKind::Punct => depth += 1,
+                "}" if n.kind == TokKind::Punct => {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                }
+                ";" if depth <= 0 => break,
+                "+=" => {
+                    out.push(d003_diag(t));
+                    break;
+                }
+                a if n.kind == TokKind::Ident && ACCUMULATORS.contains(&a) => {
+                    out.push(d003_diag(t));
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+fn d003_diag(t: &Token) -> RawDiag {
+    RawDiag {
+        code: "D003",
+        line: t.line,
+        col: t.col,
+        message: format!(
+            "float accumulation over `{}`, a hash-ordered container: the sum \
+             depends on iteration order",
+            t.text
+        ),
+        hint: "iterate an ordered container (BTreeMap/BTreeSet) or sort the items \
+               before accumulating; float addition is not associative",
+    }
+}
+
+fn d004_hash_randomisation(tokens: &[Token], out: &mut Vec<RawDiag>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_ident("RandomState") || t.is_ident("DefaultHasher") {
+            out.push(RawDiag {
+                code: "D004",
+                line: t.line,
+                col: t.col,
+                message: format!("`{}` seeds per-process hash randomisation", t.text),
+                hint: "use the fixed hash functions in `bfgts_bloomsig::hash` or an \
+                       explicitly seeded hasher",
+            });
+        }
+        if t.is_ident("thread")
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && tokens.get(i + 2).is_some_and(|n| n.is_ident("current"))
+        {
+            out.push(RawDiag {
+                code: "D004",
+                line: t.line,
+                col: t.col,
+                message: "`thread::current()` identity varies between runs".into(),
+                hint: "thread identity must come from the simulator's `ThreadId`",
+            });
+        }
+    }
+}
+
+fn d005_ambient_state(tokens: &[Token], crate_name: &str, out: &mut Vec<RawDiag>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_ident("static") && tokens.get(i + 1).is_some_and(|n| n.is_ident("mut")) {
+            out.push(RawDiag {
+                code: "D005",
+                line: t.line,
+                col: t.col,
+                message: format!("`static mut` in determinism-critical crate `{crate_name}`"),
+                hint: "thread shared state through the simulation `World` so runs stay \
+                       self-contained",
+            });
+        }
+        if t.is_ident("env")
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && tokens.get(i + 2).is_some_and(|n| {
+                n.is_ident("var")
+                    || n.is_ident("vars")
+                    || n.is_ident("var_os")
+                    || n.is_ident("vars_os")
+            })
+        {
+            out.push(RawDiag {
+                code: "D005",
+                line: t.line,
+                col: t.col,
+                message: format!("environment read in determinism-critical crate `{crate_name}`"),
+                hint: "plumb configuration through explicit arguments (`RunCell`, \
+                       `TmRunConfig`) so a run is a pure function of its inputs",
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn diags(src: &str, class: CrateClass) -> Vec<RawDiag> {
+        run_rules(&lex(src).unwrap().tokens, class, "testcrate")
+    }
+
+    fn codes(src: &str, class: CrateClass) -> Vec<&'static str> {
+        diags(src, class).iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn d001_fires_on_hash_collections_in_critical_crates() {
+        let src = "use std::collections::HashMap;\nfn f() -> HashSet<u64> { todo!() }";
+        assert_eq!(codes(src, CrateClass::Critical), vec!["D001", "D001"]);
+        assert!(codes(src, CrateClass::Tooling).is_empty());
+    }
+
+    #[test]
+    fn d001_fires_on_hash_module_paths() {
+        let src = "use std::collections::hash_map::Entry;";
+        assert_eq!(codes(src, CrateClass::Critical), vec!["D001"]);
+    }
+
+    #[test]
+    fn d001_ignores_strings_and_comments() {
+        let src = "// a HashMap would be bad\nlet s = \"HashMap\";";
+        assert!(codes(src, CrateClass::Critical).is_empty());
+    }
+
+    #[test]
+    fn d002_fires_everywhere() {
+        let src = "let t = Instant::now(); let s = SystemTime::now();";
+        assert_eq!(codes(src, CrateClass::Tooling), vec!["D002", "D002"]);
+        assert_eq!(codes(src, CrateClass::Critical), vec!["D002", "D002"]);
+    }
+
+    #[test]
+    fn d002_ignores_bare_instant() {
+        assert!(codes("use std::time::Instant;", CrateClass::Tooling).is_empty());
+    }
+
+    #[test]
+    fn d003_flags_accumulation_over_hash_values() {
+        let src = "let mut m: HashMap<u64, f64> = HashMap::new();\n\
+                   let mut total = 0.0;\n\
+                   for v in m.values() { total += v; }";
+        let c = codes(src, CrateClass::Critical);
+        assert!(c.contains(&"D003"), "got {c:?}");
+    }
+
+    #[test]
+    fn d003_flags_sum_chains() {
+        let src = "let m = HashMap::new();\nlet s: f64 = m.values().sum();";
+        assert!(codes(src, CrateClass::Critical).contains(&"D003"));
+    }
+
+    #[test]
+    fn d003_quiet_without_accumulation() {
+        let src = "let m = HashMap::new();\nfor v in m.values() { println!(\"{v}\"); }";
+        assert!(!codes(src, CrateClass::Critical).contains(&"D003"));
+    }
+
+    #[test]
+    fn d004_flags_hashers_and_thread_identity() {
+        let src = "let h = DefaultHasher::new();\nlet s = RandomState::new();\nlet t = thread::current();";
+        assert_eq!(
+            codes(src, CrateClass::Critical),
+            vec!["D004", "D004", "D004"]
+        );
+        assert!(codes(src, CrateClass::Tooling).is_empty());
+    }
+
+    #[test]
+    fn d005_flags_static_mut_and_env_reads() {
+        let src = "static mut X: u64 = 0;\nfn f() { let _ = std::env::var(\"SEED\"); }";
+        assert_eq!(codes(src, CrateClass::Critical), vec!["D005", "D005"]);
+        assert!(codes(src, CrateClass::Tooling).is_empty());
+    }
+
+    #[test]
+    fn d005_allows_env_args() {
+        assert!(codes("let a = std::env::args();", CrateClass::Critical).is_empty());
+    }
+
+    #[test]
+    fn plain_static_is_fine() {
+        assert!(codes("static X: u64 = 0;", CrateClass::Critical).is_empty());
+    }
+}

@@ -14,7 +14,7 @@
 //! verifies it is acyclic — i.e. the history is conflict-serializable.
 
 use crate::ids::{DTxId, LineAddr};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifier of one transaction *attempt* (monotonic per history).
@@ -139,8 +139,10 @@ impl History {
 
     /// Checks conflict-serializability of the committed sub-history.
     pub fn check_serializable(&self) -> SerializabilityResult {
-        // Which attempts committed?
-        let mut committed: HashMap<AttemptId, usize> = HashMap::new();
+        // Which attempts committed? (BTreeMap throughout this function:
+        // the determinism policy bans hash-order iteration, and the
+        // cycle report below iterates these maps.)
+        let mut committed: BTreeMap<AttemptId, usize> = BTreeMap::new();
         for ev in &self.events {
             if let HistoryEvent::Commit { attempt } = ev {
                 let idx = committed.len();
@@ -153,7 +155,7 @@ impl History {
         // walk accesses in event order; conflicting pairs get an edge
         // from the earlier access's attempt to the later's.
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut per_line: HashMap<u64, Vec<(usize, bool)>> = HashMap::new();
+        let mut per_line: BTreeMap<u64, Vec<(usize, bool)>> = BTreeMap::new();
         for ev in &self.events {
             if let HistoryEvent::Access {
                 attempt,
@@ -192,7 +194,7 @@ impl History {
                 }
             }
         }
-        let index_to_attempt: HashMap<usize, AttemptId> =
+        let index_to_attempt: BTreeMap<usize, AttemptId> =
             committed.iter().map(|(a, i)| (*i, *a)).collect();
         if order.len() == n {
             let mut witness: Vec<AttemptId> = order.iter().map(|i| index_to_attempt[i]).collect();

@@ -5,8 +5,8 @@ use crate::history::{AttemptId, History};
 use crate::ids::{DTxId, LineAddr, STxId};
 use crate::stats::TmStats;
 use bfgts_sim::{Cycle, ThreadId};
-use std::collections::hash_map::Entry;
-use std::collections::{HashMap, HashSet};
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Result of attempting a transactional access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,8 +43,11 @@ struct ActiveTx {
     /// arbitration eventually.
     timestamp: Cycle,
     attempt: Option<AttemptId>,
-    read_set: HashSet<u64>,
-    write_set: HashSet<u64>,
+    // BTreeSet, not HashSet: the commit-time read/write-set union is
+    // iterated and handed to the contention manager, so its order must
+    // not depend on hash randomisation (determinism policy, D001).
+    read_set: BTreeSet<u64>,
+    write_set: BTreeSet<u64>,
 }
 
 /// Exact ("perfect signature") transactional memory state: line ownership,
@@ -52,7 +55,7 @@ struct ActiveTx {
 /// statistics.
 #[derive(Debug)]
 pub struct TmState {
-    lines: HashMap<u64, LineState>,
+    lines: BTreeMap<u64, LineState>,
     active: Vec<Option<ActiveTx>>,
     /// One slot per CPU: the dTxID most recently broadcast as *started*
     /// on that CPU and not yet committed/aborted. This mirrors the BFGTS
@@ -68,7 +71,7 @@ impl TmState {
     /// Creates state for `num_cpus` CPUs and `num_threads` threads.
     pub fn new(num_cpus: usize, num_threads: usize) -> Self {
         Self {
-            lines: HashMap::new(),
+            lines: BTreeMap::new(),
             active: vec![None; num_threads],
             cpu_table: vec![None; num_cpus],
             waiting_on: vec![None; num_threads],
@@ -152,8 +155,8 @@ impl TmState {
             dtx,
             timestamp,
             attempt,
-            read_set: HashSet::new(),
-            write_set: HashSet::new(),
+            read_set: BTreeSet::new(),
+            write_set: BTreeSet::new(),
         });
         self.cpu_table[cpu] = Some(dtx);
     }
@@ -217,7 +220,8 @@ impl TmState {
 
     /// Commits `thread`'s transaction: releases isolation, clears the CPU
     /// table broadcast, and returns the unique lines it touched (its
-    /// read/write set) for contention-manager bookkeeping.
+    /// read/write set, sorted by address) for contention-manager
+    /// bookkeeping.
     ///
     /// # Panics
     ///
@@ -233,8 +237,7 @@ impl TmState {
         }
         let rw_set: Vec<LineAddr> = tx
             .read_set
-            .iter()
-            .chain(tx.write_set.iter().filter(|a| !tx.read_set.contains(a)))
+            .union(&tx.write_set)
             .map(|&a| LineAddr(a))
             .collect();
         self.stats.record_commit(tx.dtx, &rw_set);

@@ -2,7 +2,7 @@
 //! measured per-transaction similarity (the paper's Tables 1 and 4).
 
 use crate::ids::{DTxId, LineAddr, STxId};
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Measured statistics of one simulation run.
 ///
@@ -34,7 +34,7 @@ struct StxCounters {
 /// same way the runtime smooths it (`sim = 0.5·(sim + newSim)`).
 #[derive(Debug, Clone, Default)]
 struct SimTracker {
-    prev_set: HashSet<u64>,
+    prev_set: BTreeSet<u64>,
     avg_size: f64,
     sim: f64,
     commits: u64,
@@ -134,7 +134,7 @@ impl TmStats {
     pub fn record_commit(&mut self, dtx: DTxId, rw_set: &[LineAddr]) {
         self.commits += 1;
         self.per_stx.entry(dtx.stx).or_default().commits += 1;
-        let cur: HashSet<u64> = rw_set.iter().map(|a| a.get()).collect();
+        let cur: BTreeSet<u64> = rw_set.iter().map(|a| a.get()).collect();
         let t = self.similarity.entry(dtx).or_default();
         t.commits += 1;
         if t.commits == 1 {

@@ -1,0 +1,81 @@
+//! Regression tests for the determinism policy (DESIGN.md §7): history
+//! recording, serialisability summaries and run statistics must be
+//! byte-identical across repeated runs. Before the `BTreeMap`/`BTreeSet`
+//! conversions in `state.rs` and `history.rs`, several of these
+//! summaries were assembled in `HashMap` iteration order and could vary
+//! between processes (and, with `-Z randomize-layout`-style hashers,
+//! between runs).
+
+use bfgts_htm::{
+    run_workload, Access, NullCm, STxId, ScriptSource, TmRunConfig, TmRunReport, TxInstance,
+};
+use std::fmt::Write as _;
+
+/// A small cross-thread workload with real conflicts: every thread
+/// hammers an overlapping window of lines, writing half of them.
+fn conflicting_scripts(threads: usize, txs_per_thread: usize) -> Vec<ScriptSource> {
+    (0..threads)
+        .map(|t| {
+            let txs = (0..txs_per_thread)
+                .map(|i| {
+                    let accesses = (0..6u64)
+                        .map(|k| Access {
+                            addr: ((t as u64 + i as u64 + k) % 8).into(),
+                            is_write: k % 2 == 0,
+                        })
+                        .collect();
+                    TxInstance::new(STxId((i % 3) as u32), accesses, 25)
+                })
+                .collect();
+            ScriptSource::new(txs)
+        })
+        .collect()
+}
+
+fn run_once() -> TmRunReport {
+    let mut cfg = TmRunConfig::new(2, 4).seed(0x00D0_0D1E);
+    cfg.record_history = true;
+    run_workload(&cfg, conflicting_scripts(4, 5), Box::new(NullCm))
+}
+
+/// Renders everything order-sensitive about a run into one string.
+fn summarise(report: &TmRunReport) -> String {
+    let mut out = String::new();
+    let history = report.history.as_ref().expect("history was recorded");
+    writeln!(out, "events: {:?}", history.events()).unwrap();
+    writeln!(out, "serializability: {}", history.check_serializable()).unwrap();
+    writeln!(
+        out,
+        "commits={} aborts={} stalls={}",
+        report.stats.commits(),
+        report.stats.aborts(),
+        report.stats.stalls()
+    )
+    .unwrap();
+    let edges: Vec<_> = report.stats.conflict_edges().collect();
+    writeln!(out, "conflict_edges: {edges:?}").unwrap();
+    for stx in report.stats.stx_ids() {
+        // Bit pattern, not display rounding: the check is byte-exactness.
+        let sim = report.stats.measured_similarity(stx).map(f64::to_bits);
+        writeln!(out, "stx {stx:?}: sim_bits={sim:?}").unwrap();
+    }
+    writeln!(out, "makespan={:?}", report.sim.makespan).unwrap();
+    out
+}
+
+#[test]
+fn history_summary_is_byte_identical_across_runs() {
+    let first = run_once();
+    let second = run_once();
+    let (a, b) = (summarise(&first), summarise(&second));
+    assert!(!a.is_empty() && a.contains("serializable"));
+    assert_eq!(a, b, "two identical runs produced different summaries");
+}
+
+#[test]
+fn recorded_history_is_serializable() {
+    let report = run_once();
+    let history = report.history.expect("history was recorded");
+    assert!(history.check_serializable().is_serializable());
+    assert!(!history.is_empty());
+}

@@ -128,7 +128,7 @@ impl TxSource for WorkloadSource {
 mod tests {
     use super::*;
     use crate::class::Region;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     fn classes() -> Arc<[TxClass]> {
         vec![
@@ -189,7 +189,7 @@ mod tests {
     fn private_hot_lines_repeat_across_instances() {
         let mut src = WorkloadSource::new(classes(), 3, 50);
         let mut rng = SimRng::seed_from(3);
-        let mut sets: Vec<HashSet<u64>> = Vec::new();
+        let mut sets: Vec<BTreeSet<u64>> = Vec::new();
         while let Some(tx) = src.next_tx(&mut rng) {
             if tx.stx.get() == 0 {
                 sets.push(tx.accesses.iter().map(|a| a.addr.get()).collect());
@@ -209,8 +209,8 @@ mod tests {
         let mut b = WorkloadSource::new(classes(), 1, 20);
         let mut rng_a = SimRng::seed_from(4);
         let mut rng_b = SimRng::seed_from(5);
-        let mut lines_a = HashSet::new();
-        let mut lines_b = HashSet::new();
+        let mut lines_a = BTreeSet::new();
+        let mut lines_b = BTreeSet::new();
         while let Some(tx) = a.next_tx(&mut rng_a) {
             if tx.stx.get() == 1 {
                 lines_a.extend(tx.accesses.iter().map(|x| x.addr.get()));
