@@ -4,7 +4,7 @@ use bfgts_htm::{
     AbortPlan, BeginDecision, BeginOutcome, BeginQuery, CommitOutcome, CommitRecord, ConflictEvent,
     ContentionManager, TmState,
 };
-use bfgts_sim::{CostModel, SimRng, ThreadId};
+use bfgts_sim::{CostModel, SimRng, ThreadId, TraceSink};
 use std::collections::VecDeque;
 
 /// Tunables of the ATS manager.
@@ -98,6 +98,7 @@ impl ContentionManager for AtsCm {
         _tm: &TmState,
         _costs: &CostModel,
         _rng: &mut SimRng,
+        _trace: &mut TraceSink,
     ) -> BeginOutcome {
         let mut cost = self.cfg.check_cost;
         // A designated thread takes the serial token regardless of its
@@ -145,6 +146,7 @@ impl ContentionManager for AtsCm {
         _tm: &TmState,
         _costs: &CostModel,
         rng: &mut SimRng,
+        _trace: &mut TraceSink,
     ) -> AbortPlan {
         let alpha = self.cfg.alpha;
         let ci = self.ci(ev.aborter.thread);
@@ -161,6 +163,7 @@ impl ContentionManager for AtsCm {
         _tm: &TmState,
         _costs: &CostModel,
         _rng: &mut SimRng,
+        _trace: &mut TraceSink,
     ) -> CommitOutcome {
         let alpha = self.cfg.alpha;
         let ci = self.ci(rec.dtx.thread);
@@ -220,7 +223,7 @@ mod tests {
     fn low_intensity_proceeds() {
         let (tm, costs, mut rng) = env();
         let mut cm = AtsCm::default();
-        let out = cm.on_begin(&query(0), &tm, &costs, &mut rng);
+        let out = cm.on_begin(&query(0), &tm, &costs, &mut rng, &mut TraceSink::disabled());
         assert_eq!(out.decision, BeginDecision::Proceed);
     }
 
@@ -228,7 +231,13 @@ mod tests {
     fn intensity_rises_on_abort_and_decays_on_commit() {
         let (tm, costs, mut rng) = env();
         let mut cm = AtsCm::default();
-        cm.on_conflict_abort(&conflict(0), &tm, &costs, &mut rng);
+        cm.on_conflict_abort(
+            &conflict(0),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
         let after_abort = cm.intensity_of(ThreadId(0));
         assert!(after_abort > 0.0);
         let rec = CommitRecord {
@@ -237,13 +246,19 @@ mod tests {
             now: Cycle::ZERO,
             retries: 0,
         };
-        cm.on_commit(&rec, &tm, &costs, &mut rng);
+        cm.on_commit(&rec, &tm, &costs, &mut rng, &mut TraceSink::disabled());
         assert!(cm.intensity_of(ThreadId(0)) < after_abort);
     }
 
     fn saturate(cm: &mut AtsCm, thread: usize, tm: &TmState, costs: &CostModel, rng: &mut SimRng) {
         for _ in 0..10 {
-            cm.on_conflict_abort(&conflict(thread), tm, costs, rng);
+            cm.on_conflict_abort(
+                &conflict(thread),
+                tm,
+                costs,
+                rng,
+                &mut TraceSink::disabled(),
+            );
         }
     }
 
@@ -254,10 +269,10 @@ mod tests {
         saturate(&mut cm, 0, &tm, &costs, &mut rng);
         saturate(&mut cm, 1, &tm, &costs, &mut rng);
         // First hot thread becomes the runner.
-        let a = cm.on_begin(&query(0), &tm, &costs, &mut rng);
+        let a = cm.on_begin(&query(0), &tm, &costs, &mut rng, &mut TraceSink::disabled());
         assert_eq!(a.decision, BeginDecision::Proceed);
         // Second parks.
-        let b = cm.on_begin(&query(1), &tm, &costs, &mut rng);
+        let b = cm.on_begin(&query(1), &tm, &costs, &mut rng, &mut TraceSink::disabled());
         assert_eq!(b.decision, BeginDecision::Block);
     }
 
@@ -267,19 +282,19 @@ mod tests {
         let mut cm = AtsCm::default();
         saturate(&mut cm, 0, &tm, &costs, &mut rng);
         saturate(&mut cm, 1, &tm, &costs, &mut rng);
-        cm.on_begin(&query(0), &tm, &costs, &mut rng);
-        cm.on_begin(&query(1), &tm, &costs, &mut rng);
+        cm.on_begin(&query(0), &tm, &costs, &mut rng, &mut TraceSink::disabled());
+        cm.on_begin(&query(1), &tm, &costs, &mut rng, &mut TraceSink::disabled());
         let rec = CommitRecord {
             dtx: DTxId::new(ThreadId(0), STxId(0)),
             rw_set: &[],
             now: Cycle::ZERO,
             retries: 0,
         };
-        let out = cm.on_commit(&rec, &tm, &costs, &mut rng);
+        let out = cm.on_commit(&rec, &tm, &costs, &mut rng, &mut TraceSink::disabled());
         assert_eq!(out.wake, vec![ThreadId(1)]);
         // The woken thread claims the token even though its intensity
         // decayed in the meantime.
-        let again = cm.on_begin(&query(1), &tm, &costs, &mut rng);
+        let again = cm.on_begin(&query(1), &tm, &costs, &mut rng, &mut TraceSink::disabled());
         assert_eq!(again.decision, BeginDecision::Proceed);
     }
 
@@ -288,10 +303,16 @@ mod tests {
         let (tm, costs, mut rng) = env();
         let mut cm = AtsCm::default();
         saturate(&mut cm, 0, &tm, &costs, &mut rng);
-        cm.on_begin(&query(0), &tm, &costs, &mut rng);
+        cm.on_begin(&query(0), &tm, &costs, &mut rng, &mut TraceSink::disabled());
         // Abort and retry: still the runner, still proceeds.
-        cm.on_conflict_abort(&conflict(0), &tm, &costs, &mut rng);
-        let out = cm.on_begin(&query(0), &tm, &costs, &mut rng);
+        cm.on_conflict_abort(
+            &conflict(0),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
+        let out = cm.on_begin(&query(0), &tm, &costs, &mut rng, &mut TraceSink::disabled());
         assert_eq!(out.decision, BeginDecision::Proceed);
     }
 
@@ -301,8 +322,8 @@ mod tests {
         let mut cm = AtsCm::default();
         saturate(&mut cm, 0, &tm, &costs, &mut rng);
         saturate(&mut cm, 1, &tm, &costs, &mut rng);
-        cm.on_begin(&query(0), &tm, &costs, &mut rng);
-        cm.on_begin(&query(1), &tm, &costs, &mut rng);
+        cm.on_begin(&query(0), &tm, &costs, &mut rng, &mut TraceSink::disabled());
+        cm.on_begin(&query(1), &tm, &costs, &mut rng, &mut TraceSink::disabled());
         // A cool third thread commits; the queue must not drain.
         let rec = CommitRecord {
             dtx: DTxId::new(ThreadId(2), STxId(0)),
@@ -310,7 +331,7 @@ mod tests {
             now: Cycle::ZERO,
             retries: 0,
         };
-        let out = cm.on_commit(&rec, &tm, &costs, &mut rng);
+        let out = cm.on_commit(&rec, &tm, &costs, &mut rng, &mut TraceSink::disabled());
         assert!(out.wake.is_empty());
     }
 
@@ -319,7 +340,13 @@ mod tests {
         let (tm, costs, mut rng) = env();
         let mut cm = AtsCm::default();
         for _ in 0..200 {
-            cm.on_conflict_abort(&conflict(3), &tm, &costs, &mut rng);
+            cm.on_conflict_abort(
+                &conflict(3),
+                &tm,
+                &costs,
+                &mut rng,
+                &mut TraceSink::disabled(),
+            );
         }
         let ci = cm.intensity_of(ThreadId(3));
         assert!(ci > 0.95 && ci <= 1.0, "ci should converge to 1, got {ci}");

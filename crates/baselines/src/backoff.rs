@@ -4,7 +4,7 @@ use bfgts_htm::{
     AbortPlan, BeginOutcome, BeginQuery, CommitOutcome, CommitRecord, ConflictEvent,
     ContentionManager, TmState,
 };
-use bfgts_sim::{CostModel, SimRng};
+use bfgts_sim::{CostModel, SimRng, TraceSink};
 
 /// Tunables of the backoff manager.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,6 +62,7 @@ impl ContentionManager for BackoffCm {
         _tm: &TmState,
         _costs: &CostModel,
         _rng: &mut SimRng,
+        _trace: &mut TraceSink,
     ) -> BeginOutcome {
         BeginOutcome::PROCEED_FREE
     }
@@ -72,6 +73,7 @@ impl ContentionManager for BackoffCm {
         _tm: &TmState,
         _costs: &CostModel,
         rng: &mut SimRng,
+        _trace: &mut TraceSink,
     ) -> AbortPlan {
         let shift = ev.retries.min(self.cfg.max_shift);
         let window = self.cfg.base << shift;
@@ -87,6 +89,7 @@ impl ContentionManager for BackoffCm {
         _tm: &TmState,
         _costs: &CostModel,
         _rng: &mut SimRng,
+        _trace: &mut TraceSink,
     ) -> CommitOutcome {
         CommitOutcome::default()
     }
@@ -120,7 +123,13 @@ mod tests {
             retries: 0,
             waits: 0,
         };
-        let out = cm.on_begin(&q, &tm, &CostModel::default(), &mut SimRng::seed_from(1));
+        let out = cm.on_begin(
+            &q,
+            &tm,
+            &CostModel::default(),
+            &mut SimRng::seed_from(1),
+            &mut TraceSink::disabled(),
+        );
         assert_eq!(out.cost, 0);
     }
 
@@ -133,7 +142,13 @@ mod tests {
         let tm = TmState::new(1, 2);
         let mut rng = SimRng::seed_from(7);
         for r in 0..1000u32 {
-            let plan = cm.on_conflict_abort(&ev(r), &tm, &CostModel::default(), &mut rng);
+            let plan = cm.on_conflict_abort(
+                &ev(r),
+                &tm,
+                &CostModel::default(),
+                &mut rng,
+                &mut TraceSink::disabled(),
+            );
             assert!(plan.backoff <= 100 << 4);
             assert_eq!(plan.cost, 0);
         }
@@ -146,8 +161,14 @@ mod tests {
         let mut rng = SimRng::seed_from(7);
         let draws: Vec<u64> = (0..50)
             .map(|_| {
-                cm.on_conflict_abort(&ev(3), &tm, &CostModel::default(), &mut rng)
-                    .backoff
+                cm.on_conflict_abort(
+                    &ev(3),
+                    &tm,
+                    &CostModel::default(),
+                    &mut rng,
+                    &mut TraceSink::disabled(),
+                )
+                .backoff
             })
             .collect();
         let distinct: std::collections::BTreeSet<_> = draws.iter().collect();

@@ -4,7 +4,7 @@ use bfgts_htm::{
     AbortPlan, BeginOutcome, BeginQuery, CommitOutcome, CommitRecord, ConflictEvent,
     ContentionManager, TmState,
 };
-use bfgts_sim::{CostModel, SimRng};
+use bfgts_sim::{CostModel, SimRng, TraceSink};
 use std::collections::BTreeMap;
 
 /// Tunables of the Polka-style manager.
@@ -73,6 +73,7 @@ impl ContentionManager for PolkaCm {
         _tm: &TmState,
         _costs: &CostModel,
         _rng: &mut SimRng,
+        _trace: &mut TraceSink,
     ) -> BeginOutcome {
         BeginOutcome::PROCEED_FREE
     }
@@ -83,6 +84,7 @@ impl ContentionManager for PolkaCm {
         _tm: &TmState,
         _costs: &CostModel,
         rng: &mut SimRng,
+        _trace: &mut TraceSink,
     ) -> AbortPlan {
         // Window scales with the *enemy's* investment (give a big enemy
         // room to finish) and grows exponentially with our retries.
@@ -105,6 +107,7 @@ impl ContentionManager for PolkaCm {
         _tm: &TmState,
         _costs: &CostModel,
         _rng: &mut SimRng,
+        _trace: &mut TraceSink,
     ) -> CommitOutcome {
         // Track investment as a smoothed set size.
         let e = self.investment.entry(rec.dtx.pack()).or_insert(0.0);
@@ -156,7 +159,11 @@ mod tests {
             retries: 0,
             waits: 0,
         };
-        assert_eq!(cm.on_begin(&q, &tm, &costs, &mut rng).cost, 0);
+        assert_eq!(
+            cm.on_begin(&q, &tm, &costs, &mut rng, &mut TraceSink::disabled())
+                .cost,
+            0
+        );
     }
 
     #[test]
@@ -172,13 +179,19 @@ mod tests {
                 now: Cycle::ZERO,
                 retries: 0,
             };
-            cm.on_commit(&rec, &tm, &costs, &mut rng);
+            cm.on_commit(&rec, &tm, &costs, &mut rng, &mut TraceSink::disabled());
         }
         let sum = |cm: &mut PolkaCm, rng: &mut SimRng, enemy| -> u64 {
             (0..100)
                 .map(|_| {
-                    cm.on_conflict_abort(&conflict(enemy, 0), &tm, &costs, rng)
-                        .backoff
+                    cm.on_conflict_abort(
+                        &conflict(enemy, 0),
+                        &tm,
+                        &costs,
+                        rng,
+                        &mut TraceSink::disabled(),
+                    )
+                    .backoff
                 })
                 .sum()
         };
@@ -196,14 +209,26 @@ mod tests {
         let mut cm = PolkaCm::default();
         let early: u64 = (0..100)
             .map(|_| {
-                cm.on_conflict_abort(&conflict(dtx(1), 0), &tm, &costs, &mut rng)
-                    .backoff
+                cm.on_conflict_abort(
+                    &conflict(dtx(1), 0),
+                    &tm,
+                    &costs,
+                    &mut rng,
+                    &mut TraceSink::disabled(),
+                )
+                .backoff
             })
             .sum();
         let late: u64 = (0..100)
             .map(|_| {
-                cm.on_conflict_abort(&conflict(dtx(1), 6), &tm, &costs, &mut rng)
-                    .backoff
+                cm.on_conflict_abort(
+                    &conflict(dtx(1), 6),
+                    &tm,
+                    &costs,
+                    &mut rng,
+                    &mut TraceSink::disabled(),
+                )
+                .backoff
             })
             .sum();
         assert!(late > early * 8);

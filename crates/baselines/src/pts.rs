@@ -5,7 +5,7 @@ use bfgts_htm::{
     AbortPlan, BeginDecision, BeginOutcome, BeginQuery, CommitOutcome, CommitRecord, ConflictEvent,
     ContentionManager, DTxId, TmState,
 };
-use bfgts_sim::{CostModel, SimRng};
+use bfgts_sim::{CostModel, SimRng, TraceSink};
 use std::collections::BTreeMap;
 
 /// Tunables of the PTS manager.
@@ -128,6 +128,7 @@ impl ContentionManager for PtsCm {
         tm: &TmState,
         _costs: &CostModel,
         _rng: &mut SimRng,
+        _trace: &mut TraceSink,
     ) -> BeginOutcome {
         let mut cost = self.cfg.scan_base_cost;
         for slot in tm.cpu_table() {
@@ -156,6 +157,7 @@ impl ContentionManager for PtsCm {
         _tm: &TmState,
         _costs: &CostModel,
         rng: &mut SimRng,
+        _trace: &mut TraceSink,
     ) -> AbortPlan {
         self.bump(ev.aborter, ev.enemy, self.cfg.inc);
         self.bump(ev.enemy, ev.aborter, self.cfg.inc);
@@ -171,6 +173,7 @@ impl ContentionManager for PtsCm {
         _tm: &TmState,
         _costs: &CostModel,
         _rng: &mut SimRng,
+        _trace: &mut TraceSink,
     ) -> CommitOutcome {
         let mut bloom = BloomFilter::new(self.cfg.bloom_bits, self.cfg.bloom_hashes);
         for addr in rec.rw_set {
@@ -248,7 +251,13 @@ mod tests {
     fn cold_graph_proceeds() {
         let (tm, costs, mut rng) = env();
         let mut cm = PtsCm::default();
-        let out = cm.on_begin(&query(0, 0), &tm, &costs, &mut rng);
+        let out = cm.on_begin(
+            &query(0, 0),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
         assert_eq!(out.decision, BeginDecision::Proceed);
         assert!(out.cost >= cm.cfg.scan_base_cost);
     }
@@ -257,7 +266,13 @@ mod tests {
     fn conflicts_build_confidence_symmetrically() {
         let (tm, costs, mut rng) = env();
         let mut cm = PtsCm::default();
-        cm.on_conflict_abort(&conflict(dtx(0, 0), dtx(1, 1)), &tm, &costs, &mut rng);
+        cm.on_conflict_abort(
+            &conflict(dtx(0, 0), dtx(1, 1)),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
         assert_eq!(cm.conf(dtx(0, 0), dtx(1, 1)), 60.0);
         assert_eq!(cm.conf(dtx(1, 1), dtx(0, 0)), 60.0);
         assert_eq!(cm.graph_edges(), 2);
@@ -269,11 +284,23 @@ mod tests {
         let mut cm = PtsCm::default();
         // Learn a strong conflict between t0/sTx0 and t1/sTx1.
         for _ in 0..2 {
-            cm.on_conflict_abort(&conflict(dtx(0, 0), dtx(1, 1)), &tm, &costs, &mut rng);
+            cm.on_conflict_abort(
+                &conflict(dtx(0, 0), dtx(1, 1)),
+                &tm,
+                &costs,
+                &mut rng,
+                &mut TraceSink::disabled(),
+            );
         }
         // t1/sTx1 is running on cpu1.
         tm.begin_tx(ThreadId(1), 1, dtx(1, 1), Cycle::ZERO);
-        let out = cm.on_begin(&query(0, 0), &tm, &costs, &mut rng);
+        let out = cm.on_begin(
+            &query(0, 0),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
         assert_eq!(
             out.decision,
             BeginDecision::YieldUntilDone { target: dtx(1, 1) }
@@ -284,10 +311,26 @@ mod tests {
     fn scan_cost_scales_with_running_transactions() {
         let (mut tm, costs, mut rng) = env();
         let mut cm = PtsCm::default();
-        let empty = cm.on_begin(&query(0, 0), &tm, &costs, &mut rng).cost;
+        let empty = cm
+            .on_begin(
+                &query(0, 0),
+                &tm,
+                &costs,
+                &mut rng,
+                &mut TraceSink::disabled(),
+            )
+            .cost;
         tm.begin_tx(ThreadId(1), 1, dtx(1, 0), Cycle::ZERO);
         tm.begin_tx(ThreadId(2), 2, dtx(2, 0), Cycle::ZERO);
-        let busy = cm.on_begin(&query(0, 0), &tm, &costs, &mut rng).cost;
+        let busy = cm
+            .on_begin(
+                &query(0, 0),
+                &tm,
+                &costs,
+                &mut rng,
+                &mut TraceSink::disabled(),
+            )
+            .cost;
         assert_eq!(busy - empty, 2 * cm.cfg.scan_entry_cost);
     }
 
@@ -302,7 +345,13 @@ mod tests {
             now: Cycle::ZERO,
             retries: 0,
         };
-        cm.on_commit(&enemy_rec, &tm, &costs, &mut rng);
+        cm.on_commit(
+            &enemy_rec,
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
         // We waited behind the enemy, then commit an overlapping set.
         cm.waiting_on.insert(dtx(0, 0).pack(), dtx(1, 1).pack());
         let before = cm.conf(dtx(0, 0), dtx(1, 1));
@@ -312,7 +361,7 @@ mod tests {
             now: Cycle::ZERO,
             retries: 0,
         };
-        cm.on_commit(&my_rec, &tm, &costs, &mut rng);
+        cm.on_commit(&my_rec, &tm, &costs, &mut rng, &mut TraceSink::disabled());
         assert!(cm.conf(dtx(0, 0), dtx(1, 1)) > before);
     }
 
@@ -327,7 +376,13 @@ mod tests {
             now: Cycle::ZERO,
             retries: 0,
         };
-        cm.on_commit(&enemy_rec, &tm, &costs, &mut rng);
+        cm.on_commit(
+            &enemy_rec,
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
         cm.waiting_on.insert(dtx(0, 0).pack(), dtx(1, 1).pack());
         let my_rec = CommitRecord {
             dtx: dtx(0, 0),
@@ -335,7 +390,7 @@ mod tests {
             now: Cycle::ZERO,
             retries: 0,
         };
-        cm.on_commit(&my_rec, &tm, &costs, &mut rng);
+        cm.on_commit(&my_rec, &tm, &costs, &mut rng, &mut TraceSink::disabled());
         assert!(cm.conf(dtx(0, 0), dtx(1, 1)) < 120.0);
     }
 
@@ -351,7 +406,7 @@ mod tests {
                 now: Cycle::ZERO,
                 retries: 0,
             };
-            cm.on_commit(&rec, &tm, &costs, &mut rng);
+            cm.on_commit(&rec, &tm, &costs, &mut rng, &mut TraceSink::disabled());
         }
         assert!(cm.conf(dtx(0, 0), dtx(1, 1)) >= 0.0);
     }

@@ -6,7 +6,7 @@ use bfgts_htm::{
     AbortPlan, BeginDecision, BeginOutcome, BeginQuery, CommitOutcome, CommitRecord, ConflictEvent,
     ContentionManager, DTxId, TmState,
 };
-use bfgts_sim::{CostModel, SimRng};
+use bfgts_sim::{CostModel, SimRng, TraceSink};
 use std::collections::BTreeMap;
 
 /// Tunables of the stall-on-abort manager.
@@ -73,6 +73,7 @@ impl ContentionManager for StallCm {
         tm: &TmState,
         _costs: &CostModel,
         _rng: &mut SimRng,
+        _trace: &mut TraceSink,
     ) -> BeginOutcome {
         let cost = self.cfg.bookkeeping_cost;
         if let Some(enemy) = self.grudge.remove(&q.dtx.pack()) {
@@ -95,6 +96,7 @@ impl ContentionManager for StallCm {
         tm: &TmState,
         _costs: &CostModel,
         rng: &mut SimRng,
+        _trace: &mut TraceSink,
     ) -> AbortPlan {
         let backoff = if tm.is_active(ev.enemy) {
             // The begin-time stall will wait the enemy out; retry soon.
@@ -115,6 +117,7 @@ impl ContentionManager for StallCm {
         _tm: &TmState,
         _costs: &CostModel,
         _rng: &mut SimRng,
+        _trace: &mut TraceSink,
     ) -> CommitOutcome {
         self.grudge.remove(&rec.dtx.pack());
         CommitOutcome {
@@ -157,7 +160,7 @@ mod tests {
     fn no_grudge_proceeds() {
         let (tm, costs, mut rng) = env();
         let mut cm = StallCm::default();
-        let out = cm.on_begin(&query(0), &tm, &costs, &mut rng);
+        let out = cm.on_begin(&query(0), &tm, &costs, &mut rng, &mut TraceSink::disabled());
         assert_eq!(out.decision, BeginDecision::Proceed);
     }
 
@@ -173,15 +176,15 @@ mod tests {
             now: Cycle::ZERO,
             retries: 0,
         };
-        let plan = cm.on_conflict_abort(&ev, &tm, &costs, &mut rng);
+        let plan = cm.on_conflict_abort(&ev, &tm, &costs, &mut rng, &mut TraceSink::disabled());
         assert_eq!(plan.backoff, 0, "stalling replaces blind backoff");
-        let out = cm.on_begin(&query(0), &tm, &costs, &mut rng);
+        let out = cm.on_begin(&query(0), &tm, &costs, &mut rng, &mut TraceSink::disabled());
         assert_eq!(
             out.decision,
             BeginDecision::SpinUntilDone { target: dtx(1, 2) }
         );
         // The grudge is consumed: a second begin proceeds.
-        let out = cm.on_begin(&query(0), &tm, &costs, &mut rng);
+        let out = cm.on_begin(&query(0), &tm, &costs, &mut rng, &mut TraceSink::disabled());
         assert_eq!(out.decision, BeginDecision::Proceed);
     }
 
@@ -196,9 +199,9 @@ mod tests {
             now: Cycle::ZERO,
             retries: 1,
         };
-        let plan = cm.on_conflict_abort(&ev, &tm, &costs, &mut rng);
+        let plan = cm.on_conflict_abort(&ev, &tm, &costs, &mut rng, &mut TraceSink::disabled());
         assert!(plan.backoff <= 400 << 1);
-        let out = cm.on_begin(&query(0), &tm, &costs, &mut rng);
+        let out = cm.on_begin(&query(0), &tm, &costs, &mut rng, &mut TraceSink::disabled());
         assert_eq!(out.decision, BeginDecision::Proceed);
     }
 
@@ -214,15 +217,15 @@ mod tests {
             now: Cycle::ZERO,
             retries: 0,
         };
-        cm.on_conflict_abort(&ev, &tm, &costs, &mut rng);
+        cm.on_conflict_abort(&ev, &tm, &costs, &mut rng, &mut TraceSink::disabled());
         let rec = CommitRecord {
             dtx: dtx(0, 0),
             rw_set: &[LineAddr(0)],
             now: Cycle::ZERO,
             retries: 1,
         };
-        cm.on_commit(&rec, &tm, &costs, &mut rng);
-        let out = cm.on_begin(&query(0), &tm, &costs, &mut rng);
+        cm.on_commit(&rec, &tm, &costs, &mut rng, &mut TraceSink::disabled());
+        let out = cm.on_begin(&query(0), &tm, &costs, &mut rng, &mut TraceSink::disabled());
         assert_eq!(out.decision, BeginDecision::Proceed);
     }
 }

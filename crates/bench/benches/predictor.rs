@@ -5,7 +5,7 @@
 use bfgts_baselines::PtsCm;
 use bfgts_core::{BfgtsCm, BfgtsConfig, HwPredictor};
 use bfgts_htm::{BeginQuery, ContentionManager, DTxId, STxId, TmState};
-use bfgts_sim::{CostModel, Cycle, SimRng, ThreadId};
+use bfgts_sim::{CostModel, Cycle, SimRng, ThreadId, TraceSink};
 use bfgts_testkit::bench::Harness;
 use std::hint::black_box;
 
@@ -51,7 +51,13 @@ fn main() {
         let mut rng = SimRng::seed_from(1);
         let q = query();
         h.bench("on_begin_full_cpu_table/bfgts_hw", || {
-            black_box(cm.on_begin(black_box(&q), &tm, &costs, &mut rng));
+            black_box(cm.on_begin(
+                black_box(&q),
+                &tm,
+                &costs,
+                &mut rng,
+                &mut TraceSink::disabled(),
+            ));
         });
     }
     {
@@ -59,7 +65,13 @@ fn main() {
         let mut rng = SimRng::seed_from(1);
         let q = query();
         h.bench("on_begin_full_cpu_table/bfgts_sw", || {
-            black_box(cm.on_begin(black_box(&q), &tm, &costs, &mut rng));
+            black_box(cm.on_begin(
+                black_box(&q),
+                &tm,
+                &costs,
+                &mut rng,
+                &mut TraceSink::disabled(),
+            ));
         });
     }
     {
@@ -67,7 +79,13 @@ fn main() {
         let mut rng = SimRng::seed_from(1);
         let q = query();
         h.bench("on_begin_full_cpu_table/pts", || {
-            black_box(cm.on_begin(black_box(&q), &tm, &costs, &mut rng));
+            black_box(cm.on_begin(
+                black_box(&q),
+                &tm,
+                &costs,
+                &mut rng,
+                &mut TraceSink::disabled(),
+            ));
         });
     }
 

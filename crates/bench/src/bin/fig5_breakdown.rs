@@ -6,7 +6,7 @@
 //! cargo run -p bfgts-bench --release --bin fig5_breakdown [--quick] [--jobs N]
 //! ```
 
-use bfgts_bench::runner::{run_grid_with_args, RunCell};
+use bfgts_bench::runner::{audit_cells, run_grid_with_args, RunCell};
 use bfgts_bench::{parse_common_args, ManagerKind};
 use bfgts_sim::Bucket;
 use bfgts_workloads::presets;
@@ -35,6 +35,22 @@ fn main() {
         })
         .collect();
     let results = run_grid_with_args(&cells, &args);
+
+    // Every Figure 5 number is a cycle-accounting claim, so this binary
+    // always replays each cell's event trace through the invariant
+    // checker (DESIGN.md §8) before printing — not just under --audit.
+    if !args.audit {
+        match audit_cells(&cells) {
+            Ok(totals) => eprintln!("audit: {totals}"),
+            Err(violations) => {
+                for v in violations.iter().take(10) {
+                    eprintln!("audit violation: {v}");
+                }
+                eprintln!("error: the Figure 5 accounting failed its audit");
+                std::process::exit(1);
+            }
+        }
+    }
 
     println!(
         "Figure 5: normalized runtime breakdown ({} CPUs / {} threads)\n",

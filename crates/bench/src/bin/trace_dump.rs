@@ -1,0 +1,152 @@
+//! Inspects a JSONL event trace written by `--trace PATH`.
+//!
+//! ```text
+//! cargo run -p bfgts-bench --release --bin trace_dump -- FILE [options]
+//! ```
+//!
+//! By default prints a summary: the run shape from the header and the
+//! event counts by type. `--audit` replays the file through the
+//! accounting invariant checker (DESIGN.md §8) and exits 1 on any
+//! violation. `--tamper` is the checker's negative control: it perturbs
+//! the first charge by one cycle before auditing and *succeeds only if
+//! the audit fails* — a checker that accepts a corrupted trace is
+//! broken. `--chrome PATH` converts the file for `chrome://tracing`.
+
+use bfgts_bench::trace_export::{parse_jsonl, to_chrome};
+use bfgts_trace::{audit, TraceEvent};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: trace_dump FILE [options]
+options:
+  --audit        replay the trace through the accounting invariant
+                 checker; exit 1 on any violation
+  --tamper       negative control: corrupt the first charge by one
+                 cycle, then require the audit to fail
+  --chrome PATH  also convert the trace to Chrome trace_event JSON
+  -h, --help     show this help";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut do_audit = false;
+    let mut tamper = false;
+    let mut chrome_out = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--audit" => do_audit = true,
+            "--tamper" => tamper = true,
+            "--chrome" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => chrome_out = Some(path.clone()),
+                    None => return fail("--chrome needs a value"),
+                }
+            }
+            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
+            other => return fail(&format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    let Some(file) = file else {
+        return fail("missing trace FILE");
+    };
+
+    let text = match std::fs::read_to_string(&file) {
+        Ok(text) => text,
+        Err(err) => return fail(&format!("cannot read {file}: {err}")),
+    };
+    let (mut recording, inputs) = match parse_jsonl(&text) {
+        Ok(parsed) => parsed,
+        Err(err) => return fail(&format!("{file}: {err}")),
+    };
+
+    println!(
+        "{file}: {} events ({} dropped), makespan {} cycles, {} CPUs, {} threads",
+        recording.events.len(),
+        recording.dropped,
+        inputs.makespan,
+        inputs.num_cpus,
+        inputs.per_thread.len()
+    );
+    let mut by_name: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for rec in &recording.events {
+        *by_name.entry(rec.ev.name()).or_insert(0) += 1;
+    }
+    for (name, count) in &by_name {
+        println!("  {name:<16} {count}");
+    }
+
+    if let Some(path) = chrome_out {
+        if let Err(err) = std::fs::write(&path, to_chrome(&recording, &inputs)) {
+            return fail(&format!("cannot write {path}: {err}"));
+        }
+        println!("wrote {path}");
+    }
+
+    if tamper {
+        // Corrupt the cheapest thing that must break invariant I1: one
+        // extra cycle in the first charge.
+        let Some(rec) = recording.events.iter_mut().find_map(|rec| match rec.ev {
+            TraceEvent::Charge { .. } => Some(rec),
+            _ => None,
+        }) else {
+            return fail("--tamper: trace has no charge events to corrupt");
+        };
+        if let TraceEvent::Charge { ref mut cycles, .. } = rec.ev {
+            *cycles += 1;
+        }
+        return match audit(&recording, &inputs) {
+            Err(violations) => {
+                println!(
+                    "tamper control: audit correctly rejected the corrupted trace ({} violations)",
+                    violations.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Ok(_) => {
+                eprintln!("error: audit ACCEPTED a corrupted trace — the checker is broken");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if do_audit {
+        return match audit(&recording, &inputs) {
+            Ok(summary) => {
+                println!(
+                    "audit: clean — {} confidence updates and {} bloom samples verified bit-for-bit",
+                    summary.conf_updates, summary.bloom_samples
+                );
+                for (cpu, (busy, idle)) in summary
+                    .per_cpu_busy
+                    .iter()
+                    .zip(&summary.per_cpu_idle)
+                    .enumerate()
+                {
+                    println!("  cpu{cpu}: busy {busy} + idle {idle} = {}", busy + idle);
+                }
+                ExitCode::SUCCESS
+            }
+            Err(violations) => {
+                for v in violations.iter().take(20) {
+                    eprintln!("audit violation: {v}");
+                }
+                eprintln!("error: audit failed with {} violation(s)", violations.len());
+                ExitCode::FAILURE
+            }
+        };
+    }
+    ExitCode::SUCCESS
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -12,6 +12,7 @@
 
 pub mod json;
 pub mod runner;
+pub mod trace_export;
 
 use bfgts_baselines::{AtsCm, BackoffCm, PtsCm, PtsConfig};
 use bfgts_core::{BfgtsCm, BfgtsConfig};
@@ -216,6 +217,13 @@ pub struct CommonArgs {
     pub use_cache: bool,
     /// Optional path for a machine-readable grid dump (`--json PATH`).
     pub json: Option<std::path::PathBuf>,
+    /// Optional path for a JSONL event trace of the grid's first
+    /// parallel cell (`--trace PATH`; a Chrome trace is written next to
+    /// it).
+    pub trace: Option<std::path::PathBuf>,
+    /// Whether every distinct cell is re-run with full tracing and its
+    /// accounting audited (`--audit`).
+    pub audit: bool,
 }
 
 impl Default for CommonArgs {
@@ -226,6 +234,8 @@ impl Default for CommonArgs {
             jobs: runner::default_jobs(),
             use_cache: true,
             json: None,
+            trace: None,
+            audit: false,
         }
     }
 }
@@ -241,6 +251,12 @@ options:
                  (default: available parallelism)
   --no-cache     ignore and bypass results/cache
   --json PATH    also write per-cell results as JSON to PATH
+  --trace PATH   re-run the first parallel cell with full event tracing
+                 and write it as JSONL to PATH (plus a Chrome trace
+                 next to it); the recording is audited first
+  --audit        re-run every distinct cell with full tracing and
+                 verify the accounting invariants (exits 1 on the
+                 first violation)
   -h, --help     show this help";
 
 /// Parses the shared flags from `args` (binary name already stripped).
@@ -290,6 +306,10 @@ pub fn parse_args_from(args: &[String]) -> Result<Option<CommonArgs>, String> {
             "--json" => {
                 out.json = Some(std::path::PathBuf::from(value(&mut i, "--json")?));
             }
+            "--trace" => {
+                out.trace = Some(std::path::PathBuf::from(value(&mut i, "--trace")?));
+            }
+            "--audit" => out.audit = true,
             other => return Err(format!("unknown argument '{other}'")),
         }
         i += 1;
@@ -384,6 +404,9 @@ mod tests {
             "--no-cache",
             "--json",
             "out.json",
+            "--trace",
+            "run.jsonl",
+            "--audit",
         ])
         .unwrap()
         .unwrap();
@@ -393,6 +416,11 @@ mod tests {
         assert_eq!(args.jobs, 3);
         assert!(!args.use_cache);
         assert_eq!(args.json.as_deref(), Some(std::path::Path::new("out.json")));
+        assert_eq!(
+            args.trace.as_deref(),
+            Some(std::path::Path::new("run.jsonl"))
+        );
+        assert!(args.audit);
     }
 
     #[test]

@@ -25,10 +25,11 @@
 //! cache hit reproduces the fresh run's output byte for byte.
 
 use crate::json::Json;
-use crate::{CommonArgs, ManagerKind, Platform};
+use crate::{trace_export, CommonArgs, ManagerKind, Platform};
 use bfgts_baselines::BackoffCm;
 use bfgts_htm::{run_workload, ContentionManager, TmRunConfig, TmRunReport};
-use bfgts_sim::{Bucket, TimeBuckets};
+use bfgts_sim::{Bucket, TimeBuckets, TraceMode};
+use bfgts_trace::Violation;
 use bfgts_workloads::BenchmarkSpec;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -195,16 +196,24 @@ impl RunCell {
 
     /// Runs the cell to completion (no caching).
     pub fn execute(&self) -> CellSummary {
+        CellSummary::from_report(&self.execute_report(TraceMode::Off))
+    }
+
+    /// Runs the cell with the given trace mode and returns the full run
+    /// report. Never consults the cell cache — a cached summary has no
+    /// event recording, and the recording is the point.
+    pub fn execute_report(&self, trace: TraceMode) -> TmRunReport {
         let seed = self.platform.seed;
-        let report = match &self.manager {
+        match &self.manager {
             CellManager::Serial => {
-                let cfg = self.costs.config(1, 1, seed);
+                let cfg = self.costs.config(1, 1, seed).trace(trace);
                 run_workload(&cfg, self.spec.sources(1), Box::new(BackoffCm::default()))
             }
             manager => {
                 let cfg = self
                     .costs
-                    .config(self.platform.cpus, self.platform.threads, seed);
+                    .config(self.platform.cpus, self.platform.threads, seed)
+                    .trace(trace);
                 let cm: Box<dyn ContentionManager> = match manager {
                     CellManager::Kind(kind) => kind.build(kind.optimal_bloom_bits(self.spec.name)),
                     CellManager::KindWithBloom(kind, bits) => kind.build(*bits),
@@ -213,8 +222,7 @@ impl RunCell {
                 };
                 run_workload(&cfg, self.spec.sources(self.platform.threads), cm)
             }
-        };
-        CellSummary::from_report(&report)
+        }
     }
 }
 
@@ -569,7 +577,10 @@ pub fn run_grid(cells: &[RunCell], opts: &RunnerOptions) -> Vec<CellSummary> {
 }
 
 /// Runs the grid with the options selected on the command line and, when
-/// `--json PATH` was given, writes every cell summary there.
+/// `--json PATH` was given, writes every cell summary there. `--audit`
+/// then re-runs every distinct cell with full tracing and verifies the
+/// accounting invariants (exiting 1 on a violation), and `--trace PATH`
+/// writes the first parallel cell's recording to disk.
 pub fn run_grid_with_args(cells: &[RunCell], args: &CommonArgs) -> Vec<CellSummary> {
     let results = run_grid(cells, &RunnerOptions::from_args(args));
     if let Some(path) = &args.json {
@@ -577,7 +588,126 @@ pub fn run_grid_with_args(cells: &[RunCell], args: &CommonArgs) -> Vec<CellSumma
             eprintln!("warning: could not write {}: {err}", path.display());
         }
     }
+    if args.audit {
+        match audit_cells(cells) {
+            Ok(totals) => eprintln!("audit: {totals}"),
+            Err(violations) => {
+                for v in violations.iter().take(10) {
+                    eprintln!("audit violation: {v}");
+                }
+                eprintln!(
+                    "error: accounting audit failed with {} violation(s)",
+                    violations.len()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &args.trace {
+        // A parallel cell makes the most interesting trace; serial
+        // baselines have no conflicts to look at.
+        let cell = cells
+            .iter()
+            .find(|c| !matches!(c.manager, CellManager::Serial))
+            .or_else(|| cells.first());
+        match cell {
+            Some(cell) => {
+                if let Err(err) = export_cell_trace(cell, path) {
+                    eprintln!("warning: could not write {}: {err}", path.display());
+                } else {
+                    eprintln!(
+                        "trace: wrote {} and {}",
+                        path.display(),
+                        chrome_trace_path(path).display()
+                    );
+                }
+            }
+            None => eprintln!("warning: --trace given but the grid has no cells"),
+        }
+    }
     results
+}
+
+/// Totals accumulated by a clean [`audit_cells`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuditTotals {
+    /// Distinct cells audited.
+    pub cells: usize,
+    /// Events replayed across all cells.
+    pub events: usize,
+    /// Confidence updates recomputed bit-for-bit.
+    pub conf_updates: u64,
+    /// Bloom clamp-contract samples checked.
+    pub bloom_samples: u64,
+}
+
+impl std::fmt::Display for AuditTotals {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} cells clean ({} events, {} confidence updates, {} bloom samples verified)",
+            self.cells, self.events, self.conf_updates, self.bloom_samples
+        )
+    }
+}
+
+/// Re-runs every *distinct* cell of `cells` with full event tracing —
+/// bypassing the cache, whose summaries carry no recording — and replays
+/// each recording through `bfgts_trace::audit`. Returns the totals on
+/// success or the first failing cell's violations, prefixed with its
+/// cache key.
+pub fn audit_cells(cells: &[RunCell]) -> Result<AuditTotals, Vec<Violation>> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut totals = AuditTotals::default();
+    for cell in cells {
+        let key = cell.cache_key();
+        if !seen.insert(key.clone()) {
+            continue;
+        }
+        let report = cell.execute_report(TraceMode::Full);
+        match report.audit() {
+            Ok(summary) => {
+                totals.cells += 1;
+                totals.events += summary.events;
+                totals.conf_updates += summary.conf_updates;
+                totals.bloom_samples += summary.bloom_samples;
+            }
+            Err(violations) => {
+                return Err(violations
+                    .into_iter()
+                    .map(|v| Violation {
+                        what: format!("{key}: {}", v.what),
+                        ..v
+                    })
+                    .collect())
+            }
+        }
+    }
+    Ok(totals)
+}
+
+/// The Chrome-trace sibling of a JSONL trace path:
+/// `results/fig4.jsonl` → `results/fig4.chrome.json`.
+pub fn chrome_trace_path(path: &Path) -> PathBuf {
+    path.with_extension("chrome.json")
+}
+
+/// Re-runs `cell` with full event tracing and writes the recording as
+/// JSONL to `path` plus a Chrome trace to [`chrome_trace_path`]. The
+/// recording is audited first; a violation is a simulator bug and
+/// panics.
+pub fn export_cell_trace(cell: &RunCell, path: &Path) -> std::io::Result<()> {
+    let report = cell.execute_report(TraceMode::Full);
+    report.audit_or_panic();
+    let inputs = report.sim.audit_inputs();
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, trace_export::to_jsonl(&report.sim.trace, &inputs))?;
+    std::fs::write(
+        chrome_trace_path(path),
+        trace_export::to_chrome(&report.sim.trace, &inputs),
+    )
 }
 
 /// Serialises a completed grid to `path` as a JSON document.

@@ -1,0 +1,736 @@
+//! Trace exports: JSONL (lossless, byte-reproducible, re-auditable) and
+//! Chrome `trace_event` JSON (drag into `chrome://tracing` or Perfetto).
+//!
+//! The JSONL form is the interchange format. The first line is a header
+//! carrying the audit ground truth (makespan, CPU count, per-thread
+//! bucket totals) so a file can be re-audited standalone by
+//! `trace_dump`; each following line is one event. Every float is stored
+//! as a `u64` IEEE-754 bit pattern, so a parsed file audits *bit for
+//! bit* like the in-memory recording. Keys are emitted in sorted order
+//! and integers as plain decimals, so equal recordings serialise to
+//! identical bytes — the golden-trace determinism tests diff files
+//! directly.
+//!
+//! The Chrome form is the human-facing view: charges become duration
+//! (`"X"`) slices on one lane per CPU, everything else becomes instant
+//! events on one lane per thread (confidence updates on a scheduler
+//! lane keyed by static transaction). It is lossy by design — floats
+//! are printed as floats there.
+
+use crate::json::Json;
+use bfgts_trace::{
+    AuditInputs, BucketKind, ConfKind, DecisionKind, TraceEvent, TraceRec, TraceRecording,
+};
+
+/// Format version stamped into (and required of) the JSONL header.
+pub const TRACE_FORMAT_VERSION: u64 = 1;
+
+/// Serialises a recording plus its audit ground truth as JSONL.
+pub fn to_jsonl(recording: &TraceRecording, inputs: &AuditInputs) -> String {
+    let header = Json::obj([
+        ("type", Json::Str("header".into())),
+        ("version", Json::UInt(TRACE_FORMAT_VERSION)),
+        ("makespan", Json::UInt(inputs.makespan)),
+        ("num_cpus", Json::UInt(inputs.num_cpus as u64)),
+        (
+            "per_thread",
+            Json::Arr(
+                inputs
+                    .per_thread
+                    .iter()
+                    .map(|row| Json::Arr(row.iter().map(|&c| Json::UInt(c)).collect()))
+                    .collect(),
+            ),
+        ),
+        ("events", Json::UInt(recording.events.len() as u64)),
+        ("dropped", Json::UInt(recording.dropped)),
+    ]);
+    let mut out = String::with_capacity(64 + recording.events.len() * 96);
+    out.push_str(&header.to_string());
+    out.push('\n');
+    for rec in &recording.events {
+        out.push_str(&rec_to_json(rec).to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSONL trace back into a recording and its audit inputs.
+/// Inverse of [`to_jsonl`]; errors name the offending line.
+pub fn parse_jsonl(text: &str) -> Result<(TraceRecording, AuditInputs), String> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty());
+    let (_, first) = lines.next().ok_or("empty trace file")?;
+    let header = Json::parse(first).map_err(|e| format!("line 1: {e}"))?;
+    if header.get("type").and_then(Json::as_str) != Some("header") {
+        return Err("line 1: not a trace header".into());
+    }
+    let version = header
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or("line 1: header has no version")?;
+    if version != TRACE_FORMAT_VERSION {
+        return Err(format!(
+            "unsupported trace format version {version} (expected {TRACE_FORMAT_VERSION})"
+        ));
+    }
+    let field = |key: &str| {
+        header
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("line 1: header field '{key}' missing or malformed"))
+    };
+    let makespan = field("makespan")?;
+    let num_cpus = field("num_cpus")? as usize;
+    let dropped = field("dropped")?;
+    let declared = field("events")?;
+    let per_thread: Vec<[u64; BucketKind::COUNT]> = header
+        .get("per_thread")
+        .and_then(Json::as_arr)
+        .ok_or("line 1: header field 'per_thread' missing")?
+        .iter()
+        .map(|row| {
+            let cells = row.as_arr()?;
+            let mut out = [0u64; BucketKind::COUNT];
+            if cells.len() != out.len() {
+                return None;
+            }
+            for (slot, cell) in out.iter_mut().zip(cells) {
+                *slot = cell.as_u64()?;
+            }
+            Some(out)
+        })
+        .collect::<Option<_>>()
+        .ok_or("line 1: malformed 'per_thread' row")?;
+
+    let mut events = Vec::with_capacity(declared as usize);
+    for (i, line) in lines {
+        let n = i + 1;
+        let value = Json::parse(line).map_err(|e| format!("line {n}: {e}"))?;
+        events.push(rec_from_json(&value).ok_or_else(|| format!("line {n}: malformed event"))?);
+    }
+    if events.len() as u64 != declared {
+        return Err(format!(
+            "header declares {declared} events but file has {}",
+            events.len()
+        ));
+    }
+    Ok((
+        TraceRecording { events, dropped },
+        AuditInputs {
+            makespan,
+            num_cpus,
+            per_thread,
+        },
+    ))
+}
+
+fn rec_to_json(rec: &TraceRec) -> Json {
+    let u = |x: u32| Json::UInt(u64::from(x));
+    let mut pairs: Vec<(&'static str, Json)> = vec![
+        ("seq", Json::UInt(rec.seq)),
+        ("at", Json::UInt(rec.at)),
+        ("ev", Json::Str(rec.ev.name().into())),
+    ];
+    match rec.ev {
+        TraceEvent::Charge {
+            cpu,
+            thread,
+            bucket,
+            cycles,
+        } => pairs.extend([
+            ("cpu", u(cpu)),
+            ("thread", u(thread)),
+            ("bucket", Json::Str(bucket.label().into())),
+            ("cycles", Json::UInt(cycles)),
+        ]),
+        TraceEvent::Refile {
+            thread,
+            from,
+            to,
+            requested,
+            moved,
+        } => pairs.extend([
+            ("thread", u(thread)),
+            ("from", Json::Str(from.label().into())),
+            ("to", Json::Str(to.label().into())),
+            ("requested", Json::UInt(requested)),
+            ("moved", Json::UInt(moved)),
+        ]),
+        TraceEvent::ContextSwitch { cpu, thread, cost } => pairs.extend([
+            ("cpu", u(cpu)),
+            ("thread", u(thread)),
+            ("cost", Json::UInt(cost)),
+        ]),
+        TraceEvent::TxBegin {
+            thread,
+            stx,
+            retries,
+        } => pairs.extend([
+            ("thread", u(thread)),
+            ("stx", u(stx)),
+            ("retries", u(retries)),
+        ]),
+        TraceEvent::TxConflict {
+            thread,
+            stx,
+            enemy_thread,
+            enemy_stx,
+            stalled,
+        } => pairs.extend([
+            ("thread", u(thread)),
+            ("stx", u(stx)),
+            ("enemy_thread", u(enemy_thread)),
+            ("enemy_stx", u(enemy_stx)),
+            ("stalled", Json::Bool(stalled)),
+        ]),
+        TraceEvent::TxStall { thread, stx } => {
+            pairs.extend([("thread", u(thread)), ("stx", u(stx))]);
+        }
+        TraceEvent::TxSuspend {
+            thread,
+            stx,
+            target_thread,
+            target_stx,
+            yielding,
+        } => pairs.extend([
+            ("thread", u(thread)),
+            ("stx", u(stx)),
+            ("target_thread", u(target_thread)),
+            ("target_stx", u(target_stx)),
+            ("yielding", Json::Bool(yielding)),
+        ]),
+        TraceEvent::TxAbort {
+            thread,
+            stx,
+            undo_lines,
+        } => pairs.extend([
+            ("thread", u(thread)),
+            ("stx", u(stx)),
+            ("undo_lines", u(undo_lines)),
+        ]),
+        TraceEvent::TxCommit {
+            thread,
+            stx,
+            retries,
+            rw_lines,
+        } => pairs.extend([
+            ("thread", u(thread)),
+            ("stx", u(stx)),
+            ("retries", u(retries)),
+            ("rw_lines", u(rw_lines)),
+        ]),
+        TraceEvent::SchedDecision {
+            thread,
+            stx,
+            kind,
+            target_thread,
+            target_stx,
+            cost,
+        } => pairs.extend([
+            ("thread", u(thread)),
+            ("stx", u(stx)),
+            ("kind", Json::Str(kind.label().into())),
+            ("target_thread", u(target_thread)),
+            ("target_stx", u(target_stx)),
+            ("cost", Json::UInt(cost)),
+        ]),
+        TraceEvent::ConfUpdate {
+            kind,
+            a_stx,
+            b_stx,
+            sim_a_bits,
+            sim_b_bits,
+            param_bits,
+            applied_bits,
+        } => pairs.extend([
+            ("kind", Json::Str(kind.label().into())),
+            ("a_stx", u(a_stx)),
+            ("b_stx", u(b_stx)),
+            ("sim_a_bits", Json::UInt(sim_a_bits)),
+            ("sim_b_bits", Json::UInt(sim_b_bits)),
+            ("param_bits", Json::UInt(param_bits)),
+            ("applied_bits", Json::UInt(applied_bits)),
+        ]),
+        TraceEvent::BloomSample {
+            thread,
+            stx,
+            raw_bits,
+            clamped_bits,
+        } => pairs.extend([
+            ("thread", u(thread)),
+            ("stx", u(stx)),
+            ("raw_bits", Json::UInt(raw_bits)),
+            ("clamped_bits", Json::UInt(clamped_bits)),
+        ]),
+    }
+    Json::obj(pairs)
+}
+
+fn rec_from_json(v: &Json) -> Option<TraceRec> {
+    let seq = v.get("seq")?.as_u64()?;
+    let at = v.get("at")?.as_u64()?;
+    let name = v.get("ev")?.as_str()?;
+    let u32f = |key: &str| -> Option<u32> { v.get(key)?.as_u64()?.try_into().ok() };
+    let u64f = |key: &str| v.get(key)?.as_u64();
+    let boolf = |key: &str| match v.get(key)? {
+        Json::Bool(b) => Some(*b),
+        _ => None,
+    };
+    let bucketf = |key: &str| BucketKind::from_label(v.get(key)?.as_str()?);
+    let ev = match name {
+        "charge" => TraceEvent::Charge {
+            cpu: u32f("cpu")?,
+            thread: u32f("thread")?,
+            bucket: bucketf("bucket")?,
+            cycles: u64f("cycles")?,
+        },
+        "refile" => TraceEvent::Refile {
+            thread: u32f("thread")?,
+            from: bucketf("from")?,
+            to: bucketf("to")?,
+            requested: u64f("requested")?,
+            moved: u64f("moved")?,
+        },
+        "context_switch" => TraceEvent::ContextSwitch {
+            cpu: u32f("cpu")?,
+            thread: u32f("thread")?,
+            cost: u64f("cost")?,
+        },
+        "tx_begin" => TraceEvent::TxBegin {
+            thread: u32f("thread")?,
+            stx: u32f("stx")?,
+            retries: u32f("retries")?,
+        },
+        "tx_conflict" => TraceEvent::TxConflict {
+            thread: u32f("thread")?,
+            stx: u32f("stx")?,
+            enemy_thread: u32f("enemy_thread")?,
+            enemy_stx: u32f("enemy_stx")?,
+            stalled: boolf("stalled")?,
+        },
+        "tx_stall" => TraceEvent::TxStall {
+            thread: u32f("thread")?,
+            stx: u32f("stx")?,
+        },
+        "tx_suspend" => TraceEvent::TxSuspend {
+            thread: u32f("thread")?,
+            stx: u32f("stx")?,
+            target_thread: u32f("target_thread")?,
+            target_stx: u32f("target_stx")?,
+            yielding: boolf("yielding")?,
+        },
+        "tx_abort" => TraceEvent::TxAbort {
+            thread: u32f("thread")?,
+            stx: u32f("stx")?,
+            undo_lines: u32f("undo_lines")?,
+        },
+        "tx_commit" => TraceEvent::TxCommit {
+            thread: u32f("thread")?,
+            stx: u32f("stx")?,
+            retries: u32f("retries")?,
+            rw_lines: u32f("rw_lines")?,
+        },
+        "sched_decision" => TraceEvent::SchedDecision {
+            thread: u32f("thread")?,
+            stx: u32f("stx")?,
+            kind: DecisionKind::from_label(v.get("kind")?.as_str()?)?,
+            target_thread: u32f("target_thread")?,
+            target_stx: u32f("target_stx")?,
+            cost: u64f("cost")?,
+        },
+        "conf_update" => TraceEvent::ConfUpdate {
+            kind: ConfKind::from_label(v.get("kind")?.as_str()?)?,
+            a_stx: u32f("a_stx")?,
+            b_stx: u32f("b_stx")?,
+            sim_a_bits: u64f("sim_a_bits")?,
+            sim_b_bits: u64f("sim_b_bits")?,
+            param_bits: u64f("param_bits")?,
+            applied_bits: u64f("applied_bits")?,
+        },
+        "bloom_sample" => TraceEvent::BloomSample {
+            thread: u32f("thread")?,
+            stx: u32f("stx")?,
+            raw_bits: u64f("raw_bits")?,
+            clamped_bits: u64f("clamped_bits")?,
+        },
+        _ => return None,
+    };
+    Some(TraceRec { seq, at, ev })
+}
+
+/// Renders a recording in Chrome `trace_event` format.
+pub fn to_chrome(recording: &TraceRecording, inputs: &AuditInputs) -> String {
+    const PID_CPUS: u64 = 0;
+    const PID_THREADS: u64 = 1;
+    const PID_SCHED: u64 = 2;
+    let meta = |pid: u64, name: &str| {
+        Json::obj([
+            ("ph", Json::Str("M".into())),
+            ("pid", Json::UInt(pid)),
+            ("tid", Json::UInt(0)),
+            ("name", Json::Str("process_name".into())),
+            ("args", Json::obj([("name", Json::Str(name.into()))])),
+        ])
+    };
+    let mut events = vec![
+        meta(PID_CPUS, "cpus"),
+        meta(PID_THREADS, "threads"),
+        meta(PID_SCHED, "scheduler (by stx)"),
+    ];
+    let float = |bits: u64| {
+        let x = f64::from_bits(bits);
+        if x.is_finite() {
+            Json::Float(x)
+        } else {
+            Json::Str(format!("0x{bits:016x}"))
+        }
+    };
+    let instant = |pid: u64, tid: u64, at: u64, name: String, args: Json| {
+        Json::obj([
+            ("ph", Json::Str("i".into())),
+            ("pid", Json::UInt(pid)),
+            ("tid", Json::UInt(tid)),
+            ("ts", Json::UInt(at)),
+            ("s", Json::Str("t".into())),
+            ("name", Json::Str(name)),
+            ("args", args),
+        ])
+    };
+    for rec in &recording.events {
+        let at = rec.at;
+        events.push(match rec.ev {
+            TraceEvent::Charge {
+                cpu,
+                thread,
+                bucket,
+                cycles,
+            } => Json::obj([
+                ("ph", Json::Str("X".into())),
+                ("pid", Json::UInt(PID_CPUS)),
+                ("tid", Json::UInt(u64::from(cpu))),
+                ("ts", Json::UInt(at)),
+                ("dur", Json::UInt(cycles)),
+                ("cat", Json::Str("charge".into())),
+                ("name", Json::Str(bucket.label().into())),
+                (
+                    "args",
+                    Json::obj([("thread", Json::UInt(u64::from(thread)))]),
+                ),
+            ]),
+            TraceEvent::ContextSwitch { cpu, thread, cost } => instant(
+                PID_CPUS,
+                u64::from(cpu),
+                at,
+                "context_switch".into(),
+                Json::obj([
+                    ("thread", Json::UInt(u64::from(thread))),
+                    ("cost", Json::UInt(cost)),
+                ]),
+            ),
+            TraceEvent::Refile {
+                thread,
+                from,
+                to,
+                requested,
+                moved,
+            } => instant(
+                PID_THREADS,
+                u64::from(thread),
+                at,
+                "refile".into(),
+                Json::obj([
+                    ("from", Json::Str(from.label().into())),
+                    ("to", Json::Str(to.label().into())),
+                    ("requested", Json::UInt(requested)),
+                    ("moved", Json::UInt(moved)),
+                ]),
+            ),
+            TraceEvent::TxBegin {
+                thread,
+                stx,
+                retries,
+            } => instant(
+                PID_THREADS,
+                u64::from(thread),
+                at,
+                format!("tx_begin stx{stx}"),
+                Json::obj([("retries", Json::UInt(u64::from(retries)))]),
+            ),
+            TraceEvent::TxConflict {
+                thread,
+                stx,
+                enemy_thread,
+                enemy_stx,
+                stalled,
+            } => instant(
+                PID_THREADS,
+                u64::from(thread),
+                at,
+                format!("tx_conflict stx{stx}"),
+                Json::obj([
+                    ("enemy_thread", Json::UInt(u64::from(enemy_thread))),
+                    ("enemy_stx", Json::UInt(u64::from(enemy_stx))),
+                    ("stalled", Json::Bool(stalled)),
+                ]),
+            ),
+            TraceEvent::TxStall { thread, stx } => instant(
+                PID_THREADS,
+                u64::from(thread),
+                at,
+                format!("tx_stall stx{stx}"),
+                Json::obj([]),
+            ),
+            TraceEvent::TxSuspend {
+                thread,
+                stx,
+                target_thread,
+                target_stx,
+                yielding,
+            } => instant(
+                PID_THREADS,
+                u64::from(thread),
+                at,
+                format!("tx_suspend stx{stx}"),
+                Json::obj([
+                    ("target_thread", Json::UInt(u64::from(target_thread))),
+                    ("target_stx", Json::UInt(u64::from(target_stx))),
+                    ("yielding", Json::Bool(yielding)),
+                ]),
+            ),
+            TraceEvent::TxAbort {
+                thread,
+                stx,
+                undo_lines,
+            } => instant(
+                PID_THREADS,
+                u64::from(thread),
+                at,
+                format!("tx_abort stx{stx}"),
+                Json::obj([("undo_lines", Json::UInt(u64::from(undo_lines)))]),
+            ),
+            TraceEvent::TxCommit {
+                thread,
+                stx,
+                retries,
+                rw_lines,
+            } => instant(
+                PID_THREADS,
+                u64::from(thread),
+                at,
+                format!("tx_commit stx{stx}"),
+                Json::obj([
+                    ("retries", Json::UInt(u64::from(retries))),
+                    ("rw_lines", Json::UInt(u64::from(rw_lines))),
+                ]),
+            ),
+            TraceEvent::SchedDecision {
+                thread,
+                stx,
+                kind,
+                target_thread,
+                target_stx,
+                cost,
+            } => instant(
+                PID_THREADS,
+                u64::from(thread),
+                at,
+                format!("sched:{} stx{stx}", kind.label()),
+                Json::obj([
+                    ("target_thread", Json::UInt(u64::from(target_thread))),
+                    ("target_stx", Json::UInt(u64::from(target_stx))),
+                    ("cost", Json::UInt(cost)),
+                ]),
+            ),
+            TraceEvent::ConfUpdate {
+                kind,
+                a_stx,
+                b_stx,
+                sim_a_bits,
+                sim_b_bits,
+                param_bits,
+                applied_bits,
+            } => instant(
+                PID_SCHED,
+                u64::from(a_stx),
+                at,
+                format!("conf:{}", kind.label()),
+                Json::obj([
+                    ("b_stx", Json::UInt(u64::from(b_stx))),
+                    ("sim_a", float(sim_a_bits)),
+                    ("sim_b", float(sim_b_bits)),
+                    ("param", float(param_bits)),
+                    ("applied", float(applied_bits)),
+                ]),
+            ),
+            TraceEvent::BloomSample {
+                thread,
+                stx,
+                raw_bits,
+                clamped_bits,
+            } => instant(
+                PID_THREADS,
+                u64::from(thread),
+                at,
+                format!("bloom_sample stx{stx}"),
+                Json::obj([("raw", float(raw_bits)), ("clamped", float(clamped_bits))]),
+            ),
+        });
+    }
+    let doc = Json::obj([
+        ("displayTimeUnit", Json::Str("ns".into())),
+        ("traceEvents", Json::Arr(events)),
+        (
+            "otherData",
+            Json::obj([
+                ("makespan", Json::UInt(inputs.makespan)),
+                ("num_cpus", Json::UInt(inputs.num_cpus as u64)),
+            ]),
+        ),
+    ]);
+    doc.to_string() + "\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfgts_trace::NO_TARGET;
+
+    /// One of every event variant, with deliberately awkward values
+    /// (`NO_TARGET`, negative floats).
+    fn sample_recording() -> (TraceRecording, AuditInputs) {
+        let evs = [
+            TraceEvent::Charge {
+                cpu: 0,
+                thread: 1,
+                bucket: BucketKind::Tx,
+                cycles: 40,
+            },
+            TraceEvent::Refile {
+                thread: 1,
+                from: BucketKind::Tx,
+                to: BucketKind::Abort,
+                requested: 40,
+                moved: 40,
+            },
+            TraceEvent::ContextSwitch {
+                cpu: 0,
+                thread: 1,
+                cost: 12,
+            },
+            TraceEvent::TxBegin {
+                thread: 1,
+                stx: 2,
+                retries: 0,
+            },
+            TraceEvent::TxConflict {
+                thread: 1,
+                stx: 2,
+                enemy_thread: 0,
+                enemy_stx: NO_TARGET,
+                stalled: true,
+            },
+            TraceEvent::TxStall { thread: 1, stx: 2 },
+            TraceEvent::TxSuspend {
+                thread: 1,
+                stx: 2,
+                target_thread: 0,
+                target_stx: 3,
+                yielding: false,
+            },
+            TraceEvent::TxAbort {
+                thread: 1,
+                stx: 2,
+                undo_lines: 7,
+            },
+            TraceEvent::TxCommit {
+                thread: 1,
+                stx: 2,
+                retries: 1,
+                rw_lines: 9,
+            },
+            TraceEvent::SchedDecision {
+                thread: 1,
+                stx: 2,
+                kind: DecisionKind::Yield,
+                target_thread: 0,
+                target_stx: 3,
+                cost: 250,
+            },
+            TraceEvent::ConfUpdate {
+                kind: ConfKind::SuspendDecay,
+                a_stx: 2,
+                b_stx: 3,
+                sim_a_bits: 0.25f64.to_bits(),
+                sim_b_bits: 0.75f64.to_bits(),
+                param_bits: 0.1f64.to_bits(),
+                applied_bits: (-0.05f64).to_bits(),
+            },
+            TraceEvent::BloomSample {
+                thread: 1,
+                stx: 2,
+                raw_bits: (-0.3f64).to_bits(),
+                clamped_bits: 0.0f64.to_bits(),
+            },
+        ];
+        let events = evs
+            .into_iter()
+            .enumerate()
+            .map(|(i, ev)| TraceRec {
+                seq: i as u64,
+                at: (i as u64) * 10,
+                ev,
+            })
+            .collect();
+        let recording = TraceRecording { events, dropped: 0 };
+        let inputs = AuditInputs {
+            makespan: 1000,
+            num_cpus: 2,
+            per_thread: vec![[1, 2, 3, 4, 5], [10, 20, 30, 40, 50]],
+        };
+        (recording, inputs)
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_variant_exactly() {
+        let (recording, inputs) = sample_recording();
+        let text = to_jsonl(&recording, &inputs);
+        let (parsed_rec, parsed_inputs) = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed_rec, recording);
+        assert_eq!(parsed_inputs, inputs);
+        // And serialisation is a fixed point: re-export is byte-identical.
+        assert_eq!(to_jsonl(&parsed_rec, &parsed_inputs), text);
+    }
+
+    #[test]
+    fn jsonl_rejects_corrupt_input() {
+        let (recording, inputs) = sample_recording();
+        let text = to_jsonl(&recording, &inputs);
+        assert!(parse_jsonl("").is_err());
+        assert!(parse_jsonl("{\"seq\":0}").is_err(), "missing header");
+        let bad_count = text.replace("\"events\":12", "\"events\":13");
+        assert!(parse_jsonl(&bad_count).is_err(), "event count mismatch");
+        let bad_version = text.replace("\"version\":1", "\"version\":99");
+        assert!(parse_jsonl(&bad_version).is_err(), "future version");
+        let bad_event = text.replace("\"ev\":\"tx_stall\"", "\"ev\":\"tx_mystery\"");
+        assert!(parse_jsonl(&bad_event).is_err(), "unknown event name");
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_cpu_slices() {
+        let (recording, inputs) = sample_recording();
+        let text = to_chrome(&recording, &inputs);
+        let doc = Json::parse(text.trim_end()).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // 3 process-name metadata records + one record per event.
+        assert_eq!(events.len(), 3 + recording.events.len());
+        let slice = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .expect("charge becomes a duration slice");
+        assert_eq!(slice.get("dur").and_then(Json::as_u64), Some(40));
+        assert_eq!(slice.get("name").and_then(Json::as_str), Some("tx"));
+    }
+}

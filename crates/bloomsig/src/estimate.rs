@@ -75,10 +75,30 @@ pub fn set_size(params: EstimateParams, bits_set: u32) -> f64 {
 
 /// Estimated `|A ∩ B|` from the population counts of `A`, `B` and `A ∪ B`
 /// (paper eq. 3). May be slightly negative for disjoint sets due to
-/// estimation noise; callers that need a set size should clamp at zero.
+/// estimation noise.
+///
+/// This is the *raw* estimate, kept for diagnostics (the trace records it
+/// verbatim). Anything that treats the result as a set size — similarity
+/// averages, confidence weights — must go through
+/// [`intersection_size_clamped`]; feeding a negative "size" into a running
+/// average silently drags it below zero and poisons every later update.
 #[inline]
 pub fn intersection_size(params: EstimateParams, bits_a: u32, bits_b: u32, bits_union: u32) -> f64 {
     set_size(params, bits_a) + set_size(params, bits_b) - set_size(params, bits_union)
+}
+
+/// [`intersection_size`] clamped at zero: the canonical form of eq. 3 for
+/// consumers that need a set size. The trace audit (invariant I6 of
+/// `bfgts-trace`) checks that every recorded Bloom sample used exactly
+/// this clamp.
+#[inline]
+pub fn intersection_size_clamped(
+    params: EstimateParams,
+    bits_a: u32,
+    bits_b: u32,
+    bits_union: u32,
+) -> f64 {
+    intersection_size(params, bits_a, bits_b, bits_union).max(0.0)
 }
 
 /// Similarity between two consecutive read/write sets (paper eq. 4):
@@ -158,6 +178,24 @@ mod tests {
         // because set_size is convex; it must be close to zero.
         let est = intersection_size(p(), 300, 300, 600);
         assert!(est.abs() < 25.0, "disjoint estimate {est} should be near 0");
+    }
+
+    #[test]
+    fn clamped_intersection_is_never_negative() {
+        // The raw disjoint estimate goes negative; the clamped form is the
+        // raw estimate clamped at exactly zero (bit-for-bit, which is what
+        // the trace audit checks).
+        let raw = intersection_size(p(), 300, 300, 600);
+        assert!(raw < 0.0, "expected a negative raw estimate, got {raw}");
+        let clamped = intersection_size_clamped(p(), 300, 300, 600);
+        assert_eq!(clamped.to_bits(), raw.max(0.0).to_bits());
+        assert_eq!(clamped, 0.0);
+        // Positive estimates pass through untouched.
+        let overlap = intersection_size(p(), 500, 500, 500);
+        assert_eq!(
+            intersection_size_clamped(p(), 500, 500, 500).to_bits(),
+            overlap.to_bits()
+        );
     }
 
     #[test]

@@ -43,7 +43,9 @@ mod hash;
 mod perfect;
 mod signature;
 
-pub use estimate::{intersection_size, set_size, similarity, EstimateParams};
+pub use estimate::{
+    intersection_size, intersection_size_clamped, set_size, similarity, EstimateParams,
+};
 pub use filter::BloomFilter;
 pub use perfect::PerfectSignature;
 pub use signature::{Signature, SignatureKind};

@@ -23,8 +23,18 @@ pub trait Signature: Clone {
     fn intersects(&self, other: &Self) -> bool;
 
     /// Estimated size of the intersection. May be slightly negative for
-    /// approximate implementations.
+    /// approximate implementations; see
+    /// [`intersection_estimate_clamped`](Signature::intersection_estimate_clamped)
+    /// for the form consumers of set sizes must use.
     fn intersection_estimate(&self, other: &Self) -> f64;
+
+    /// [`intersection_estimate`](Signature::intersection_estimate)
+    /// clamped at zero. Running averages and confidence weights must use
+    /// this form: a negative "size" fed into an average silently drags it
+    /// below zero and poisons every later update.
+    fn intersection_estimate_clamped(&self, other: &Self) -> f64 {
+        self.intersection_estimate(other).max(0.0)
+    }
 
     /// Merges `other` into `self`.
     fn union_in_place(&mut self, other: &Self);

@@ -8,7 +8,7 @@ use bfgts_htm::{
     AbortPlan, BeginDecision, BeginOutcome, BeginQuery, CommitOutcome, CommitRecord, ConflictEvent,
     ContentionManager, DTxId, STxId, TmState,
 };
-use bfgts_sim::{CostModel, SimRng};
+use bfgts_sim::{ConfKind, CostModel, SimRng, TraceEvent, TraceSink};
 use std::collections::BTreeMap;
 
 /// Fixed software-path costs in cycles, calibrated to the instruction
@@ -100,13 +100,19 @@ impl BfgtsCm {
         &mut self.predictors[cpu]
     }
 
-    /// Paired similarity `0.5·(simOf(a)+simOf(b))` (Examples 2–4), or the
-    /// constant 1.0 when similarity weighting is ablated away.
-    fn paired_sim(&self, a: DTxId, b: DTxId) -> f64 {
+    /// Paired similarity `0.5·(simOf(a)+simOf(b))` (Examples 2–4) plus
+    /// its two per-transaction inputs, for trace emission: the audit
+    /// recomputes `0.5·(sim_a+sim_b)` from the parts and requires the
+    /// applied confidence delta to match bit for bit (ablated weighting
+    /// records both parts as the constant 1.0, whose pairing is exactly
+    /// 1.0 again).
+    fn paired_sim_parts(&self, a: DTxId, b: DTxId) -> (f64, f64, f64) {
         if self.cfg.similarity_weighting {
-            0.5 * (self.stats.sim_of(a) + self.stats.sim_of(b))
+            let sim_a = self.stats.sim_of(a);
+            let sim_b = self.stats.sim_of(b);
+            (0.5 * (sim_a + sim_b), sim_a, sim_b)
         } else {
-            1.0
+            (1.0, 1.0, 1.0)
         }
     }
 
@@ -140,6 +146,7 @@ impl ContentionManager for BfgtsCm {
         tm: &TmState,
         costs: &CostModel,
         _rng: &mut SimRng,
+        trace: &mut TraceSink,
     ) -> BeginOutcome {
         let mut cost: u64;
         match self.cfg.variant {
@@ -180,9 +187,18 @@ impl ContentionManager for BfgtsCm {
                 && tm.is_active(*target)
             {
                 // Predicted conflict: suspendTx bookkeeping (Example 2).
-                let sim = self.paired_sim(q.dtx, *target);
-                let decay = self.cfg.decay_val * (1.0 - sim);
-                self.confidence.bump(q.dtx.stx, target.stx, -decay);
+                let (sim, sim_a, sim_b) = self.paired_sim_parts(q.dtx, *target);
+                let applied = -(self.cfg.decay_val * (1.0 - sim));
+                self.confidence.bump(q.dtx.stx, target.stx, applied);
+                trace.emit(q.now.as_u64(), || TraceEvent::ConfUpdate {
+                    kind: ConfKind::SuspendDecay,
+                    a_stx: q.dtx.stx.0,
+                    b_stx: target.stx.0,
+                    sim_a_bits: sim_a.to_bits(),
+                    sim_b_bits: sim_b.to_bits(),
+                    param_bits: self.cfg.decay_val.to_bits(),
+                    applied_bits: applied.to_bits(),
+                });
                 self.stats.entry(q.dtx).waiting_on = Some(*target);
                 cost += self.priced(sw_cost::SUSPEND);
                 let decision = if self.stats.avg_size_of(*target) >= self.cfg.yield_wait_threshold {
@@ -205,12 +221,28 @@ impl ContentionManager for BfgtsCm {
         _tm: &TmState,
         _costs: &CostModel,
         rng: &mut SimRng,
+        trace: &mut TraceSink,
     ) -> AbortPlan {
         // txConflict (Example 3): similarity-weighted symmetric increment.
-        let sim = self.paired_sim(ev.aborter, ev.enemy);
+        let (sim, sim_a, sim_b) = self.paired_sim_parts(ev.aborter, ev.enemy);
         let inc = self.cfg.inc_val * sim;
         self.confidence.bump(ev.aborter.stx, ev.enemy.stx, inc);
         self.confidence.bump(ev.enemy.stx, ev.aborter.stx, inc);
+        let at = ev.now.as_u64();
+        for (a, b, sa, sb) in [
+            (ev.aborter.stx, ev.enemy.stx, sim_a, sim_b),
+            (ev.enemy.stx, ev.aborter.stx, sim_b, sim_a),
+        ] {
+            trace.emit(at, || TraceEvent::ConfUpdate {
+                kind: ConfKind::ConflictInc,
+                a_stx: a.0,
+                b_stx: b.0,
+                sim_a_bits: sa.to_bits(),
+                sim_b_bits: sb.to_bits(),
+                param_bits: self.cfg.inc_val.to_bits(),
+                applied_bits: inc.to_bits(),
+            });
+        }
 
         // Conflict pressure rises (hybrid variant's gate; tracked always,
         // charged only when the hybrid consults it).
@@ -230,6 +262,7 @@ impl ContentionManager for BfgtsCm {
         _tm: &TmState,
         costs: &CostModel,
         _rng: &mut SimRng,
+        trace: &mut TraceSink,
     ) -> CommitOutcome {
         let mut cost = self.priced(sw_cost::COMMIT_BASE);
 
@@ -265,7 +298,16 @@ impl ContentionManager for BfgtsCm {
         if interval_due && !skip_bloom {
             let sig = self.build_sig(rec.rw_set);
             if let Some(old) = self.signatures.get(&rec.dtx.pack()) {
-                let inter = sig.intersection_estimate(old).max(0.0);
+                // Clamp contract: only the clamped estimate may enter the
+                // similarity average. The trace records the raw value so
+                // the audit (invariant I6) can prove the clamp happened.
+                let inter = sig.intersection_estimate_clamped(old);
+                trace.emit(rec.now.as_u64(), || TraceEvent::BloomSample {
+                    thread: rec.dtx.thread.index() as u32,
+                    stx: rec.dtx.stx.0,
+                    raw_bits: sig.intersection_estimate(old).to_bits(),
+                    clamped_bits: inter.to_bits(),
+                });
                 let new_sim = if avg_size > 0.0 {
                     (inter / avg_size).clamp(0.0, 1.0)
                 } else {
@@ -296,14 +338,31 @@ impl ContentionManager for BfgtsCm {
                 (my_sig.as_ref(), self.signatures.get(&target.pack()))
             {
                 cost += self.priced(costs.bloom_intersect(mine.word_count()));
-                let sim = self.paired_sim(rec.dtx, target);
-                if mine.intersects(theirs) {
-                    self.confidence
-                        .bump(rec.dtx.stx, target.stx, self.cfg.inc_val * sim);
+                let (sim, sim_a, sim_b) = self.paired_sim_parts(rec.dtx, target);
+                let justified = mine.intersects(theirs);
+                let (kind, param, applied) = if justified {
+                    (
+                        ConfKind::WaitJustified,
+                        self.cfg.inc_val,
+                        self.cfg.inc_val * sim,
+                    )
                 } else {
-                    self.confidence
-                        .bump(rec.dtx.stx, target.stx, -self.cfg.dec_val * (1.0 - sim));
-                }
+                    (
+                        ConfKind::WaitUnjustified,
+                        self.cfg.dec_val,
+                        -(self.cfg.dec_val * (1.0 - sim)),
+                    )
+                };
+                self.confidence.bump(rec.dtx.stx, target.stx, applied);
+                trace.emit(rec.now.as_u64(), || TraceEvent::ConfUpdate {
+                    kind,
+                    a_stx: rec.dtx.stx.0,
+                    b_stx: target.stx.0,
+                    sim_a_bits: sim_a.to_bits(),
+                    sim_b_bits: sim_b.to_bits(),
+                    param_bits: param.to_bits(),
+                    applied_bits: applied.to_bits(),
+                });
             }
         }
 
@@ -387,7 +446,13 @@ mod tests {
     fn cold_manager_proceeds() {
         let (tm, costs, mut rng) = env();
         let mut cm = BfgtsCm::new(BfgtsConfig::hw());
-        let out = cm.on_begin(&query(0, 0, 0), &tm, &costs, &mut rng);
+        let out = cm.on_begin(
+            &query(0, 0, 0),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
         assert_eq!(out.decision, BeginDecision::Proceed);
     }
 
@@ -396,7 +461,13 @@ mod tests {
         let (tm, costs, mut rng) = env();
         let mut cm = BfgtsCm::new(BfgtsConfig::hw());
         // initial sim prior is 0.5 → inc = 80 * 0.5 = 40 per conflict.
-        cm.on_conflict_abort(&conflict(dtx(0, 0), dtx(1, 1)), &tm, &costs, &mut rng);
+        cm.on_conflict_abort(
+            &conflict(dtx(0, 0), dtx(1, 1)),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
         assert_eq!(cm.confidence().get(STxId(0), STxId(1)), 40.0);
         assert_eq!(cm.confidence().get(STxId(1), STxId(0)), 40.0);
     }
@@ -405,7 +476,13 @@ mod tests {
     fn ablated_weighting_uses_full_inc() {
         let (tm, costs, mut rng) = env();
         let mut cm = BfgtsCm::new(BfgtsConfig::hw().without_similarity_weighting());
-        cm.on_conflict_abort(&conflict(dtx(0, 0), dtx(1, 1)), &tm, &costs, &mut rng);
+        cm.on_conflict_abort(
+            &conflict(dtx(0, 0), dtx(1, 1)),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
         assert_eq!(cm.confidence().get(STxId(0), STxId(1)), 80.0);
     }
 
@@ -418,7 +495,7 @@ mod tests {
         rng: &mut SimRng,
     ) {
         for _ in 0..4 {
-            cm.on_conflict_abort(&conflict(a, b), tm, costs, rng);
+            cm.on_conflict_abort(&conflict(a, b), tm, costs, rng, &mut TraceSink::disabled());
         }
     }
 
@@ -430,7 +507,13 @@ mod tests {
         // Target runs on cpu 1; it has no size history (avg 0 < 10) so we
         // spin rather than yield.
         tm.begin_tx(ThreadId(1), 1, dtx(1, 1), Cycle::ZERO);
-        let out = cm.on_begin(&query(0, 0, 0), &tm, &costs, &mut rng);
+        let out = cm.on_begin(
+            &query(0, 0, 0),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
         assert_eq!(
             out.decision,
             BeginDecision::SpinUntilDone { target: dtx(1, 1) }
@@ -448,9 +531,21 @@ mod tests {
         heat_up(&mut cm, dtx(0, 0), dtx(1, 1), &tm, &costs, &mut rng);
         // Give the target a large average size via a commit.
         let rw = lines(0..40);
-        cm.on_commit(&commit_rec(dtx(1, 1), &rw), &tm, &costs, &mut rng);
+        cm.on_commit(
+            &commit_rec(dtx(1, 1), &rw),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
         tm.begin_tx(ThreadId(1), 1, dtx(1, 1), Cycle::ZERO);
-        let out = cm.on_begin(&query(0, 0, 0), &tm, &costs, &mut rng);
+        let out = cm.on_begin(
+            &query(0, 0, 0),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
         assert_eq!(
             out.decision,
             BeginDecision::YieldUntilDone { target: dtx(1, 1) }
@@ -463,9 +558,21 @@ mod tests {
         let mut cm = BfgtsCm::new(BfgtsConfig::hw());
         heat_up(&mut cm, dtx(0, 0), dtx(1, 1), &tm, &costs, &mut rng);
         let rw = lines(0..40); // well below the 600-line default
-        cm.on_commit(&commit_rec(dtx(1, 1), &rw), &tm, &costs, &mut rng);
+        cm.on_commit(
+            &commit_rec(dtx(1, 1), &rw),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
         tm.begin_tx(ThreadId(1), 1, dtx(1, 1), Cycle::ZERO);
-        let out = cm.on_begin(&query(0, 0, 0), &tm, &costs, &mut rng);
+        let out = cm.on_begin(
+            &query(0, 0, 0),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
         assert_eq!(
             out.decision,
             BeginDecision::SpinUntilDone { target: dtx(1, 1) }
@@ -479,7 +586,13 @@ mod tests {
         heat_up(&mut cm, dtx(0, 0), dtx(1, 1), &tm, &costs, &mut rng);
         let before = cm.confidence().get(STxId(0), STxId(1));
         tm.begin_tx(ThreadId(1), 1, dtx(1, 1), Cycle::ZERO);
-        cm.on_begin(&query(0, 0, 0), &tm, &costs, &mut rng);
+        cm.on_begin(
+            &query(0, 0, 0),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
         let after = cm.confidence().get(STxId(0), STxId(1));
         assert!(after < before, "suspendTx must decay confidence");
     }
@@ -491,10 +604,32 @@ mod tests {
         tm.begin_tx(ThreadId(2), 2, dtx(2, 2), Cycle::ZERO);
         let mut sw = BfgtsCm::new(BfgtsConfig::sw());
         let mut hw = BfgtsCm::new(BfgtsConfig::hw());
-        let sw_cost = sw.on_begin(&query(0, 0, 0), &tm, &costs, &mut rng).cost;
+        let sw_cost = sw
+            .on_begin(
+                &query(0, 0, 0),
+                &tm,
+                &costs,
+                &mut rng,
+                &mut TraceSink::disabled(),
+            )
+            .cost;
         // Warm the predictor cache once, then measure.
-        hw.on_begin(&query(0, 0, 0), &tm, &costs, &mut rng);
-        let hw_cost = hw.on_begin(&query(0, 0, 0), &tm, &costs, &mut rng).cost;
+        hw.on_begin(
+            &query(0, 0, 0),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
+        let hw_cost = hw
+            .on_begin(
+                &query(0, 0, 0),
+                &tm,
+                &costs,
+                &mut rng,
+                &mut TraceSink::disabled(),
+            )
+            .cost;
         assert!(
             hw_cost < sw_cost / 5,
             "hw begin {hw_cost} should be far below sw {sw_cost}"
@@ -509,10 +644,22 @@ mod tests {
         // Decay pressure well below the threshold with many commits.
         let rw = lines(0..5);
         for _ in 0..40 {
-            cm.on_commit(&commit_rec(dtx(0, 0), &rw), &tm, &costs, &mut rng);
+            cm.on_commit(
+                &commit_rec(dtx(0, 0), &rw),
+                &tm,
+                &costs,
+                &mut rng,
+                &mut TraceSink::disabled(),
+            );
         }
         tm.begin_tx(ThreadId(1), 1, dtx(1, 1), Cycle::ZERO);
-        let out = cm.on_begin(&query(0, 0, 0), &tm, &costs, &mut rng);
+        let out = cm.on_begin(
+            &query(0, 0, 0),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
         assert_eq!(
             out.decision,
             BeginDecision::Proceed,
@@ -527,7 +674,13 @@ mod tests {
         let mut cm = BfgtsCm::new(BfgtsConfig::hw_backoff());
         heat_up(&mut cm, dtx(0, 0), dtx(1, 1), &tm, &costs, &mut rng);
         tm.begin_tx(ThreadId(1), 1, dtx(1, 1), Cycle::ZERO);
-        let out = cm.on_begin(&query(0, 0, 0), &tm, &costs, &mut rng);
+        let out = cm.on_begin(
+            &query(0, 0, 0),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
         assert!(matches!(
             out.decision,
             BeginDecision::SpinUntilDone { .. } | BeginDecision::YieldUntilDone { .. }
@@ -540,7 +693,13 @@ mod tests {
         let mut cm = BfgtsCm::new(BfgtsConfig::hw());
         let rw = lines(0..30);
         for _ in 0..12 {
-            cm.on_commit(&commit_rec(dtx(0, 0), &rw), &tm, &costs, &mut rng);
+            cm.on_commit(
+                &commit_rec(dtx(0, 0), &rw),
+                &tm,
+                &costs,
+                &mut rng,
+                &mut TraceSink::disabled(),
+            );
         }
         let sim = cm.stats().sim_of(dtx(0, 0));
         assert!(sim > 0.85, "identical sets must converge high, got {sim}");
@@ -552,7 +711,13 @@ mod tests {
         let mut cm = BfgtsCm::new(BfgtsConfig::hw());
         for i in 0..12u64 {
             let rw = lines(i * 1000..i * 1000 + 30);
-            cm.on_commit(&commit_rec(dtx(0, 0), &rw), &tm, &costs, &mut rng);
+            cm.on_commit(
+                &commit_rec(dtx(0, 0), &rw),
+                &tm,
+                &costs,
+                &mut rng,
+                &mut TraceSink::disabled(),
+            );
         }
         let sim = cm.stats().sim_of(dtx(0, 0));
         assert!(sim < 0.2, "disjoint sets must converge low, got {sim}");
@@ -565,7 +730,13 @@ mod tests {
         let rw = lines(0..5); // small: avg 5 <= 10
         let mut expensive = 0;
         for _ in 0..40 {
-            let out = cm.on_commit(&commit_rec(dtx(0, 0), &rw), &tm, &costs, &mut rng);
+            let out = cm.on_commit(
+                &commit_rec(dtx(0, 0), &rw),
+                &tm,
+                &costs,
+                &mut rng,
+                &mut TraceSink::disabled(),
+            );
             if out.cost > 2 * sw_cost::COMMIT_BASE {
                 expensive += 1;
             }
@@ -580,12 +751,30 @@ mod tests {
     fn no_overhead_costs_are_unit() {
         let (tm, costs, mut rng) = env();
         let mut cm = BfgtsCm::new(BfgtsConfig::no_overhead());
-        let out = cm.on_begin(&query(0, 0, 0), &tm, &costs, &mut rng);
+        let out = cm.on_begin(
+            &query(0, 0, 0),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
         assert_eq!(out.cost, 1);
         let rw = lines(0..50);
-        let commit = cm.on_commit(&commit_rec(dtx(0, 0), &rw), &tm, &costs, &mut rng);
+        let commit = cm.on_commit(
+            &commit_rec(dtx(0, 0), &rw),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
         assert!(commit.cost <= 3, "NoOverhead commit must be ~free");
-        let plan = cm.on_conflict_abort(&conflict(dtx(0, 0), dtx(1, 0)), &tm, &costs, &mut rng);
+        let plan = cm.on_conflict_abort(
+            &conflict(dtx(0, 0), dtx(1, 0)),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
         assert_eq!(plan.cost, 1);
     }
 
@@ -596,20 +785,38 @@ mod tests {
         // Enemy's last set: 30 lines (large, so its signature is stored
         // immediately rather than batched).
         let enemy_rw = lines(0..30);
-        cm.on_commit(&commit_rec(dtx(1, 1), &enemy_rw), &tm, &costs, &mut rng);
+        cm.on_commit(
+            &commit_rec(dtx(1, 1), &enemy_rw),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
 
         // Case 1: we waited, and our set overlaps theirs → strengthen.
         cm.stats.entry(dtx(0, 0)).waiting_on = Some(dtx(1, 1));
         let before = cm.confidence().get(STxId(0), STxId(1));
         let my_rw = lines(20..50);
-        cm.on_commit(&commit_rec(dtx(0, 0), &my_rw), &tm, &costs, &mut rng);
+        cm.on_commit(
+            &commit_rec(dtx(0, 0), &my_rw),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
         let strengthened = cm.confidence().get(STxId(0), STxId(1));
         assert!(strengthened > before);
 
         // Case 2: we waited, sets disjoint → weaken.
         cm.stats.entry(dtx(0, 0)).waiting_on = Some(dtx(1, 1));
         let my_rw = lines(1000..1030);
-        cm.on_commit(&commit_rec(dtx(0, 0), &my_rw), &tm, &costs, &mut rng);
+        cm.on_commit(
+            &commit_rec(dtx(0, 0), &my_rw),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
         assert!(cm.confidence().get(STxId(0), STxId(1)) < strengthened);
     }
 
@@ -631,11 +838,17 @@ mod tests {
         };
         late.retries = 6;
         let draws_late: u64 = (0..50)
-            .map(|_| cm.on_conflict_abort(&late, &tm, &costs, &mut rng).backoff)
+            .map(|_| {
+                cm.on_conflict_abort(&late, &tm, &costs, &mut rng, &mut TraceSink::disabled())
+                    .backoff
+            })
             .sum();
         let early = conflict(dtx(0, 0), dtx(1, 0));
         let draws_early: u64 = (0..50)
-            .map(|_| cm.on_conflict_abort(&early, &tm, &costs, &mut rng).backoff)
+            .map(|_| {
+                cm.on_conflict_abort(&early, &tm, &costs, &mut rng, &mut TraceSink::disabled())
+                    .backoff
+            })
             .sum();
         assert!(draws_late > draws_early * 4);
     }

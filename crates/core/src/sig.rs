@@ -46,6 +46,15 @@ impl Sig {
         }
     }
 
+    /// [`Sig::intersection_estimate`] clamped at zero: the form required
+    /// wherever the estimate is consumed as a set size (similarity
+    /// averages, confidence weights). The raw estimate of disjoint Bloom
+    /// signatures is slightly negative, and a negative "size" in a
+    /// running average poisons every later update.
+    pub(crate) fn intersection_estimate_clamped(&self, other: &Sig) -> f64 {
+        self.intersection_estimate(other).max(0.0)
+    }
+
     /// Whether the signatures (may) overlap.
     pub(crate) fn intersects(&self, other: &Sig) -> bool {
         match (self, other) {

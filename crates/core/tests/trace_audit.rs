@@ -1,0 +1,92 @@
+//! End-to-end accounting audit over the BFGTS manager variants.
+//!
+//! Each run records a full event trace and replays it through
+//! `bfgts_trace::audit` (invariants I1–I7 of DESIGN.md §8). On top of the
+//! engine-level accounting checks this exercises the manager-specific
+//! events: every confidence update must be recomputable bit-for-bit from
+//! its recorded similarity inputs (I5), and every Bloom intersection
+//! sample must show the clamp contract was applied (I6).
+
+use bfgts_core::{BfgtsCm, BfgtsConfig};
+use bfgts_htm::{run_workload, Access, STxId, ScriptSource, TmRunConfig, TmRunReport, TxInstance};
+use bfgts_sim::TraceMode;
+
+/// Threads repeatedly running the same static transactions over an
+/// overlapping line window: plenty of conflicts, suspensions and repeat
+/// commits (the latter are what produce Bloom similarity samples).
+fn contentious_scripts(threads: usize, txs_per_thread: usize) -> Vec<ScriptSource> {
+    (0..threads)
+        .map(|t| {
+            let txs = (0..txs_per_thread)
+                .map(|i| {
+                    // 12 distinct lines per transaction: above the
+                    // small-tx batching threshold, so repeat commits run
+                    // the Bloom similarity update every time. Odd threads
+                    // walk the shared window in reverse so lock orders
+                    // cross and some conflicts resolve by abort (which is
+                    // what drives confidence updates), not just stalls.
+                    let accesses = (0..12u64)
+                        .map(|k| {
+                            let step = if t % 2 == 0 { k } else { 11 - k };
+                            Access {
+                                addr: ((i as u64 + step) % 16).into(),
+                                is_write: true,
+                            }
+                        })
+                        .collect();
+                    TxInstance::new(STxId((i % 2) as u32), accesses, 30)
+                })
+                .collect();
+            ScriptSource::new(txs)
+        })
+        .collect()
+}
+
+fn run_traced(cfg: BfgtsConfig) -> TmRunReport {
+    let run = TmRunConfig::new(2, 4)
+        .seed(0x00D0_0D1E)
+        .trace(TraceMode::Full);
+    run_workload(&run, contentious_scripts(4, 6), Box::new(BfgtsCm::new(cfg)))
+}
+
+#[test]
+fn sw_variant_trace_passes_the_audit() {
+    let report = run_traced(BfgtsConfig::sw());
+    let summary = report.audit_or_panic();
+    assert_eq!(summary.commits, report.stats.commits());
+    assert_eq!(summary.aborts, report.stats.aborts());
+    assert!(summary.conf_updates > 0, "conflicts must update confidence");
+}
+
+#[test]
+fn hw_variant_trace_passes_the_audit_with_bloom_samples() {
+    let report = run_traced(BfgtsConfig::hw());
+    let summary = report.audit_or_panic();
+    assert!(
+        summary.bloom_samples > 0,
+        "repeat commits of one dTx must sample the Bloom intersection"
+    );
+    assert!(summary.conf_updates > 0);
+}
+
+#[test]
+fn hybrid_variant_trace_passes_the_audit() {
+    let report = run_traced(BfgtsConfig::hw_backoff());
+    report.audit_or_panic();
+}
+
+#[test]
+fn no_overhead_variant_trace_passes_the_audit() {
+    let report = run_traced(BfgtsConfig::no_overhead());
+    report.audit_or_panic();
+}
+
+#[test]
+fn ablated_similarity_trace_passes_the_audit() {
+    // With similarity weighting ablated the manager records both inputs
+    // as the constant 1.0; the audit's recomputed pairing is exactly 1.0,
+    // so the bit-exact check still holds.
+    let report = run_traced(BfgtsConfig::hw().without_similarity_weighting());
+    let summary = report.audit_or_panic();
+    assert!(summary.conf_updates > 0);
+}

@@ -21,7 +21,7 @@
 use crate::ids::DTxId;
 use crate::ids::LineAddr;
 use crate::state::TmState;
-use bfgts_sim::{CostModel, Cycle, SimRng, ThreadId};
+use bfgts_sim::{CostModel, Cycle, SimRng, ThreadId, TraceSink};
 
 /// What a transaction should do at `TX_BEGIN`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,12 +150,19 @@ pub trait ContentionManager {
     fn name(&self) -> &'static str;
 
     /// `TX_BEGIN`: decide whether the transaction may proceed.
+    ///
+    /// `trace` is the run's event sink: managers that maintain
+    /// confidence tables or Bloom estimates record their arithmetic
+    /// there (`ConfUpdate`, `BloomSample`) so `bfgts_trace::audit` can
+    /// recompute it. Managers without such state ignore it; the sink is
+    /// a no-op branch when tracing is off.
     fn on_begin(
         &mut self,
         q: &BeginQuery,
         tm: &TmState,
         costs: &CostModel,
         rng: &mut SimRng,
+        trace: &mut TraceSink,
     ) -> BeginOutcome;
 
     /// A conflict aborted `ev.aborter`: update history, choose backoff.
@@ -165,6 +172,7 @@ pub trait ContentionManager {
         tm: &TmState,
         costs: &CostModel,
         rng: &mut SimRng,
+        trace: &mut TraceSink,
     ) -> AbortPlan;
 
     /// A transaction committed: do bookkeeping, release parked threads.
@@ -174,6 +182,7 @@ pub trait ContentionManager {
         tm: &TmState,
         costs: &CostModel,
         rng: &mut SimRng,
+        trace: &mut TraceSink,
     ) -> CommitOutcome;
 
     /// The thread driver refused a wait decision because it would have
@@ -199,6 +208,7 @@ impl ContentionManager for NullCm {
         _tm: &TmState,
         _costs: &CostModel,
         _rng: &mut SimRng,
+        _trace: &mut TraceSink,
     ) -> BeginOutcome {
         BeginOutcome::PROCEED_FREE
     }
@@ -209,6 +219,7 @@ impl ContentionManager for NullCm {
         _tm: &TmState,
         _costs: &CostModel,
         _rng: &mut SimRng,
+        _trace: &mut TraceSink,
     ) -> AbortPlan {
         AbortPlan {
             backoff: 0,
@@ -222,6 +233,7 @@ impl ContentionManager for NullCm {
         _tm: &TmState,
         _costs: &CostModel,
         _rng: &mut SimRng,
+        _trace: &mut TraceSink,
     ) -> CommitOutcome {
         CommitOutcome::default()
     }
@@ -246,7 +258,7 @@ mod tests {
             retries: 0,
             waits: 0,
         };
-        let out = cm.on_begin(&q, &tm, &costs, &mut rng);
+        let out = cm.on_begin(&q, &tm, &costs, &mut rng, &mut TraceSink::disabled());
         assert_eq!(out.decision, BeginDecision::Proceed);
         assert_eq!(out.cost, 0);
         assert_eq!(cm.name(), "Null");
@@ -265,7 +277,7 @@ mod tests {
             now: Cycle::ZERO,
             retries: 0,
         };
-        let plan = cm.on_conflict_abort(&ev, &tm, &costs, &mut rng);
+        let plan = cm.on_conflict_abort(&ev, &tm, &costs, &mut rng, &mut TraceSink::disabled());
         assert_eq!(
             plan,
             AbortPlan {
@@ -279,7 +291,7 @@ mod tests {
             now: Cycle::ZERO,
             retries: 1,
         };
-        let out = cm.on_commit(&rec, &tm, &costs, &mut rng);
+        let out = cm.on_commit(&rec, &tm, &costs, &mut rng, &mut TraceSink::disabled());
         assert_eq!(out.cost, 0);
         assert!(out.wake.is_empty());
     }

@@ -6,7 +6,7 @@ use crate::state::TmWorld;
 use crate::stats::TmStats;
 use crate::thread::{TxThreadConfig, TxThreadLogic};
 use crate::txn::TxSource;
-use bfgts_sim::{CostModel, Engine, EngineConfig, RunReport};
+use bfgts_sim::{CostModel, Engine, EngineConfig, RunReport, TraceMode};
 
 /// Parameters of one workload run.
 #[derive(Debug, Clone)]
@@ -26,6 +26,9 @@ pub struct TmRunConfig {
     /// Record the full execution history for serializability checking
     /// (memory-heavy; off by default).
     pub record_history: bool,
+    /// Event-trace recording mode ([`TraceMode::Off`] by default; the
+    /// accounting audit needs [`TraceMode::Full`]).
+    pub trace: TraceMode,
 }
 
 impl TmRunConfig {
@@ -40,6 +43,7 @@ impl TmRunConfig {
             thread_cfg: TxThreadConfig::default(),
             max_cycles: 50_000_000_000,
             record_history: false,
+            trace: TraceMode::Off,
         }
     }
 
@@ -69,6 +73,12 @@ impl TmRunConfig {
         self.costs = costs;
         self
     }
+
+    /// Replaces the trace mode.
+    pub fn trace(mut self, trace: TraceMode) -> Self {
+        self.trace = trace;
+        self
+    }
 }
 
 /// Result of a workload run: the simulator's cycle accounting plus the TM
@@ -95,6 +105,34 @@ impl TmRunReport {
             0.0
         } else {
             self.stats.commits() as f64 * 1.0e6 / span as f64
+        }
+    }
+
+    /// Replays this run's event trace through the accounting invariant
+    /// checker (`bfgts_trace::audit`, invariants I1–I7 of DESIGN.md §8).
+    ///
+    /// The run must have been made with [`TmRunConfig::trace`] set to
+    /// [`TraceMode::Full`]: an untraced or ring-buffered recording cannot
+    /// reproduce the reported buckets and fails the audit.
+    pub fn audit(&self) -> Result<bfgts_trace::AuditSummary, Vec<bfgts_trace::Violation>> {
+        bfgts_trace::audit(&self.sim.trace, &self.sim.audit_inputs())
+    }
+
+    /// Like [`TmRunReport::audit`] but panics with a readable report of
+    /// every violation. For tests and experiment binaries.
+    pub fn audit_or_panic(&self) -> bfgts_trace::AuditSummary {
+        match self.audit() {
+            Ok(summary) => summary,
+            Err(violations) => {
+                let mut msg = format!(
+                    "accounting audit failed with {} violation(s):\n",
+                    violations.len()
+                );
+                for v in &violations {
+                    msg.push_str(&format!("  {v}\n"));
+                }
+                panic!("{msg}");
+            }
         }
     }
 }
@@ -127,7 +165,8 @@ where
     }
     let mut engine_cfg = EngineConfig::with_cpus(cfg.num_cpus)
         .costs(cfg.costs.clone())
-        .seed(cfg.seed);
+        .seed(cfg.seed)
+        .trace(cfg.trace);
     engine_cfg.max_cycles = cfg.max_cycles;
     let mut engine = Engine::new(engine_cfg, world);
     for source in sources {
@@ -185,5 +224,45 @@ mod tests {
         let cfg = TmRunConfig::new(1, 1);
         let report = run_workload(&cfg, vec![ScriptSource::new(Vec::new())], Box::new(NullCm));
         assert_eq!(report.commits_per_mcycle(), 0.0);
+    }
+
+    #[test]
+    fn traced_contentious_run_passes_the_audit() {
+        // Overcommitted CPUs with conflicting scripts under real OS
+        // costs: commits, aborts, stalls, preemptions and refiles all
+        // appear in the trace and must reconcile exactly.
+        let cfg = TmRunConfig::new(2, 4).seed(0xA0D17).trace(TraceMode::Full);
+        let scripts: Vec<_> = (0..4u32)
+            .map(|t| {
+                ScriptSource::new(vec![
+                    TxInstance::writer_over(STxId(t % 2), 0..12, 40),
+                    TxInstance::writer_over(STxId(2), 0..12, 10),
+                ])
+            })
+            .collect();
+        let report = run_workload(&cfg, scripts, Box::new(NullCm));
+        let summary = report.audit_or_panic();
+        assert_eq!(summary.commits, report.stats.commits());
+        assert_eq!(summary.aborts, report.stats.aborts());
+        assert_eq!(summary.stalls, report.stats.stalls());
+        assert_eq!(
+            summary.charged.iter().sum::<u64>(),
+            report.sim.total().total_cycles()
+        );
+    }
+
+    #[test]
+    fn untraced_run_fails_the_audit() {
+        let cfg = TmRunConfig::new(1, 1);
+        let report = run_workload(
+            &cfg,
+            vec![ScriptSource::new(vec![TxInstance::writer_over(
+                STxId(0),
+                0..3,
+                10,
+            )])],
+            Box::new(NullCm),
+        );
+        assert!(report.audit().is_err(), "empty trace cannot reconcile");
     }
 }

@@ -5,7 +5,9 @@ use crate::cm::{BeginDecision, BeginQuery, CommitRecord, ConflictEvent};
 use crate::ids::{DTxId, LineAddr};
 use crate::state::{AccessResult, TmWorld};
 use crate::txn::{TxInstance, TxSource};
-use bfgts_sim::{Action, Bucket, Cycle, ThreadCtx, ThreadLogic};
+use bfgts_sim::{
+    Action, Bucket, Cycle, DecisionKind, ThreadCtx, ThreadLogic, TraceEvent, NO_TARGET,
+};
 
 /// Tunables of the thread driver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -169,7 +171,25 @@ impl<S: TxSource> TxThreadLogic<S> {
                     waits: self.waits,
                 };
                 let costs = ctx.costs().clone();
-                let out = world.cm.on_begin(&q, &world.tm, &costs, ctx.rng);
+                let out = world.cm.on_begin(&q, &world.tm, &costs, ctx.rng, ctx.trace);
+                let (kind, verdict_target) = match out.decision {
+                    BeginDecision::Proceed => (DecisionKind::Proceed, None),
+                    BeginDecision::SpinUntilDone { target } => (DecisionKind::Spin, Some(target)),
+                    BeginDecision::YieldUntilDone { target } => (DecisionKind::Yield, Some(target)),
+                    BeginDecision::Block => (DecisionKind::Block, None),
+                    BeginDecision::Delay { .. } => (DecisionKind::Delay, None),
+                };
+                ctx.trace
+                    .emit(ctx.now.as_u64(), || TraceEvent::SchedDecision {
+                        thread: ctx.thread.index() as u32,
+                        stx: dtx.stx.0,
+                        kind,
+                        target_thread: verdict_target
+                            .map(|t| t.thread.index() as u32)
+                            .unwrap_or(NO_TARGET),
+                        target_stx: verdict_target.map(|t| t.stx.0).unwrap_or(NO_TARGET),
+                        cost: out.cost,
+                    });
                 match out.decision {
                     BeginDecision::Proceed => self.phase = Phase::DoBegin,
                     BeginDecision::SpinUntilDone { target }
@@ -184,6 +204,13 @@ impl<S: TxSource> TxThreadLogic<S> {
                             self.phase = Phase::DoBegin;
                         } else {
                             world.tm.set_waiting(ctx.thread, target.thread);
+                            ctx.trace.emit(ctx.now.as_u64(), || TraceEvent::TxSuspend {
+                                thread: ctx.thread.index() as u32,
+                                stx: dtx.stx.0,
+                                target_thread: target.thread.index() as u32,
+                                target_stx: target.stx.0,
+                                yielding,
+                            });
                             self.phase = if yielding {
                                 Phase::PredictYield { target }
                             } else {
@@ -210,6 +237,12 @@ impl<S: TxSource> TxThreadLogic<S> {
                 world.tm.begin_tx(ctx.thread, ctx.cpu.index(), dtx, ts);
                 self.tx_work = 0;
                 self.phase = Phase::InTx { next: 0 };
+                let retries = self.retries;
+                ctx.trace.emit(ctx.now.as_u64(), || TraceEvent::TxBegin {
+                    thread: ctx.thread.index() as u32,
+                    stx: dtx.stx.0,
+                    retries,
+                });
                 Some(Action::work(ctx.costs().tx_begin, Bucket::Tx))
             }
             Phase::PredictSpin { target, spun } => {
@@ -308,13 +341,33 @@ impl<S: TxSource> TxThreadLogic<S> {
                             self.phase = Phase::AbortRollback;
                             // Remember who beat us for the conflict hook.
                             self.commit_dtx = Some(enemy);
+                            ctx.trace.emit(ctx.now.as_u64(), || TraceEvent::TxConflict {
+                                thread: ctx.thread.index() as u32,
+                                stx: my_stx.0,
+                                enemy_thread: enemy.thread.index() as u32,
+                                enemy_stx: enemy.stx.0,
+                                stalled: false,
+                            });
                             None
                         } else {
                             if !self.in_stall_episode {
                                 self.in_stall_episode = true;
                                 world.tm.stats_mut().record_stall();
+                                ctx.trace.emit(ctx.now.as_u64(), || TraceEvent::TxStall {
+                                    thread: ctx.thread.index() as u32,
+                                    stx: my_stx.0,
+                                });
                             }
                             world.tm.set_waiting(ctx.thread, owner);
+                            let enemy_stx =
+                                world.tm.active_stx(owner).map(|s| s.0).unwrap_or(NO_TARGET);
+                            ctx.trace.emit(ctx.now.as_u64(), || TraceEvent::TxConflict {
+                                thread: ctx.thread.index() as u32,
+                                stx: my_stx.0,
+                                enemy_thread: owner.index() as u32,
+                                enemy_stx,
+                                stalled: true,
+                            });
                             self.phase = Phase::ConflictStall { next };
                             // Jitter the retry interval so two
                             // deterministic retry loops cannot
@@ -334,12 +387,21 @@ impl<S: TxSource> TxThreadLogic<S> {
             }
             Phase::AbortRollback => {
                 world.tm.clear_waiting(ctx.thread);
-                let (_dtx, undo_lines) = world.tm.abort_tx(ctx.thread);
-                ctx.buckets
-                    .transfer(Bucket::Tx, Bucket::Abort, self.tx_work);
-                ctx.buckets
-                    .transfer(Bucket::Tx, Bucket::Abort, ctx.costs().tx_begin);
+                let (dtx, undo_lines) = world.tm.abort_tx(ctx.thread);
+                // One refile covers both the access work and the begin
+                // cost charged optimistically to Tx; `ctx.refile` records
+                // the move so the audit can prove it never saturates.
+                ctx.refile(
+                    Bucket::Tx,
+                    Bucket::Abort,
+                    self.tx_work + ctx.costs().tx_begin,
+                );
                 self.tx_work = 0;
+                ctx.trace.emit(ctx.now.as_u64(), || TraceEvent::TxAbort {
+                    thread: ctx.thread.index() as u32,
+                    stx: dtx.stx.0,
+                    undo_lines: undo_lines as u32,
+                });
                 let enemy = self.commit_dtx.take().expect("abort without enemy");
                 self.phase = Phase::AbortCm { enemy };
                 let rollback =
@@ -355,7 +417,9 @@ impl<S: TxSource> TxThreadLogic<S> {
                     retries: self.retries,
                 };
                 let costs = ctx.costs().clone();
-                let plan = world.cm.on_conflict_abort(&ev, &world.tm, &costs, ctx.rng);
+                let plan = world
+                    .cm
+                    .on_conflict_abort(&ev, &world.tm, &costs, ctx.rng, ctx.trace);
                 self.retries += 1;
                 self.phase = Phase::Backoff { left: plan.backoff };
                 if plan.cost > 0 {
@@ -375,6 +439,13 @@ impl<S: TxSource> TxThreadLogic<S> {
             }
             Phase::CommitHtm => {
                 let (dtx, rw) = world.tm.commit_tx(ctx.thread);
+                let retries = self.retries;
+                ctx.trace.emit(ctx.now.as_u64(), || TraceEvent::TxCommit {
+                    thread: ctx.thread.index() as u32,
+                    stx: dtx.stx.0,
+                    retries,
+                    rw_lines: rw.len() as u32,
+                });
                 self.commit_rw = rw;
                 self.commit_dtx = Some(dtx);
                 self.phase = Phase::CommitCm;
@@ -388,7 +459,9 @@ impl<S: TxSource> TxThreadLogic<S> {
                     retries: self.retries,
                 };
                 let costs = ctx.costs().clone();
-                let out = world.cm.on_commit(&rec, &world.tm, &costs, ctx.rng);
+                let out = world
+                    .cm
+                    .on_commit(&rec, &world.tm, &costs, ctx.rng, ctx.trace);
                 for t in out.wake {
                     ctx.wake(t);
                 }
@@ -428,7 +501,7 @@ mod tests {
     use crate::ids::STxId;
     use crate::state::TmState;
     use crate::txn::{Access, ScriptSource};
-    use bfgts_sim::{CostModel, SimRng, ThreadId, TimeBuckets};
+    use bfgts_sim::{CostModel, SimRng, ThreadId, TimeBuckets, TraceSink};
 
     fn quiet_costs() -> CostModel {
         CostModel {
@@ -548,6 +621,7 @@ mod tests {
             tm: &TmState,
             _costs: &CostModel,
             _rng: &mut SimRng,
+            _trace: &mut TraceSink,
         ) -> BeginOutcome {
             // Wait for any *other* running transaction, at most once per
             // attempt (waits cap keeps the test fast).
@@ -577,6 +651,7 @@ mod tests {
             _tm: &TmState,
             _costs: &CostModel,
             _rng: &mut SimRng,
+            _trace: &mut TraceSink,
         ) -> AbortPlan {
             AbortPlan {
                 backoff: 100,
@@ -589,6 +664,7 @@ mod tests {
             _tm: &TmState,
             _costs: &CostModel,
             _rng: &mut SimRng,
+            _trace: &mut TraceSink,
         ) -> CommitOutcome {
             CommitOutcome::default()
         }
@@ -634,6 +710,7 @@ mod tests {
             _tm: &TmState,
             _costs: &CostModel,
             _rng: &mut SimRng,
+            _trace: &mut TraceSink,
         ) -> BeginOutcome {
             match self.runner {
                 None => {
@@ -656,6 +733,7 @@ mod tests {
             _tm: &TmState,
             _costs: &CostModel,
             _rng: &mut SimRng,
+            _trace: &mut TraceSink,
         ) -> AbortPlan {
             AbortPlan {
                 backoff: 0,
@@ -668,6 +746,7 @@ mod tests {
             _tm: &TmState,
             _costs: &CostModel,
             _rng: &mut SimRng,
+            _trace: &mut TraceSink,
         ) -> CommitOutcome {
             self.runner = None;
             CommitOutcome {
@@ -711,6 +790,7 @@ mod tests {
                 _tm: &TmState,
                 _costs: &CostModel,
                 _rng: &mut SimRng,
+                _trace: &mut TraceSink,
             ) -> BeginOutcome {
                 if !self.delayed {
                     self.delayed = true;
@@ -728,6 +808,7 @@ mod tests {
                 _tm: &TmState,
                 _costs: &CostModel,
                 _rng: &mut SimRng,
+                _trace: &mut TraceSink,
             ) -> AbortPlan {
                 AbortPlan {
                     backoff: 0,
@@ -740,6 +821,7 @@ mod tests {
                 _tm: &TmState,
                 _costs: &CostModel,
                 _rng: &mut SimRng,
+                _trace: &mut TraceSink,
             ) -> CommitOutcome {
                 CommitOutcome::default()
             }

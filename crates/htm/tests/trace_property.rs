@@ -1,0 +1,61 @@
+//! Property tests over the event trace and its accounting audit
+//! (DESIGN.md §8): for *any* workload shape, a fully traced run must
+//! audit clean, and the per-CPU charge intervals plus idle gaps must
+//! tile the makespan exactly — the bucket sums equal `makespan × CPUs`
+//! with integer equality, not a tolerance.
+
+use bfgts_htm::{run_workload, Access, NullCm, STxId, ScriptSource, TmRunConfig, TxInstance};
+use bfgts_sim::TraceMode;
+use bfgts_testkit::{run_cases, Gen};
+
+/// A random workload: every shape parameter drawn from the generator,
+/// with addresses confined to a small window so conflicts are common.
+fn random_scripts(g: &mut Gen, threads: usize) -> Vec<ScriptSource> {
+    (0..threads)
+        .map(|_| {
+            let txs = (0..g.usize_in(1, 5))
+                .map(|_| {
+                    let stx = STxId(g.u32_in(0, 3));
+                    let accesses = (0..g.usize_in(1, 10))
+                        .map(|_| Access {
+                            addr: g.below(24).into(),
+                            is_write: g.bool(),
+                        })
+                        .collect();
+                    TxInstance::new(stx, accesses, g.u64_in(5, 60))
+                })
+                .collect();
+            ScriptSource::new(txs)
+        })
+        .collect()
+}
+
+#[test]
+fn random_workloads_audit_clean_and_tile_the_makespan() {
+    run_cases("trace_bucket_tiling", 40, |g| {
+        let cpus = g.usize_in(1, 3);
+        let threads = g.usize_in(cpus, cpus * 3);
+        let cfg = TmRunConfig::new(cpus, threads)
+            .seed(g.u64())
+            .trace(TraceMode::Full);
+        let report = run_workload(&cfg, random_scripts(g, threads), Box::new(NullCm));
+        let summary = report.audit_or_panic();
+
+        let makespan = report.sim.makespan.as_u64();
+        let mut grand_total = 0u64;
+        for (busy, idle) in summary.per_cpu_busy.iter().zip(&summary.per_cpu_idle) {
+            assert_eq!(busy + idle, makespan, "one CPU's cycles must tile the run");
+            grand_total += busy + idle;
+        }
+        assert_eq!(grand_total, makespan * cpus as u64);
+
+        // The audited bucket totals are the run's reported totals.
+        let idle_total: u64 = summary.per_cpu_idle.iter().sum();
+        assert_eq!(
+            summary.charged.iter().sum::<u64>() + idle_total,
+            makespan * cpus as u64
+        );
+        assert_eq!(summary.commits, report.stats.commits());
+        assert_eq!(summary.aborts, report.stats.aborts());
+    });
+}

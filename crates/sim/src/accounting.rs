@@ -44,6 +44,18 @@ impl Bucket {
             Bucket::Scheduling => "sched",
         }
     }
+
+    /// The tracing vocabulary's mirror of this bucket (the `bfgts-trace`
+    /// crate is a leaf and defines its own copy of the five categories).
+    pub fn trace_kind(self) -> bfgts_trace::BucketKind {
+        match self {
+            Bucket::NonTx => bfgts_trace::BucketKind::NonTx,
+            Bucket::Kernel => bfgts_trace::BucketKind::Kernel,
+            Bucket::Tx => bfgts_trace::BucketKind::Tx,
+            Bucket::Abort => bfgts_trace::BucketKind::Abort,
+            Bucket::Scheduling => bfgts_trace::BucketKind::Scheduling,
+        }
+    }
 }
 
 impl fmt::Display for Bucket {
@@ -107,13 +119,18 @@ impl TimeBuckets {
     }
 
     /// Moves up to `cycles` from one bucket to another (saturating at the
-    /// source bucket's balance). Used when work charged optimistically to
-    /// [`Bucket::Tx`] turns out to be wasted: an abort re-files it under
-    /// [`Bucket::Abort`].
-    pub fn transfer(&mut self, from: Bucket, to: Bucket, cycles: u64) {
+    /// source bucket's balance) and returns how many cycles actually
+    /// moved. Used when work charged optimistically to [`Bucket::Tx`]
+    /// turns out to be wasted: an abort re-files it under
+    /// [`Bucket::Abort`]. A return value smaller than `cycles` means the
+    /// caller asked to move cycles it never charged — correct accounting
+    /// never saturates here, and the tracing audit treats it as a
+    /// violation (see `bfgts_trace::audit`).
+    pub fn transfer(&mut self, from: Bucket, to: Bucket, cycles: u64) -> u64 {
         let moved = cycles.min(self.get(from));
         *self.slot(from) -= moved;
         *self.slot(to) += moved;
+        moved
     }
 
     /// Sum over all buckets.
@@ -219,7 +236,7 @@ mod tests {
     fn transfer_moves_between_buckets() {
         let mut t = TimeBuckets::default();
         t.charge(Bucket::Tx, 100);
-        t.transfer(Bucket::Tx, Bucket::Abort, 60);
+        assert_eq!(t.transfer(Bucket::Tx, Bucket::Abort, 60), 60);
         assert_eq!(t.get(Bucket::Tx), 40);
         assert_eq!(t.get(Bucket::Abort), 60);
         assert_eq!(t.total_cycles(), 100);
@@ -229,7 +246,7 @@ mod tests {
     fn transfer_saturates_at_source_balance() {
         let mut t = TimeBuckets::default();
         t.charge(Bucket::Tx, 10);
-        t.transfer(Bucket::Tx, Bucket::Abort, 999);
+        assert_eq!(t.transfer(Bucket::Tx, Bucket::Abort, 999), 10);
         assert_eq!(t.get(Bucket::Tx), 0);
         assert_eq!(t.get(Bucket::Abort), 10);
     }

@@ -6,6 +6,7 @@ use crate::cost::CostModel;
 use crate::ids::{CpuId, ThreadId};
 use crate::rng::SimRng;
 use crate::time::Cycle;
+use bfgts_trace::{TraceEvent, TraceMode, TraceRecording, TraceSink};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -63,6 +64,12 @@ pub struct ThreadCtx<'a> {
     /// the one sanctioned mutation is [`TimeBuckets::transfer`], used to
     /// re-file optimistically-charged transactional work as aborted work.
     pub buckets: &'a mut TimeBuckets,
+    /// The run's trace sink, for thread logics that emit their own typed
+    /// events (transaction lifecycle, scheduler decisions). Disabled
+    /// unless [`EngineConfig::trace`] says otherwise. A public field
+    /// (like `rng` and `buckets`) so callers can borrow it alongside the
+    /// other context pieces.
+    pub trace: &'a mut TraceSink,
     costs: &'a CostModel,
     wakes: Vec<ThreadId>,
 }
@@ -79,6 +86,24 @@ impl ThreadCtx<'_> {
     pub fn wake(&mut self, target: ThreadId) {
         self.wakes.push(target);
     }
+
+    /// Re-files `cycles` from one bucket to another through
+    /// [`TimeBuckets::transfer`], recording the move in the trace so the
+    /// audit can prove conservation. Returns the cycles actually moved
+    /// (always `cycles` for correct accounting; the audit flags anything
+    /// less). Prefer this over calling `transfer` directly.
+    pub fn refile(&mut self, from: Bucket, to: Bucket, cycles: u64) -> u64 {
+        let moved = self.buckets.transfer(from, to, cycles);
+        let thread = self.thread.index() as u32;
+        self.trace.emit(self.now.as_u64(), || TraceEvent::Refile {
+            thread,
+            from: from.trace_kind(),
+            to: to.trace_kind(),
+            requested: cycles,
+            moved,
+        });
+        moved
+    }
 }
 
 /// Engine construction parameters.
@@ -93,6 +118,9 @@ pub struct EngineConfig {
     /// Hard cap on simulated time; exceeding it panics (guards against
     /// live-lock in a buggy scheduler under test).
     pub max_cycles: u64,
+    /// Event recording mode (off by default; tracing-disabled runs pay
+    /// one branch per would-be event).
+    pub trace: TraceMode,
 }
 
 impl EngineConfig {
@@ -103,6 +131,7 @@ impl EngineConfig {
             costs: CostModel::default(),
             seed: 0xBF67_5000,
             max_cycles: u64::MAX,
+            trace: TraceMode::Off,
         }
     }
 
@@ -115,6 +144,12 @@ impl EngineConfig {
     /// Replaces the cost model.
     pub fn costs(mut self, costs: CostModel) -> Self {
         self.costs = costs;
+        self
+    }
+
+    /// Replaces the trace mode.
+    pub fn trace(mut self, trace: TraceMode) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -159,12 +194,37 @@ pub struct RunReport {
     pub makespan: Cycle,
     /// Per-thread cycle accounting, indexed by [`ThreadId`].
     pub per_thread: Vec<TimeBuckets>,
+    /// Number of CPUs the run used (needed to audit the trace).
+    pub num_cpus: usize,
+    /// Everything recorded by the trace sink (empty for untraced runs).
+    pub trace: TraceRecording,
 }
 
 impl RunReport {
     /// Sum of all threads' buckets.
     pub fn total(&self) -> TimeBuckets {
         self.per_thread.iter().copied().sum()
+    }
+
+    /// The ground truth `bfgts_trace::audit` checks this run's trace
+    /// against: makespan, CPU count and the per-thread bucket totals in
+    /// the trace crate's index order.
+    pub fn audit_inputs(&self) -> bfgts_trace::AuditInputs {
+        bfgts_trace::AuditInputs {
+            makespan: self.makespan.as_u64(),
+            num_cpus: self.num_cpus,
+            per_thread: self
+                .per_thread
+                .iter()
+                .map(|t| {
+                    let mut row = [0u64; bfgts_trace::BucketKind::COUNT];
+                    for b in Bucket::ALL {
+                        row[b.trace_kind().index()] = t.get(b);
+                    }
+                    row
+                })
+                .collect(),
+        }
     }
 }
 
@@ -180,6 +240,7 @@ pub struct Engine<W> {
     seq: u64,
     now: Cycle,
     finished: usize,
+    trace: TraceSink,
 }
 
 impl<W> Engine<W> {
@@ -191,6 +252,7 @@ impl<W> Engine<W> {
     pub fn new(config: EngineConfig, world: W) -> Self {
         assert!(config.num_cpus > 0, "engine needs at least one CPU");
         let cpus = (0..config.num_cpus).map(|_| Cpu::default()).collect();
+        let trace = TraceSink::new(config.trace);
         Self {
             config,
             world,
@@ -200,6 +262,7 @@ impl<W> Engine<W> {
             seq: 0,
             now: Cycle::ZERO,
             finished: 0,
+            trace,
         }
     }
 
@@ -296,6 +359,8 @@ impl<W> Engine<W> {
                 .max()
                 .unwrap_or(Cycle::ZERO),
             per_thread: self.threads.iter().map(|t| t.buckets).collect(),
+            num_cpus: self.config.num_cpus,
+            trace: self.trace.take(),
         };
         (report, self.world)
     }
@@ -318,11 +383,8 @@ impl<W> Engine<W> {
                 return; // idle: a future wake will re-arm us
             };
             let slot = &mut self.cpus[cpu.index()];
-            let switch = if slot.last == Some(next) {
-                0
-            } else {
-                costs.context_switch
-            };
+            let switched = slot.last != Some(next);
+            let switch = if switched { costs.context_switch } else { 0 };
             slot.current = Some(next);
             slot.last = Some(next);
             slot.ran_since_switch = 0;
@@ -331,6 +393,23 @@ impl<W> Engine<W> {
                 self.threads[next.index()]
                     .buckets
                     .charge(Bucket::Kernel, switch);
+            }
+            if switched {
+                let at = self.now.as_u64();
+                let (cpu_u, thread_u) = (cpu.index() as u32, next.index() as u32);
+                self.trace.emit(at, || TraceEvent::ContextSwitch {
+                    cpu: cpu_u,
+                    thread: thread_u,
+                    cost: switch,
+                });
+                if switch > 0 {
+                    self.trace.emit(at, || TraceEvent::Charge {
+                        cpu: cpu_u,
+                        thread: thread_u,
+                        bucket: Bucket::Kernel.trace_kind(),
+                        cycles: switch,
+                    });
+                }
             }
             self.arm(cpu, self.now + Cycle::new(switch));
             return;
@@ -360,6 +439,7 @@ impl<W> Engine<W> {
             now: self.now,
             rng: &mut thread.rng,
             buckets: &mut thread.buckets,
+            trace: &mut self.trace,
             costs: &costs,
             wakes: Vec::new(),
         };
@@ -372,15 +452,36 @@ impl<W> Engine<W> {
             extra += costs.futex_wake;
             self.wake_internal(target);
         }
+        // Charges within this step are serialised on the trace timeline:
+        // wake costs occupy [now, now+extra), the action's cycles follow
+        // at now+extra. That is what lets the audit check that charge
+        // intervals on one CPU never overlap (invariant I2).
+        let at = self.now.as_u64();
+        let (cpu_u, thread_u) = (cpu.index() as u32, tid.index() as u32);
+        let kernel = Bucket::Kernel.trace_kind();
         if extra > 0 {
             self.threads[tid.index()]
                 .buckets
                 .charge(Bucket::Kernel, extra);
+            self.trace.emit(at, || TraceEvent::Charge {
+                cpu: cpu_u,
+                thread: thread_u,
+                bucket: kernel,
+                cycles: extra,
+            });
         }
 
         match action {
             Action::Work { cycles, bucket } => {
                 self.threads[tid.index()].buckets.charge(bucket, cycles);
+                if cycles > 0 {
+                    self.trace.emit(at + extra, || TraceEvent::Charge {
+                        cpu: cpu_u,
+                        thread: thread_u,
+                        bucket: bucket.trace_kind(),
+                        cycles,
+                    });
+                }
                 self.cpus[cpu.index()].ran_since_switch += cycles + extra;
                 // Clamp to >=1 so a degenerate zero-cost action stream
                 // (possible under all-zero cost models) cannot pin the
@@ -391,6 +492,14 @@ impl<W> Engine<W> {
                 self.threads[tid.index()]
                     .buckets
                     .charge(Bucket::Kernel, costs.yield_syscall);
+                if costs.yield_syscall > 0 {
+                    self.trace.emit(at + extra, || TraceEvent::Charge {
+                        cpu: cpu_u,
+                        thread: thread_u,
+                        bucket: kernel,
+                        cycles: costs.yield_syscall,
+                    });
+                }
                 self.threads[tid.index()].state = ThreadState::Ready;
                 let slot = &mut self.cpus[cpu.index()];
                 slot.current = None;
@@ -407,6 +516,14 @@ impl<W> Engine<W> {
                 self.threads[tid.index()]
                     .buckets
                     .charge(Bucket::Kernel, costs.futex_block);
+                if costs.futex_block > 0 {
+                    self.trace.emit(at + extra, || TraceEvent::Charge {
+                        cpu: cpu_u,
+                        thread: thread_u,
+                        bucket: kernel,
+                        cycles: costs.futex_block,
+                    });
+                }
                 let slot = &mut self.threads[tid.index()];
                 if slot.pending_wake {
                     // A wake raced ahead of the block: consume it and
@@ -756,6 +873,92 @@ mod tests {
             bucket: Bucket::NonTx,
         }));
         let _ = e.run();
+    }
+
+    #[test]
+    fn traced_run_passes_the_audit_with_real_os_costs() {
+        // Default costs: context switches, quantum preemption, yields and
+        // futex traffic all appear in the trace and must reconcile.
+        let cfg = EngineConfig::with_cpus(2).trace(TraceMode::Full);
+        let mut e = Engine::new(cfg, ());
+        e.spawn(Box::new(Sleeper { slept: false }));
+        e.spawn(Box::new(Waker { woke: false }));
+        for i in 0..4u32 {
+            e.spawn(Box::new(Looper {
+                slices: 5 + i,
+                cycles: 40,
+                bucket: Bucket::NonTx,
+            }));
+            e.spawn(Box::new(Yielder {
+                slices: 3,
+                yielded: false,
+            }));
+        }
+        let report = e.run();
+        assert!(!report.trace.is_empty());
+        let summary = bfgts_trace::audit(&report.trace, &report.audit_inputs())
+            .unwrap_or_else(|v| panic!("audit violations: {v:#?}"));
+        // Bucket conservation doubles as a spot check on the summary.
+        assert_eq!(
+            summary.charged.iter().sum::<u64>(),
+            report.total().total_cycles()
+        );
+        assert!(summary.context_switches > 0);
+        // I2 + I7: per-CPU busy + idle closes exactly to the makespan.
+        for c in 0..2 {
+            assert_eq!(
+                summary.per_cpu_busy[c] + summary.per_cpu_idle[c],
+                report.makespan.as_u64()
+            );
+        }
+    }
+
+    #[test]
+    fn untraced_run_records_nothing() {
+        let cfg = EngineConfig::with_cpus(1).costs(quiet_costs());
+        let mut e = Engine::new(cfg, ());
+        e.spawn(Box::new(Looper {
+            slices: 2,
+            cycles: 10,
+            bucket: Bucket::NonTx,
+        }));
+        let report = e.run();
+        assert!(report.trace.is_empty());
+    }
+
+    #[test]
+    fn refile_is_traced() {
+        struct Refiler {
+            phase: u32,
+        }
+        impl ThreadLogic<()> for Refiler {
+            fn step(&mut self, _w: &mut (), ctx: &mut ThreadCtx) -> Action {
+                self.phase += 1;
+                match self.phase {
+                    1 => Action::work(100, Bucket::Tx),
+                    2 => {
+                        assert_eq!(ctx.refile(Bucket::Tx, Bucket::Abort, 60), 60);
+                        Action::work(10, Bucket::Abort)
+                    }
+                    _ => Action::Finish,
+                }
+            }
+        }
+        let cfg = EngineConfig::with_cpus(1)
+            .costs(quiet_costs())
+            .trace(TraceMode::Full);
+        let mut e = Engine::new(cfg, ());
+        e.spawn(Box::new(Refiler { phase: 0 }));
+        let report = e.run();
+        assert_eq!(report.total().get(Bucket::Tx), 40);
+        assert_eq!(report.total().get(Bucket::Abort), 70);
+        bfgts_trace::audit(&report.trace, &report.audit_inputs())
+            .unwrap_or_else(|v| panic!("audit violations: {v:#?}"));
+        assert!(report
+            .trace
+            .events
+            .iter()
+            .any(|r| matches!(r.ev, TraceEvent::Refile { moved: 60, .. })));
     }
 
     #[test]

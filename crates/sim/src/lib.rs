@@ -61,3 +61,8 @@ pub use engine::{Action, Engine, EngineConfig, RunReport, ThreadCtx, ThreadLogic
 pub use ids::{CpuId, ThreadId};
 pub use rng::SimRng;
 pub use time::Cycle;
+// Re-exported so downstream crates can configure tracing without a direct
+// `bfgts-trace` dependency.
+pub use bfgts_trace::{
+    BucketKind, ConfKind, DecisionKind, TraceEvent, TraceMode, TraceRecording, TraceSink, NO_TARGET,
+};

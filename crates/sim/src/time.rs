@@ -35,10 +35,29 @@ impl Cycle {
     ///
     /// # Panics
     ///
-    /// Panics in debug builds if `earlier` is later than `self`.
+    /// Panics in **all** builds if `earlier` is later than `self`. An
+    /// earlier revision only `debug_assert`ed and saturated to zero in
+    /// release builds, which let a backwards clock silently corrupt every
+    /// downstream cycle-bucket figure; the tracing audit
+    /// (`bfgts_trace::audit`) exists to catch exactly that class of bug,
+    /// so the arithmetic itself must not paper over it. Callers that can
+    /// legitimately race (e.g. comparing timestamps from different
+    /// logical clocks) should use [`Cycle::checked_since`].
+    #[track_caller]
     pub fn since(self, earlier: Cycle) -> Cycle {
-        debug_assert!(earlier.0 <= self.0, "time went backwards");
-        Cycle(self.0.saturating_sub(earlier.0))
+        match self.checked_since(earlier) {
+            Some(d) => d,
+            None => panic!(
+                "Cycle::since: time went backwards ({}cy is earlier than {}cy)",
+                self.0, earlier.0
+            ),
+        }
+    }
+
+    /// Duration since `earlier`, or `None` if `earlier` is later than
+    /// `self`. The non-panicking form of [`Cycle::since`].
+    pub fn checked_since(self, earlier: Cycle) -> Option<Cycle> {
+        self.0.checked_sub(earlier.0).map(Cycle)
     }
 
     /// Saturating addition.
@@ -67,8 +86,12 @@ impl AddAssign for Cycle {
 
 impl Sub for Cycle {
     type Output = Cycle;
+    /// Same policy as [`Cycle::since`]: panics in all builds on
+    /// underflow instead of diverging between debug (raw-sub panic) and
+    /// release (wrapping or saturation).
+    #[track_caller]
     fn sub(self, rhs: Cycle) -> Cycle {
-        Cycle(self.0 - rhs.0)
+        self.since(rhs)
     }
 }
 
@@ -106,6 +129,28 @@ mod tests {
     #[test]
     fn since_measures_duration() {
         assert_eq!(Cycle::new(10).since(Cycle::new(4)), Cycle::new(6));
+    }
+
+    #[test]
+    fn checked_since_is_total() {
+        assert_eq!(
+            Cycle::new(10).checked_since(Cycle::new(4)),
+            Some(Cycle::new(6))
+        );
+        assert_eq!(Cycle::new(4).checked_since(Cycle::new(10)), None);
+        assert_eq!(Cycle::ZERO.checked_since(Cycle::ZERO), Some(Cycle::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn since_panics_on_backwards_time_in_all_builds() {
+        let _ = Cycle::new(4).since(Cycle::new(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn sub_shares_the_since_policy() {
+        let _ = Cycle::new(4) - Cycle::new(10);
     }
 
     #[test]

@@ -1,0 +1,768 @@
+//! Replays a trace and proves the run's accounting correct.
+//!
+//! The checker enforces the invariants of DESIGN.md §8:
+//!
+//! * **I1 — bucket conservation.** Summing every [`TraceEvent::Charge`]
+//!   and applying every [`TraceEvent::Refile`] per thread reproduces the
+//!   run's reported `TimeBuckets` *exactly* (integer equality, no
+//!   tolerance). A charge posted twice, dropped, or refiled into the
+//!   wrong bucket cannot cancel out across five buckets and sixty-four
+//!   threads.
+//! * **I2 — per-CPU serialisation.** Charge intervals `[at, at+cycles)`
+//!   on one CPU never overlap. Transactional work is included, so no two
+//!   transactions ever *execute* on the same CPU at the same time (the
+//!   wall-clock intervals of preempted transactions legitimately
+//!   interleave under 4-per-CPU overcommit, which is why the invariant is
+//!   stated at charge granularity).
+//! * **I3 — lifecycle.** Per thread, begins/commits/aborts alternate,
+//!   commits and aborts name the transaction that began, every abort is
+//!   preceded by a conflict in the same attempt, and stalls/conflicts
+//!   happen only inside a transaction (suspensions only outside).
+//! * **I5 — confidence arithmetic.** Every [`TraceEvent::ConfUpdate`] is
+//!   recomputed from its recorded similarity inputs using the paper's
+//!   Examples 2–4 weighting and must match the applied delta *bit for
+//!   bit*.
+//! * **I6 — clamp contract.** Every [`TraceEvent::BloomSample`] satisfies
+//!   `clamped == max(raw, 0)` and `clamped ≥ 0`: negative Bloom
+//!   intersection estimates are clamped before they reach any running
+//!   average.
+//! * **I7 — makespan closure.** No charge extends past the makespan, so
+//!   with I2, every CPU's busy + idle time equals the makespan and the
+//!   grand total equals `makespan × num_cpus`.
+//!
+//! (I4 is the sequence-number density check folded into the drop
+//! detection: the audit requires a [`TraceMode::Full`] recording.)
+//!
+//! [`TraceMode::Full`]: crate::TraceMode::Full
+
+use crate::event::{BucketKind, ConfKind, TraceEvent};
+use crate::sink::TraceRecording;
+
+/// The run-level ground truth the trace is audited against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditInputs {
+    /// Reported makespan in cycles.
+    pub makespan: u64,
+    /// Number of simulated CPUs.
+    pub num_cpus: usize,
+    /// Reported per-thread bucket totals, indexed by thread id then
+    /// [`BucketKind::index`].
+    pub per_thread: Vec<[u64; BucketKind::COUNT]>,
+}
+
+/// One broken invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Sequence number of the offending event (`u64::MAX` for end-of-trace
+    /// checks with no single culprit).
+    pub seq: u64,
+    /// Simulated time of the offending event (or the makespan for
+    /// end-of-trace checks).
+    pub at: u64,
+    /// What went wrong.
+    pub what: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.seq == u64::MAX {
+            write!(f, "[end of trace] {}", self.what)
+        } else {
+            write!(f, "[seq {} @ {}cy] {}", self.seq, self.at, self.what)
+        }
+    }
+}
+
+/// Aggregates derived while replaying a clean trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditSummary {
+    /// Events replayed.
+    pub events: usize,
+    /// Busy cycles per CPU (sum of charge intervals).
+    pub per_cpu_busy: Vec<u64>,
+    /// Idle cycles per CPU (`makespan − busy`; with I2/I7 these are
+    /// exact, so `busy + idle` sums to `makespan × num_cpus`).
+    pub per_cpu_idle: Vec<u64>,
+    /// Total cycles per bucket after refiles, summed over threads.
+    pub charged: [u64; BucketKind::COUNT],
+    /// Transaction commits seen.
+    pub commits: u64,
+    /// Transaction aborts seen.
+    pub aborts: u64,
+    /// Conflicts seen (stalling and aborting).
+    pub conflicts: u64,
+    /// Stall episodes seen.
+    pub stalls: u64,
+    /// Scheduler suspensions seen.
+    pub suspends: u64,
+    /// Context switches seen.
+    pub context_switches: u64,
+    /// Confidence updates verified.
+    pub conf_updates: u64,
+    /// Bloom samples verified.
+    pub bloom_samples: u64,
+}
+
+/// Per-thread lifecycle state for I3.
+#[derive(Debug, Clone, Copy)]
+struct OpenTx {
+    stx: u32,
+    begin_seq: u64,
+    conflict_seen: bool,
+}
+
+/// Replays `recording` and checks invariants I1–I7 against `inputs`.
+///
+/// Returns the derived aggregates on success, or every violation found
+/// (the replay does not stop at the first).
+pub fn audit(
+    recording: &TraceRecording,
+    inputs: &AuditInputs,
+) -> Result<AuditSummary, Vec<Violation>> {
+    let mut v: Vec<Violation> = Vec::new();
+    let end = |what: String| Violation {
+        seq: u64::MAX,
+        at: inputs.makespan,
+        what,
+    };
+
+    if recording.dropped > 0 {
+        v.push(end(format!(
+            "recording dropped {} events (ring-buffer trace); the audit needs TraceMode::Full",
+            recording.dropped
+        )));
+    }
+
+    let threads = inputs.per_thread.len();
+    let mut acc: Vec<[u64; BucketKind::COUNT]> = vec![[0; BucketKind::COUNT]; threads];
+    let mut cpu_cursor: Vec<u64> = vec![0; inputs.num_cpus];
+    let mut cpu_busy: Vec<u64> = vec![0; inputs.num_cpus];
+    let mut open: Vec<Option<OpenTx>> = vec![None; threads];
+    let mut summary = AuditSummary {
+        events: recording.events.len(),
+        ..AuditSummary::default()
+    };
+
+    for rec in &recording.events {
+        let bad = |what: String| Violation {
+            seq: rec.seq,
+            at: rec.at,
+            what,
+        };
+        // Validates a thread id and returns it as a usable index.
+        let tid = |thread: u32, v: &mut Vec<Violation>| -> Option<usize> {
+            let t = thread as usize;
+            if t >= threads {
+                v.push(bad(format!(
+                    "thread {thread} out of range (run reported {threads} threads)"
+                )));
+                None
+            } else {
+                Some(t)
+            }
+        };
+        match rec.ev {
+            TraceEvent::Charge {
+                cpu,
+                thread,
+                bucket,
+                cycles,
+            } => {
+                if cycles == 0 {
+                    v.push(bad(
+                        "zero-cycle charge (zero-cost operations must not emit)".into(),
+                    ));
+                }
+                if let Some(t) = tid(thread, &mut v) {
+                    acc[t][bucket.index()] = acc[t][bucket.index()].saturating_add(cycles);
+                }
+                let c = cpu as usize;
+                if c >= inputs.num_cpus {
+                    v.push(bad(format!(
+                        "cpu {cpu} out of range (run reported {} CPUs)",
+                        inputs.num_cpus
+                    )));
+                } else {
+                    // I2: charges on one CPU are serialised.
+                    if rec.at < cpu_cursor[c] {
+                        v.push(bad(format!(
+                            "overlapping charge on cpu {cpu}: starts at {}cy but the previous \
+                             charge runs to {}cy",
+                            rec.at, cpu_cursor[c]
+                        )));
+                    }
+                    let end_at = rec.at.saturating_add(cycles);
+                    // I7: nothing runs past the makespan.
+                    if end_at > inputs.makespan {
+                        v.push(bad(format!(
+                            "charge on cpu {cpu} runs to {end_at}cy, past the makespan \
+                             ({}cy)",
+                            inputs.makespan
+                        )));
+                    }
+                    cpu_cursor[c] = cpu_cursor[c].max(end_at);
+                    cpu_busy[c] = cpu_busy[c].saturating_add(cycles);
+                }
+            }
+            TraceEvent::Refile {
+                thread,
+                from,
+                to,
+                requested,
+                moved,
+            } => {
+                if moved != requested {
+                    v.push(bad(format!(
+                        "refile saturated: asked to move {requested}cy {} → {} but only \
+                         {moved}cy were available — somebody moved or never charged the rest",
+                        from.label(),
+                        to.label()
+                    )));
+                }
+                if let Some(t) = tid(thread, &mut v) {
+                    if acc[t][from.index()] < moved {
+                        v.push(bad(format!(
+                            "refile moves {moved}cy out of {}, but the trace only charged \
+                             {}cy to it",
+                            from.label(),
+                            acc[t][from.index()]
+                        )));
+                        acc[t][from.index()] = 0;
+                    } else {
+                        acc[t][from.index()] -= moved;
+                    }
+                    acc[t][to.index()] = acc[t][to.index()].saturating_add(moved);
+                }
+            }
+            TraceEvent::ContextSwitch { .. } => summary.context_switches += 1,
+            TraceEvent::TxBegin { thread, stx, .. } => {
+                if let Some(t) = tid(thread, &mut v) {
+                    if let Some(cur) = open[t] {
+                        v.push(bad(format!(
+                            "thread {thread} begins stx {stx} while stx {} (begun at seq {}) \
+                             is still open",
+                            cur.stx, cur.begin_seq
+                        )));
+                    }
+                    open[t] = Some(OpenTx {
+                        stx,
+                        begin_seq: rec.seq,
+                        conflict_seen: false,
+                    });
+                }
+            }
+            TraceEvent::TxConflict { thread, .. } => {
+                summary.conflicts += 1;
+                if let Some(t) = tid(thread, &mut v) {
+                    match open[t].as_mut() {
+                        Some(cur) => cur.conflict_seen = true,
+                        None => v.push(bad(format!(
+                            "thread {thread} reports a conflict outside any transaction"
+                        ))),
+                    }
+                }
+            }
+            TraceEvent::TxStall { thread, .. } => {
+                summary.stalls += 1;
+                if let Some(t) = tid(thread, &mut v) {
+                    if open[t].is_none() {
+                        v.push(bad(format!(
+                            "thread {thread} stalls outside any transaction"
+                        )));
+                    }
+                }
+            }
+            TraceEvent::TxSuspend { thread, .. } => {
+                summary.suspends += 1;
+                if let Some(t) = tid(thread, &mut v) {
+                    if let Some(cur) = open[t] {
+                        v.push(bad(format!(
+                            "thread {thread} is suspended by the scheduler while stx {} is \
+                             already executing",
+                            cur.stx
+                        )));
+                    }
+                }
+            }
+            TraceEvent::TxAbort { thread, stx, .. } => {
+                summary.aborts += 1;
+                if let Some(t) = tid(thread, &mut v) {
+                    match open[t].take() {
+                        None => v.push(bad(format!(
+                            "thread {thread} aborts stx {stx} that never began"
+                        ))),
+                        Some(cur) => {
+                            if cur.stx != stx {
+                                v.push(bad(format!(
+                                    "thread {thread} aborts stx {stx} but stx {} is the one \
+                                     open",
+                                    cur.stx
+                                )));
+                            }
+                            // I3: no spurious aborts.
+                            if !cur.conflict_seen {
+                                v.push(bad(format!(
+                                    "thread {thread} aborts stx {stx} with no preceding \
+                                     conflict in this attempt"
+                                )));
+                            }
+                        }
+                    }
+                }
+            }
+            TraceEvent::TxCommit { thread, stx, .. } => {
+                summary.commits += 1;
+                if let Some(t) = tid(thread, &mut v) {
+                    match open[t].take() {
+                        None => v.push(bad(format!(
+                            "thread {thread} commits stx {stx} that never began"
+                        ))),
+                        Some(cur) if cur.stx != stx => v.push(bad(format!(
+                            "thread {thread} commits stx {stx} but stx {} is the one open",
+                            cur.stx
+                        ))),
+                        Some(_) => {}
+                    }
+                }
+            }
+            TraceEvent::SchedDecision { .. } => {}
+            TraceEvent::ConfUpdate {
+                kind,
+                a_stx,
+                b_stx,
+                sim_a_bits,
+                sim_b_bits,
+                param_bits,
+                applied_bits,
+            } => {
+                summary.conf_updates += 1;
+                // I5: recompute the delta exactly as the manager does
+                // (same expression shape, so the bits must agree).
+                let sim = 0.5 * (f64::from_bits(sim_a_bits) + f64::from_bits(sim_b_bits));
+                let param = f64::from_bits(param_bits);
+                let expect = match kind {
+                    ConfKind::ConflictInc | ConfKind::WaitJustified => param * sim,
+                    ConfKind::SuspendDecay | ConfKind::WaitUnjustified => -(param * (1.0 - sim)),
+                };
+                if expect.to_bits() != applied_bits {
+                    v.push(bad(format!(
+                        "{} update conf[{a_stx}][{b_stx}] applied {} but the paper's \
+                         weighting of the recorded inputs gives {} (sim={sim}, param={param})",
+                        kind.label(),
+                        f64::from_bits(applied_bits),
+                        expect
+                    )));
+                }
+            }
+            TraceEvent::BloomSample {
+                thread,
+                stx,
+                raw_bits,
+                clamped_bits,
+            } => {
+                summary.bloom_samples += 1;
+                // I6: the clamp contract of `intersection_size`.
+                let raw = f64::from_bits(raw_bits);
+                let clamped = f64::from_bits(clamped_bits);
+                if raw.max(0.0).to_bits() != clamped_bits || clamped.is_nan() || clamped < 0.0 {
+                    v.push(bad(format!(
+                        "bloom sample for thread {thread} stx {stx}: raw estimate {raw} \
+                         clamped to {clamped}, expected {}",
+                        raw.max(0.0)
+                    )));
+                }
+            }
+        }
+    }
+
+    // End-of-trace checks.
+    for (t, cur) in open.iter().enumerate() {
+        if let Some(cur) = cur {
+            v.push(end(format!(
+                "thread {t} ends the run inside stx {} (begun at seq {})",
+                cur.stx, cur.begin_seq
+            )));
+        }
+    }
+    // I7: per-CPU closure against the makespan.
+    for (c, cursor) in cpu_cursor.iter().enumerate() {
+        if *cursor > inputs.makespan {
+            v.push(end(format!(
+                "cpu {c} is busy until {cursor}cy, past the makespan ({}cy)",
+                inputs.makespan
+            )));
+        }
+    }
+    // I1: exact bucket conservation per thread and bucket.
+    for (t, (got, want)) in acc.iter().zip(&inputs.per_thread).enumerate() {
+        for b in BucketKind::ALL {
+            if got[b.index()] != want[b.index()] {
+                v.push(end(format!(
+                    "thread {t} bucket {}: trace accounts for {}cy but the run reported \
+                     {}cy ({})",
+                    b.label(),
+                    got[b.index()],
+                    want[b.index()],
+                    if got[b.index()] > want[b.index()] {
+                        "double-count"
+                    } else {
+                        "gap"
+                    }
+                )));
+            }
+        }
+    }
+
+    if !v.is_empty() {
+        return Err(v);
+    }
+
+    summary.per_cpu_idle = cpu_busy.iter().map(|b| inputs.makespan - b).collect();
+    summary.per_cpu_busy = cpu_busy;
+    for row in &acc {
+        for b in BucketKind::ALL {
+            summary.charged[b.index()] += row[b.index()];
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{TraceMode, TraceRec, TraceSink};
+
+    fn inputs(makespan: u64, cpus: usize, per_thread: Vec<[u64; 5]>) -> AuditInputs {
+        AuditInputs {
+            makespan,
+            num_cpus: cpus,
+            per_thread,
+        }
+    }
+
+    fn rec(events: Vec<TraceRec>) -> TraceRecording {
+        TraceRecording { events, dropped: 0 }
+    }
+
+    fn charge(
+        seq: u64,
+        at: u64,
+        cpu: u32,
+        thread: u32,
+        bucket: BucketKind,
+        cycles: u64,
+    ) -> TraceRec {
+        TraceRec {
+            seq,
+            at,
+            ev: TraceEvent::Charge {
+                cpu,
+                thread,
+                bucket,
+                cycles,
+            },
+        }
+    }
+
+    #[test]
+    fn clean_single_thread_trace_passes() {
+        let events = vec![
+            charge(0, 0, 0, 0, BucketKind::Kernel, 10),
+            charge(1, 10, 0, 0, BucketKind::NonTx, 90),
+        ];
+        let inp = inputs(100, 1, vec![[90, 10, 0, 0, 0]]);
+        let s = audit(&rec(events), &inp).expect("clean trace");
+        assert_eq!(s.per_cpu_busy, vec![100]);
+        assert_eq!(s.per_cpu_idle, vec![0]);
+        assert_eq!(s.charged, [90, 10, 0, 0, 0]);
+    }
+
+    #[test]
+    fn bucket_mismatch_is_flagged_as_gap_and_double_count() {
+        let events = vec![charge(0, 0, 0, 0, BucketKind::NonTx, 50)];
+        let inp = inputs(100, 1, vec![[40, 10, 0, 0, 0]]);
+        let errs = audit(&rec(events), &inp).unwrap_err();
+        assert_eq!(errs.len(), 2);
+        assert!(errs[0].what.contains("double-count"), "{}", errs[0]);
+        assert!(errs[1].what.contains("gap"), "{}", errs[1]);
+    }
+
+    #[test]
+    fn overlapping_charges_on_one_cpu_are_flagged() {
+        let events = vec![
+            charge(0, 0, 0, 0, BucketKind::NonTx, 60),
+            charge(1, 50, 0, 1, BucketKind::NonTx, 10),
+        ];
+        let inp = inputs(100, 1, vec![[60, 0, 0, 0, 0], [10, 0, 0, 0, 0]]);
+        let errs = audit(&rec(events), &inp).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.what.contains("overlapping")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn charge_past_makespan_is_flagged() {
+        let events = vec![charge(0, 90, 0, 0, BucketKind::NonTx, 20)];
+        let inp = inputs(100, 1, vec![[20, 0, 0, 0, 0]]);
+        let errs = audit(&rec(events), &inp).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.what.contains("past the makespan")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn refile_conserves_and_saturation_is_flagged() {
+        let ok = vec![
+            charge(0, 0, 0, 0, BucketKind::Tx, 80),
+            TraceRec {
+                seq: 1,
+                at: 80,
+                ev: TraceEvent::Refile {
+                    thread: 0,
+                    from: BucketKind::Tx,
+                    to: BucketKind::Abort,
+                    requested: 30,
+                    moved: 30,
+                },
+            },
+        ];
+        let inp = inputs(100, 1, vec![[0, 0, 50, 30, 0]]);
+        audit(&rec(ok), &inp).expect("conserving refile");
+
+        let saturated = vec![
+            charge(0, 0, 0, 0, BucketKind::Tx, 20),
+            TraceRec {
+                seq: 1,
+                at: 20,
+                ev: TraceEvent::Refile {
+                    thread: 0,
+                    from: BucketKind::Tx,
+                    to: BucketKind::Abort,
+                    requested: 30,
+                    moved: 20,
+                },
+            },
+        ];
+        let inp = inputs(100, 1, vec![[0, 0, 0, 20, 0]]);
+        let errs = audit(&rec(saturated), &inp).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.what.contains("saturated")),
+            "{errs:?}"
+        );
+    }
+
+    fn tx_event(seq: u64, ev: TraceEvent) -> TraceRec {
+        TraceRec { seq, at: seq, ev }
+    }
+
+    #[test]
+    fn abort_requires_a_preceding_conflict() {
+        let no_conflict = vec![
+            tx_event(
+                0,
+                TraceEvent::TxBegin {
+                    thread: 0,
+                    stx: 1,
+                    retries: 0,
+                },
+            ),
+            tx_event(
+                1,
+                TraceEvent::TxAbort {
+                    thread: 0,
+                    stx: 1,
+                    undo_lines: 2,
+                },
+            ),
+        ];
+        let inp = inputs(100, 1, vec![[0, 0, 0, 0, 0]]);
+        let errs = audit(&rec(no_conflict), &inp).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.what.contains("no preceding conflict")),
+            "{errs:?}"
+        );
+
+        let with_conflict = vec![
+            tx_event(
+                0,
+                TraceEvent::TxBegin {
+                    thread: 0,
+                    stx: 1,
+                    retries: 0,
+                },
+            ),
+            tx_event(
+                1,
+                TraceEvent::TxConflict {
+                    thread: 0,
+                    stx: 1,
+                    enemy_thread: 1,
+                    enemy_stx: 2,
+                    stalled: false,
+                },
+            ),
+            tx_event(
+                2,
+                TraceEvent::TxAbort {
+                    thread: 0,
+                    stx: 1,
+                    undo_lines: 2,
+                },
+            ),
+        ];
+        let inp = inputs(100, 1, vec![[0; 5], [0; 5]]);
+        audit(&rec(with_conflict), &inp).expect("abort after conflict");
+    }
+
+    #[test]
+    fn lifecycle_alternation_is_enforced() {
+        let nested = vec![
+            tx_event(
+                0,
+                TraceEvent::TxBegin {
+                    thread: 0,
+                    stx: 1,
+                    retries: 0,
+                },
+            ),
+            tx_event(
+                1,
+                TraceEvent::TxBegin {
+                    thread: 0,
+                    stx: 2,
+                    retries: 0,
+                },
+            ),
+        ];
+        let inp = inputs(100, 1, vec![[0; 5]]);
+        let errs = audit(&rec(nested), &inp).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.what.contains("still open")),
+            "{errs:?}"
+        );
+        // ...and the dangling opens are also reported.
+        assert!(
+            errs.iter().any(|e| e.what.contains("ends the run inside")),
+            "{errs:?}"
+        );
+
+        let orphan_commit = vec![tx_event(
+            0,
+            TraceEvent::TxCommit {
+                thread: 0,
+                stx: 1,
+                retries: 0,
+                rw_lines: 4,
+            },
+        )];
+        let errs = audit(&rec(orphan_commit), &inp).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.what.contains("never began")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn confidence_updates_are_recomputed_bit_exactly() {
+        let sim_a: f64 = 0.75;
+        let sim_b: f64 = 0.25;
+        let param: f64 = 0.4;
+        let paired = 0.5 * (sim_a + sim_b);
+        let good = param * paired;
+        let ok = vec![tx_event(
+            0,
+            TraceEvent::ConfUpdate {
+                kind: ConfKind::ConflictInc,
+                a_stx: 1,
+                b_stx: 2,
+                sim_a_bits: sim_a.to_bits(),
+                sim_b_bits: sim_b.to_bits(),
+                param_bits: param.to_bits(),
+                applied_bits: good.to_bits(),
+            },
+        )];
+        let inp = inputs(100, 1, vec![]);
+        let s = audit(&rec(ok), &inp).expect("exact update");
+        assert_eq!(s.conf_updates, 1);
+
+        let off_by_ulp = vec![tx_event(
+            0,
+            TraceEvent::ConfUpdate {
+                kind: ConfKind::SuspendDecay,
+                a_stx: 1,
+                b_stx: 2,
+                sim_a_bits: sim_a.to_bits(),
+                sim_b_bits: sim_b.to_bits(),
+                param_bits: param.to_bits(),
+                // wrong formula: forgot the (1 - sim) weighting
+                applied_bits: (-param).to_bits(),
+            },
+        )];
+        let errs = audit(&rec(off_by_ulp), &inp).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.what.contains("suspend_decay")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn bloom_clamp_contract_is_enforced() {
+        let raw: f64 = -0.32;
+        let ok = vec![tx_event(
+            0,
+            TraceEvent::BloomSample {
+                thread: 0,
+                stx: 1,
+                raw_bits: raw.to_bits(),
+                clamped_bits: raw.max(0.0).to_bits(),
+            },
+        )];
+        let inp = inputs(100, 1, vec![[0; 5]]);
+        audit(&rec(ok), &inp).expect("clamped sample");
+
+        let unclamped = vec![tx_event(
+            0,
+            TraceEvent::BloomSample {
+                thread: 0,
+                stx: 1,
+                raw_bits: raw.to_bits(),
+                clamped_bits: raw.to_bits(),
+            },
+        )];
+        let errs = audit(&rec(unclamped), &inp).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.what.contains("bloom sample")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn ring_recordings_are_rejected() {
+        let mut sink = TraceSink::new(TraceMode::Ring(1));
+        for i in 0..3 {
+            sink.emit(i, || TraceEvent::TxStall { thread: 0, stx: 0 });
+        }
+        let inp = inputs(100, 1, vec![[0; 5]]);
+        let errs = audit(&sink.take(), &inp).unwrap_err();
+        assert!(errs.iter().any(|e| e.what.contains("dropped")), "{errs:?}");
+    }
+
+    #[test]
+    fn out_of_range_ids_are_flagged() {
+        let events = vec![charge(0, 0, 7, 9, BucketKind::NonTx, 10)];
+        let inp = inputs(100, 1, vec![[0; 5]]);
+        let errs = audit(&rec(events), &inp).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.what.contains("thread 9 out of range")),
+            "{errs:?}"
+        );
+        assert!(
+            errs.iter().any(|e| e.what.contains("cpu 7 out of range")),
+            "{errs:?}"
+        );
+    }
+}

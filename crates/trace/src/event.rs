@@ -1,0 +1,382 @@
+//! The typed event vocabulary.
+//!
+//! Events carry only primitives (`u32` ids, `u64` cycle counts, `u64`
+//! IEEE-754 bit patterns) so the crate stays a leaf: the simulator, HTM
+//! model and scheduler convert their own id types at the emission site.
+
+/// Sentinel for "no target thread/transaction" in events whose target is
+/// optional (e.g. a [`TraceEvent::SchedDecision`] that proceeds).
+pub const NO_TARGET: u32 = u32::MAX;
+
+/// The five cycle buckets of the paper's Figure 5, mirroring
+/// `bfgts_sim::Bucket` (which converts via `Bucket::trace_kind`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BucketKind {
+    /// Useful work outside any transaction.
+    NonTx,
+    /// Kernel/OS time: context switches, futex traffic, syscalls.
+    Kernel,
+    /// Useful work inside transactions that eventually commit.
+    Tx,
+    /// Work inside transactions that aborted, plus rollback costs.
+    Abort,
+    /// Contention-manager decision overhead.
+    Scheduling,
+}
+
+impl BucketKind {
+    /// All buckets, in the fixed order used for array indexing and the
+    /// per-thread totals in [`crate::AuditInputs`].
+    pub const ALL: [BucketKind; 5] = [
+        BucketKind::NonTx,
+        BucketKind::Kernel,
+        BucketKind::Tx,
+        BucketKind::Abort,
+        BucketKind::Scheduling,
+    ];
+
+    /// Number of buckets.
+    pub const COUNT: usize = 5;
+
+    /// Position of this bucket in [`BucketKind::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            BucketKind::NonTx => 0,
+            BucketKind::Kernel => 1,
+            BucketKind::Tx => 2,
+            BucketKind::Abort => 3,
+            BucketKind::Scheduling => 4,
+        }
+    }
+
+    /// Inverse of [`BucketKind::index`].
+    pub fn from_index(i: usize) -> Option<BucketKind> {
+        BucketKind::ALL.get(i).copied()
+    }
+
+    /// Stable lowercase label, used in exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            BucketKind::NonTx => "non_tx",
+            BucketKind::Kernel => "kernel",
+            BucketKind::Tx => "tx",
+            BucketKind::Abort => "abort",
+            BucketKind::Scheduling => "scheduling",
+        }
+    }
+
+    /// Inverse of [`BucketKind::label`].
+    pub fn from_label(s: &str) -> Option<BucketKind> {
+        BucketKind::ALL.into_iter().find(|b| b.label() == s)
+    }
+}
+
+/// What a contention manager told a transaction to do at begin time
+/// (mirrors `bfgts_htm::BeginDecision` without its payloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionKind {
+    /// Start immediately.
+    Proceed,
+    /// Suspend by spinning until a predicted enemy finishes.
+    Spin,
+    /// Suspend by yielding the CPU until a predicted enemy finishes.
+    Yield,
+    /// Block on a futex.
+    Block,
+    /// Back off for a fixed delay.
+    Delay,
+}
+
+impl DecisionKind {
+    /// Stable lowercase label, used in exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DecisionKind::Proceed => "proceed",
+            DecisionKind::Spin => "spin",
+            DecisionKind::Yield => "yield",
+            DecisionKind::Block => "block",
+            DecisionKind::Delay => "delay",
+        }
+    }
+
+    /// Inverse of [`DecisionKind::label`].
+    pub fn from_label(s: &str) -> Option<DecisionKind> {
+        [
+            DecisionKind::Proceed,
+            DecisionKind::Spin,
+            DecisionKind::Yield,
+            DecisionKind::Block,
+            DecisionKind::Delay,
+        ]
+        .into_iter()
+        .find(|d| d.label() == s)
+    }
+}
+
+/// Which confidence-table update rule produced a [`TraceEvent::ConfUpdate`].
+///
+/// The four rules are the paper's Examples 2–4 weightings; the audit
+/// recomputes each from the recorded similarity inputs and requires
+/// bit-exact agreement with the applied delta:
+///
+/// * `ConflictInc` — `txConflict`: `+inc_val · sim` (Example 3).
+/// * `SuspendDecay` — `suspendTx`: `−decay_val · (1 − sim)` (Example 2).
+/// * `WaitJustified` — `commitTx`, the suspended enemy *would* have
+///   conflicted: `+inc_val · sim` (Example 4).
+/// * `WaitUnjustified` — `commitTx`, the wait was for nothing:
+///   `−dec_val · (1 − sim)` (Example 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfKind {
+    /// Conflict-driven increase, weighted by pairwise similarity.
+    ConflictInc,
+    /// Suspension-driven decay, weighted by dissimilarity.
+    SuspendDecay,
+    /// Commit-time reinforcement of a justified wait.
+    WaitJustified,
+    /// Commit-time decay of an unjustified wait.
+    WaitUnjustified,
+}
+
+impl ConfKind {
+    /// Stable lowercase label, used in exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ConfKind::ConflictInc => "conflict_inc",
+            ConfKind::SuspendDecay => "suspend_decay",
+            ConfKind::WaitJustified => "wait_justified",
+            ConfKind::WaitUnjustified => "wait_unjustified",
+        }
+    }
+
+    /// Inverse of [`ConfKind::label`].
+    pub fn from_label(s: &str) -> Option<ConfKind> {
+        [
+            ConfKind::ConflictInc,
+            ConfKind::SuspendDecay,
+            ConfKind::WaitJustified,
+            ConfKind::WaitUnjustified,
+        ]
+        .into_iter()
+        .find(|k| k.label() == s)
+    }
+}
+
+/// One trace event. The timestamp lives on the enclosing
+/// [`crate::TraceRec`].
+///
+/// `Charge` timestamps are *interval starts*: the engine serialises the
+/// charges of one scheduling step so that on any single CPU charge
+/// intervals `[at, at + cycles)` never overlap — that is invariant I2 of
+/// the audit. All other events are instants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// `cycles` charged to `bucket` for `thread` executing on `cpu`.
+    Charge {
+        /// Executing CPU.
+        cpu: u32,
+        /// Charged thread.
+        thread: u32,
+        /// Destination bucket.
+        bucket: BucketKind,
+        /// Interval length in cycles (never zero; zero-cost operations
+        /// emit nothing).
+        cycles: u64,
+    },
+    /// Cycles moved between buckets after the fact (abort rollback
+    /// refiling Tx work into Abort). `moved < requested` means the source
+    /// bucket saturated — the audit flags it, because a correct
+    /// accounting never asks for more than it previously charged.
+    Refile {
+        /// Thread whose buckets were adjusted.
+        thread: u32,
+        /// Source bucket.
+        from: BucketKind,
+        /// Destination bucket.
+        to: BucketKind,
+        /// Cycles the caller asked to move.
+        requested: u64,
+        /// Cycles actually moved.
+        moved: u64,
+    },
+    /// The OS scheduler put a different thread on a CPU (same-thread
+    /// re-arms emit nothing).
+    ContextSwitch {
+        /// The CPU switching.
+        cpu: u32,
+        /// Incoming thread.
+        thread: u32,
+        /// Switch cost in cycles, charged to the incoming thread's
+        /// kernel bucket.
+        cost: u64,
+    },
+    /// A transaction attempt entered the HTM (`XBEGIN` equivalent).
+    TxBegin {
+        /// Executing thread.
+        thread: u32,
+        /// Static transaction id.
+        stx: u32,
+        /// Abort count of this dynamic transaction so far.
+        retries: u32,
+    },
+    /// A transactional access was NACKed by an enemy transaction.
+    TxConflict {
+        /// The requesting (losing) thread.
+        thread: u32,
+        /// Its static transaction id.
+        stx: u32,
+        /// The owning (winning) thread, or [`NO_TARGET`].
+        enemy_thread: u32,
+        /// The owner's static transaction id, or [`NO_TARGET`].
+        enemy_stx: u32,
+        /// `true` if the requester stalls and retries, `false` if this
+        /// conflict aborts it.
+        stalled: bool,
+    },
+    /// First NACK of a stall episode (counted once per episode, matching
+    /// `TmStats::stalls`).
+    TxStall {
+        /// Stalling thread.
+        thread: u32,
+        /// Its static transaction id.
+        stx: u32,
+    },
+    /// The scheduler suspended a transaction before it began, predicting
+    /// a conflict with a running enemy (the paper's `suspendTx`).
+    TxSuspend {
+        /// Suspended thread.
+        thread: u32,
+        /// Its static transaction id.
+        stx: u32,
+        /// The predicted enemy's thread.
+        target_thread: u32,
+        /// The predicted enemy's static transaction id.
+        target_stx: u32,
+        /// `true` for yield-wait, `false` for spin-wait.
+        yielding: bool,
+    },
+    /// A transaction attempt rolled back.
+    TxAbort {
+        /// Aborting thread.
+        thread: u32,
+        /// Its static transaction id.
+        stx: u32,
+        /// Log entries undone (drives the rollback cost).
+        undo_lines: u32,
+    },
+    /// A transaction attempt committed.
+    TxCommit {
+        /// Committing thread.
+        thread: u32,
+        /// Its static transaction id.
+        stx: u32,
+        /// Aborts this dynamic transaction survived before committing.
+        retries: u32,
+        /// Size of its read/write set in cache lines.
+        rw_lines: u32,
+    },
+    /// A contention manager's begin-time verdict, with its inputs.
+    SchedDecision {
+        /// Asking thread.
+        thread: u32,
+        /// Its static transaction id.
+        stx: u32,
+        /// The verdict.
+        kind: DecisionKind,
+        /// Predicted enemy thread ([`NO_TARGET`] when not applicable).
+        target_thread: u32,
+        /// Predicted enemy static transaction id ([`NO_TARGET`] when not
+        /// applicable).
+        target_stx: u32,
+        /// Decision overhead in cycles (charged to Scheduling).
+        cost: u64,
+    },
+    /// A confidence-table delta, with the inputs needed to recompute it.
+    ConfUpdate {
+        /// Update rule (determines the recomputation formula).
+        kind: ConfKind,
+        /// Row transaction (the one whose entry `conf[a][b]` moved).
+        a_stx: u32,
+        /// Column transaction.
+        b_stx: u32,
+        /// Similarity of `a` as an `f64` bit pattern.
+        sim_a_bits: u64,
+        /// Similarity of `b` as an `f64` bit pattern.
+        sim_b_bits: u64,
+        /// The rule's rate parameter (`inc_val` / `dec_val` /
+        /// `decay_val`) as an `f64` bit pattern.
+        param_bits: u64,
+        /// The delta actually added to the table, as an `f64` bit
+        /// pattern.
+        applied_bits: u64,
+    },
+    /// A Bloom intersection-size estimate feeding eq. 4, before and
+    /// after the clamp contract.
+    BloomSample {
+        /// Sampling thread.
+        thread: u32,
+        /// Its static transaction id.
+        stx: u32,
+        /// Raw estimate (may be slightly negative for disjoint sets) as
+        /// an `f64` bit pattern.
+        raw_bits: u64,
+        /// Estimate after clamping at zero, as an `f64` bit pattern.
+        clamped_bits: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable snake_case name of the variant, used as the JSONL `ev` key.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::Charge { .. } => "charge",
+            TraceEvent::Refile { .. } => "refile",
+            TraceEvent::ContextSwitch { .. } => "context_switch",
+            TraceEvent::TxBegin { .. } => "tx_begin",
+            TraceEvent::TxConflict { .. } => "tx_conflict",
+            TraceEvent::TxStall { .. } => "tx_stall",
+            TraceEvent::TxSuspend { .. } => "tx_suspend",
+            TraceEvent::TxAbort { .. } => "tx_abort",
+            TraceEvent::TxCommit { .. } => "tx_commit",
+            TraceEvent::SchedDecision { .. } => "sched_decision",
+            TraceEvent::ConfUpdate { .. } => "conf_update",
+            TraceEvent::BloomSample { .. } => "bloom_sample",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_roundtrip() {
+        for (i, b) in BucketKind::ALL.into_iter().enumerate() {
+            assert_eq!(b.index(), i);
+            assert_eq!(BucketKind::from_index(i), Some(b));
+            assert_eq!(BucketKind::from_label(b.label()), Some(b));
+        }
+        assert_eq!(BucketKind::from_index(5), None);
+        assert_eq!(BucketKind::from_label("bogus"), None);
+    }
+
+    #[test]
+    fn decision_and_conf_labels_roundtrip() {
+        for d in [
+            DecisionKind::Proceed,
+            DecisionKind::Spin,
+            DecisionKind::Yield,
+            DecisionKind::Block,
+            DecisionKind::Delay,
+        ] {
+            assert_eq!(DecisionKind::from_label(d.label()), Some(d));
+        }
+        for k in [
+            ConfKind::ConflictInc,
+            ConfKind::SuspendDecay,
+            ConfKind::WaitJustified,
+            ConfKind::WaitUnjustified,
+        ] {
+            assert_eq!(ConfKind::from_label(k.label()), Some(k));
+        }
+    }
+}
