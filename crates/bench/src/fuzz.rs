@@ -1,0 +1,530 @@
+//! Seeded fault-injection fuzz campaigns (DESIGN.md §9).
+//!
+//! A campaign runs a grid of cells, each fully derived from a single
+//! `u64` seed: an adversarial workload, a BFGTS flavour and a randomized
+//! [`FaultPlan`]. Every cell is executed through
+//! [`bfgts_faultsim::run_cell`], which audits the accounting invariants
+//! I1–I7 and checks the graceful-degradation bound against the Backoff
+//! baseline. Violating cells are auto-minimized (greedy fault removal,
+//! then magnitude halving) and written as replayable repro JSON that
+//! `bfgts_fuzz --repro PATH` re-executes byte-identically, verified by a
+//! fingerprint over the run's JSONL event trace.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use bfgts_core::BfgtsConfig;
+pub use bfgts_faultsim::run_cell;
+use bfgts_faultsim::{bfgts_run, minimize, CellConfig, CellReport, Fault, FaultPlan};
+use bfgts_testkit::Gen;
+use bfgts_workloads::AdversarialSpec;
+
+use crate::json::Json;
+use crate::runner::fnv1a;
+use crate::trace_export;
+
+/// Format version of a repro file; bump on any schema change.
+pub const REPRO_VERSION: u64 = 1;
+
+/// BFGTS flavours the campaign rotates through, as stable repro keys.
+pub const BFGTS_KEYS: [&str; 4] = ["sw", "hw", "hw_backoff", "no_overhead"];
+
+fn bfgts_config(key: &str) -> Option<BfgtsConfig> {
+    match key {
+        "sw" => Some(BfgtsConfig::sw()),
+        "hw" => Some(BfgtsConfig::hw()),
+        "hw_backoff" => Some(BfgtsConfig::hw_backoff()),
+        "no_overhead" => Some(BfgtsConfig::no_overhead()),
+        _ => None,
+    }
+}
+
+/// One campaign cell, fully derived from its seed.
+#[derive(Debug, Clone)]
+pub struct CampaignCell {
+    /// The seed everything below is derived from.
+    pub seed: u64,
+    /// Platform, bound and BFGTS flavour for the cell.
+    pub cfg: CellConfig,
+    /// Stable key of the BFGTS flavour (see [`BFGTS_KEYS`]).
+    pub bfgts_key: &'static str,
+    /// The adversarial workload under test.
+    pub workload: AdversarialSpec,
+    /// The randomized fault plan.
+    pub plan: FaultPlan,
+}
+
+/// Derives campaign cell `seed`: workload, BFGTS flavour and fault plan
+/// all come from the seed through independent splitmix64 draws, so a
+/// seed range covers the (workload × flavour × plan) space without any
+/// cell depending on which others ran.
+pub fn campaign_cell(seed: u64) -> CampaignCell {
+    let mut g = Gen::new(seed ^ 0xF022_CA3B);
+    let workloads = AdversarialSpec::all();
+    let workload = g.choose(&workloads).clone();
+    let bfgts_key = *g.choose(&BFGTS_KEYS);
+    let mut cfg = CellConfig::quick(seed);
+    cfg.bfgts = bfgts_config(bfgts_key).expect("BFGTS_KEYS entries are all mapped");
+    CampaignCell {
+        seed,
+        cfg,
+        bfgts_key,
+        workload,
+        plan: FaultPlan::randomized(seed),
+    }
+}
+
+/// The outcome of one campaign cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// The cell's seed.
+    pub seed: u64,
+    /// Workload generator name.
+    pub workload: &'static str,
+    /// BFGTS flavour key.
+    pub bfgts: &'static str,
+    /// The fault plan that was injected.
+    pub plan: FaultPlan,
+    /// Scores, audit counts and violations.
+    pub report: CellReport,
+}
+
+/// Runs one campaign cell per seed, `jobs`-wide. Each cell is an
+/// independent deterministic simulation and results are reassembled in
+/// seed order, so the returned vector is identical for every `jobs`
+/// value — the same contract as `runner::run_grid`.
+pub fn run_campaign(seeds: &[u64], jobs: usize) -> Vec<CampaignResult> {
+    let slots: Vec<OnceLock<CampaignResult>> = (0..seeds.len()).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    let workers = jobs.max(1).min(seeds.len().max(1));
+    let run_one = |i: usize| {
+        let cell = campaign_cell(seeds[i]);
+        let report = run_cell(&cell.cfg, &cell.workload, &cell.plan);
+        slots[i]
+            .set(CampaignResult {
+                seed: cell.seed,
+                workload: cell.workload.name,
+                bfgts: cell.bfgts_key,
+                plan: cell.plan,
+                report,
+            })
+            .expect("each slot is filled exactly once");
+    };
+    if workers <= 1 {
+        for i in 0..seeds.len() {
+            run_one(i);
+        }
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= seeds.len() {
+                        break;
+                    }
+                    run_one(i);
+                });
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every slot was filled"))
+        .collect()
+}
+
+/// Minimizes a violating plan by re-running the cell as the oracle:
+/// a candidate plan "still fails" iff the re-run produces any violation.
+pub fn minimize_failure(
+    cfg: &CellConfig,
+    workload: &AdversarialSpec,
+    plan: &FaultPlan,
+) -> FaultPlan {
+    minimize(plan, |candidate| {
+        !run_cell(cfg, workload, candidate).passed()
+    })
+}
+
+/// The JSONL event trace of the cell's BFGTS run — the byte string a
+/// repro fingerprint commits to.
+pub fn trace_jsonl(cfg: &CellConfig, workload: &AdversarialSpec, plan: &FaultPlan) -> String {
+    let report = bfgts_run(cfg, workload, plan);
+    let inputs = report.sim.audit_inputs();
+    trace_export::to_jsonl(&report.sim.trace, &inputs)
+}
+
+/// FNV-1a fingerprint of [`trace_jsonl`]: equal fingerprints mean the
+/// replay produced a byte-identical event trace.
+pub fn fingerprint(cfg: &CellConfig, workload: &AdversarialSpec, plan: &FaultPlan) -> u64 {
+    fnv1a(&trace_jsonl(cfg, workload, plan), 0)
+}
+
+/// A self-contained, replayable record of a violating cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Repro {
+    /// Campaign seed the cell came from (or a label seed for controls).
+    pub seed: u64,
+    /// Workload generator name (resolved via [`AdversarialSpec::all`]).
+    pub workload: String,
+    /// BFGTS flavour key (see [`BFGTS_KEYS`]).
+    pub bfgts: String,
+    /// Simulated CPUs.
+    pub num_cpus: u64,
+    /// Worker threads.
+    pub num_threads: u64,
+    /// Engine/workload seed of the run.
+    pub run_seed: u64,
+    /// Workload scale factor as an `f64` bit pattern (exact round trip).
+    pub scale_bits: u64,
+    /// Degradation floor in percent.
+    pub min_fraction_pct: u64,
+    /// The (minimized) fault plan.
+    pub plan: FaultPlan,
+    /// Fingerprint of the BFGTS trace under this plan.
+    pub fingerprint: u64,
+    /// The violations the recorded run produced.
+    pub violations: Vec<String>,
+}
+
+impl Repro {
+    /// Reconstructs the cell configuration this repro describes.
+    pub fn cell_config(&self) -> Result<CellConfig, String> {
+        let bfgts = bfgts_config(&self.bfgts)
+            .ok_or_else(|| format!("unknown bfgts flavour '{}'", self.bfgts))?;
+        Ok(CellConfig {
+            num_cpus: self.num_cpus as usize,
+            num_threads: self.num_threads as usize,
+            run_seed: self.run_seed,
+            scale: f64::from_bits(self.scale_bits),
+            min_fraction_pct: self.min_fraction_pct,
+            bfgts,
+        })
+    }
+
+    /// Resolves the workload generator by name.
+    pub fn workload_spec(&self) -> Result<AdversarialSpec, String> {
+        AdversarialSpec::all()
+            .into_iter()
+            .find(|w| w.name == self.workload)
+            .ok_or_else(|| format!("unknown workload '{}'", self.workload))
+    }
+
+    /// Serialises to the canonical repro JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("version", Json::UInt(REPRO_VERSION)),
+            ("seed", Json::UInt(self.seed)),
+            ("workload", Json::Str(self.workload.clone())),
+            ("bfgts", Json::Str(self.bfgts.clone())),
+            ("num_cpus", Json::UInt(self.num_cpus)),
+            ("num_threads", Json::UInt(self.num_threads)),
+            ("run_seed", Json::UInt(self.run_seed)),
+            ("scale_bits", Json::UInt(self.scale_bits)),
+            ("min_fraction_pct", Json::UInt(self.min_fraction_pct)),
+            ("plan", plan_to_json(&self.plan)),
+            ("fingerprint", Json::UInt(self.fingerprint)),
+            (
+                "violations",
+                Json::Arr(
+                    self.violations
+                        .iter()
+                        .map(|v| Json::Str(v.clone()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a repro from its JSON document.
+    pub fn from_json(value: &Json) -> Result<Repro, String> {
+        let field = |key: &str| value.get(key).ok_or_else(|| format!("missing '{key}'"));
+        let uint = |key: &str| {
+            field(key)?
+                .as_u64()
+                .ok_or_else(|| format!("'{key}' must be an unsigned integer"))
+        };
+        let string = |key: &str| {
+            Ok::<_, String>(
+                field(key)?
+                    .as_str()
+                    .ok_or_else(|| format!("'{key}' must be a string"))?
+                    .to_string(),
+            )
+        };
+        let version = uint("version")?;
+        if version != REPRO_VERSION {
+            return Err(format!(
+                "repro version {version} unsupported (expected {REPRO_VERSION})"
+            ));
+        }
+        let violations = field("violations")?
+            .as_arr()
+            .ok_or("'violations' must be an array")?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or("violations must be strings".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Repro {
+            seed: uint("seed")?,
+            workload: string("workload")?,
+            bfgts: string("bfgts")?,
+            num_cpus: uint("num_cpus")?,
+            num_threads: uint("num_threads")?,
+            run_seed: uint("run_seed")?,
+            scale_bits: uint("scale_bits")?,
+            min_fraction_pct: uint("min_fraction_pct")?,
+            plan: plan_from_json(field("plan")?)?,
+            fingerprint: uint("fingerprint")?,
+            violations,
+        })
+    }
+}
+
+fn fault_to_json(fault: &Fault) -> Json {
+    match *fault {
+        Fault::CostPerturb { max_percent } => Json::obj([
+            ("kind", Json::Str("cost_perturb".into())),
+            ("max_percent", Json::UInt(u64::from(max_percent))),
+        ]),
+        Fault::BloomCorrupt { rate_pct, bits } => Json::obj([
+            ("kind", Json::Str("bloom_corrupt".into())),
+            ("rate_pct", Json::UInt(u64::from(rate_pct))),
+            ("bits", Json::UInt(u64::from(bits))),
+        ]),
+        Fault::ConfPoison { period, saturate } => Json::obj([
+            ("kind", Json::Str("conf_poison".into())),
+            ("period", Json::UInt(period)),
+            ("saturate", Json::Bool(saturate)),
+        ]),
+    }
+}
+
+fn fault_from_json(value: &Json) -> Result<Fault, String> {
+    let uint = |key: &str| {
+        value
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("fault field '{key}' must be an unsigned integer"))
+    };
+    let narrow = |key: &str| {
+        u32::try_from(uint(key)?).map_err(|_| format!("fault field '{key}' exceeds u32"))
+    };
+    match value.get("kind").and_then(Json::as_str) {
+        Some("cost_perturb") => Ok(Fault::CostPerturb {
+            max_percent: narrow("max_percent")?,
+        }),
+        Some("bloom_corrupt") => Ok(Fault::BloomCorrupt {
+            rate_pct: narrow("rate_pct")?,
+            bits: narrow("bits")?,
+        }),
+        Some("conf_poison") => Ok(Fault::ConfPoison {
+            period: uint("period")?,
+            saturate: matches!(value.get("saturate"), Some(Json::Bool(true))),
+        }),
+        Some(other) => Err(format!("unknown fault kind '{other}'")),
+        None => Err("fault is missing a 'kind' string".into()),
+    }
+}
+
+fn plan_to_json(plan: &FaultPlan) -> Json {
+    Json::obj([
+        ("seed", Json::UInt(plan.seed)),
+        (
+            "faults",
+            Json::Arr(plan.faults.iter().map(fault_to_json).collect()),
+        ),
+    ])
+}
+
+fn plan_from_json(value: &Json) -> Result<FaultPlan, String> {
+    let seed = value
+        .get("seed")
+        .and_then(Json::as_u64)
+        .ok_or("plan is missing a 'seed' integer")?;
+    let faults = value
+        .get("faults")
+        .and_then(Json::as_arr)
+        .ok_or("plan is missing a 'faults' array")?
+        .iter()
+        .map(fault_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(FaultPlan { seed, faults })
+}
+
+/// Builds the repro record for a violating cell: the fingerprint commits
+/// to the trace of exactly the (usually minimized) plan being recorded.
+pub fn make_repro(
+    seed: u64,
+    cfg: &CellConfig,
+    bfgts_key: &str,
+    workload: &AdversarialSpec,
+    plan: &FaultPlan,
+    violations: Vec<String>,
+) -> Repro {
+    Repro {
+        seed,
+        workload: workload.name.to_string(),
+        bfgts: bfgts_key.to_string(),
+        num_cpus: cfg.num_cpus as u64,
+        num_threads: cfg.num_threads as u64,
+        run_seed: cfg.run_seed,
+        scale_bits: cfg.scale.to_bits(),
+        min_fraction_pct: cfg.min_fraction_pct,
+        plan: plan.clone(),
+        fingerprint: fingerprint(cfg, workload, plan),
+        violations,
+    }
+}
+
+/// Writes `repro` as `<seed>.json` under `dir`, creating it if needed.
+pub fn write_repro(dir: &Path, repro: &Repro) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.json", repro.seed));
+    std::fs::write(&path, repro.to_json().to_string() + "\n")?;
+    Ok(path)
+}
+
+/// Loads a repro file written by [`write_repro`].
+pub fn load_repro(path: &Path) -> Result<Repro, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Repro::from_json(&Json::parse(&text)?)
+}
+
+/// Re-executes a repro and checks both halves of its contract: the run
+/// must still violate, and its event trace must be byte-identical to the
+/// recorded one (equal fingerprints). Returns the replayed report.
+pub fn replay(repro: &Repro) -> Result<CellReport, String> {
+    let cfg = repro.cell_config()?;
+    let workload = repro.workload_spec()?;
+    let fp = fingerprint(&cfg, &workload, &repro.plan);
+    if fp != repro.fingerprint {
+        return Err(format!(
+            "trace fingerprint mismatch: recorded {:016x}, replay {fp:016x}",
+            repro.fingerprint
+        ));
+    }
+    let report = run_cell(&cfg, &workload, &repro.plan);
+    if report.passed() {
+        return Err("replay no longer violates (fixed, or a stale repro)".into());
+    }
+    Ok(report)
+}
+
+/// The seeded negative control: a confidence-poisoned cell judged
+/// against an impossible degradation floor (BFGTS must beat Backoff
+/// 100×), guaranteed to violate. CI runs this to prove the campaign
+/// harness actually catches failures — the fuzz-lane analogue of
+/// detlint's seeded-violation step.
+pub fn violating_control() -> (CellConfig, AdversarialSpec, FaultPlan) {
+    let mut cfg = CellConfig::quick(0xC0_47_01);
+    cfg.min_fraction_pct = 10_000;
+    let plan = FaultPlan::new(0xC047).fault(Fault::ConfPoison {
+        period: 1,
+        saturate: true,
+    });
+    (cfg, AdversarialSpec::hotspot_skew(), plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_is_identical_across_job_counts() {
+        let seeds: Vec<u64> = (0..6).collect();
+        let serial = run_campaign(&seeds, 1);
+        let parallel = run_campaign(&seeds, 4);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), 6);
+        for (seed, result) in seeds.iter().zip(&serial) {
+            assert_eq!(*seed, result.seed);
+        }
+    }
+
+    #[test]
+    fn trace_fingerprint_is_stable_and_plan_sensitive() {
+        let cell = campaign_cell(2);
+        let a = trace_jsonl(&cell.cfg, &cell.workload, &cell.plan);
+        let b = trace_jsonl(&cell.cfg, &cell.workload, &cell.plan);
+        assert_eq!(a, b, "same cell, byte-identical trace");
+        let clean = fingerprint(&cell.cfg, &cell.workload, &FaultPlan::new(cell.plan.seed));
+        assert_ne!(
+            fnv1a(&a, 0),
+            clean,
+            "a non-empty plan must leave a mark on the trace"
+        );
+    }
+
+    #[test]
+    fn repro_json_round_trips() {
+        let (cfg, workload, plan) = violating_control();
+        let repro = Repro {
+            seed: 42,
+            workload: workload.name.to_string(),
+            bfgts: "hw".to_string(),
+            num_cpus: cfg.num_cpus as u64,
+            num_threads: cfg.num_threads as u64,
+            run_seed: cfg.run_seed,
+            scale_bits: cfg.scale.to_bits(),
+            min_fraction_pct: cfg.min_fraction_pct,
+            plan: plan
+                .fault(Fault::CostPerturb { max_percent: 9 })
+                .fault(Fault::BloomCorrupt {
+                    rate_pct: 33,
+                    bits: 16,
+                }),
+            fingerprint: 0xDEAD_BEEF,
+            violations: vec!["degradation bound broken: …".to_string()],
+        };
+        let text = repro.to_json().to_string();
+        let parsed = Repro::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, repro);
+        assert!(Repro::from_json(&Json::parse("{}").unwrap()).is_err());
+    }
+
+    #[test]
+    fn seeded_control_violates_minimizes_and_replays() {
+        let (cfg, workload, plan) = violating_control();
+        let report = run_cell(&cfg, &workload, &plan);
+        assert!(!report.passed(), "the control must violate");
+        // The bound is impossible even without faults, so minimization
+        // strips the plan down to nothing — the true root cause.
+        let minimized = minimize_failure(&cfg, &workload, &plan);
+        assert!(minimized.is_empty());
+        assert_eq!(minimized, minimize_failure(&cfg, &workload, &plan));
+        let scored = run_cell(&cfg, &workload, &minimized);
+        let repro = make_repro(7, &cfg, "hw", &workload, &minimized, scored.violations);
+        let replayed = replay(&repro).expect("the repro must reproduce");
+        assert!(!replayed.passed());
+    }
+
+    #[test]
+    fn repro_files_round_trip_on_disk() {
+        let (cfg, workload, plan) = violating_control();
+        let repro = make_repro(11, &cfg, "hw", &workload, &plan, vec!["x".into()]);
+        let dir = std::env::temp_dir().join(format!("bfgts-fuzz-{}", std::process::id()));
+        let path = write_repro(&dir, &repro).unwrap();
+        assert!(path.ends_with("11.json"));
+        let loaded = load_repro(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(loaded, repro);
+    }
+
+    #[test]
+    fn stale_fingerprints_and_unknown_names_are_rejected() {
+        let (cfg, workload, plan) = violating_control();
+        let scored = run_cell(&cfg, &workload, &plan);
+        let mut repro = make_repro(3, &cfg, "hw", &workload, &plan, scored.violations);
+        repro.fingerprint ^= 1;
+        let err = replay(&repro).unwrap_err();
+        assert!(err.contains("fingerprint mismatch"), "{err}");
+        repro.bfgts = "turbo".into();
+        assert!(repro.cell_config().is_err());
+        repro.workload = "adv-unknown".into();
+        assert!(repro.workload_spec().is_err());
+    }
+}

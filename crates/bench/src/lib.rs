@@ -10,12 +10,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fuzz;
 pub mod json;
 pub mod runner;
 pub mod trace_export;
 
 use bfgts_baselines::{AtsCm, BackoffCm, PtsCm, PtsConfig};
-use bfgts_core::{BfgtsCm, BfgtsConfig};
+use bfgts_core::{BfgtsCm, BfgtsConfig, CmFaults};
 use bfgts_htm::{run_workload, ContentionManager, TmRunConfig, TmRunReport};
 use bfgts_workloads::BenchmarkSpec;
 
@@ -81,6 +82,39 @@ impl ManagerKind {
                 BfgtsConfig::hw_backoff().bloom_bits(bloom_bits),
             )),
             ManagerKind::BfgtsNoOverhead => Box::new(BfgtsCm::new(BfgtsConfig::no_overhead())),
+        }
+    }
+
+    /// Like [`ManagerKind::build`], but arms the BFGTS variants with a
+    /// manager-level fault plan (DESIGN.md §9). Baselines have no Bloom
+    /// signatures or confidence table to sabotage, so they ignore the
+    /// plan — which is exactly what the degradation bound compares
+    /// against.
+    pub fn build_with_faults(
+        self,
+        bloom_bits: u32,
+        faults: Option<CmFaults>,
+    ) -> Box<dyn ContentionManager> {
+        let Some(faults) = faults else {
+            return self.build(bloom_bits);
+        };
+        match self {
+            ManagerKind::BfgtsSw => Box::new(BfgtsCm::with_faults(
+                BfgtsConfig::sw().bloom_bits(bloom_bits),
+                faults,
+            )),
+            ManagerKind::BfgtsHw => Box::new(BfgtsCm::with_faults(
+                BfgtsConfig::hw().bloom_bits(bloom_bits),
+                faults,
+            )),
+            ManagerKind::BfgtsHwBackoff => Box::new(BfgtsCm::with_faults(
+                BfgtsConfig::hw_backoff().bloom_bits(bloom_bits),
+                faults,
+            )),
+            ManagerKind::BfgtsNoOverhead => {
+                Box::new(BfgtsCm::with_faults(BfgtsConfig::no_overhead(), faults))
+            }
+            baseline => baseline.build(bloom_bits),
         }
     }
 
@@ -224,6 +258,9 @@ pub struct CommonArgs {
     /// Whether every distinct cell is re-run with full tracing and its
     /// accounting audited (`--audit`).
     pub audit: bool,
+    /// Seed of a randomized fault plan injected into every non-serial
+    /// cell (`--faults SEED`; see `bfgts_faultsim::FaultPlan`).
+    pub faults: Option<u64>,
 }
 
 impl Default for CommonArgs {
@@ -236,6 +273,7 @@ impl Default for CommonArgs {
             json: None,
             trace: None,
             audit: false,
+            faults: None,
         }
     }
 }
@@ -257,6 +295,9 @@ options:
   --audit        re-run every distinct cell with full tracing and
                  verify the accounting invariants (exits 1 on the
                  first violation)
+  --faults SEED  inject the randomized fault plan derived from SEED
+                 (cost jitter, Bloom corruption, confidence poisoning;
+                 see bfgts_fuzz) into every non-serial cell
   -h, --help     show this help";
 
 /// Parses the shared flags from `args` (binary name already stripped).
@@ -310,6 +351,13 @@ pub fn parse_args_from(args: &[String]) -> Result<Option<CommonArgs>, String> {
                 out.trace = Some(std::path::PathBuf::from(value(&mut i, "--trace")?));
             }
             "--audit" => out.audit = true,
+            "--faults" => {
+                let v = value(&mut i, "--faults")?;
+                out.faults = Some(
+                    v.parse()
+                        .map_err(|_| format!("--faults needs an integer seed, got '{v}'"))?,
+                );
+            }
             other => return Err(format!("unknown argument '{other}'")),
         }
         i += 1;
@@ -407,6 +455,8 @@ mod tests {
             "--trace",
             "run.jsonl",
             "--audit",
+            "--faults",
+            "11",
         ])
         .unwrap()
         .unwrap();
@@ -421,6 +471,7 @@ mod tests {
             Some(std::path::Path::new("run.jsonl"))
         );
         assert!(args.audit);
+        assert_eq!(args.faults, Some(11));
     }
 
     #[test]
@@ -429,6 +480,7 @@ mod tests {
         assert!(parse(&["--scale"]).is_err());
         assert!(parse(&["--scale", "fast"]).is_err());
         assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--faults", "xyzzy"]).is_err());
         assert!(parse(&["extra"]).is_err());
     }
 

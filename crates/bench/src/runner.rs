@@ -115,6 +115,11 @@ pub struct RunCell {
     pub platform: Platform,
     /// Cost model flavour.
     pub costs: CostKind,
+    /// Seed of a randomized fault plan (`--faults SEED`): the cell runs
+    /// under jittered costs and, for BFGTS managers, signature
+    /// corruption and confidence poisoning (DESIGN.md §9). `None` runs
+    /// clean.
+    pub faults: Option<u64>,
 }
 
 impl RunCell {
@@ -125,6 +130,7 @@ impl RunCell {
             manager: CellManager::Kind(kind),
             platform,
             costs: CostKind::Htm,
+            faults: None,
         }
     }
 
@@ -140,6 +146,7 @@ impl RunCell {
             manager: CellManager::KindWithBloom(kind, bits),
             platform,
             costs: CostKind::Htm,
+            faults: None,
         }
     }
 
@@ -159,6 +166,7 @@ impl RunCell {
             },
             platform,
             costs: CostKind::Htm,
+            faults: None,
         }
     }
 
@@ -169,6 +177,7 @@ impl RunCell {
             manager: CellManager::Serial,
             platform,
             costs: CostKind::Htm,
+            faults: None,
         }
     }
 
@@ -178,14 +187,26 @@ impl RunCell {
         self
     }
 
+    /// Arms the cell with the randomized fault plan derived from `seed`.
+    pub fn faulted(mut self, seed: u64) -> Self {
+        self.faults = Some(seed);
+        self
+    }
+
     /// The canonical cache key: every input that can change the outcome.
     pub fn cache_key(&self) -> String {
         let (cpus, threads) = match self.manager {
             CellManager::Serial => (1, 1),
             _ => (self.platform.cpus, self.platform.threads),
         };
+        let faults = match self.faults {
+            // Clean cells keep their historical keys: arming faults must
+            // never poison (or be poisoned by) the clean cache.
+            None => String::new(),
+            Some(seed) => format!("|faults={seed:#x}"),
+        };
         format!(
-            "v{CACHE_VERSION}|{}|txs={}|cpus={cpus}|threads={threads}|seed={:#x}|{}|{}",
+            "v{CACHE_VERSION}|{}|txs={}|cpus={cpus}|threads={threads}|seed={:#x}|{}|{}{faults}",
             self.spec.name,
             self.spec.total_txs,
             self.platform.seed,
@@ -206,17 +227,34 @@ impl RunCell {
         let seed = self.platform.seed;
         match &self.manager {
             CellManager::Serial => {
+                // Serial baselines stay clean even under --faults: a
+                // perturbed denominator would make every speedup
+                // incomparable across plans.
                 let cfg = self.costs.config(1, 1, seed).trace(trace);
                 run_workload(&cfg, self.spec.sources(1), Box::new(BackoffCm::default()))
             }
             manager => {
-                let cfg = self
+                let plan = self.faults.map(bfgts_faultsim::FaultPlan::randomized);
+                let mut cfg = self
                     .costs
                     .config(self.platform.cpus, self.platform.threads, seed)
                     .trace(trace);
+                if let Some(plan) = &plan {
+                    let pct = plan.cost_percent();
+                    if pct > 0 {
+                        cfg = cfg.perturb_costs(plan.seed, pct);
+                    }
+                }
+                let cm_faults = plan.as_ref().and_then(|p| p.cm_faults());
                 let cm: Box<dyn ContentionManager> = match manager {
-                    CellManager::Kind(kind) => kind.build(kind.optimal_bloom_bits(self.spec.name)),
-                    CellManager::KindWithBloom(kind, bits) => kind.build(*bits),
+                    CellManager::Kind(kind) => {
+                        kind.build_with_faults(kind.optimal_bloom_bits(self.spec.name), cm_faults)
+                    }
+                    CellManager::KindWithBloom(kind, bits) => {
+                        kind.build_with_faults(*bits, cm_faults)
+                    }
+                    // Custom builders carry their own configuration; they
+                    // still feel the cost perturbation above.
                     CellManager::Custom { build, .. } => build(),
                     CellManager::Serial => unreachable!("handled above"),
                 };
@@ -582,6 +620,23 @@ pub fn run_grid(cells: &[RunCell], opts: &RunnerOptions) -> Vec<CellSummary> {
 /// accounting invariants (exiting 1 on a violation), and `--trace PATH`
 /// writes the first parallel cell's recording to disk.
 pub fn run_grid_with_args(cells: &[RunCell], args: &CommonArgs) -> Vec<CellSummary> {
+    // --faults arms every non-serial cell; the owned grid then feeds the
+    // run, the audit and the trace export alike, so fault events show up
+    // everywhere downstream.
+    let armed: Vec<RunCell>;
+    let cells: &[RunCell] = match args.faults {
+        Some(seed) => {
+            armed = cells
+                .iter()
+                .map(|cell| match cell.manager {
+                    CellManager::Serial => cell.clone(),
+                    _ => cell.clone().faulted(seed),
+                })
+                .collect();
+            &armed
+        }
+        None => cells,
+    };
     let results = run_grid(cells, &RunnerOptions::from_args(args));
     if let Some(path) = &args.json {
         if let Err(err) = write_grid_json(path, cells, &results) {
@@ -737,7 +792,7 @@ pub fn write_grid_json(
 
 /// FNV-1a over `text`, with an offset-basis tweak so two independent
 /// 64-bit digests can be concatenated into the cache file name.
-fn fnv1a(text: &str, tweak: u64) -> u64 {
+pub(crate) fn fnv1a(text: &str, tweak: u64) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ tweak;
     for byte in text.bytes() {
         hash ^= byte as u64;
@@ -928,6 +983,26 @@ mod tests {
         let grid = run_grid(std::slice::from_ref(&cell), &opts);
         assert_eq!(grid[0], cell.execute());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faulted_cells_key_separately_and_audit_clean() {
+        let spec = tiny_spec();
+        let p = Platform::small();
+        let clean = RunCell::one(&spec, ManagerKind::BfgtsHw, p);
+        let faulted = clean.clone().faulted(3);
+        assert_ne!(clean.cache_key(), faulted.cache_key());
+        assert_ne!(
+            faulted.cache_key(),
+            clean.clone().faulted(4).cache_key(),
+            "the plan seed is part of the key"
+        );
+        // Fault events are accounted instants: the audit must stay exact
+        // under injection, for several distinct plans.
+        for seed in [3u64, 4, 5] {
+            let report = clean.clone().faulted(seed).execute_report(TraceMode::Full);
+            report.audit_or_panic();
+        }
     }
 
     #[test]

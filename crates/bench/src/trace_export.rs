@@ -23,7 +23,9 @@ use bfgts_trace::{
 };
 
 /// Format version stamped into (and required of) the JSONL header.
-pub const TRACE_FORMAT_VERSION: u64 = 1;
+/// Version 2 added the fault-injection instants (`fault_bloom_corrupt`,
+/// `fault_conf_poison`, DESIGN.md §9).
+pub const TRACE_FORMAT_VERSION: u64 = 2;
 
 /// Serialises a recording plus its audit ground truth as JSONL.
 pub fn to_jsonl(recording: &TraceRecording, inputs: &AuditInputs) -> String {
@@ -265,6 +267,18 @@ fn rec_to_json(rec: &TraceRec) -> Json {
             ("raw_bits", Json::UInt(raw_bits)),
             ("clamped_bits", Json::UInt(clamped_bits)),
         ]),
+        TraceEvent::FaultBloomCorrupt { thread, stx, bits } => {
+            pairs.extend([("thread", u(thread)), ("stx", u(stx)), ("bits", u(bits))]);
+        }
+        TraceEvent::FaultConfPoison {
+            thread,
+            saturate,
+            entries,
+        } => pairs.extend([
+            ("thread", u(thread)),
+            ("saturate", Json::Bool(saturate)),
+            ("entries", Json::UInt(entries)),
+        ]),
     }
     Json::obj(pairs)
 }
@@ -355,6 +369,16 @@ fn rec_from_json(v: &Json) -> Option<TraceRec> {
             stx: u32f("stx")?,
             raw_bits: u64f("raw_bits")?,
             clamped_bits: u64f("clamped_bits")?,
+        },
+        "fault_bloom_corrupt" => TraceEvent::FaultBloomCorrupt {
+            thread: u32f("thread")?,
+            stx: u32f("stx")?,
+            bits: u32f("bits")?,
+        },
+        "fault_conf_poison" => TraceEvent::FaultConfPoison {
+            thread: u32f("thread")?,
+            saturate: boolf("saturate")?,
+            entries: u64f("entries")?,
         },
         _ => return None,
     };
@@ -577,6 +601,27 @@ pub fn to_chrome(recording: &TraceRecording, inputs: &AuditInputs) -> String {
                 format!("bloom_sample stx{stx}"),
                 Json::obj([("raw", float(raw_bits)), ("clamped", float(clamped_bits))]),
             ),
+            TraceEvent::FaultBloomCorrupt { thread, stx, bits } => instant(
+                PID_THREADS,
+                u64::from(thread),
+                at,
+                format!("fault:bloom_corrupt stx{stx}"),
+                Json::obj([("bits", Json::UInt(u64::from(bits)))]),
+            ),
+            TraceEvent::FaultConfPoison {
+                thread,
+                saturate,
+                entries,
+            } => instant(
+                PID_THREADS,
+                u64::from(thread),
+                at,
+                "fault:conf_poison".into(),
+                Json::obj([
+                    ("saturate", Json::Bool(saturate)),
+                    ("entries", Json::UInt(entries)),
+                ]),
+            ),
         });
     }
     let doc = Json::obj([
@@ -674,6 +719,16 @@ mod tests {
                 raw_bits: (-0.3f64).to_bits(),
                 clamped_bits: 0.0f64.to_bits(),
             },
+            TraceEvent::FaultBloomCorrupt {
+                thread: 1,
+                stx: 2,
+                bits: 64,
+            },
+            TraceEvent::FaultConfPoison {
+                thread: 1,
+                saturate: true,
+                entries: 16,
+            },
         ];
         let events = evs
             .into_iter()
@@ -710,9 +765,9 @@ mod tests {
         let text = to_jsonl(&recording, &inputs);
         assert!(parse_jsonl("").is_err());
         assert!(parse_jsonl("{\"seq\":0}").is_err(), "missing header");
-        let bad_count = text.replace("\"events\":12", "\"events\":13");
+        let bad_count = text.replace("\"events\":14", "\"events\":15");
         assert!(parse_jsonl(&bad_count).is_err(), "event count mismatch");
-        let bad_version = text.replace("\"version\":1", "\"version\":99");
+        let bad_version = text.replace("\"version\":2", "\"version\":99");
         assert!(parse_jsonl(&bad_version).is_err(), "future version");
         let bad_event = text.replace("\"ev\":\"tx_stall\"", "\"ev\":\"tx_mystery\"");
         assert!(parse_jsonl(&bad_event).is_err(), "unknown event name");

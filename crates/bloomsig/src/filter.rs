@@ -143,6 +143,25 @@ impl BloomFilter {
         }
     }
 
+    /// Forces a single bit position high — the fault-injection corruption
+    /// hook (DESIGN.md §9). A forced bit manufactures false positives
+    /// without inserting a key, inflating intersection estimates and
+    /// exercising the `intersection_size` clamp path; legitimate inserts
+    /// only ever go through hashed probe positions. The caller supplies
+    /// the position so this crate stays a leaf (no RNG dependency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= bits`.
+    pub fn set_bit(&mut self, pos: u32) {
+        assert!(
+            pos < self.params.bits,
+            "bit {pos} out of range for a {}-bit filter",
+            self.params.bits
+        );
+        self.words_mut()[(pos / 64) as usize] |= 1u64 << (pos % 64);
+    }
+
     /// Membership test. False positives are possible, false negatives are
     /// not.
     pub fn may_contain(&self, key: u64) -> bool {
@@ -385,6 +404,27 @@ mod tests {
         let ones = f.count_ones();
         f.insert(99);
         assert_eq!(f.count_ones(), ones);
+    }
+
+    #[test]
+    fn set_bit_forces_exact_positions() {
+        let mut f = BloomFilter::new(512, 4);
+        f.set_bit(0);
+        f.set_bit(63);
+        f.set_bit(64);
+        f.set_bit(511);
+        assert_eq!(f.count_ones(), 4);
+        f.set_bit(64); // idempotent
+        assert_eq!(f.count_ones(), 4);
+        assert_eq!(f.words()[0], 1 | (1u64 << 63));
+        assert_eq!(f.words()[1], 1);
+        assert_eq!(f.words()[7], 1u64 << 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_bit_rejects_out_of_range_positions() {
+        BloomFilter::new(512, 4).set_bit(512);
     }
 
     #[test]

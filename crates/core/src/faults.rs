@@ -1,0 +1,115 @@
+//! Declarative manager-level fault configuration (DESIGN.md §9).
+//!
+//! These knobs drive the two faults that live *inside* the scheduler —
+//! Bloom signature corruption and confidence-table poisoning. Cost-model
+//! perturbation, the third fault class, is applied at run-configuration
+//! time (`bfgts_sim::CostModel::perturbed`) and needs nothing here.
+//!
+//! Injection is strictly opt-in: [`crate::BfgtsCm::new`] never injects,
+//! and a faulted manager draws its randomness from its *own* stream
+//! derived from [`CmFaults::seed`], so the engine's and workload's RNG
+//! sequences — and therefore every fault-free decision — are untouched.
+
+/// What a confidence-table poisoning event does to the table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PoisonMode {
+    /// Zero every allocated entry: the scheduler forgets everything it
+    /// learned and must re-learn the conflict graph.
+    Reset,
+    /// Saturate every allocated entry to this value: every pair looks
+    /// certain to conflict, so the scheduler serialises spuriously.
+    Saturate(f64),
+}
+
+/// Fault plan for one [`crate::BfgtsCm`] instance (see
+/// [`crate::BfgtsCm::with_faults`]).
+///
+/// # Example
+///
+/// ```
+/// use bfgts_core::{BfgtsCm, BfgtsConfig, CmFaults, PoisonMode};
+///
+/// let faults = CmFaults::new(7)
+///     .bloom_corruption(25, 16)
+///     .poisoning(50, PoisonMode::Saturate(1000.0));
+/// let cm = BfgtsCm::with_faults(BfgtsConfig::hw(), faults);
+/// assert_eq!(cm.config().variant, bfgts_core::BfgtsVariant::Hw);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CmFaults {
+    /// Seed of the manager's private fault RNG stream.
+    pub seed: u64,
+    /// Percent probability (0–100) that each freshly built commit
+    /// signature gets false-positive bits forced into it.
+    pub bloom_corrupt_pct: u32,
+    /// Bit positions forced per corruption event.
+    pub bloom_corrupt_bits: u32,
+    /// Poison the confidence table every this many commits (0 = never).
+    pub poison_period: u64,
+    /// What poisoning does.
+    pub poison_mode: PoisonMode,
+}
+
+impl CmFaults {
+    /// A fault plan that injects nothing yet; combine with the builders.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            bloom_corrupt_pct: 0,
+            bloom_corrupt_bits: 0,
+            poison_period: 0,
+            poison_mode: PoisonMode::Reset,
+        }
+    }
+
+    /// Enables Bloom corruption: with probability `pct`% per commit,
+    /// force `bits` random positions into the new signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pct > 100`.
+    pub fn bloom_corruption(mut self, pct: u32, bits: u32) -> Self {
+        assert!(pct <= 100, "corruption rate is a percentage, got {pct}");
+        self.bloom_corrupt_pct = pct;
+        self.bloom_corrupt_bits = bits;
+        self
+    }
+
+    /// Enables confidence poisoning every `period` commits.
+    pub fn poisoning(mut self, period: u64, mode: PoisonMode) -> Self {
+        self.poison_period = period;
+        self.poison_mode = mode;
+        self
+    }
+
+    /// True if this plan can ever inject anything.
+    pub fn is_active(&self) -> bool {
+        (self.bloom_corrupt_pct > 0 && self.bloom_corrupt_bits > 0) || self.poison_period > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inactive() {
+        assert!(!CmFaults::new(0).is_active());
+    }
+
+    #[test]
+    fn builders_activate_the_plan() {
+        assert!(CmFaults::new(0).bloom_corruption(10, 8).is_active());
+        assert!(CmFaults::new(0)
+            .poisoning(100, PoisonMode::Reset)
+            .is_active());
+        // Corruption with zero bits can never do anything.
+        assert!(!CmFaults::new(0).bloom_corruption(10, 0).is_active());
+    }
+
+    #[test]
+    #[should_panic(expected = "percentage")]
+    fn out_of_range_rate_rejected() {
+        CmFaults::new(0).bloom_corruption(101, 1);
+    }
+}

@@ -39,12 +39,14 @@
 #![warn(missing_docs)]
 
 mod config;
+mod faults;
 mod hw;
 mod manager;
 mod sig;
 mod tables;
 
 pub use config::{BfgtsConfig, BfgtsVariant};
+pub use faults::{CmFaults, PoisonMode};
 pub use hw::HwPredictor;
 pub use manager::BfgtsCm;
 pub use tables::{ConfidenceTable, TxStatsTable};

@@ -1,6 +1,7 @@
 //! The BFGTS contention manager (paper §4).
 
 use crate::config::{BfgtsConfig, BfgtsVariant};
+use crate::faults::{CmFaults, PoisonMode};
 use crate::hw::HwPredictor;
 use crate::sig::Sig;
 use crate::tables::{ConfidenceTable, TxStatsTable};
@@ -50,6 +51,17 @@ pub struct BfgtsCm {
     signatures: BTreeMap<u64, Sig>,
     predictors: Vec<HwPredictor>,
     pressure: Vec<f64>,
+    faults: Option<FaultState>,
+}
+
+/// Live state of an injected fault plan: the plan itself, the manager's
+/// private fault RNG stream, and the commit counter driving the poisoning
+/// cadence. Kept apart from the engine's RNG so a faulted and a fault-free
+/// run make identical fault-free decisions.
+struct FaultState {
+    cfg: CmFaults,
+    rng: SimRng,
+    commits_seen: u64,
 }
 
 impl BfgtsCm {
@@ -67,7 +79,23 @@ impl BfgtsCm {
             signatures: BTreeMap::new(),
             predictors: Vec::new(),
             pressure: Vec::new(),
+            faults: None,
         }
+    }
+
+    /// Creates a manager with an injected fault plan (DESIGN.md §9).
+    ///
+    /// The fault RNG is a stream derived from `faults.seed`, independent
+    /// of the engine's and workload's streams: the same seed with an
+    /// inactive plan behaves exactly like [`BfgtsCm::new`].
+    pub fn with_faults(cfg: BfgtsConfig, faults: CmFaults) -> Self {
+        let mut cm = Self::new(cfg);
+        cm.faults = Some(FaultState {
+            rng: SimRng::seed_from(faults.seed).derive(0xFA07_5EED),
+            cfg: faults,
+            commits_seen: 0,
+        });
+        cm
     }
 
     /// The active configuration.
@@ -266,6 +294,29 @@ impl ContentionManager for BfgtsCm {
     ) -> CommitOutcome {
         let mut cost = self.priced(sw_cost::COMMIT_BASE);
 
+        // Fault injection: confidence-table poisoning on the commit
+        // cadence (DESIGN.md §9). The rewrite happens before this commit's
+        // own confidence updates, so every later ConfUpdate still verifies
+        // bit-exact against the (poisoned) table it actually touched.
+        let poison_due = match self.faults.as_mut() {
+            Some(fs) if fs.cfg.poison_period > 0 => {
+                fs.commits_seen += 1;
+                (fs.commits_seen % fs.cfg.poison_period == 0).then_some(fs.cfg.poison_mode)
+            }
+            _ => None,
+        };
+        if let Some(mode) = poison_due {
+            let (saturate, entries) = match mode {
+                PoisonMode::Reset => (false, self.confidence.reset_all()),
+                PoisonMode::Saturate(v) => (true, self.confidence.saturate(v)),
+            };
+            trace.emit(rec.now.as_u64(), || TraceEvent::FaultConfPoison {
+                thread: rec.dtx.thread.index() as u32,
+                saturate,
+                entries,
+            });
+        }
+
         // Pressure decays on commit.
         let alpha = self.cfg.pressure_alpha;
         let pressure_low = {
@@ -296,7 +347,27 @@ impl ContentionManager for BfgtsCm {
         // updateBloom + calcSim (Example 4), batched for small txs.
         let mut new_sig: Option<Sig> = None;
         if interval_due && !skip_bloom {
-            let sig = self.build_sig(rec.rw_set);
+            let mut sig = self.build_sig(rec.rw_set);
+            // Fault injection: forced false-positive bits in the fresh
+            // signature, *before* any estimate is taken — the BloomSample
+            // below records raw/clamped from the corrupted filter, so the
+            // audit's clamp contract (I6) verifies unchanged.
+            if let Some(fs) = self.faults.as_mut() {
+                let plan = fs.cfg;
+                if plan.bloom_corrupt_bits > 0
+                    && plan.bloom_corrupt_pct > 0
+                    && fs.rng.gen_range(100) < u64::from(plan.bloom_corrupt_pct)
+                {
+                    let forced = sig.force_bits(&mut fs.rng, plan.bloom_corrupt_bits);
+                    if forced > 0 {
+                        trace.emit(rec.now.as_u64(), || TraceEvent::FaultBloomCorrupt {
+                            thread: rec.dtx.thread.index() as u32,
+                            stx: rec.dtx.stx.0,
+                            bits: forced,
+                        });
+                    }
+                }
+            }
             if let Some(old) = self.signatures.get(&rec.dtx.pack()) {
                 // Clamp contract: only the clamped estimate may enter the
                 // similarity average. The trace records the raw value so
@@ -826,6 +897,158 @@ mod tests {
         cm.stats.entry(dtx(0, 0)).waiting_on = Some(dtx(1, 1));
         cm.on_wait_skipped(dtx(0, 0));
         assert_eq!(cm.stats.entry(dtx(0, 0)).waiting_on, None);
+    }
+
+    #[test]
+    fn inactive_fault_plan_behaves_like_a_clean_manager() {
+        let (tm, costs, mut rng) = env();
+        let mut clean = BfgtsCm::new(BfgtsConfig::hw());
+        let mut faulted = BfgtsCm::with_faults(BfgtsConfig::hw(), CmFaults::new(99));
+        let rw = lines(0..30);
+        for _ in 0..8 {
+            clean.on_commit(
+                &commit_rec(dtx(0, 0), &rw),
+                &tm,
+                &costs,
+                &mut rng,
+                &mut TraceSink::disabled(),
+            );
+            faulted.on_commit(
+                &commit_rec(dtx(0, 0), &rw),
+                &tm,
+                &costs,
+                &mut rng,
+                &mut TraceSink::disabled(),
+            );
+        }
+        assert_eq!(
+            clean.stats().sim_of(dtx(0, 0)),
+            faulted.stats().sim_of(dtx(0, 0)),
+            "an inactive plan must not perturb anything"
+        );
+    }
+
+    #[test]
+    fn bloom_corruption_inflates_similarity_of_disjoint_sets() {
+        let (tm, costs, rng) = env();
+        let run = |faults: Option<CmFaults>| {
+            let mut cm = match faults {
+                Some(f) => BfgtsCm::with_faults(BfgtsConfig::hw(), f),
+                None => BfgtsCm::new(BfgtsConfig::hw()),
+            };
+            for i in 0..12u64 {
+                let rw = lines(i * 1000..i * 1000 + 30);
+                cm.on_commit(
+                    &commit_rec(dtx(0, 0), &rw),
+                    &tm,
+                    &costs,
+                    &mut rng.derive(i),
+                    &mut TraceSink::disabled(),
+                );
+            }
+            cm.stats().sim_of(dtx(0, 0))
+        };
+        let clean = run(None);
+        // 100% corruption rate, 256 forced bits in a 2048-bit filter:
+        // disjoint sets now look overlapping.
+        let corrupted = run(Some(CmFaults::new(5).bloom_corruption(100, 256)));
+        assert!(
+            corrupted > clean,
+            "corruption must inflate similarity ({clean} -> {corrupted})"
+        );
+    }
+
+    #[test]
+    fn poisoning_reset_wipes_learned_confidence() {
+        let (tm, costs, mut rng) = env();
+        let mut cm = BfgtsCm::with_faults(
+            BfgtsConfig::hw(),
+            CmFaults::new(3).poisoning(1, PoisonMode::Reset),
+        );
+        heat_up(&mut cm, dtx(0, 0), dtx(1, 1), &tm, &costs, &mut rng);
+        assert!(cm.confidence().get(STxId(0), STxId(1)) > 0.0);
+        let rw = lines(0..5);
+        cm.on_commit(
+            &commit_rec(dtx(0, 0), &rw),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
+        assert_eq!(
+            cm.confidence().get(STxId(0), STxId(1)),
+            0.0,
+            "period-1 reset poisoning must wipe the table on every commit"
+        );
+    }
+
+    #[test]
+    fn poisoning_saturation_manufactures_spurious_suspensions() {
+        let (mut tm, costs, mut rng) = env();
+        let mut cm = BfgtsCm::with_faults(
+            BfgtsConfig::hw(),
+            CmFaults::new(3).poisoning(1, PoisonMode::Saturate(1000.0)),
+        );
+        // One commit each from two transactions that have NEVER conflicted;
+        // saturation makes the scheduler serialise them anyway.
+        let rw = lines(0..5);
+        cm.on_conflict_abort(
+            &conflict(dtx(2, 2), dtx(3, 3)),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
+        cm.on_commit(
+            &commit_rec(dtx(2, 2), &rw),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
+        tm.begin_tx(ThreadId(1), 1, dtx(1, 1), Cycle::ZERO);
+        let out = cm.on_begin(
+            &query(0, 0, 0),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
+        assert!(
+            matches!(
+                out.decision,
+                BeginDecision::SpinUntilDone { .. } | BeginDecision::YieldUntilDone { .. }
+            ),
+            "saturated confidence must predict a conflict for strangers, got {:?}",
+            out.decision
+        );
+    }
+
+    #[test]
+    fn fault_stream_is_deterministic_per_seed() {
+        let (tm, costs, _) = env();
+        let run = |seed: u64| {
+            let mut cm = BfgtsCm::with_faults(
+                BfgtsConfig::hw(),
+                CmFaults::new(seed).bloom_corruption(50, 32),
+            );
+            let mut rng = SimRng::seed_from(1);
+            let mut sims = Vec::new();
+            for i in 0..16u64 {
+                let rw = lines(i * 64..i * 64 + 20);
+                cm.on_commit(
+                    &commit_rec(dtx(0, 0), &rw),
+                    &tm,
+                    &costs,
+                    &mut rng,
+                    &mut TraceSink::disabled(),
+                );
+                sims.push(cm.stats().sim_of(dtx(0, 0)).to_bits());
+            }
+            sims
+        };
+        assert_eq!(run(7), run(7), "same fault seed, same trajectory");
+        assert_ne!(run(7), run(8), "fault seed must matter at a 50% rate");
     }
 
     #[test]

@@ -72,6 +72,24 @@ impl Sig {
             Sig::Perfect(_) => 0,
         }
     }
+
+    /// Forces `count` randomly drawn bit positions high — the Bloom
+    /// corruption fault (DESIGN.md §9). Returns the number of positions
+    /// forced. Perfect signatures are exact sets with no bit array to
+    /// corrupt, so they return 0 and the caller emits no fault event
+    /// (a no-op fault must not claim it happened).
+    pub(crate) fn force_bits(&mut self, rng: &mut bfgts_sim::SimRng, count: u32) -> u32 {
+        match self {
+            Sig::Bloom(b) => {
+                let bits = b.bits() as u64;
+                for _ in 0..count {
+                    b.set_bit(rng.gen_range(bits) as u32);
+                }
+                count
+            }
+            Sig::Perfect(_) => 0,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -106,6 +124,33 @@ mod tests {
         let a = Sig::from_set(kind, 4, &addrs(&[1]));
         let b = Sig::from_set(kind, 4, &addrs(&[2]));
         assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn forced_bits_inflate_estimates_between_corrupted_sigs() {
+        use bfgts_sim::SimRng;
+        // Model what the manager actually does: consecutive commit
+        // signatures each get bits forced from the SAME fault stream, so
+        // they share forced bits — disjoint sets start looking
+        // overlapping. (One-sided corruption alone *deflates* the
+        // inclusion–exclusion estimate: the union estimate grows faster
+        // than the smaller set's.)
+        let kind = SignatureKind::Bloom { bits: 512 };
+        let mut a = Sig::from_set(kind, 4, &addrs(&[1, 2, 3]));
+        let mut b = Sig::from_set(kind, 4, &addrs(&[100, 200, 300]));
+        let clean = a.intersection_estimate(&b);
+        let mut rng = SimRng::seed_from(11);
+        assert_eq!(a.force_bits(&mut rng, 96), 96);
+        let mut rng = SimRng::seed_from(11);
+        assert_eq!(b.force_bits(&mut rng, 96), 96);
+        let corrupted = a.intersection_estimate(&b);
+        assert!(
+            corrupted > clean,
+            "shared forced bits must inflate the estimate ({clean} -> {corrupted})"
+        );
+
+        let mut p = Sig::from_set(SignatureKind::Perfect, 4, &addrs(&[1]));
+        assert_eq!(p.force_bits(&mut rng, 64), 0, "perfect sigs are immune");
     }
 
     #[test]

@@ -79,6 +79,46 @@ impl ConfidenceTable {
         self.values.len()
     }
 
+    /// Resets every allocated entry to zero — the fault-injection layer's
+    /// *reset* poisoning hook (DESIGN.md §9), modelling a confidence store
+    /// that loses its learned state mid-run. Returns the number of entries
+    /// rewritten. The table's shape (and alias configuration) is untouched.
+    pub fn reset_all(&mut self) -> u64 {
+        let mut n = 0u64;
+        for row in &mut self.values {
+            for e in row.iter_mut() {
+                *e = 0.0;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Saturates every allocated entry to `value` — the fault-injection
+    /// layer's *saturate* poisoning hook, modelling stuck-high confidence
+    /// state (every pair looks certain to conflict, so the scheduler
+    /// serialises spuriously). Returns the number of entries rewritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or NaN: the table's clamp invariant
+    /// (audit I6's sibling — entries never go below zero) must survive
+    /// injection.
+    pub fn saturate(&mut self, value: f64) -> u64 {
+        assert!(
+            value >= 0.0,
+            "confidence saturation value must be non-negative, got {value}"
+        );
+        let mut n = 0u64;
+        for row in &mut self.values {
+            for e in row.iter_mut() {
+                *e = value;
+                n += 1;
+            }
+        }
+        n
+    }
+
     /// Approximate memory footprint in bytes (the paper quotes ≤800 B for
     /// the STAMP benchmarks).
     pub fn footprint_bytes(&self) -> usize {
@@ -252,6 +292,45 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_slots_rejected() {
         ConfidenceTable::with_alias_slots(0);
+    }
+
+    #[test]
+    fn reset_all_zeroes_every_entry_and_reports_the_count() {
+        let mut t = ConfidenceTable::new();
+        t.bump(STxId(1), STxId(2), 50.0);
+        t.bump(STxId(2), STxId(0), 30.0);
+        assert_eq!(t.dim(), 3);
+        assert_eq!(t.reset_all(), 9, "3x3 table");
+        assert_eq!(t.get(STxId(1), STxId(2)), 0.0);
+        assert_eq!(t.get(STxId(2), STxId(0)), 0.0);
+        assert_eq!(t.dim(), 3, "shape survives poisoning");
+    }
+
+    #[test]
+    fn saturate_sets_every_entry() {
+        let mut t = ConfidenceTable::new();
+        t.bump(STxId(0), STxId(1), 5.0);
+        assert_eq!(t.saturate(1000.0), 4, "2x2 table");
+        assert_eq!(t.get(STxId(0), STxId(0)), 1000.0);
+        assert_eq!(t.get(STxId(1), STxId(0)), 1000.0);
+        // Normal updates keep working on top of the poisoned state.
+        t.bump(STxId(0), STxId(1), -1500.0);
+        assert_eq!(t.get(STxId(0), STxId(1)), 0.0, "clamp still holds");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_saturation_rejected() {
+        let mut t = ConfidenceTable::new();
+        t.bump(STxId(0), STxId(0), 1.0);
+        t.saturate(-1.0);
+    }
+
+    #[test]
+    fn poisoning_an_empty_table_is_a_noop() {
+        let mut t = ConfidenceTable::new();
+        assert_eq!(t.reset_all(), 0);
+        assert_eq!(t.saturate(10.0), 0);
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! One fuzz-campaign cell: workload × fault plan × manager pair.
+
+use crate::plan::FaultPlan;
+use bfgts_baselines::BackoffCm;
+use bfgts_core::{BfgtsCm, BfgtsConfig};
+use bfgts_htm::{run_workload, ContentionManager, TmRunConfig, TmRunReport};
+use bfgts_sim::TraceMode;
+use bfgts_workloads::AdversarialSpec;
+
+/// Parameters shared by every cell of a campaign.
+#[derive(Debug, Clone)]
+pub struct CellConfig {
+    /// Simulated CPUs.
+    pub num_cpus: usize,
+    /// Worker threads.
+    pub num_threads: usize,
+    /// Seed of the run itself (engine + workload streams; the fault
+    /// streams come from the plan's own seed).
+    pub run_seed: u64,
+    /// Workload scale factor (1.0 = the generator's full size).
+    pub scale: f64,
+    /// Graceful-degradation bound, in percent: faulted BFGTS must
+    /// achieve at least this fraction of Backoff's throughput, i.e.
+    /// `bfgts_makespan * min_fraction_pct <= backoff_makespan * 100`.
+    pub min_fraction_pct: u64,
+    /// The BFGTS flavour under test.
+    pub bfgts: BfgtsConfig,
+}
+
+impl CellConfig {
+    /// A small overcommitted platform sized for CI: 4 CPUs, 8 threads,
+    /// a tenth-scale workload and a 10% degradation floor (faulted
+    /// BFGTS may be at most 10× slower than Backoff).
+    pub fn quick(run_seed: u64) -> Self {
+        Self {
+            num_cpus: 4,
+            num_threads: 8,
+            run_seed,
+            scale: 0.1,
+            min_fraction_pct: 10,
+            bfgts: BfgtsConfig::hw(),
+        }
+    }
+}
+
+/// Everything a cell execution produced, violations included. Derives
+/// `PartialEq` so determinism tests can compare whole reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// Workload generator name.
+    pub workload: &'static str,
+    /// Label of the BFGTS flavour that ran.
+    pub bfgts_label: &'static str,
+    /// Makespan of the faulted BFGTS run, in cycles.
+    pub bfgts_makespan: u64,
+    /// Makespan of the Backoff run under the same plan, in cycles.
+    pub backoff_makespan: u64,
+    /// Commits of the BFGTS run.
+    pub bfgts_commits: u64,
+    /// Commits of the Backoff run.
+    pub backoff_commits: u64,
+    /// Fault events the BFGTS trace recorded (0 when its audit failed
+    /// outright, since the summary is then unavailable).
+    pub faults_seen: u64,
+    /// Every violation the cell produced: audit invariant breaks from
+    /// either run, then the degradation bound if it broke. Empty means
+    /// the cell passed.
+    pub violations: Vec<String>,
+}
+
+impl CellReport {
+    /// Whether the cell passed every check.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn audited(
+    label: &str,
+    report: &TmRunReport,
+    violations: &mut Vec<String>,
+) -> Option<bfgts_trace::AuditSummary> {
+    match report.audit() {
+        Ok(summary) => Some(summary),
+        Err(list) => {
+            for v in list {
+                violations.push(format!("[{label}] {v}"));
+            }
+            None
+        }
+    }
+}
+
+fn run_config(cfg: &CellConfig, plan: &FaultPlan) -> TmRunConfig {
+    let mut run_cfg = TmRunConfig::new(cfg.num_cpus, cfg.num_threads)
+        .seed(cfg.run_seed)
+        .trace(TraceMode::Full);
+    let pct = plan.cost_percent();
+    if pct > 0 {
+        run_cfg = run_cfg.perturb_costs(plan.seed, pct);
+    }
+    run_cfg
+}
+
+/// Runs only the BFGTS half of a cell, returning the full traced report.
+/// This is the exact execution [`run_cell`] scores, factored out so the
+/// fuzz harness can fingerprint and re-export the trace of a repro
+/// without any drift between "the run that was judged" and "the run that
+/// was recorded".
+pub fn bfgts_run(cfg: &CellConfig, workload: &AdversarialSpec, plan: &FaultPlan) -> TmRunReport {
+    let run_cfg = run_config(cfg, plan);
+    let spec = workload.clone().scaled(cfg.scale);
+    let cm: Box<dyn ContentionManager> = match plan.cm_faults() {
+        Some(faults) => Box::new(BfgtsCm::with_faults(cfg.bfgts.clone(), faults)),
+        None => Box::new(BfgtsCm::new(cfg.bfgts.clone())),
+    };
+    run_workload(&run_cfg, spec.sources(cfg.num_threads), cm)
+}
+
+/// Runs one cell: the configured BFGTS flavour and the Backoff baseline
+/// over the same workload and fault plan, audited through invariants
+/// I1–I7 and checked against the degradation bound.
+///
+/// Cost perturbation applies engine-wide, so both managers pay the same
+/// jittered latencies; the manager-level faults (corruption, poisoning)
+/// only exist inside BFGTS, which is exactly the asymmetry the
+/// degradation bound is about: a scheduler whose learning inputs are
+/// being sabotaged must still not lose to a scheduler that never learns
+/// by more than the configured factor.
+pub fn run_cell(cfg: &CellConfig, workload: &AdversarialSpec, plan: &FaultPlan) -> CellReport {
+    let spec = workload.clone().scaled(cfg.scale);
+    let bfgts = bfgts_run(cfg, workload, plan);
+    let backoff = run_workload(
+        &run_config(cfg, plan),
+        spec.sources(cfg.num_threads),
+        Box::new(BackoffCm::default()),
+    );
+
+    let mut violations = Vec::new();
+    let bfgts_summary = audited(bfgts.cm_name, &bfgts, &mut violations);
+    audited(backoff.cm_name, &backoff, &mut violations);
+
+    let bfgts_makespan = bfgts.sim.makespan.as_u64();
+    let backoff_makespan = backoff.sim.makespan.as_u64();
+    if bfgts_makespan * cfg.min_fraction_pct > backoff_makespan * 100 {
+        violations.push(format!(
+            "degradation bound broken: {} makespan {bfgts_makespan} exceeds \
+             {}% floor of Backoff's {backoff_makespan} \
+             (allowed at most {})",
+            bfgts.cm_name,
+            cfg.min_fraction_pct,
+            backoff_makespan * 100 / cfg.min_fraction_pct,
+        ));
+    }
+
+    CellReport {
+        workload: workload.name,
+        bfgts_label: bfgts.cm_name,
+        bfgts_makespan,
+        backoff_makespan,
+        bfgts_commits: bfgts.stats.commits(),
+        backoff_commits: backoff.stats.commits(),
+        faults_seen: bfgts_summary.map_or(0, |s| s.faults),
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Fault;
+
+    #[test]
+    fn clean_cell_passes_and_sees_no_faults() {
+        let cfg = CellConfig::quick(0xCE11);
+        let spec = AdversarialSpec::hotspot_skew();
+        let report = run_cell(&cfg, &spec, &FaultPlan::new(1));
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.faults_seen, 0);
+        assert_eq!(report.bfgts_commits, report.backoff_commits);
+        assert!(report.bfgts_makespan > 0);
+    }
+
+    #[test]
+    fn faulted_cell_still_audits_clean_and_degrades_gracefully() {
+        let cfg = CellConfig::quick(0xCE12);
+        let spec = AdversarialSpec::contention_storm();
+        let plan = FaultPlan::new(5)
+            .fault(Fault::CostPerturb { max_percent: 25 })
+            .fault(Fault::BloomCorrupt {
+                rate_pct: 80,
+                bits: 64,
+            })
+            .fault(Fault::ConfPoison {
+                period: 30,
+                saturate: true,
+            });
+        let report = run_cell(&cfg, &spec, &plan);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert!(report.faults_seen > 0, "faults must actually fire");
+    }
+
+    #[test]
+    fn cells_replay_byte_identically() {
+        let cfg = CellConfig::quick(0xCE13);
+        let spec = AdversarialSpec::phase_shift();
+        let plan = FaultPlan::randomized(3);
+        let a = run_cell(&cfg, &spec, &plan);
+        let b = run_cell(&cfg, &spec, &plan);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn impossible_bound_is_reported_as_a_violation() {
+        // A floor above 100% demands BFGTS beat Backoff outright on a
+        // workload engineered against it — the seeded negative control.
+        let mut cfg = CellConfig::quick(0xCE14);
+        cfg.min_fraction_pct = 10_000;
+        let spec = AdversarialSpec::hotspot_skew();
+        let plan = FaultPlan::new(6).fault(Fault::ConfPoison {
+            period: 1,
+            saturate: true,
+        });
+        let report = run_cell(&cfg, &spec, &plan);
+        assert!(!report.passed());
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("degradation bound")),
+            "violations: {:?}",
+            report.violations
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Greedy fault-plan minimization.
+
+use crate::plan::FaultPlan;
+
+/// Shrinks `plan` to a smaller plan for which `still_fails` remains
+/// true: first greedy fault removal (drop any fault whose absence keeps
+/// the failure), then greedy magnitude halving per remaining fault, to
+/// a fixed point.
+///
+/// The oracle must be deterministic — in the campaign it is "re-run the
+/// cell and check whether it still violates", which is a pure function
+/// of the plan. Each accepted step strictly shrinks the plan (fewer
+/// faults, or a strictly weaker fault via [`crate::Fault::shrunk`]), so
+/// the loop terminates.
+///
+/// # Panics
+///
+/// Panics if `still_fails(plan)` is false: minimizing a passing plan is
+/// a harness bug, not a request.
+pub fn minimize(plan: &FaultPlan, still_fails: impl Fn(&FaultPlan) -> bool) -> FaultPlan {
+    assert!(
+        still_fails(plan),
+        "minimize requires a plan that reproduces the failure"
+    );
+    let mut current = plan.clone();
+    // Phase 1: drop whole faults while the failure survives.
+    loop {
+        let mut dropped = false;
+        for i in 0..current.faults.len() {
+            let mut candidate = current.clone();
+            candidate.faults.remove(i);
+            if still_fails(&candidate) {
+                current = candidate;
+                dropped = true;
+                break;
+            }
+        }
+        if !dropped {
+            break;
+        }
+    }
+    // Phase 2: halve magnitudes while the failure survives.
+    loop {
+        let mut shrank = false;
+        for i in 0..current.faults.len() {
+            let Some(weaker) = current.faults[i].shrunk() else {
+                continue;
+            };
+            let mut candidate = current.clone();
+            candidate.faults[i] = weaker;
+            if still_fails(&candidate) {
+                current = candidate;
+                shrank = true;
+            }
+        }
+        if !shrank {
+            break;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Fault;
+    use std::cell::Cell;
+
+    fn noisy_plan() -> FaultPlan {
+        FaultPlan::new(7)
+            .fault(Fault::CostPerturb { max_percent: 40 })
+            .fault(Fault::BloomCorrupt {
+                rate_pct: 90,
+                bits: 128,
+            })
+            .fault(Fault::ConfPoison {
+                period: 25,
+                saturate: true,
+            })
+    }
+
+    #[test]
+    fn removal_keeps_only_the_culprit() {
+        // Failure caused by corruption with at least 16 forced bits.
+        let culprit = |p: &FaultPlan| {
+            p.faults
+                .iter()
+                .any(|f| matches!(f, Fault::BloomCorrupt { bits, .. } if *bits >= 16))
+        };
+        let min = minimize(&noisy_plan(), culprit);
+        assert_eq!(
+            min.faults,
+            vec![Fault::BloomCorrupt {
+                rate_pct: 90,
+                bits: 16,
+            }],
+            "one fault left, halved 128 → 16 (8 would pass)"
+        );
+        assert_eq!(min.seed, 7, "the seed survives minimization");
+    }
+
+    #[test]
+    fn conjunction_of_faults_is_preserved() {
+        // Failure needs both poisoning and perturbation: neither can be
+        // dropped.
+        let both = |p: &FaultPlan| {
+            let poison = p
+                .faults
+                .iter()
+                .any(|f| matches!(f, Fault::ConfPoison { .. }));
+            let perturb = p
+                .faults
+                .iter()
+                .any(|f| matches!(f, Fault::CostPerturb { .. }));
+            poison && perturb
+        };
+        let min = minimize(&noisy_plan(), both);
+        assert_eq!(min.faults.len(), 2);
+        assert!(both(&min));
+    }
+
+    #[test]
+    fn already_minimal_plan_is_unchanged() {
+        let plan = FaultPlan::new(1).fault(Fault::CostPerturb { max_percent: 1 });
+        let min = minimize(&plan, |p: &FaultPlan| !p.is_empty());
+        assert_eq!(min, plan, "nothing to drop, 1% cannot halve");
+    }
+
+    #[test]
+    fn oracle_call_count_is_bounded() {
+        let calls = Cell::new(0u32);
+        let _ = minimize(&noisy_plan(), |p: &FaultPlan| {
+            calls.set(calls.get() + 1);
+            !p.is_empty()
+        });
+        // 3 faults: a handful of removal probes plus ~log2 magnitude
+        // probes each — two orders of magnitude under a campaign budget.
+        assert!(calls.get() < 64, "oracle called {} times", calls.get());
+    }
+
+    #[test]
+    #[should_panic(expected = "reproduces the failure")]
+    fn passing_plan_rejected() {
+        let _ = minimize(&FaultPlan::new(0), |_| false);
+    }
+}

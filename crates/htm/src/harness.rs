@@ -79,6 +79,18 @@ impl TmRunConfig {
         self.trace = trace;
         self
     }
+
+    /// Applies the fault-injection layer's cost-perturbation fault
+    /// (DESIGN.md §9): every latency of the current cost model is
+    /// independently jittered within `±max_percent`% (never below
+    /// 1 cycle), drawn from a stream derived from `seed` — independent of
+    /// the run's own seed, so the same workload decisions replay under
+    /// the perturbed latencies.
+    pub fn perturb_costs(mut self, seed: u64, max_percent: u64) -> Self {
+        let mut rng = bfgts_sim::SimRng::seed_from(seed).derive(0xC0_57F4);
+        self.costs = self.costs.perturbed(&mut rng, max_percent);
+        self
+    }
 }
 
 /// Result of a workload run: the simulator's cycle accounting plus the TM
@@ -217,6 +229,26 @@ mod tests {
         let cfg = TmRunConfig::paper_platform();
         assert_eq!(cfg.num_cpus, 16);
         assert_eq!(cfg.num_threads, 64);
+    }
+
+    #[test]
+    fn perturbed_costs_are_deterministic_and_leave_the_seed_alone() {
+        let a = TmRunConfig::new(2, 4).perturb_costs(9, 25);
+        let b = TmRunConfig::new(2, 4).perturb_costs(9, 25);
+        assert_eq!(a.costs, b.costs);
+        assert_eq!(a.seed, b.seed, "run seed is not consumed");
+        let c = TmRunConfig::new(2, 4).perturb_costs(10, 25);
+        assert_ne!(a.costs, c.costs);
+        // A perturbed run still completes and audits clean.
+        let cfg = a.trace(TraceMode::Full);
+        let report = run_workload(
+            &cfg,
+            (0..4u32)
+                .map(|t| ScriptSource::new(vec![TxInstance::writer_over(STxId(t % 2), 0..12, 40)]))
+                .collect(),
+            Box::new(NullCm),
+        );
+        report.audit_or_panic();
     }
 
     #[test]

@@ -122,6 +122,44 @@ impl CostModel {
     pub fn shared_read(&self) -> u64 {
         self.l2_hit
     }
+
+    /// A deterministically jittered copy of this model, the fault-injection
+    /// layer's cost-perturbation hook (DESIGN.md §9).
+    ///
+    /// Every latency moves independently and uniformly within the bounded
+    /// envelope `[cost − cost·p/100, cost + cost·p/100]` where
+    /// `p = max_percent`, and never below 1 cycle — a zero-cost context
+    /// switch would break the engine's "zero-cost operations emit nothing"
+    /// tracing contract. The draw order is the field declaration order, so
+    /// one `SimRng` state maps to exactly one perturbed model.
+    pub fn perturbed(&self, rng: &mut crate::SimRng, max_percent: u64) -> Self {
+        let mut jitter = |cost: u64| -> u64 {
+            let span = cost * max_percent / 100;
+            if span == 0 {
+                return cost.max(1);
+            }
+            // Uniform in [cost - span, cost + span].
+            (cost - span + rng.gen_range(2 * span + 1)).max(1)
+        };
+        Self {
+            l1_hit: jitter(self.l1_hit),
+            l2_hit: jitter(self.l2_hit),
+            memory: jitter(self.memory),
+            popcnt: jitter(self.popcnt),
+            fyl2x: jitter(self.fyl2x),
+            conf_cache_hit: jitter(self.conf_cache_hit),
+            conf_cache_miss: jitter(self.conf_cache_miss),
+            tx_begin: jitter(self.tx_begin),
+            tx_commit: jitter(self.tx_commit),
+            abort_trap: jitter(self.abort_trap),
+            abort_per_line: jitter(self.abort_per_line),
+            context_switch: jitter(self.context_switch),
+            yield_syscall: jitter(self.yield_syscall),
+            futex_block: jitter(self.futex_block),
+            futex_wake: jitter(self.futex_wake),
+            quantum: jitter(self.quantum),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -162,5 +200,34 @@ mod tests {
     fn intersect_cost_is_linear() {
         let c = CostModel::default();
         assert_eq!(c.bloom_intersect(8) * 2, c.bloom_intersect(16));
+    }
+
+    #[test]
+    fn perturbed_costs_stay_in_the_envelope_and_are_deterministic() {
+        use crate::SimRng;
+        let base = CostModel::default();
+        let a = base.perturbed(&mut SimRng::seed_from(42), 20);
+        let b = base.perturbed(&mut SimRng::seed_from(42), 20);
+        assert_eq!(a, b, "same rng state, same perturbation");
+        let c = base.perturbed(&mut SimRng::seed_from(43), 20);
+        assert_ne!(a, c, "different seeds move at least one latency");
+
+        let within = |got: u64, base: u64| {
+            let span = base * 20 / 100;
+            got >= (base - span).max(1) && got <= base + span
+        };
+        assert!(within(a.context_switch, base.context_switch));
+        assert!(within(a.tx_commit, base.tx_commit));
+        assert!(within(a.abort_trap, base.abort_trap));
+        assert!(within(a.quantum, base.quantum));
+        // Sub-envelope latencies (1-cycle L1 hits) never reach zero.
+        assert!(a.l1_hit >= 1 && a.conf_cache_hit >= 1);
+    }
+
+    #[test]
+    fn zero_percent_perturbation_is_identity() {
+        let base = CostModel::default();
+        let p = base.perturbed(&mut crate::SimRng::seed_from(7), 0);
+        assert_eq!(p, base);
     }
 }

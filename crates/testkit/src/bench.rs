@@ -62,7 +62,7 @@ impl Harness {
     }
 
     /// Runs one benchmark: calibrates an iteration count, times
-    /// [`BATCHES`] batches and prints the median per-iteration time.
+    /// `BATCHES` batches and prints the median per-iteration time.
     pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) {
         if !self.selected(name) {
             return;

@@ -8,7 +8,7 @@
 //! * [`Gen`] + [`run_cases`] — randomised-property testing: a
 //!   splitmix64-fed value generator and a case driver that reruns a
 //!   property over many derived seeds and reports the failing seed.
-//! * [`bench`] — a wall-clock micro-benchmark harness with a
+//! * [`mod@bench`] — a wall-clock micro-benchmark harness with a
 //!   criterion-like surface (`--bench`/`--test` aware, name filters),
 //!   used by the `harness = false` bench targets of `bfgts-bench`.
 

@@ -101,6 +101,8 @@ pub struct AuditSummary {
     pub conf_updates: u64,
     /// Bloom samples verified.
     pub bloom_samples: u64,
+    /// Injected faults seen (`FaultBloomCorrupt` + `FaultConfPoison`).
+    pub faults: u64,
 }
 
 /// Per-thread lifecycle state for I3.
@@ -372,6 +374,20 @@ pub fn audit(
                     )));
                 }
             }
+            // Fault injections are declared instants: the corruption and
+            // poisoning they describe already flowed into the ConfUpdate /
+            // BloomSample events above, which keep I5/I6 exact. A corruption
+            // that claims zero bits is a lie, though — a no-op must not emit.
+            TraceEvent::FaultBloomCorrupt { thread, stx, bits } => {
+                summary.faults += 1;
+                if bits == 0 {
+                    v.push(bad(format!(
+                        "bloom corruption fault for thread {thread} stx {stx} forced zero \
+                         bits (no-op faults must not emit)"
+                    )));
+                }
+            }
+            TraceEvent::FaultConfPoison { .. } => summary.faults += 1,
         }
     }
 
@@ -748,6 +764,42 @@ mod tests {
         let inp = inputs(100, 1, vec![[0; 5]]);
         let errs = audit(&sink.take(), &inp).unwrap_err();
         assert!(errs.iter().any(|e| e.what.contains("dropped")), "{errs:?}");
+    }
+
+    #[test]
+    fn fault_events_are_counted_and_noop_corruption_is_flagged() {
+        let ok = vec![
+            tx_event(
+                0,
+                TraceEvent::FaultBloomCorrupt {
+                    thread: 0,
+                    stx: 1,
+                    bits: 3,
+                },
+            ),
+            tx_event(
+                1,
+                TraceEvent::FaultConfPoison {
+                    thread: 0,
+                    saturate: true,
+                    entries: 9,
+                },
+            ),
+        ];
+        let inp = inputs(100, 1, vec![[0; 5]]);
+        let s = audit(&rec(ok), &inp).expect("fault instants are clean");
+        assert_eq!(s.faults, 2);
+
+        let noop = vec![tx_event(
+            0,
+            TraceEvent::FaultBloomCorrupt {
+                thread: 0,
+                stx: 1,
+                bits: 0,
+            },
+        )];
+        let errs = audit(&rec(noop), &inp).unwrap_err();
+        assert!(errs.iter().any(|e| e.what.contains("zero")), "{errs:?}");
     }
 
     #[test]

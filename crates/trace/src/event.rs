@@ -322,6 +322,31 @@ pub enum TraceEvent {
         /// Estimate after clamping at zero, as an `f64` bit pattern.
         clamped_bits: u64,
     },
+    /// A fault-injection layer forced false-positive bits into a freshly
+    /// built commit signature (Bloom corruption fault, DESIGN.md §9).
+    /// Recorded so audited traces stay exact under injection: the
+    /// corruption happens *before* the [`TraceEvent::BloomSample`] it
+    /// perturbs, so I5/I6 recomputation still agrees bit for bit.
+    FaultBloomCorrupt {
+        /// Committing thread whose new signature was corrupted.
+        thread: u32,
+        /// Its static transaction id.
+        stx: u32,
+        /// Bit positions forced high (overlapping positions are
+        /// idempotent, so fewer *new* bits may have appeared).
+        bits: u32,
+    },
+    /// A fault-injection layer rewrote the confidence table mid-run
+    /// (poisoning fault, DESIGN.md §9).
+    FaultConfPoison {
+        /// Thread whose commit triggered the poisoning.
+        thread: u32,
+        /// `true` saturates every allocated entry to a large constant,
+        /// `false` resets them all to zero.
+        saturate: bool,
+        /// Table entries rewritten.
+        entries: u64,
+    },
 }
 
 impl TraceEvent {
@@ -340,6 +365,8 @@ impl TraceEvent {
             TraceEvent::SchedDecision { .. } => "sched_decision",
             TraceEvent::ConfUpdate { .. } => "conf_update",
             TraceEvent::BloomSample { .. } => "bloom_sample",
+            TraceEvent::FaultBloomCorrupt { .. } => "fault_bloom_corrupt",
+            TraceEvent::FaultConfPoison { .. } => "fault_conf_poison",
         }
     }
 }

@@ -9,7 +9,7 @@
 //! plausible-looking totals. This crate is the dynamic counterpart to the
 //! workspace's static determinism lint (`detlint`): an event-level record
 //! of *everything* that moves cycles or drives a scheduling decision,
-//! plus an invariant checker ([`audit`]) that replays the record and
+//! plus an invariant checker ([`audit()`]) that replays the record and
 //! proves the aggregates correct.
 //!
 //! Three pieces:
@@ -24,7 +24,7 @@
 //!   per emission with the event constructor never run; enabled it is an
 //!   unbounded or ring-buffered recorder. The simulation engine owns one
 //!   and threads it through to thread logic and contention managers.
-//! * [`audit`] — replays a [`TraceRecording`] against the run's reported
+//! * [`audit()`] — replays a [`TraceRecording`] against the run's reported
 //!   accounting and checks the invariants of DESIGN.md §8: bucket
 //!   conservation, per-CPU non-overlap (busy + idle = makespan on every
 //!   CPU), transaction lifecycle well-formedness (every abort preceded by

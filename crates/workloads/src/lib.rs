@@ -36,12 +36,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adversarial;
 mod class;
 pub mod presets;
 mod source;
 mod spec;
 mod synthetic;
 
+pub use adversarial::{AdversarialSource, AdversarialSpec};
 pub use class::{RandomRegion, Region, TxClass};
 pub use source::WorkloadSource;
 pub use spec::{BenchmarkSpec, ExpectedProfile};
