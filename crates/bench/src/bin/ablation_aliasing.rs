@@ -8,8 +8,8 @@
 //! ```
 
 use bfgts_bench::runner::{run_grid_with_args, RunCell};
-use bfgts_bench::{parse_common_args, ManagerKind};
-use bfgts_core::{BfgtsCm, BfgtsConfig};
+use bfgts_bench::{parse_common_args, BfgtsTunables, ManagerKind, ManagerSpec};
+use bfgts_core::BfgtsVariant;
 use bfgts_workloads::presets;
 
 const SLOTS: [u32; 3] = [1, 2, 4];
@@ -29,15 +29,14 @@ fn main() {
         cells.push(RunCell::one(spec, ManagerKind::BfgtsHw, args.platform));
         let bits = ManagerKind::BfgtsHw.optimal_bloom_bits(spec.name);
         for slots in SLOTS {
-            cells.push(RunCell::custom(
+            cells.push(RunCell::with_manager(
                 spec,
                 args.platform,
-                format!("bfgts-hw/bits={bits}/alias_slots={slots}"),
-                move || {
-                    Box::new(BfgtsCm::new(
-                        BfgtsConfig::hw().bloom_bits(bits).with_alias_slots(slots),
-                    ))
-                },
+                ManagerSpec::Bfgts(
+                    BfgtsTunables::new(BfgtsVariant::Hw)
+                        .bloom_bits(bits)
+                        .with_alias_slots(slots),
+                ),
             ));
         }
     }

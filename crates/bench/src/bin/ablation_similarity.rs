@@ -7,8 +7,11 @@
 //! ```
 
 use bfgts_bench::runner::{run_grid_with_args, RunCell};
-use bfgts_bench::{arithmetic_mean, parse_common_args, percent_improvement, ManagerKind};
-use bfgts_core::{BfgtsCm, BfgtsConfig};
+use bfgts_bench::{
+    arithmetic_mean, parse_common_args, percent_improvement, BfgtsTunables, ManagerKind,
+    ManagerSpec,
+};
+use bfgts_core::BfgtsVariant;
 use bfgts_workloads::presets;
 
 fn main() {
@@ -25,17 +28,14 @@ fn main() {
         cells.push(RunCell::serial(spec, args.platform));
         cells.push(RunCell::one(spec, ManagerKind::BfgtsHw, args.platform));
         let bits = ManagerKind::BfgtsHw.optimal_bloom_bits(spec.name);
-        cells.push(RunCell::custom(
+        cells.push(RunCell::with_manager(
             spec,
             args.platform,
-            format!("bfgts-hw/bits={bits}/constant_updates"),
-            move || {
-                Box::new(BfgtsCm::new(
-                    BfgtsConfig::hw()
-                        .bloom_bits(bits)
-                        .without_similarity_weighting(),
-                ))
-            },
+            ManagerSpec::Bfgts(
+                BfgtsTunables::new(BfgtsVariant::Hw)
+                    .bloom_bits(bits)
+                    .without_similarity_weighting(),
+            ),
         ));
     }
     let results = run_grid_with_args(&cells, &args);

@@ -116,8 +116,8 @@ fn replay(path: &std::path::Path) -> ExitCode {
                 "repro {} confirmed: {} on {} still violates with a \
                  byte-identical trace (fingerprint {:016x})",
                 path.display(),
-                repro.bfgts,
-                repro.workload,
+                repro.bfgts_key(),
+                repro.scenario.workload.name(),
                 repro.fingerprint,
             );
             for v in &report.violations {
@@ -150,14 +150,7 @@ fn seeded_violation(out: &std::path::Path) -> ExitCode {
     }
     let minimized = fuzz::minimize_failure(&cfg, &workload, &plan);
     let scored = fuzz::run_cell(&cfg, &workload, &minimized);
-    let repro = fuzz::make_repro(
-        cfg.run_seed,
-        &cfg,
-        "hw",
-        &workload,
-        &minimized,
-        scored.violations,
-    );
+    let repro = fuzz::make_repro(cfg.run_seed, &cfg, &workload, &minimized, scored.violations);
     match fuzz::write_repro(out, &repro) {
         Ok(path) => println!(
             "minimized to {} fault(s); repro written to {}",
@@ -217,7 +210,6 @@ fn campaign(seeds: (u64, u64), jobs: usize, out: &std::path::Path) -> ExitCode {
         let repro = fuzz::make_repro(
             result.seed,
             &cell.cfg,
-            cell.bfgts_key,
             &cell.workload,
             &minimized,
             scored.violations,

@@ -6,9 +6,8 @@
 //! cargo run -p bfgts-bench --release --bin extended_roster [--quick] [--jobs N]
 //! ```
 
-use bfgts_baselines::{PolkaCm, StallCm};
 use bfgts_bench::runner::{run_grid_with_args, RunCell};
-use bfgts_bench::{parse_common_args, ManagerKind};
+use bfgts_bench::{parse_common_args, ManagerKind, ManagerSpec};
 use bfgts_workloads::presets;
 
 const LABELS: [&str; 4] = ["Backoff", "Polka", "StallOnAbort", "BFGTS-HW"];
@@ -26,17 +25,15 @@ fn main() {
     for spec in &specs {
         cells.push(RunCell::serial(spec, args.platform));
         cells.push(RunCell::one(spec, ManagerKind::Backoff, args.platform));
-        cells.push(RunCell::custom(
+        cells.push(RunCell::with_manager(
             spec,
             args.platform,
-            "polka/default",
-            || Box::new(PolkaCm::default()),
+            ManagerSpec::Polka,
         ));
-        cells.push(RunCell::custom(
+        cells.push(RunCell::with_manager(
             spec,
             args.platform,
-            "stall/default",
-            || Box::new(StallCm::default()),
+            ManagerSpec::Stall,
         ));
         cells.push(RunCell::one(spec, ManagerKind::BfgtsHw, args.platform));
     }

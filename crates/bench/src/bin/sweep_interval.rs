@@ -7,8 +7,11 @@
 //! ```
 
 use bfgts_bench::runner::{run_grid_with_args, RunCell};
-use bfgts_bench::{arithmetic_mean, parse_common_args, percent_improvement, ManagerKind};
-use bfgts_core::{BfgtsCm, BfgtsConfig};
+use bfgts_bench::{
+    arithmetic_mean, parse_common_args, percent_improvement, BfgtsTunables, ManagerKind,
+    ManagerSpec,
+};
+use bfgts_core::BfgtsVariant;
 use bfgts_workloads::presets;
 
 const INTERVALS: [u32; 3] = [1, 10, 20];
@@ -28,17 +31,14 @@ fn main() {
         cells.push(RunCell::one(spec, ManagerKind::Pts, args.platform));
         let bits = ManagerKind::BfgtsHw.optimal_bloom_bits(spec.name);
         for interval in INTERVALS {
-            cells.push(RunCell::custom(
+            cells.push(RunCell::with_manager(
                 spec,
                 args.platform,
-                format!("bfgts-hw/bits={bits}/interval={interval}"),
-                move || {
-                    Box::new(BfgtsCm::new(
-                        BfgtsConfig::hw()
-                            .bloom_bits(bits)
-                            .small_tx_interval(interval),
-                    ))
-                },
+                ManagerSpec::Bfgts(
+                    BfgtsTunables::new(BfgtsVariant::Hw)
+                        .bloom_bits(bits)
+                        .small_tx_interval(interval),
+                ),
             ));
         }
     }

@@ -12,7 +12,7 @@
 //! the audit fails* — a checker that accepts a corrupted trace is
 //! broken. `--chrome PATH` converts the file for `chrome://tracing`.
 
-use bfgts_bench::trace_export::{parse_jsonl, to_chrome};
+use bfgts_bench::trace_export::{parse_jsonl_full, to_chrome};
 use bfgts_trace::{audit, TraceEvent};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -62,7 +62,7 @@ fn main() -> ExitCode {
         Ok(text) => text,
         Err(err) => return fail(&format!("cannot read {file}: {err}")),
     };
-    let (mut recording, inputs) = match parse_jsonl(&text) {
+    let (mut recording, inputs, scenario) = match parse_jsonl_full(&text) {
         Ok(parsed) => parsed,
         Err(err) => return fail(&format!("{file}: {err}")),
     };
@@ -75,6 +75,14 @@ fn main() -> ExitCode {
         inputs.num_cpus,
         inputs.per_thread.len()
     );
+    if let Some(scenario) = &scenario {
+        println!(
+            "  scenario {}: {} on {} (replay with bfgts_run)",
+            scenario.id(),
+            scenario.manager.label(),
+            scenario.workload.name()
+        );
+    }
     let mut by_name: BTreeMap<&'static str, u64> = BTreeMap::new();
     for rec in &recording.events {
         *by_name.entry(rec.ev.name()).or_insert(0) += 1;

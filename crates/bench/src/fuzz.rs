@@ -16,16 +16,24 @@ use std::sync::OnceLock;
 
 use bfgts_core::BfgtsConfig;
 pub use bfgts_faultsim::run_cell;
-use bfgts_faultsim::{bfgts_run, minimize, CellConfig, CellReport, Fault, FaultPlan};
+use bfgts_faultsim::{minimize, CellConfig, CellReport, Fault, FaultPlan};
+use bfgts_scenario::{
+    fnv1a, variant_key, BfgtsTunables, ManagerSpec, Platform, ResolvedWorkload, Scenario,
+    WorkloadSpec,
+};
+use bfgts_sim::TraceMode;
 use bfgts_testkit::Gen;
 use bfgts_workloads::AdversarialSpec;
 
 use crate::json::Json;
-use crate::runner::fnv1a;
+use crate::runner::RunCell;
 use crate::trace_export;
 
-/// Format version of a repro file; bump on any schema change.
-pub const REPRO_VERSION: u64 = 1;
+/// Format version of a repro file; bump on any schema change. Version 2
+/// replaced the flat field list with an embedded [`Scenario`]
+/// (DESIGN.md §10): a repro now names its run in exactly the form
+/// `bfgts_run` executes and the trace header records.
+pub const REPRO_VERSION: u64 = 2;
 
 /// BFGTS flavours the campaign rotates through, as stable repro keys.
 pub const BFGTS_KEYS: [&str; 4] = ["sw", "hw", "hw_backoff", "no_overhead"];
@@ -146,68 +154,111 @@ pub fn minimize_failure(
     })
 }
 
-/// The JSONL event trace of the cell's BFGTS run — the byte string a
-/// repro fingerprint commits to.
-pub fn trace_jsonl(cfg: &CellConfig, workload: &AdversarialSpec, plan: &FaultPlan) -> String {
-    let report = bfgts_run(cfg, workload, plan);
+/// Lifts a fuzz cell into the [`Scenario`] that names it: the platform
+/// and BFGTS tunables come straight from the [`CellConfig`], the
+/// workload is recorded at its already-scaled transaction count, and the
+/// fault plan rides along. The result is canonical, so its `id()` is the
+/// cell's cache key and its JSON is what the repro file embeds.
+pub fn scenario_for(cfg: &CellConfig, workload: &AdversarialSpec, plan: &FaultPlan) -> Scenario {
+    let scaled = workload.clone().scaled(cfg.scale);
+    let mut scenario = Scenario::new(
+        WorkloadSpec::from_adversarial(&scaled),
+        ManagerSpec::Bfgts(BfgtsTunables::from_config(&cfg.bfgts)),
+        Platform {
+            cpus: cfg.num_cpus,
+            threads: cfg.num_threads,
+            seed: cfg.run_seed,
+        },
+    );
+    scenario.faults = Some(plan.clone());
+    scenario.trace = TraceMode::Full;
+    scenario.canonical()
+}
+
+/// The JSONL event trace of the scenario's run — the byte string a repro
+/// fingerprint commits to. The scenario itself is embedded in the trace
+/// header, so the fingerprint also covers the run descriptor.
+pub fn trace_jsonl(scenario: &Scenario) -> String {
+    let cell =
+        RunCell::from_scenario(scenario.clone()).expect("fuzz scenarios are always executable");
+    let report = cell.execute_report(TraceMode::Full);
     let inputs = report.sim.audit_inputs();
-    trace_export::to_jsonl(&report.sim.trace, &inputs)
+    trace_export::to_jsonl_with_scenario(&report.sim.trace, &inputs, Some(&cell.scenario))
 }
 
 /// FNV-1a fingerprint of [`trace_jsonl`]: equal fingerprints mean the
 /// replay produced a byte-identical event trace.
-pub fn fingerprint(cfg: &CellConfig, workload: &AdversarialSpec, plan: &FaultPlan) -> u64 {
-    fnv1a(&trace_jsonl(cfg, workload, plan), 0)
+pub fn fingerprint(scenario: &Scenario) -> u64 {
+    fnv1a(&trace_jsonl(scenario), 0)
 }
 
-/// A self-contained, replayable record of a violating cell.
+/// A self-contained, replayable record of a violating cell. Version 2
+/// embeds the full [`Scenario`], so a repro names its run in exactly the
+/// vocabulary `bfgts_run` executes and the trace header records — the
+/// only fields outside the scenario are the campaign seed, the
+/// degradation floor the cell was judged against, the fingerprint, and
+/// the recorded violations.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Repro {
     /// Campaign seed the cell came from (or a label seed for controls).
     pub seed: u64,
-    /// Workload generator name (resolved via [`AdversarialSpec::all`]).
-    pub workload: String,
-    /// BFGTS flavour key (see [`BFGTS_KEYS`]).
-    pub bfgts: String,
-    /// Simulated CPUs.
-    pub num_cpus: u64,
-    /// Worker threads.
-    pub num_threads: u64,
-    /// Engine/workload seed of the run.
-    pub run_seed: u64,
-    /// Workload scale factor as an `f64` bit pattern (exact round trip).
-    pub scale_bits: u64,
+    /// The complete run descriptor (platform, workload, BFGTS tunables,
+    /// fault plan).
+    pub scenario: Scenario,
     /// Degradation floor in percent.
     pub min_fraction_pct: u64,
-    /// The (minimized) fault plan.
-    pub plan: FaultPlan,
-    /// Fingerprint of the BFGTS trace under this plan.
+    /// Fingerprint of the BFGTS trace under this scenario.
     pub fingerprint: u64,
     /// The violations the recorded run produced.
     pub violations: Vec<String>,
 }
 
 impl Repro {
-    /// Reconstructs the cell configuration this repro describes.
+    /// Reconstructs the cell configuration this repro describes. The
+    /// scenario records the already-scaled transaction count, so the
+    /// rebuilt cell runs at scale 1.
     pub fn cell_config(&self) -> Result<CellConfig, String> {
-        let bfgts = bfgts_config(&self.bfgts)
-            .ok_or_else(|| format!("unknown bfgts flavour '{}'", self.bfgts))?;
+        let ManagerSpec::Bfgts(tunables) = &self.scenario.manager else {
+            return Err(format!(
+                "repro scenario must use a BFGTS manager, got '{}'",
+                self.scenario.manager.label()
+            ));
+        };
         Ok(CellConfig {
-            num_cpus: self.num_cpus as usize,
-            num_threads: self.num_threads as usize,
-            run_seed: self.run_seed,
-            scale: f64::from_bits(self.scale_bits),
+            num_cpus: self.scenario.platform.cpus,
+            num_threads: self.scenario.platform.threads,
+            run_seed: self.scenario.platform.seed,
+            scale: 1.0,
             min_fraction_pct: self.min_fraction_pct,
-            bfgts,
+            bfgts: tunables.config(),
         })
     }
 
-    /// Resolves the workload generator by name.
+    /// Resolves the workload generator from the scenario.
     pub fn workload_spec(&self) -> Result<AdversarialSpec, String> {
-        AdversarialSpec::all()
-            .into_iter()
-            .find(|w| w.name == self.workload)
-            .ok_or_else(|| format!("unknown workload '{}'", self.workload))
+        match self.scenario.workload.resolve()? {
+            ResolvedWorkload::Adversarial(spec) => Ok(spec),
+            ResolvedWorkload::Benchmark(_) => {
+                Err("repro scenario must use an adversarial workload".into())
+            }
+        }
+    }
+
+    /// The (minimized) fault plan the scenario carries. Canonical
+    /// scenarios drop empty plans, which replay as a clean run.
+    pub fn plan(&self) -> FaultPlan {
+        self.scenario
+            .faults
+            .clone()
+            .unwrap_or_else(|| FaultPlan::new(self.scenario.platform.seed))
+    }
+
+    /// Stable key of the BFGTS flavour, for display.
+    pub fn bfgts_key(&self) -> &'static str {
+        match &self.scenario.manager {
+            ManagerSpec::Bfgts(tunables) => variant_key(tunables.variant),
+            _ => "non-bfgts",
+        }
     }
 
     /// Serialises to the canonical repro JSON document.
@@ -215,14 +266,8 @@ impl Repro {
         Json::obj([
             ("version", Json::UInt(REPRO_VERSION)),
             ("seed", Json::UInt(self.seed)),
-            ("workload", Json::Str(self.workload.clone())),
-            ("bfgts", Json::Str(self.bfgts.clone())),
-            ("num_cpus", Json::UInt(self.num_cpus)),
-            ("num_threads", Json::UInt(self.num_threads)),
-            ("run_seed", Json::UInt(self.run_seed)),
-            ("scale_bits", Json::UInt(self.scale_bits)),
+            ("scenario", self.scenario.to_json()),
             ("min_fraction_pct", Json::UInt(self.min_fraction_pct)),
-            ("plan", plan_to_json(&self.plan)),
             ("fingerprint", Json::UInt(self.fingerprint)),
             (
                 "violations",
@@ -244,14 +289,6 @@ impl Repro {
                 .as_u64()
                 .ok_or_else(|| format!("'{key}' must be an unsigned integer"))
         };
-        let string = |key: &str| {
-            Ok::<_, String>(
-                field(key)?
-                    .as_str()
-                    .ok_or_else(|| format!("'{key}' must be a string"))?
-                    .to_string(),
-            )
-        };
         let version = uint("version")?;
         if version != REPRO_VERSION {
             return Err(format!(
@@ -270,89 +307,12 @@ impl Repro {
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Repro {
             seed: uint("seed")?,
-            workload: string("workload")?,
-            bfgts: string("bfgts")?,
-            num_cpus: uint("num_cpus")?,
-            num_threads: uint("num_threads")?,
-            run_seed: uint("run_seed")?,
-            scale_bits: uint("scale_bits")?,
+            scenario: Scenario::from_json(field("scenario")?)?,
             min_fraction_pct: uint("min_fraction_pct")?,
-            plan: plan_from_json(field("plan")?)?,
             fingerprint: uint("fingerprint")?,
             violations,
         })
     }
-}
-
-fn fault_to_json(fault: &Fault) -> Json {
-    match *fault {
-        Fault::CostPerturb { max_percent } => Json::obj([
-            ("kind", Json::Str("cost_perturb".into())),
-            ("max_percent", Json::UInt(u64::from(max_percent))),
-        ]),
-        Fault::BloomCorrupt { rate_pct, bits } => Json::obj([
-            ("kind", Json::Str("bloom_corrupt".into())),
-            ("rate_pct", Json::UInt(u64::from(rate_pct))),
-            ("bits", Json::UInt(u64::from(bits))),
-        ]),
-        Fault::ConfPoison { period, saturate } => Json::obj([
-            ("kind", Json::Str("conf_poison".into())),
-            ("period", Json::UInt(period)),
-            ("saturate", Json::Bool(saturate)),
-        ]),
-    }
-}
-
-fn fault_from_json(value: &Json) -> Result<Fault, String> {
-    let uint = |key: &str| {
-        value
-            .get(key)
-            .and_then(Json::as_u64)
-            .ok_or_else(|| format!("fault field '{key}' must be an unsigned integer"))
-    };
-    let narrow = |key: &str| {
-        u32::try_from(uint(key)?).map_err(|_| format!("fault field '{key}' exceeds u32"))
-    };
-    match value.get("kind").and_then(Json::as_str) {
-        Some("cost_perturb") => Ok(Fault::CostPerturb {
-            max_percent: narrow("max_percent")?,
-        }),
-        Some("bloom_corrupt") => Ok(Fault::BloomCorrupt {
-            rate_pct: narrow("rate_pct")?,
-            bits: narrow("bits")?,
-        }),
-        Some("conf_poison") => Ok(Fault::ConfPoison {
-            period: uint("period")?,
-            saturate: matches!(value.get("saturate"), Some(Json::Bool(true))),
-        }),
-        Some(other) => Err(format!("unknown fault kind '{other}'")),
-        None => Err("fault is missing a 'kind' string".into()),
-    }
-}
-
-fn plan_to_json(plan: &FaultPlan) -> Json {
-    Json::obj([
-        ("seed", Json::UInt(plan.seed)),
-        (
-            "faults",
-            Json::Arr(plan.faults.iter().map(fault_to_json).collect()),
-        ),
-    ])
-}
-
-fn plan_from_json(value: &Json) -> Result<FaultPlan, String> {
-    let seed = value
-        .get("seed")
-        .and_then(Json::as_u64)
-        .ok_or("plan is missing a 'seed' integer")?;
-    let faults = value
-        .get("faults")
-        .and_then(Json::as_arr)
-        .ok_or("plan is missing a 'faults' array")?
-        .iter()
-        .map(fault_from_json)
-        .collect::<Result<Vec<_>, _>>()?;
-    Ok(FaultPlan { seed, faults })
 }
 
 /// Builds the repro record for a violating cell: the fingerprint commits
@@ -360,22 +320,16 @@ fn plan_from_json(value: &Json) -> Result<FaultPlan, String> {
 pub fn make_repro(
     seed: u64,
     cfg: &CellConfig,
-    bfgts_key: &str,
     workload: &AdversarialSpec,
     plan: &FaultPlan,
     violations: Vec<String>,
 ) -> Repro {
+    let scenario = scenario_for(cfg, workload, plan);
     Repro {
         seed,
-        workload: workload.name.to_string(),
-        bfgts: bfgts_key.to_string(),
-        num_cpus: cfg.num_cpus as u64,
-        num_threads: cfg.num_threads as u64,
-        run_seed: cfg.run_seed,
-        scale_bits: cfg.scale.to_bits(),
         min_fraction_pct: cfg.min_fraction_pct,
-        plan: plan.clone(),
-        fingerprint: fingerprint(cfg, workload, plan),
+        fingerprint: fingerprint(&scenario),
+        scenario,
         violations,
     }
 }
@@ -400,14 +354,14 @@ pub fn load_repro(path: &Path) -> Result<Repro, String> {
 pub fn replay(repro: &Repro) -> Result<CellReport, String> {
     let cfg = repro.cell_config()?;
     let workload = repro.workload_spec()?;
-    let fp = fingerprint(&cfg, &workload, &repro.plan);
+    let fp = fingerprint(&repro.scenario);
     if fp != repro.fingerprint {
         return Err(format!(
             "trace fingerprint mismatch: recorded {:016x}, replay {fp:016x}",
             repro.fingerprint
         ));
     }
-    let report = run_cell(&cfg, &workload, &repro.plan);
+    let report = run_cell(&cfg, &workload, &repro.plan());
     if report.passed() {
         return Err("replay no longer violates (fixed, or a stale repro)".into());
     }
@@ -448,41 +402,56 @@ mod tests {
     #[test]
     fn trace_fingerprint_is_stable_and_plan_sensitive() {
         let cell = campaign_cell(2);
-        let a = trace_jsonl(&cell.cfg, &cell.workload, &cell.plan);
-        let b = trace_jsonl(&cell.cfg, &cell.workload, &cell.plan);
-        assert_eq!(a, b, "same cell, byte-identical trace");
-        let clean = fingerprint(&cell.cfg, &cell.workload, &FaultPlan::new(cell.plan.seed));
+        let faulted = scenario_for(&cell.cfg, &cell.workload, &cell.plan);
+        let a = trace_jsonl(&faulted);
+        let b = trace_jsonl(&faulted);
+        assert_eq!(a, b, "same scenario, byte-identical trace");
+        let clean = scenario_for(&cell.cfg, &cell.workload, &FaultPlan::new(cell.plan.seed));
         assert_ne!(
             fnv1a(&a, 0),
-            clean,
+            fingerprint(&clean),
             "a non-empty plan must leave a mark on the trace"
         );
     }
 
     #[test]
+    fn scenario_path_matches_faultsim_execution() {
+        // The fingerprint runs through `RunCell::from_scenario`, while
+        // `run_cell`/`replay` execute through faultsim's `bfgts_run`.
+        // The repro contract only holds if both paths produce the same
+        // event trace, byte for byte.
+        let cell = campaign_cell(5);
+        let scenario = scenario_for(&cell.cfg, &cell.workload, &cell.plan);
+        let report = bfgts_faultsim::bfgts_run(&cell.cfg, &cell.workload, &cell.plan);
+        let direct = trace_export::to_jsonl_with_scenario(
+            &report.sim.trace,
+            &report.sim.audit_inputs(),
+            Some(&scenario),
+        );
+        assert_eq!(trace_jsonl(&scenario), direct);
+    }
+
+    #[test]
     fn repro_json_round_trips() {
         let (cfg, workload, plan) = violating_control();
+        let plan = plan
+            .fault(Fault::CostPerturb { max_percent: 9 })
+            .fault(Fault::BloomCorrupt {
+                rate_pct: 33,
+                bits: 16,
+            });
         let repro = Repro {
             seed: 42,
-            workload: workload.name.to_string(),
-            bfgts: "hw".to_string(),
-            num_cpus: cfg.num_cpus as u64,
-            num_threads: cfg.num_threads as u64,
-            run_seed: cfg.run_seed,
-            scale_bits: cfg.scale.to_bits(),
+            scenario: scenario_for(&cfg, &workload, &plan),
             min_fraction_pct: cfg.min_fraction_pct,
-            plan: plan
-                .fault(Fault::CostPerturb { max_percent: 9 })
-                .fault(Fault::BloomCorrupt {
-                    rate_pct: 33,
-                    bits: 16,
-                }),
             fingerprint: 0xDEAD_BEEF,
             violations: vec!["degradation bound broken: …".to_string()],
         };
         let text = repro.to_json().to_string();
         let parsed = Repro::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(parsed, repro);
+        assert_eq!(parsed.plan(), plan);
+        assert_eq!(parsed.bfgts_key(), "hw");
         assert!(Repro::from_json(&Json::parse("{}").unwrap()).is_err());
     }
 
@@ -497,15 +466,35 @@ mod tests {
         assert!(minimized.is_empty());
         assert_eq!(minimized, minimize_failure(&cfg, &workload, &plan));
         let scored = run_cell(&cfg, &workload, &minimized);
-        let repro = make_repro(7, &cfg, "hw", &workload, &minimized, scored.violations);
+        let repro = make_repro(7, &cfg, &workload, &minimized, scored.violations);
         let replayed = replay(&repro).expect("the repro must reproduce");
         assert!(!replayed.passed());
     }
 
     #[test]
+    fn repro_cell_config_round_trips_the_cell() {
+        let cell = campaign_cell(9);
+        let repro = make_repro(9, &cell.cfg, &cell.workload, &cell.plan, vec![]);
+        let cfg = repro.cell_config().unwrap();
+        assert_eq!(cfg.num_cpus, cell.cfg.num_cpus);
+        assert_eq!(cfg.num_threads, cell.cfg.num_threads);
+        assert_eq!(cfg.run_seed, cell.cfg.run_seed);
+        assert_eq!(cfg.min_fraction_pct, cell.cfg.min_fraction_pct);
+        assert_eq!(cfg.bfgts, cell.cfg.bfgts);
+        // The scenario stores the already-scaled transaction count, so
+        // the rebuilt cell runs at scale 1 over the same workload.
+        let rebuilt = repro.workload_spec().unwrap().scaled(cfg.scale);
+        let original = cell.workload.clone().scaled(cell.cfg.scale);
+        assert_eq!(rebuilt.name, original.name);
+        assert_eq!(rebuilt.total_txs, original.total_txs);
+        assert_eq!(repro.plan(), cell.plan);
+        assert_eq!(repro.bfgts_key(), cell.bfgts_key);
+    }
+
+    #[test]
     fn repro_files_round_trip_on_disk() {
         let (cfg, workload, plan) = violating_control();
-        let repro = make_repro(11, &cfg, "hw", &workload, &plan, vec!["x".into()]);
+        let repro = make_repro(11, &cfg, &workload, &plan, vec!["x".into()]);
         let dir = std::env::temp_dir().join(format!("bfgts-fuzz-{}", std::process::id()));
         let path = write_repro(&dir, &repro).unwrap();
         assert!(path.ends_with("11.json"));
@@ -518,13 +507,16 @@ mod tests {
     fn stale_fingerprints_and_unknown_names_are_rejected() {
         let (cfg, workload, plan) = violating_control();
         let scored = run_cell(&cfg, &workload, &plan);
-        let mut repro = make_repro(3, &cfg, "hw", &workload, &plan, scored.violations);
+        let mut repro = make_repro(3, &cfg, &workload, &plan, scored.violations);
         repro.fingerprint ^= 1;
         let err = replay(&repro).unwrap_err();
         assert!(err.contains("fingerprint mismatch"), "{err}");
-        repro.bfgts = "turbo".into();
+        repro.scenario.manager = ManagerSpec::Serial;
         assert!(repro.cell_config().is_err());
-        repro.workload = "adv-unknown".into();
+        repro.scenario.workload = WorkloadSpec::Adversarial {
+            name: "adv-unknown".to_string(),
+            total_txs: 100,
+        };
         assert!(repro.workload_spec().is_err());
     }
 }

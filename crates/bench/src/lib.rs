@@ -6,169 +6,28 @@
 //! CPUs, 64 threads) with [`run_one`], and compare against the 1-thread
 //! serial baseline with [`speedup`]. See `DESIGN.md` §4 for the
 //! experiment-to-binary index.
+//!
+//! The run descriptions themselves — [`Platform`], [`ManagerKind`], the
+//! [`Scenario`] type unifying them — live in `bfgts-scenario`
+//! (DESIGN.md §10) and are re-exported here; this crate adds execution:
+//! the parallel grid runner, the result cache, summaries and the shared
+//! CLI surface.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fuzz;
-pub mod json;
 pub mod runner;
 pub mod trace_export;
 
-use bfgts_baselines::{AtsCm, BackoffCm, PtsCm, PtsConfig};
-use bfgts_core::{BfgtsCm, BfgtsConfig, CmFaults};
+pub use bfgts_scenario::json;
+pub use bfgts_scenario::{
+    BfgtsTunables, ManagerKind, ManagerSpec, Platform, Scenario, WorkloadSpec,
+};
+
+use bfgts_baselines::BackoffCm;
 use bfgts_htm::{run_workload, ContentionManager, TmRunConfig, TmRunReport};
 use bfgts_workloads::BenchmarkSpec;
-
-/// The seven contention-manager configurations of the paper's Figure 4.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum ManagerKind {
-    /// Reactive randomised backoff.
-    Backoff,
-    /// Proactive Transaction Scheduling (Blake et al.).
-    Pts,
-    /// Adaptive Transaction Scheduling (Yoo & Lee).
-    Ats,
-    /// BFGTS, all-software.
-    BfgtsSw,
-    /// BFGTS with the hardware predictor.
-    BfgtsHw,
-    /// BFGTS-HW gated by conflict pressure.
-    BfgtsHwBackoff,
-    /// Idealised BFGTS: free scheduling ops, perfect signatures.
-    BfgtsNoOverhead,
-}
-
-impl ManagerKind {
-    /// All managers in the paper's presentation order (Figure 4 legend).
-    pub const ALL: [ManagerKind; 7] = [
-        ManagerKind::Backoff,
-        ManagerKind::Pts,
-        ManagerKind::Ats,
-        ManagerKind::BfgtsSw,
-        ManagerKind::BfgtsHw,
-        ManagerKind::BfgtsHwBackoff,
-        ManagerKind::BfgtsNoOverhead,
-    ];
-
-    /// Display label matching the paper.
-    pub fn label(self) -> &'static str {
-        match self {
-            ManagerKind::Backoff => "Backoff",
-            ManagerKind::Pts => "PTS",
-            ManagerKind::Ats => "ATS",
-            ManagerKind::BfgtsSw => "BFGTS-SW",
-            ManagerKind::BfgtsHw => "BFGTS-HW",
-            ManagerKind::BfgtsHwBackoff => "BFGTS-HW/Backoff",
-            ManagerKind::BfgtsNoOverhead => "BFGTS-NoOverhead",
-        }
-    }
-
-    /// Instantiates the manager with the given Bloom filter size (BFGTS
-    /// variants only; baselines ignore it except PTS, which always uses
-    /// its fixed 2048-bit filters).
-    pub fn build(self, bloom_bits: u32) -> Box<dyn ContentionManager> {
-        match self {
-            ManagerKind::Backoff => Box::new(BackoffCm::default()),
-            ManagerKind::Pts => Box::new(PtsCm::new(PtsConfig::default())),
-            ManagerKind::Ats => Box::new(AtsCm::default()),
-            ManagerKind::BfgtsSw => {
-                Box::new(BfgtsCm::new(BfgtsConfig::sw().bloom_bits(bloom_bits)))
-            }
-            ManagerKind::BfgtsHw => {
-                Box::new(BfgtsCm::new(BfgtsConfig::hw().bloom_bits(bloom_bits)))
-            }
-            ManagerKind::BfgtsHwBackoff => Box::new(BfgtsCm::new(
-                BfgtsConfig::hw_backoff().bloom_bits(bloom_bits),
-            )),
-            ManagerKind::BfgtsNoOverhead => Box::new(BfgtsCm::new(BfgtsConfig::no_overhead())),
-        }
-    }
-
-    /// Like [`ManagerKind::build`], but arms the BFGTS variants with a
-    /// manager-level fault plan (DESIGN.md §9). Baselines have no Bloom
-    /// signatures or confidence table to sabotage, so they ignore the
-    /// plan — which is exactly what the degradation bound compares
-    /// against.
-    pub fn build_with_faults(
-        self,
-        bloom_bits: u32,
-        faults: Option<CmFaults>,
-    ) -> Box<dyn ContentionManager> {
-        let Some(faults) = faults else {
-            return self.build(bloom_bits);
-        };
-        match self {
-            ManagerKind::BfgtsSw => Box::new(BfgtsCm::with_faults(
-                BfgtsConfig::sw().bloom_bits(bloom_bits),
-                faults,
-            )),
-            ManagerKind::BfgtsHw => Box::new(BfgtsCm::with_faults(
-                BfgtsConfig::hw().bloom_bits(bloom_bits),
-                faults,
-            )),
-            ManagerKind::BfgtsHwBackoff => Box::new(BfgtsCm::with_faults(
-                BfgtsConfig::hw_backoff().bloom_bits(bloom_bits),
-                faults,
-            )),
-            ManagerKind::BfgtsNoOverhead => {
-                Box::new(BfgtsCm::with_faults(BfgtsConfig::no_overhead(), faults))
-            }
-            baseline => baseline.build(bloom_bits),
-        }
-    }
-
-    /// The best-performing Bloom filter size per benchmark, measured by
-    /// this reproduction's Figure 6 sweep (`fig6_bloom_sweep`). As in the
-    /// paper (§5.2), the headline results use each benchmark's optimal
-    /// size. The paper's qualitative findings hold: overhead-sensitive
-    /// benchmarks peak at 512 bits, Delaunay/Genome tolerate larger
-    /// filters, and the pressure-gated hybrid is much less sensitive and
-    /// prefers larger filters than plain BFGTS-HW (notably on Vacation).
-    pub fn optimal_bloom_bits(self, benchmark: &str) -> u32 {
-        let hybrid = matches!(self, ManagerKind::BfgtsHwBackoff);
-        match (benchmark, hybrid) {
-            ("Delaunay", true) => 512,
-            ("Delaunay", false) => 2048,
-            ("Genome", _) => 1024,
-            ("Vacation", true) => 2048,
-            ("Intruder", true) => 2048,
-            ("Labyrinth", true) => 1024,
-            _ => 512,
-        }
-    }
-}
-
-/// Platform parameters for one experiment run.
-#[derive(Debug, Clone, Copy)]
-pub struct Platform {
-    /// Number of CPUs.
-    pub cpus: usize,
-    /// Number of threads.
-    pub threads: usize,
-    /// Master seed.
-    pub seed: u64,
-}
-
-impl Platform {
-    /// The paper's platform: 16 CPUs, 64 threads.
-    pub fn paper() -> Self {
-        Self {
-            cpus: 16,
-            threads: 64,
-            seed: 0xB16_B00B5,
-        }
-    }
-
-    /// A smaller platform for quick runs and tests.
-    pub fn small() -> Self {
-        Self {
-            cpus: 4,
-            threads: 8,
-            seed: 0xB16_B00B5,
-        }
-    }
-}
 
 /// Runs `spec` under `kind` on `platform` with the benchmark's optimal
 /// Bloom filter size.
@@ -261,6 +120,10 @@ pub struct CommonArgs {
     /// Seed of a randomized fault plan injected into every non-serial
     /// cell (`--faults SEED`; see `bfgts_faultsim::FaultPlan`).
     pub faults: Option<u64>,
+    /// Dump the exact scenarios the binary would run as a JSON array to
+    /// PATH and exit without running them (`--emit PATH`). The file
+    /// replays through `bfgts_run`.
+    pub emit: Option<std::path::PathBuf>,
 }
 
 impl Default for CommonArgs {
@@ -274,6 +137,7 @@ impl Default for CommonArgs {
             trace: None,
             audit: false,
             faults: None,
+            emit: None,
         }
     }
 }
@@ -298,6 +162,9 @@ options:
   --faults SEED  inject the randomized fault plan derived from SEED
                  (cost jitter, Bloom corruption, confidence poisoning;
                  see bfgts_fuzz) into every non-serial cell
+  --emit PATH    write the exact scenarios this binary would run as a
+                 JSON array to PATH and exit without running them
+                 (replay the file with bfgts_run)
   -h, --help     show this help";
 
 /// Parses the shared flags from `args` (binary name already stripped).
@@ -357,6 +224,9 @@ pub fn parse_args_from(args: &[String]) -> Result<Option<CommonArgs>, String> {
                     v.parse()
                         .map_err(|_| format!("--faults needs an integer seed, got '{v}'"))?,
                 );
+            }
+            "--emit" => {
+                out.emit = Some(std::path::PathBuf::from(value(&mut i, "--emit")?));
             }
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -457,6 +327,8 @@ mod tests {
             "--audit",
             "--faults",
             "11",
+            "--emit",
+            "cells.scenarios.json",
         ])
         .unwrap()
         .unwrap();
@@ -472,6 +344,10 @@ mod tests {
         );
         assert!(args.audit);
         assert_eq!(args.faults, Some(11));
+        assert_eq!(
+            args.emit.as_deref(),
+            Some(std::path::Path::new("cells.scenarios.json"))
+        );
     }
 
     #[test]

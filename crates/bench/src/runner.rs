@@ -21,13 +21,22 @@
 //!   code-irrelevant change skips finished cells. `--no-cache` bypasses
 //!   the cache, and bumping [`CACHE_VERSION`] invalidates it wholesale.
 //!
+//! Since cache version 2 a cell *is* a [`Scenario`] (DESIGN.md §10): the
+//! cache key is the scenario's content hash, `--emit` dumps any grid as
+//! a scenario file, and `bfgts_run` executes such files through this
+//! same runner. Closure-built custom cells are the one exception — their
+//! configuration lives outside the scenario, so they are memoised within
+//! a grid but never persisted to disk.
+//!
 //! Floating-point statistics are cached as `u64` bit patterns, so a
 //! cache hit reproduces the fresh run's output byte for byte.
 
 use crate::json::Json;
 use crate::{trace_export, CommonArgs, ManagerKind, Platform};
 use bfgts_baselines::BackoffCm;
-use bfgts_htm::{run_workload, ContentionManager, TmRunConfig, TmRunReport};
+use bfgts_faultsim::FaultPlan;
+use bfgts_htm::{run_workload, ContentionManager, TmRunReport};
+use bfgts_scenario::{fnv1a, ManagerSpec, ResolvedWorkload, Scenario, WorkloadSpec};
 use bfgts_sim::{Bucket, TimeBuckets, TraceMode};
 use bfgts_trace::Violation;
 use bfgts_workloads::BenchmarkSpec;
@@ -36,102 +45,38 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
+pub use bfgts_scenario::CostKind;
+
 /// Bump to invalidate every cached cell (e.g. after a change to the
-/// simulator, the cost model or the summary layout).
-pub const CACHE_VERSION: u64 = 1;
+/// simulator, the cost model or the summary layout). Version 2 moved the
+/// key to the scenario content hash.
+pub const CACHE_VERSION: u64 = 2;
 
-/// Which cost model a cell runs under.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CostKind {
-    /// Hardware-TM costs ([`TmRunConfig::new`]), the paper's platform.
-    Htm,
-    /// Software-TM costs ([`TmRunConfig::stm_like`]), the adaptation study.
-    Stm,
-}
-
-impl CostKind {
-    fn config(self, cpus: usize, threads: usize, seed: u64) -> TmRunConfig {
-        match self {
-            CostKind::Htm => TmRunConfig::new(cpus, threads).seed(seed),
-            CostKind::Stm => TmRunConfig::stm_like(cpus, threads).seed(seed),
-        }
-    }
-
-    fn key_part(self) -> &'static str {
-        match self {
-            CostKind::Htm => "htm",
-            CostKind::Stm => "stm",
-        }
-    }
-}
-
-/// How a cell's contention manager is constructed.
-#[derive(Clone)]
-pub enum CellManager {
-    /// A roster manager with its benchmark-optimal Bloom size.
-    Kind(ManagerKind),
-    /// A roster manager with an explicit Bloom size (the Figure 6 sweep).
-    KindWithBloom(ManagerKind, u32),
-    /// An arbitrary manager. `key` must uniquely describe the
-    /// configuration — it becomes part of the cache key.
-    Custom {
-        /// Cache-key fragment identifying this configuration.
-        key: String,
-        /// Builds a fresh manager instance for the run.
-        build: Arc<dyn Fn() -> Box<dyn ContentionManager> + Send + Sync>,
-    },
-    /// The serial baseline: the same total work on 1 CPU / 1 thread under
-    /// plain Backoff (no conflicts are possible, so the manager choice is
-    /// irrelevant and adds zero overhead).
-    Serial,
-}
-
-impl CellManager {
-    fn key_part(&self, spec_name: &str) -> String {
-        match self {
-            CellManager::Kind(kind) => format!(
-                "kind:{}/bits={}",
-                kind.label(),
-                kind.optimal_bloom_bits(spec_name)
-            ),
-            CellManager::KindWithBloom(kind, bits) => {
-                format!("kind:{}/bits={bits}", kind.label())
-            }
-            CellManager::Custom { key, .. } => format!("custom:{key}"),
-            CellManager::Serial => "serial".to_string(),
-        }
-    }
-}
-
-/// One cell of an experiment grid.
+/// One cell of an experiment grid: a [`Scenario`] plus, for the one
+/// escape hatch the scenario cannot express, a closure building an
+/// arbitrary contention manager.
 #[derive(Clone)]
 pub struct RunCell {
-    /// The (already scaled) benchmark to run.
-    pub spec: BenchmarkSpec,
-    /// The contention manager configuration.
-    pub manager: CellManager,
-    /// CPUs / threads / seed. Ignored (except the seed) by
-    /// [`CellManager::Serial`] cells, which always run 1×1.
-    pub platform: Platform,
-    /// Cost model flavour.
-    pub costs: CostKind,
-    /// Seed of a randomized fault plan (`--faults SEED`): the cell runs
-    /// under jittered costs and, for BFGTS managers, signature
-    /// corruption and confidence poisoning (DESIGN.md §9). `None` runs
-    /// clean.
-    pub faults: Option<u64>,
+    /// The complete, canonicalised run description. Its content hash is
+    /// the cell's cache identity.
+    pub scenario: Scenario,
+    /// Set only by [`RunCell::custom`]: builds the manager the scenario
+    /// describes opaquely as [`ManagerSpec::Custom`]. Such cells are
+    /// never persisted to the disk cache.
+    custom_build: Option<Arc<dyn Fn() -> Box<dyn ContentionManager> + Send + Sync>>,
 }
 
 impl RunCell {
     /// A cell running `spec` under `kind` with its optimal Bloom size.
     pub fn one(spec: &BenchmarkSpec, kind: ManagerKind, platform: Platform) -> Self {
-        Self {
-            spec: spec.clone(),
-            manager: CellManager::Kind(kind),
+        Self::with_manager(
+            spec,
             platform,
-            costs: CostKind::Htm,
-            faults: None,
-        }
+            ManagerSpec::Kind {
+                kind,
+                bloom_bits: None,
+            },
+        )
     }
 
     /// A cell running `spec` under `kind` with an explicit Bloom size.
@@ -141,78 +86,98 @@ impl RunCell {
         platform: Platform,
         bits: u32,
     ) -> Self {
-        Self {
-            spec: spec.clone(),
-            manager: CellManager::KindWithBloom(kind, bits),
+        Self::with_manager(
+            spec,
             platform,
-            costs: CostKind::Htm,
-            faults: None,
+            ManagerSpec::Kind {
+                kind,
+                bloom_bits: Some(bits),
+            },
+        )
+    }
+
+    /// A cell running `spec` under any structured manager configuration
+    /// (the interval sweep, the ablations, the extended roster).
+    pub fn with_manager(spec: &BenchmarkSpec, platform: Platform, manager: ManagerSpec) -> Self {
+        Self {
+            scenario: Scenario::new(WorkloadSpec::from_benchmark(spec), manager, platform)
+                .canonical(),
+            custom_build: None,
         }
     }
 
-    /// A cell running `spec` under a custom-configured manager. `key`
-    /// must uniquely describe the configuration (it joins the cache key).
+    /// A cell running `spec` under a closure-built manager. `tag` should
+    /// describe the configuration for humans; because the closure's
+    /// actual configuration is invisible to the scenario, the cell is
+    /// executed fresh every grid and never persisted to the disk cache
+    /// (a cached summary keyed only on the tag could silently go stale
+    /// when the builder changes). Prefer [`RunCell::with_manager`]
+    /// whenever the configuration is expressible.
     pub fn custom(
         spec: &BenchmarkSpec,
         platform: Platform,
-        key: impl Into<String>,
+        tag: impl Into<String>,
         build: impl Fn() -> Box<dyn ContentionManager> + Send + Sync + 'static,
     ) -> Self {
         Self {
-            spec: spec.clone(),
-            manager: CellManager::Custom {
-                key: key.into(),
-                build: Arc::new(build),
-            },
-            platform,
-            costs: CostKind::Htm,
-            faults: None,
+            scenario: Scenario::new(
+                WorkloadSpec::from_benchmark(spec),
+                ManagerSpec::Custom { tag: tag.into() },
+                platform,
+            )
+            .canonical(),
+            custom_build: Some(Arc::new(build)),
         }
     }
 
     /// The serial baseline cell for `spec` (1 CPU / 1 thread).
     pub fn serial(spec: &BenchmarkSpec, platform: Platform) -> Self {
-        Self {
-            spec: spec.clone(),
-            manager: CellManager::Serial,
-            platform,
-            costs: CostKind::Htm,
-            faults: None,
+        Self::with_manager(spec, platform, ManagerSpec::Serial)
+    }
+
+    /// A cell executing `scenario` exactly as described. Fails on a
+    /// scenario that cannot be executed from data alone: an opaque
+    /// [`ManagerSpec::Custom`] manager, or a workload that does not
+    /// resolve (unknown preset name, invalid inline class).
+    pub fn from_scenario(scenario: Scenario) -> Result<Self, String> {
+        if !scenario.manager.executable() {
+            return Err(
+                "scenario describes a closure-built custom manager; it cannot be rebuilt \
+                 from data"
+                    .to_string(),
+            );
         }
+        scenario.workload.resolve()?;
+        Ok(Self {
+            scenario: scenario.canonical(),
+            custom_build: None,
+        })
     }
 
     /// Switches the cell to software-TM costs.
     pub fn stm(mut self) -> Self {
-        self.costs = CostKind::Stm;
+        self.scenario.costs = CostKind::Stm;
         self
     }
 
     /// Arms the cell with the randomized fault plan derived from `seed`.
     pub fn faulted(mut self, seed: u64) -> Self {
-        self.faults = Some(seed);
+        self.scenario.faults = Some(FaultPlan::randomized(seed));
+        self.scenario = self.scenario.canonical();
         self
     }
 
-    /// The canonical cache key: every input that can change the outcome.
+    /// Whether this cell's summary may be persisted to (and served from)
+    /// the on-disk cache. False only for closure-built custom cells.
+    pub fn cacheable(&self) -> bool {
+        self.custom_build.is_none() && self.scenario.manager.cacheable()
+    }
+
+    /// The canonical cache key: the scenario's content hash under the
+    /// current cache version. Every input that can change the outcome is
+    /// committed to the hash through the canonical scenario JSON.
     pub fn cache_key(&self) -> String {
-        let (cpus, threads) = match self.manager {
-            CellManager::Serial => (1, 1),
-            _ => (self.platform.cpus, self.platform.threads),
-        };
-        let faults = match self.faults {
-            // Clean cells keep their historical keys: arming faults must
-            // never poison (or be poisoned by) the clean cache.
-            None => String::new(),
-            Some(seed) => format!("|faults={seed:#x}"),
-        };
-        format!(
-            "v{CACHE_VERSION}|{}|txs={}|cpus={cpus}|threads={threads}|seed={:#x}|{}|{}{faults}",
-            self.spec.name,
-            self.spec.total_txs,
-            self.platform.seed,
-            self.costs.key_part(),
-            self.manager.key_part(self.spec.name),
-        )
+        format!("v{CACHE_VERSION}|scenario:{}", self.scenario.id())
     }
 
     /// Runs the cell to completion (no caching).
@@ -224,42 +189,48 @@ impl RunCell {
     /// report. Never consults the cell cache — a cached summary has no
     /// event recording, and the recording is the point.
     pub fn execute_report(&self, trace: TraceMode) -> TmRunReport {
-        let seed = self.platform.seed;
-        match &self.manager {
-            CellManager::Serial => {
-                // Serial baselines stay clean even under --faults: a
-                // perturbed denominator would make every speedup
-                // incomparable across plans.
-                let cfg = self.costs.config(1, 1, seed).trace(trace);
-                run_workload(&cfg, self.spec.sources(1), Box::new(BackoffCm::default()))
+        let scenario = &self.scenario;
+        let seed = scenario.platform.seed;
+        let resolved = scenario
+            .workload
+            .resolve()
+            .expect("cell workloads resolve (checked at construction for scenario files)");
+        if matches!(scenario.manager, ManagerSpec::Serial) {
+            // Serial baselines stay clean even under --faults: a
+            // perturbed denominator would make every speedup
+            // incomparable across plans.
+            let cfg = scenario.costs.run_config(1, 1, seed).trace(trace);
+            let cm: Box<dyn ContentionManager> = Box::new(BackoffCm::default());
+            return match resolved {
+                ResolvedWorkload::Benchmark(spec) => run_workload(&cfg, spec.sources(1), cm),
+                ResolvedWorkload::Adversarial(spec) => run_workload(&cfg, spec.sources(1), cm),
+            };
+        }
+        let plan = scenario.faults.as_ref();
+        let mut cfg = scenario
+            .costs
+            .run_config(scenario.platform.cpus, scenario.platform.threads, seed)
+            .trace(trace);
+        if let Some(plan) = plan {
+            let pct = plan.cost_percent();
+            if pct > 0 {
+                cfg = cfg.perturb_costs(plan.seed, pct);
             }
-            manager => {
-                let plan = self.faults.map(bfgts_faultsim::FaultPlan::randomized);
-                let mut cfg = self
-                    .costs
-                    .config(self.platform.cpus, self.platform.threads, seed)
-                    .trace(trace);
-                if let Some(plan) = &plan {
-                    let pct = plan.cost_percent();
-                    if pct > 0 {
-                        cfg = cfg.perturb_costs(plan.seed, pct);
-                    }
-                }
-                let cm_faults = plan.as_ref().and_then(|p| p.cm_faults());
-                let cm: Box<dyn ContentionManager> = match manager {
-                    CellManager::Kind(kind) => {
-                        kind.build_with_faults(kind.optimal_bloom_bits(self.spec.name), cm_faults)
-                    }
-                    CellManager::KindWithBloom(kind, bits) => {
-                        kind.build_with_faults(*bits, cm_faults)
-                    }
-                    // Custom builders carry their own configuration; they
-                    // still feel the cost perturbation above.
-                    CellManager::Custom { build, .. } => build(),
-                    CellManager::Serial => unreachable!("handled above"),
-                };
-                run_workload(&cfg, self.spec.sources(self.platform.threads), cm)
-            }
+        }
+        let cm_faults = plan.and_then(|p| p.cm_faults());
+        let cm = match &self.custom_build {
+            // Custom builders carry their own configuration; they still
+            // feel the cost perturbation above.
+            Some(build) => build(),
+            None => scenario
+                .manager
+                .build(resolved.name(), cm_faults)
+                .expect("non-custom managers build from data"),
+        };
+        let threads = scenario.platform.threads;
+        match resolved {
+            ResolvedWorkload::Benchmark(spec) => run_workload(&cfg, spec.sources(threads), cm),
+            ResolvedWorkload::Adversarial(spec) => run_workload(&cfg, spec.sources(threads), cm),
         }
     }
 }
@@ -569,15 +540,17 @@ pub fn run_grid(cells: &[RunCell], opts: &RunnerOptions) -> Vec<CellSummary> {
     let run_one_cell = |slot: usize| {
         let cell = &cells[slot];
         let key = &keys[slot];
-        let cached = opts
-            .cache_dir
-            .as_deref()
-            .and_then(|dir| load_cached(dir, key));
+        // Closure-built custom cells are memoised within the grid (by
+        // tag) but never persisted: their tag is not tied to the
+        // closure's actual configuration, so a disk hit could silently
+        // serve a stale summary after the builder changes.
+        let disk = opts.cache_dir.as_deref().filter(|_| cell.cacheable());
+        let cached = disk.and_then(|dir| load_cached(dir, key));
         let summary = match cached {
             Some(summary) => summary,
             None => {
                 let summary = cell.execute();
-                if let Some(dir) = opts.cache_dir.as_deref() {
+                if let Some(dir) = disk {
                     store_cached(dir, key, &summary);
                 }
                 summary
@@ -618,7 +591,9 @@ pub fn run_grid(cells: &[RunCell], opts: &RunnerOptions) -> Vec<CellSummary> {
 /// `--json PATH` was given, writes every cell summary there. `--audit`
 /// then re-runs every distinct cell with full tracing and verifies the
 /// accounting invariants (exiting 1 on a violation), and `--trace PATH`
-/// writes the first parallel cell's recording to disk.
+/// writes the first parallel cell's recording to disk. `--emit PATH`
+/// writes the (fault-armed) grid as a scenario file and exits without
+/// running anything.
 pub fn run_grid_with_args(cells: &[RunCell], args: &CommonArgs) -> Vec<CellSummary> {
     // --faults arms every non-serial cell; the owned grid then feeds the
     // run, the audit and the trace export alike, so fault events show up
@@ -628,8 +603,8 @@ pub fn run_grid_with_args(cells: &[RunCell], args: &CommonArgs) -> Vec<CellSumma
         Some(seed) => {
             armed = cells
                 .iter()
-                .map(|cell| match cell.manager {
-                    CellManager::Serial => cell.clone(),
+                .map(|cell| match cell.scenario.manager {
+                    ManagerSpec::Serial => cell.clone(),
                     _ => cell.clone().faulted(seed),
                 })
                 .collect();
@@ -637,6 +612,29 @@ pub fn run_grid_with_args(cells: &[RunCell], args: &CommonArgs) -> Vec<CellSumma
         }
         None => cells,
     };
+    if let Some(path) = &args.emit {
+        match emit_scenarios(path, cells) {
+            Ok(()) => {
+                let opaque = cells.iter().filter(|c| !c.cacheable()).count();
+                eprintln!(
+                    "emit: wrote {} scenario(s) to {}",
+                    cells.len(),
+                    path.display()
+                );
+                if opaque > 0 {
+                    eprintln!(
+                        "emit: note: {opaque} cell(s) use closure-built custom managers; \
+                         bfgts_run cannot execute those entries"
+                    );
+                }
+                std::process::exit(0);
+            }
+            Err(err) => {
+                eprintln!("error: could not write {}: {err}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
     let results = run_grid(cells, &RunnerOptions::from_args(args));
     if let Some(path) = &args.json {
         if let Err(err) = write_grid_json(path, cells, &results) {
@@ -663,7 +661,7 @@ pub fn run_grid_with_args(cells: &[RunCell], args: &CommonArgs) -> Vec<CellSumma
         // baselines have no conflicts to look at.
         let cell = cells
             .iter()
-            .find(|c| !matches!(c.manager, CellManager::Serial))
+            .find(|c| !matches!(c.scenario.manager, ManagerSpec::Serial))
             .or_else(|| cells.first());
         match cell {
             Some(cell) => {
@@ -750,18 +748,38 @@ pub fn chrome_trace_path(path: &Path) -> PathBuf {
 /// Re-runs `cell` with full event tracing and writes the recording as
 /// JSONL to `path` plus a Chrome trace to [`chrome_trace_path`]. The
 /// recording is audited first; a violation is a simulator bug and
-/// panics.
+/// panics. The JSONL header embeds the cell's scenario (with the trace
+/// mode it actually ran under), so the file is self-describing: the run
+/// can be reproduced from the trace alone.
 pub fn export_cell_trace(cell: &RunCell, path: &Path) -> std::io::Result<()> {
     let report = cell.execute_report(TraceMode::Full);
     report.audit_or_panic();
     let inputs = report.sim.audit_inputs();
+    let mut scenario = cell.scenario.clone();
+    scenario.trace = TraceMode::Full;
     if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
         std::fs::create_dir_all(parent)?;
     }
-    std::fs::write(path, trace_export::to_jsonl(&report.sim.trace, &inputs))?;
+    std::fs::write(
+        path,
+        trace_export::to_jsonl_with_scenario(&report.sim.trace, &inputs, Some(&scenario)),
+    )?;
     std::fs::write(
         chrome_trace_path(path),
         trace_export::to_chrome(&report.sim.trace, &inputs),
+    )
+}
+
+/// Writes `cells` as a scenario file (a JSON array in grid order, the
+/// `--emit` format) that `bfgts_run` executes directly.
+pub fn emit_scenarios(path: &Path, cells: &[RunCell]) -> std::io::Result<()> {
+    let scenarios: Vec<Scenario> = cells.iter().map(|c| c.scenario.clone()).collect();
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(
+        path,
+        bfgts_scenario::scenarios_to_json(&scenarios).to_string() + "\n",
     )
 }
 
@@ -779,7 +797,13 @@ pub fn write_grid_json(
                 cells
                     .iter()
                     .zip(results)
-                    .map(|(cell, summary)| summary.to_json(&cell.cache_key()))
+                    .map(|(cell, summary)| {
+                        let mut entry = summary.to_json(&cell.cache_key());
+                        if let Json::Obj(map) = &mut entry {
+                            map.insert("scenario".to_string(), cell.scenario.to_json());
+                        }
+                        entry
+                    })
                     .collect(),
             ),
         ),
@@ -788,17 +812,6 @@ pub fn write_grid_json(
         std::fs::create_dir_all(parent)?;
     }
     std::fs::write(path, doc.to_string() + "\n")
-}
-
-/// FNV-1a over `text`, with an offset-basis tweak so two independent
-/// 64-bit digests can be concatenated into the cache file name.
-pub(crate) fn fnv1a(text: &str, tweak: u64) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ tweak;
-    for byte in text.bytes() {
-        hash ^= byte as u64;
-        hash = hash.wrapping_mul(0x100_0000_01b3);
-    }
-    hash
 }
 
 fn cache_path(dir: &Path, key: &str) -> PathBuf {
@@ -894,7 +907,7 @@ mod tests {
             RunCell::custom(&spec, p, "interval=10", || Box::new(BackoffCm::default())).cache_key(),
         ];
         let mut seeded = RunCell::one(&spec, ManagerKind::Backoff, p);
-        seeded.platform.seed ^= 1;
+        seeded.scenario.platform.seed ^= 1;
         keys.push(seeded.cache_key());
         let unique: std::collections::HashSet<_> = keys.iter().collect();
         assert_eq!(unique.len(), keys.len(), "colliding keys: {keys:#?}");
@@ -983,6 +996,62 @@ mod tests {
         let grid = run_grid(std::slice::from_ref(&cell), &opts);
         assert_eq!(grid[0], cell.execute());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn custom_cells_never_touch_the_disk_cache() {
+        let dir =
+            std::env::temp_dir().join(format!("bfgts-cache-test-custom-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = RunnerOptions {
+            jobs: 1,
+            cache_dir: Some(dir.clone()),
+        };
+        let spec = tiny_spec();
+        let cell = RunCell::custom(&spec, Platform::small(), "tag-a", || {
+            Box::new(BackoffCm::default())
+        });
+        assert!(!cell.cacheable());
+        let first = run_grid(std::slice::from_ref(&cell), &opts);
+        assert_eq!(
+            std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0),
+            0,
+            "closure-built cells must not be persisted"
+        );
+        // A stale entry planted under the cell's key is ignored: the tag
+        // does not pin the closure's configuration, so disk results
+        // cannot be trusted.
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut summary = first[0].clone();
+        summary.makespan ^= 1;
+        std::fs::write(
+            cache_path(&dir, &cell.cache_key()),
+            summary.to_json(&cell.cache_key()).to_string() + "\n",
+        )
+        .unwrap();
+        let second = run_grid(std::slice::from_ref(&cell), &opts);
+        assert_eq!(first, second, "planted cache entry was served");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scenario_round_trip_preserves_key_and_summary() {
+        let spec = tiny_spec();
+        let cell = RunCell::one(&spec, ManagerKind::BfgtsHw, Platform::small());
+        let text = cell.scenario.to_json().to_string();
+        let parsed = Scenario::from_json(&Json::parse(&text).unwrap()).unwrap();
+        let rebuilt = RunCell::from_scenario(parsed).unwrap();
+        assert_eq!(rebuilt.cache_key(), cell.cache_key());
+        assert_eq!(rebuilt.execute(), cell.execute());
+    }
+
+    #[test]
+    fn custom_scenarios_do_not_rebuild() {
+        let spec = tiny_spec();
+        let cell = RunCell::custom(&spec, Platform::small(), "mystery", || {
+            Box::new(BackoffCm::default())
+        });
+        assert!(RunCell::from_scenario(cell.scenario.clone()).is_err());
     }
 
     #[test]

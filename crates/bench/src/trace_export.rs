@@ -18,18 +18,31 @@
 //! are printed as floats there.
 
 use crate::json::Json;
+use bfgts_scenario::Scenario;
 use bfgts_trace::{
     AuditInputs, BucketKind, ConfKind, DecisionKind, TraceEvent, TraceRec, TraceRecording,
 };
 
 /// Format version stamped into (and required of) the JSONL header.
 /// Version 2 added the fault-injection instants (`fault_bloom_corrupt`,
-/// `fault_conf_poison`, DESIGN.md §9).
-pub const TRACE_FORMAT_VERSION: u64 = 2;
+/// `fault_conf_poison`, DESIGN.md §9); version 3 added the optional
+/// embedded scenario (`"scenario"`, DESIGN.md §10) so a trace file names
+/// the exact run that produced it.
+pub const TRACE_FORMAT_VERSION: u64 = 3;
 
 /// Serialises a recording plus its audit ground truth as JSONL.
 pub fn to_jsonl(recording: &TraceRecording, inputs: &AuditInputs) -> String {
-    let header = Json::obj([
+    to_jsonl_with_scenario(recording, inputs, None)
+}
+
+/// Like [`to_jsonl`], but embeds the scenario that produced the
+/// recording into the header, making the file self-describing.
+pub fn to_jsonl_with_scenario(
+    recording: &TraceRecording,
+    inputs: &AuditInputs,
+    scenario: Option<&Scenario>,
+) -> String {
+    let mut pairs = vec![
         ("type", Json::Str("header".into())),
         ("version", Json::UInt(TRACE_FORMAT_VERSION)),
         ("makespan", Json::UInt(inputs.makespan)),
@@ -46,7 +59,11 @@ pub fn to_jsonl(recording: &TraceRecording, inputs: &AuditInputs) -> String {
         ),
         ("events", Json::UInt(recording.events.len() as u64)),
         ("dropped", Json::UInt(recording.dropped)),
-    ]);
+    ];
+    if let Some(scenario) = scenario {
+        pairs.push(("scenario", scenario.to_json()));
+    }
+    let header = Json::obj(pairs);
     let mut out = String::with_capacity(64 + recording.events.len() * 96);
     out.push_str(&header.to_string());
     out.push('\n');
@@ -58,8 +75,18 @@ pub fn to_jsonl(recording: &TraceRecording, inputs: &AuditInputs) -> String {
 }
 
 /// Parses a JSONL trace back into a recording and its audit inputs.
-/// Inverse of [`to_jsonl`]; errors name the offending line.
+/// Inverse of [`to_jsonl`]; errors name the offending line. A header
+/// scenario, if embedded, is dropped — use [`parse_jsonl_full`] to keep
+/// it.
 pub fn parse_jsonl(text: &str) -> Result<(TraceRecording, AuditInputs), String> {
+    parse_jsonl_full(text).map(|(rec, inputs, _)| (rec, inputs))
+}
+
+/// Parses a JSONL trace including the embedded scenario, when the header
+/// carries one. Inverse of [`to_jsonl_with_scenario`].
+pub fn parse_jsonl_full(
+    text: &str,
+) -> Result<(TraceRecording, AuditInputs, Option<Scenario>), String> {
     let mut lines = text
         .lines()
         .enumerate()
@@ -106,6 +133,12 @@ pub fn parse_jsonl(text: &str) -> Result<(TraceRecording, AuditInputs), String> 
         })
         .collect::<Option<_>>()
         .ok_or("line 1: malformed 'per_thread' row")?;
+    let scenario = match header.get("scenario") {
+        None => None,
+        Some(doc) => {
+            Some(Scenario::from_json(doc).map_err(|e| format!("line 1: embedded scenario: {e}"))?)
+        }
+    };
 
     let mut events = Vec::with_capacity(declared as usize);
     for (i, line) in lines {
@@ -126,6 +159,7 @@ pub fn parse_jsonl(text: &str) -> Result<(TraceRecording, AuditInputs), String> 
             num_cpus,
             per_thread,
         },
+        scenario,
     ))
 }
 
@@ -767,10 +801,38 @@ mod tests {
         assert!(parse_jsonl("{\"seq\":0}").is_err(), "missing header");
         let bad_count = text.replace("\"events\":14", "\"events\":15");
         assert!(parse_jsonl(&bad_count).is_err(), "event count mismatch");
-        let bad_version = text.replace("\"version\":2", "\"version\":99");
+        let bad_version = text.replace("\"version\":3", "\"version\":99");
         assert!(parse_jsonl(&bad_version).is_err(), "future version");
         let bad_event = text.replace("\"ev\":\"tx_stall\"", "\"ev\":\"tx_mystery\"");
         assert!(parse_jsonl(&bad_event).is_err(), "unknown event name");
+    }
+
+    #[test]
+    fn embedded_scenarios_round_trip_through_the_header() {
+        use bfgts_scenario::{ManagerSpec, Platform, WorkloadSpec};
+        let (recording, inputs) = sample_recording();
+        let mut scenario = Scenario::new(
+            WorkloadSpec::Preset {
+                name: "Kmeans".into(),
+                total_txs: 100,
+            },
+            ManagerSpec::Serial,
+            Platform::small(),
+        );
+        scenario.trace = bfgts_sim::TraceMode::Full;
+        let text = to_jsonl_with_scenario(&recording, &inputs, Some(&scenario));
+        let (parsed_rec, parsed_inputs, parsed_scenario) = parse_jsonl_full(&text).unwrap();
+        assert_eq!(parsed_rec, recording);
+        assert_eq!(parsed_inputs, inputs);
+        assert_eq!(parsed_scenario.as_ref(), Some(&scenario));
+        // A scenario-free file still parses, reporting no scenario.
+        let (_, _, none) = parse_jsonl_full(&to_jsonl(&recording, &inputs)).unwrap();
+        assert!(none.is_none());
+        // And embedding does not disturb the event stream fixed point.
+        assert_eq!(
+            to_jsonl_with_scenario(&parsed_rec, &parsed_inputs, parsed_scenario.as_ref()),
+            text
+        );
     }
 
     #[test]

@@ -33,8 +33,8 @@ impl CellConfig {
     /// BFGTS may be at most 10× slower than Backoff).
     pub fn quick(run_seed: u64) -> Self {
         Self {
-            num_cpus: 4,
-            num_threads: 8,
+            num_cpus: bfgts_htm::SMALL_CPUS,
+            num_threads: bfgts_htm::SMALL_THREADS,
             run_seed,
             scale: 0.1,
             min_fraction_pct: 10,

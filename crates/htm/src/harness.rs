@@ -8,6 +8,23 @@ use crate::thread::{TxThreadConfig, TxThreadLogic};
 use crate::txn::TxSource;
 use bfgts_sim::{CostModel, Engine, EngineConfig, RunReport, TraceMode};
 
+/// Default master seed of a run when none is given — the single source
+/// of truth shared by [`TmRunConfig::new`] and every layer above that
+/// needs "the default run seed" (DESIGN.md §10).
+pub const DEFAULT_RUN_SEED: u64 = 0xB10_0F17;
+
+/// CPUs of the paper's evaluation platform.
+pub const PAPER_CPUS: usize = 16;
+
+/// Threads of the paper's evaluation platform (4 per CPU).
+pub const PAPER_THREADS: usize = 64;
+
+/// CPUs of the small CI/test platform.
+pub const SMALL_CPUS: usize = 4;
+
+/// Threads of the small CI/test platform.
+pub const SMALL_THREADS: usize = 8;
+
 /// Parameters of one workload run.
 #[derive(Debug, Clone)]
 pub struct TmRunConfig {
@@ -38,7 +55,7 @@ impl TmRunConfig {
         Self {
             num_cpus,
             num_threads,
-            seed: 0xB10_0F17,
+            seed: DEFAULT_RUN_SEED,
             costs: CostModel::default(),
             thread_cfg: TxThreadConfig::default(),
             max_cycles: 50_000_000_000,
@@ -49,7 +66,7 @@ impl TmRunConfig {
 
     /// The paper's evaluation platform: 16 CPUs, 64 threads.
     pub fn paper_platform() -> Self {
-        Self::new(16, 64)
+        Self::new(PAPER_CPUS, PAPER_THREADS)
     }
 
     /// A software-TM flavoured run: STM per-operation costs

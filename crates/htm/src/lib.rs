@@ -55,7 +55,10 @@ pub use cm::{
     AbortPlan, BeginDecision, BeginOutcome, BeginQuery, CommitOutcome, CommitRecord, ConflictEvent,
     ContentionManager, NullCm,
 };
-pub use harness::{run_workload, TmRunConfig, TmRunReport};
+pub use harness::{
+    run_workload, TmRunConfig, TmRunReport, DEFAULT_RUN_SEED, PAPER_CPUS, PAPER_THREADS,
+    SMALL_CPUS, SMALL_THREADS,
+};
 pub use history::{AttemptId, History, HistoryEvent, SerializabilityResult};
 pub use ids::{DTxId, LineAddr, STxId};
 pub use state::{AccessResult, TmState, TmWorld};

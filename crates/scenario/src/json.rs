@@ -1,12 +1,14 @@
 //! A minimal hand-rolled JSON value type, writer and parser.
 //!
-//! The result cache and the `--json` export need structured round-trip
-//! serialisation, and the offline registry rules out serde. This module
-//! implements exactly the JSON subset the runner emits: objects, arrays,
-//! strings, booleans, null, unsigned 64-bit integers (written as plain
-//! decimals and parsed back exactly) and finite floats. Cached
-//! floating-point statistics that must survive a byte-exact round trip
-//! are stored as `u64` bit patterns by the caller, never as `Float`.
+//! Scenario files, the result cache and the `--json` export need
+//! structured round-trip serialisation, and the offline registry rules
+//! out serde. This module implements exactly the JSON subset the stack
+//! emits: objects, arrays, strings, booleans, null, unsigned 64-bit
+//! integers (written as plain decimals and parsed back exactly) and
+//! finite floats. Floating-point values that must survive a byte-exact
+//! round trip are stored as `u64` bit patterns by the caller, never as
+//! `Float` — objects keep their keys sorted, so serialisation is
+//! canonical and content hashes over the text are stable.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

@@ -1,0 +1,1454 @@
+//! The scenario layer (DESIGN.md §10): one serializable descriptor of a
+//! run.
+//!
+//! A [`Scenario`] is a pure-data value describing everything that can
+//! change the outcome of one simulation: the platform shape and seed,
+//! the cost-model flavour, the workload (a named preset, a named
+//! adversarial generator, or an inline class mix), the contention
+//! manager configuration, an optional fault plan and the trace mode. It
+//! round-trips through canonical JSON ([`crate::json`]: sorted object
+//! keys, `f64`s as bit patterns) and its FNV content hash
+//! ([`Scenario::id`]) is *the* run identity — the result cache, the fuzz
+//! repro format and the trace header all key on it, and the `bfgts_run`
+//! binary executes scenario files directly.
+//!
+//! Everything here is data plus resolution: [`WorkloadSpec::resolve`]
+//! turns a workload description back into runnable sources,
+//! [`ManagerSpec::build`] instantiates the described contention manager,
+//! and [`CostKind::run_config`] produces the engine configuration.
+//! Execution (worker pools, caching, summaries) stays in `bfgts-bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+use bfgts_baselines::{AtsCm, BackoffCm, PolkaCm, PtsCm, PtsConfig, StallCm};
+use bfgts_core::{BfgtsCm, BfgtsConfig, BfgtsVariant, CmFaults};
+use bfgts_faultsim::{Fault, FaultPlan};
+use bfgts_htm::{ContentionManager, TmRunConfig};
+use bfgts_sim::TraceMode;
+use bfgts_workloads::{
+    presets, AdversarialSpec, BenchmarkSpec, ExpectedProfile, RandomRegion, Region, TxClass,
+};
+use json::Json;
+use std::sync::Arc;
+
+/// Format version of a scenario document. Bump on any change to the
+/// JSON schema *or* to anything the content hash commits to — a bumped
+/// version changes every scenario id, which is exactly the
+/// cache-invalidation semantics run identity needs.
+pub const SCENARIO_VERSION: u64 = 1;
+
+/// Default master seed of the experiment grids (`bench::Platform`).
+/// Distinct from [`bfgts_htm::DEFAULT_RUN_SEED`], which is the harness
+/// default when no seed is chosen at all: experiments deliberately pin
+/// their own seed so harness-level reseeding can never silently shift
+/// published figures.
+pub const EXPERIMENT_SEED: u64 = 0xB16_B00B5;
+
+/// Offset-basis tweak of the second FNV digest, so two independent
+/// 64-bit hashes can be concatenated into a 128-bit identity.
+pub const FNV_TWEAK: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// FNV-1a over `text`, with an offset-basis tweak so independent
+/// digests of the same text can be combined collision-resistantly.
+pub fn fnv1a(text: &str, tweak: u64) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ tweak;
+    for byte in text.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Platform parameters for one experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Platform {
+    /// Number of CPUs.
+    pub cpus: usize,
+    /// Number of threads.
+    pub threads: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Platform {
+    /// The paper's platform: 16 CPUs, 64 threads.
+    pub fn paper() -> Self {
+        Self {
+            cpus: bfgts_htm::PAPER_CPUS,
+            threads: bfgts_htm::PAPER_THREADS,
+            seed: EXPERIMENT_SEED,
+        }
+    }
+
+    /// A smaller platform for quick runs and tests.
+    pub fn small() -> Self {
+        Self {
+            cpus: bfgts_htm::SMALL_CPUS,
+            threads: bfgts_htm::SMALL_THREADS,
+            seed: EXPERIMENT_SEED,
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("cpus", Json::UInt(self.cpus as u64)),
+            ("seed", Json::UInt(self.seed)),
+            ("threads", Json::UInt(self.threads as u64)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Self, String> {
+        let uint = |key: &str| {
+            value
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("platform field '{key}' must be an unsigned integer"))
+        };
+        let cpus = uint("cpus")? as usize;
+        let threads = uint("threads")? as usize;
+        if cpus == 0 || threads == 0 {
+            return Err("platform needs at least one cpu and one thread".into());
+        }
+        Ok(Self {
+            cpus,
+            threads,
+            seed: uint("seed")?,
+        })
+    }
+}
+
+/// Which cost model a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostKind {
+    /// Hardware-TM costs ([`TmRunConfig::new`]), the paper's platform.
+    Htm,
+    /// Software-TM costs ([`TmRunConfig::stm_like`]), the adaptation
+    /// study.
+    Stm,
+}
+
+impl CostKind {
+    /// Stable serialisation key.
+    pub fn key(self) -> &'static str {
+        match self {
+            CostKind::Htm => "htm",
+            CostKind::Stm => "stm",
+        }
+    }
+
+    /// Parses a [`CostKind::key`] back.
+    pub fn from_key(key: &str) -> Option<Self> {
+        match key {
+            "htm" => Some(CostKind::Htm),
+            "stm" => Some(CostKind::Stm),
+            _ => None,
+        }
+    }
+
+    /// The engine configuration this cost flavour selects.
+    pub fn run_config(self, cpus: usize, threads: usize, seed: u64) -> TmRunConfig {
+        match self {
+            CostKind::Htm => TmRunConfig::new(cpus, threads).seed(seed),
+            CostKind::Stm => TmRunConfig::stm_like(cpus, threads).seed(seed),
+        }
+    }
+}
+
+/// The seven contention-manager configurations of the paper's Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ManagerKind {
+    /// Reactive randomised backoff.
+    Backoff,
+    /// Proactive Transaction Scheduling (Blake et al.).
+    Pts,
+    /// Adaptive Transaction Scheduling (Yoo & Lee).
+    Ats,
+    /// BFGTS, all-software.
+    BfgtsSw,
+    /// BFGTS with the hardware predictor.
+    BfgtsHw,
+    /// BFGTS-HW gated by conflict pressure.
+    BfgtsHwBackoff,
+    /// Idealised BFGTS: free scheduling ops, perfect signatures.
+    BfgtsNoOverhead,
+}
+
+impl ManagerKind {
+    /// All managers in the paper's presentation order (Figure 4 legend).
+    pub const ALL: [ManagerKind; 7] = [
+        ManagerKind::Backoff,
+        ManagerKind::Pts,
+        ManagerKind::Ats,
+        ManagerKind::BfgtsSw,
+        ManagerKind::BfgtsHw,
+        ManagerKind::BfgtsHwBackoff,
+        ManagerKind::BfgtsNoOverhead,
+    ];
+
+    /// Display label matching the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            ManagerKind::Backoff => "Backoff",
+            ManagerKind::Pts => "PTS",
+            ManagerKind::Ats => "ATS",
+            ManagerKind::BfgtsSw => "BFGTS-SW",
+            ManagerKind::BfgtsHw => "BFGTS-HW",
+            ManagerKind::BfgtsHwBackoff => "BFGTS-HW/Backoff",
+            ManagerKind::BfgtsNoOverhead => "BFGTS-NoOverhead",
+        }
+    }
+
+    /// Stable serialisation key (scenario JSON).
+    pub fn key(self) -> &'static str {
+        match self {
+            ManagerKind::Backoff => "backoff",
+            ManagerKind::Pts => "pts",
+            ManagerKind::Ats => "ats",
+            ManagerKind::BfgtsSw => "bfgts-sw",
+            ManagerKind::BfgtsHw => "bfgts-hw",
+            ManagerKind::BfgtsHwBackoff => "bfgts-hw-backoff",
+            ManagerKind::BfgtsNoOverhead => "bfgts-no-overhead",
+        }
+    }
+
+    /// Parses a [`ManagerKind::key`] back.
+    pub fn from_key(key: &str) -> Option<Self> {
+        ManagerKind::ALL.into_iter().find(|k| k.key() == key)
+    }
+
+    /// Whether this manager actually consults the Bloom geometry: only
+    /// the Bloom-signature BFGTS variants do (PTS carries its own fixed
+    /// 2048-bit filters and the idealised variant uses perfect
+    /// signatures).
+    pub fn uses_bloom(self) -> bool {
+        matches!(
+            self,
+            ManagerKind::BfgtsSw | ManagerKind::BfgtsHw | ManagerKind::BfgtsHwBackoff
+        )
+    }
+
+    /// Instantiates the manager with the given Bloom filter size (BFGTS
+    /// variants only; baselines ignore it except PTS, which always uses
+    /// its fixed 2048-bit filters).
+    pub fn build(self, bloom_bits: u32) -> Box<dyn ContentionManager> {
+        self.build_with_faults(bloom_bits, None)
+    }
+
+    /// Like [`ManagerKind::build`], but arms the BFGTS variants with a
+    /// manager-level fault plan (DESIGN.md §9). Baselines have no Bloom
+    /// signatures or confidence table to sabotage, so they ignore the
+    /// plan — which is exactly what the degradation bound compares
+    /// against.
+    pub fn build_with_faults(
+        self,
+        bloom_bits: u32,
+        faults: Option<CmFaults>,
+    ) -> Box<dyn ContentionManager> {
+        let bfgts = |cfg: BfgtsConfig| -> Box<dyn ContentionManager> {
+            match faults {
+                Some(faults) => Box::new(BfgtsCm::with_faults(cfg, faults)),
+                None => Box::new(BfgtsCm::new(cfg)),
+            }
+        };
+        match self {
+            ManagerKind::Backoff => Box::new(BackoffCm::default()),
+            ManagerKind::Pts => Box::new(PtsCm::new(PtsConfig::default())),
+            ManagerKind::Ats => Box::new(AtsCm::default()),
+            ManagerKind::BfgtsSw => bfgts(BfgtsConfig::sw().bloom_bits(bloom_bits)),
+            ManagerKind::BfgtsHw => bfgts(BfgtsConfig::hw().bloom_bits(bloom_bits)),
+            ManagerKind::BfgtsHwBackoff => bfgts(BfgtsConfig::hw_backoff().bloom_bits(bloom_bits)),
+            ManagerKind::BfgtsNoOverhead => bfgts(BfgtsConfig::no_overhead()),
+        }
+    }
+
+    /// The best-performing Bloom filter size per benchmark, measured by
+    /// this reproduction's Figure 6 sweep (`fig6_bloom_sweep`). As in the
+    /// paper (§5.2), the headline results use each benchmark's optimal
+    /// size. The paper's qualitative findings hold: overhead-sensitive
+    /// benchmarks peak at 512 bits, Delaunay/Genome tolerate larger
+    /// filters, and the pressure-gated hybrid is much less sensitive and
+    /// prefers larger filters than plain BFGTS-HW (notably on Vacation).
+    pub fn optimal_bloom_bits(self, benchmark: &str) -> u32 {
+        let hybrid = matches!(self, ManagerKind::BfgtsHwBackoff);
+        match (benchmark, hybrid) {
+            ("Delaunay", true) => 512,
+            ("Delaunay", false) => 2048,
+            ("Genome", _) => 1024,
+            ("Vacation", true) => 2048,
+            ("Intruder", true) => 2048,
+            ("Labyrinth", true) => 1024,
+            _ => 512,
+        }
+    }
+}
+
+/// Stable serialisation key of a BFGTS flavour. Matches the fuzz
+/// campaign's historical repro keys.
+pub fn variant_key(variant: BfgtsVariant) -> &'static str {
+    match variant {
+        BfgtsVariant::Sw => "sw",
+        BfgtsVariant::Hw => "hw",
+        BfgtsVariant::HwBackoff => "hw_backoff",
+        BfgtsVariant::NoOverhead => "no_overhead",
+    }
+}
+
+/// Parses a [`variant_key`] back.
+pub fn variant_from_key(key: &str) -> Option<BfgtsVariant> {
+    match key {
+        "sw" => Some(BfgtsVariant::Sw),
+        "hw" => Some(BfgtsVariant::Hw),
+        "hw_backoff" => Some(BfgtsVariant::HwBackoff),
+        "no_overhead" => Some(BfgtsVariant::NoOverhead),
+        _ => None,
+    }
+}
+
+/// The structured BFGTS tunables the experiments vary, stored resolved
+/// (no "default" sentinel values) so equal configurations hash equally.
+/// This replaces the old free-form `CellManager::Custom` tags for every
+/// interval/aliasing/similarity study: the parameters *are* the
+/// identity, so editing a builder can no longer serve stale cache
+/// entries recorded under an unchanged tag.
+///
+/// Tunables outside this set (confidence thresholds, pressure smoothing,
+/// …) keep their paper defaults; a run that varies those is not
+/// scenario-expressible and must use a non-cacheable custom cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BfgtsTunables {
+    /// Which flavour to run.
+    pub variant: BfgtsVariant,
+    /// Bloom filter size in bits; `None` means perfect (exact-set)
+    /// signatures, as the idealised variant uses.
+    pub bloom_bits: Option<u32>,
+    /// Small-transaction similarity update interval (§5.3.2).
+    pub small_tx_interval: u32,
+    /// Confidence-table aliasing bound (§4.2.1), `None` = exact table.
+    pub alias_slots: Option<u32>,
+    /// Whether confidence updates are similarity-weighted (the paper's
+    /// central idea; `false` is the ablation).
+    pub similarity_weighting: bool,
+}
+
+impl BfgtsTunables {
+    /// The paper-default tunables of `variant`.
+    pub fn new(variant: BfgtsVariant) -> Self {
+        Self::from_config(&match variant {
+            BfgtsVariant::Sw => BfgtsConfig::sw(),
+            BfgtsVariant::Hw => BfgtsConfig::hw(),
+            BfgtsVariant::HwBackoff => BfgtsConfig::hw_backoff(),
+            BfgtsVariant::NoOverhead => BfgtsConfig::no_overhead(),
+        })
+    }
+
+    /// Extracts the scenario-expressible tunables from a full
+    /// configuration. Lossy by design: fields outside the tunable set
+    /// are assumed to hold their paper defaults.
+    pub fn from_config(cfg: &BfgtsConfig) -> Self {
+        Self {
+            variant: cfg.variant,
+            bloom_bits: cfg.bloom_bits_get(),
+            small_tx_interval: cfg.small_tx_interval,
+            alias_slots: cfg.alias_slots,
+            similarity_weighting: cfg.similarity_weighting,
+        }
+    }
+
+    /// Replaces the Bloom filter size (no-op for the idealised variant,
+    /// which keeps perfect signatures — mirroring
+    /// [`BfgtsConfig::bloom_bits`]).
+    pub fn bloom_bits(mut self, bits: u32) -> Self {
+        if self.variant != BfgtsVariant::NoOverhead {
+            self.bloom_bits = Some(bits);
+        }
+        self
+    }
+
+    /// Replaces the small-transaction update interval.
+    pub fn small_tx_interval(mut self, every: u32) -> Self {
+        self.small_tx_interval = every;
+        self
+    }
+
+    /// Bounds the confidence table with sTxID aliasing.
+    pub fn with_alias_slots(mut self, slots: u32) -> Self {
+        self.alias_slots = Some(slots);
+        self
+    }
+
+    /// Disables similarity weighting (ablation).
+    pub fn without_similarity_weighting(mut self) -> Self {
+        self.similarity_weighting = false;
+        self
+    }
+
+    /// Expands back to the full manager configuration.
+    pub fn config(&self) -> BfgtsConfig {
+        let mut cfg = match self.variant {
+            BfgtsVariant::Sw => BfgtsConfig::sw(),
+            BfgtsVariant::Hw => BfgtsConfig::hw(),
+            BfgtsVariant::HwBackoff => BfgtsConfig::hw_backoff(),
+            BfgtsVariant::NoOverhead => BfgtsConfig::no_overhead(),
+        };
+        if let Some(bits) = self.bloom_bits {
+            cfg = cfg.bloom_bits(bits);
+        }
+        cfg = cfg.small_tx_interval(self.small_tx_interval);
+        if let Some(slots) = self.alias_slots {
+            cfg = cfg.with_alias_slots(slots);
+        }
+        if !self.similarity_weighting {
+            cfg = cfg.without_similarity_weighting();
+        }
+        cfg
+    }
+
+    fn to_json(self) -> Json {
+        let mut pairs = vec![
+            ("kind", Json::Str("bfgts".into())),
+            (
+                "similarity_weighting",
+                Json::Bool(self.similarity_weighting),
+            ),
+            (
+                "small_tx_interval",
+                Json::UInt(u64::from(self.small_tx_interval)),
+            ),
+            ("variant", Json::Str(variant_key(self.variant).into())),
+        ];
+        if let Some(bits) = self.bloom_bits {
+            pairs.push(("bloom_bits", Json::UInt(u64::from(bits))));
+        }
+        if let Some(slots) = self.alias_slots {
+            pairs.push(("alias_slots", Json::UInt(u64::from(slots))));
+        }
+        Json::obj(pairs)
+    }
+
+    fn from_json(value: &Json) -> Result<Self, String> {
+        let variant = value
+            .get("variant")
+            .and_then(Json::as_str)
+            .and_then(variant_from_key)
+            .ok_or("bfgts manager needs a 'variant' of sw|hw|hw_backoff|no_overhead")?;
+        let narrow = |key: &str| -> Result<Option<u32>, String> {
+            match value.get(key) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .map(Some)
+                    .ok_or_else(|| format!("manager field '{key}' must fit u32")),
+            }
+        };
+        Ok(Self {
+            variant,
+            bloom_bits: narrow("bloom_bits")?,
+            small_tx_interval: narrow("small_tx_interval")?
+                .ok_or("bfgts manager needs a 'small_tx_interval' integer")?,
+            alias_slots: narrow("alias_slots")?,
+            similarity_weighting: match value.get("similarity_weighting") {
+                Some(Json::Bool(b)) => *b,
+                Some(_) => return Err("'similarity_weighting' must be a boolean".into()),
+                None => return Err("bfgts manager needs a 'similarity_weighting' boolean".into()),
+            },
+        })
+    }
+}
+
+/// The contention-manager half of a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ManagerSpec {
+    /// The serial baseline: the same total work on 1 CPU / 1 thread
+    /// under plain Backoff (no conflicts are possible, so the manager
+    /// choice is irrelevant and adds zero overhead).
+    Serial,
+    /// A roster manager; `bloom_bits: None` selects the workload's
+    /// measured-optimal size at execution time.
+    Kind {
+        /// Which roster manager.
+        kind: ManagerKind,
+        /// Explicit Bloom geometry (the Figure 6 sweep), or `None` for
+        /// the per-benchmark optimum.
+        bloom_bits: Option<u32>,
+    },
+    /// A BFGTS flavour with explicit tunables (interval sweep, aliasing
+    /// and similarity ablations, fuzz campaign cells).
+    Bfgts(BfgtsTunables),
+    /// The Polka-style investment baseline (extended roster).
+    Polka,
+    /// The stall-on-abort baseline (extended roster).
+    Stall,
+    /// An opaque, closure-built manager known only by a tag. The one
+    /// escape hatch left for configurations the structured variants
+    /// cannot express — it cannot be rebuilt from JSON and must never
+    /// be served from a content-keyed cache.
+    Custom {
+        /// Free-form description of the configuration.
+        tag: String,
+    },
+}
+
+impl ManagerSpec {
+    /// Whether results under this manager may be persisted in (and
+    /// served from) the content-addressed cell cache. Only closure-built
+    /// custom cells are excluded: their tag is not tied to the closure's
+    /// actual configuration, so a cached summary could silently go stale
+    /// when the builder changes.
+    pub fn cacheable(&self) -> bool {
+        !matches!(self, ManagerSpec::Custom { .. })
+    }
+
+    /// Whether the manager can be instantiated from this description
+    /// alone (everything except [`ManagerSpec::Custom`]).
+    pub fn executable(&self) -> bool {
+        !matches!(self, ManagerSpec::Custom { .. })
+    }
+
+    /// A human-readable label for result tables and error messages.
+    pub fn label(&self) -> String {
+        match self {
+            ManagerSpec::Serial => "Serial".to_string(),
+            ManagerSpec::Kind { kind, bloom_bits } => match bloom_bits {
+                Some(bits) => format!("{} ({bits}b)", kind.label()),
+                None => kind.label().to_string(),
+            },
+            ManagerSpec::Bfgts(tunables) => tunables.variant.label().to_string(),
+            ManagerSpec::Polka => "Polka".to_string(),
+            ManagerSpec::Stall => "Stall".to_string(),
+            ManagerSpec::Custom { tag } => format!("custom:{tag}"),
+        }
+    }
+
+    /// Instantiates the described manager, or `None` for a custom cell
+    /// (whose builder lives outside the scenario). `workload_name`
+    /// selects the measured-optimal Bloom geometry when none is pinned;
+    /// `faults` arms BFGTS variants with manager-level fault injection.
+    pub fn build(
+        &self,
+        workload_name: &str,
+        faults: Option<CmFaults>,
+    ) -> Option<Box<dyn ContentionManager>> {
+        match self {
+            ManagerSpec::Serial => Some(Box::new(BackoffCm::default())),
+            ManagerSpec::Kind { kind, bloom_bits } => {
+                let bits = bloom_bits.unwrap_or_else(|| kind.optimal_bloom_bits(workload_name));
+                Some(kind.build_with_faults(bits, faults))
+            }
+            ManagerSpec::Bfgts(tunables) => Some(match faults {
+                Some(faults) => Box::new(BfgtsCm::with_faults(tunables.config(), faults)),
+                None => Box::new(BfgtsCm::new(tunables.config())),
+            }),
+            ManagerSpec::Polka => Some(Box::new(PolkaCm::default())),
+            ManagerSpec::Stall => Some(Box::new(StallCm::default())),
+            ManagerSpec::Custom { .. } => None,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            ManagerSpec::Serial => Json::obj([("kind", Json::Str("serial".into()))]),
+            ManagerSpec::Kind { kind, bloom_bits } => {
+                let mut pairs = vec![
+                    ("kind", Json::Str("roster".into())),
+                    ("manager", Json::Str(kind.key().into())),
+                ];
+                if let Some(bits) = bloom_bits {
+                    pairs.push(("bloom_bits", Json::UInt(u64::from(*bits))));
+                }
+                Json::obj(pairs)
+            }
+            ManagerSpec::Bfgts(tunables) => tunables.to_json(),
+            ManagerSpec::Polka => Json::obj([("kind", Json::Str("polka".into()))]),
+            ManagerSpec::Stall => Json::obj([("kind", Json::Str("stall".into()))]),
+            ManagerSpec::Custom { tag } => Json::obj([
+                ("kind", Json::Str("custom".into())),
+                ("tag", Json::Str(tag.clone())),
+            ]),
+        }
+    }
+
+    fn from_json(value: &Json) -> Result<Self, String> {
+        match value.get("kind").and_then(Json::as_str) {
+            Some("serial") => Ok(ManagerSpec::Serial),
+            Some("roster") => {
+                let kind = value
+                    .get("manager")
+                    .and_then(Json::as_str)
+                    .and_then(ManagerKind::from_key)
+                    .ok_or("roster manager needs a known 'manager' key")?;
+                let bloom_bits = match value.get("bloom_bits") {
+                    None => None,
+                    Some(v) => Some(
+                        v.as_u64()
+                            .and_then(|n| u32::try_from(n).ok())
+                            .ok_or("'bloom_bits' must fit u32")?,
+                    ),
+                };
+                Ok(ManagerSpec::Kind { kind, bloom_bits })
+            }
+            Some("bfgts") => Ok(ManagerSpec::Bfgts(BfgtsTunables::from_json(value)?)),
+            Some("polka") => Ok(ManagerSpec::Polka),
+            Some("stall") => Ok(ManagerSpec::Stall),
+            Some("custom") => Ok(ManagerSpec::Custom {
+                tag: value
+                    .get("tag")
+                    .and_then(Json::as_str)
+                    .ok_or("custom manager needs a 'tag' string")?
+                    .to_string(),
+            }),
+            Some(other) => Err(format!("unknown manager kind '{other}'")),
+            None => Err("manager is missing a 'kind' string".into()),
+        }
+    }
+}
+
+/// The workload half of a scenario. Named presets and adversarial
+/// generators serialise by `(name, total_txs)`; anything else carries
+/// its full class mix inline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// A STAMP-like preset ([`presets::by_name`]), possibly rescaled.
+    Preset {
+        /// Canonical preset name (e.g. `"Kmeans"`).
+        name: String,
+        /// Total dynamic transactions across all threads.
+        total_txs: u64,
+    },
+    /// A named adversarial generator ([`AdversarialSpec::all`]),
+    /// possibly rescaled.
+    Adversarial {
+        /// Generator name (e.g. `"adv-hotspot-skew"`).
+        name: String,
+        /// Total dynamic transactions across all threads.
+        total_txs: u64,
+    },
+    /// A fully inline benchmark: the class mix travels with the
+    /// scenario.
+    Inline {
+        /// Display name of the workload.
+        name: String,
+        /// Total dynamic transactions across all threads.
+        total_txs: u64,
+        /// The static transactions.
+        classes: Vec<TxClass>,
+    },
+}
+
+/// A workload resolved back into a runnable specification.
+#[derive(Debug, Clone)]
+pub enum ResolvedWorkload {
+    /// A benchmark spec ([`BenchmarkSpec::sources`]).
+    Benchmark(BenchmarkSpec),
+    /// An adversarial generator ([`AdversarialSpec::sources`]).
+    Adversarial(AdversarialSpec),
+}
+
+impl ResolvedWorkload {
+    /// The workload's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ResolvedWorkload::Benchmark(spec) => spec.name,
+            ResolvedWorkload::Adversarial(spec) => spec.name,
+        }
+    }
+}
+
+/// Interns an inline workload's name: [`BenchmarkSpec::name`] is
+/// `&'static str`, so JSON-borne names are leaked once per distinct
+/// string and reused afterwards.
+fn intern_name(name: &str) -> &'static str {
+    static NAMES: std::sync::Mutex<Vec<&'static str>> = std::sync::Mutex::new(Vec::new());
+    let mut names = NAMES.lock().expect("name interner poisoned");
+    if let Some(found) = names.iter().find(|n| **n == name) {
+        return found;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    names.push(leaked);
+    leaked
+}
+
+fn check_class(class: &TxClass) -> Result<(), String> {
+    if class.size() == 0 {
+        return Err(format!(
+            "inline class sTx{} performs no accesses",
+            class.stx
+        ));
+    }
+    if class.shared_picks > 0 && class.shared_pool.is_none() {
+        return Err(format!(
+            "inline class sTx{} draws from a missing shared pool",
+            class.stx
+        ));
+    }
+    if !(0.0..=1.0).contains(&class.write_frac) {
+        return Err(format!(
+            "inline class sTx{}: write_frac out of range",
+            class.stx
+        ));
+    }
+    if class.pre_work.0 > class.pre_work.1 {
+        return Err(format!(
+            "inline class sTx{}: pre_work range inverted",
+            class.stx
+        ));
+    }
+    Ok(())
+}
+
+impl WorkloadSpec {
+    /// Describes `spec`: a preset reference when the name and class mix
+    /// match a known preset exactly, otherwise the full inline form.
+    pub fn from_benchmark(spec: &BenchmarkSpec) -> Self {
+        if let Some(preset) = presets::by_name(spec.name) {
+            if preset.name == spec.name && preset.classes[..] == spec.classes[..] {
+                return WorkloadSpec::Preset {
+                    name: spec.name.to_string(),
+                    total_txs: spec.total_txs,
+                };
+            }
+        }
+        WorkloadSpec::Inline {
+            name: spec.name.to_string(),
+            total_txs: spec.total_txs,
+            classes: spec.classes.to_vec(),
+        }
+    }
+
+    /// Describes `spec` by generator name. The name must be one of
+    /// [`AdversarialSpec::all`] for the description to resolve again.
+    pub fn from_adversarial(spec: &AdversarialSpec) -> Self {
+        WorkloadSpec::Adversarial {
+            name: spec.name.to_string(),
+            total_txs: spec.total_txs,
+        }
+    }
+
+    /// The workload's display name.
+    pub fn name(&self) -> &str {
+        match self {
+            WorkloadSpec::Preset { name, .. }
+            | WorkloadSpec::Adversarial { name, .. }
+            | WorkloadSpec::Inline { name, .. } => name,
+        }
+    }
+
+    /// Total dynamic transactions across all threads.
+    pub fn total_txs(&self) -> u64 {
+        match self {
+            WorkloadSpec::Preset { total_txs, .. }
+            | WorkloadSpec::Adversarial { total_txs, .. }
+            | WorkloadSpec::Inline { total_txs, .. } => *total_txs,
+        }
+    }
+
+    /// Resolves the description back into a runnable workload.
+    pub fn resolve(&self) -> Result<ResolvedWorkload, String> {
+        match self {
+            WorkloadSpec::Preset { name, total_txs } => {
+                let mut spec = presets::by_name(name)
+                    .ok_or_else(|| format!("unknown benchmark preset '{name}'"))?;
+                spec.total_txs = *total_txs;
+                Ok(ResolvedWorkload::Benchmark(spec))
+            }
+            WorkloadSpec::Adversarial { name, total_txs } => {
+                let mut spec = AdversarialSpec::all()
+                    .into_iter()
+                    .find(|w| w.name == name)
+                    .ok_or_else(|| format!("unknown adversarial generator '{name}'"))?;
+                spec.total_txs = *total_txs;
+                Ok(ResolvedWorkload::Adversarial(spec))
+            }
+            WorkloadSpec::Inline {
+                name,
+                total_txs,
+                classes,
+            } => {
+                if classes.is_empty() {
+                    return Err(format!("inline workload '{name}' has no classes"));
+                }
+                for class in classes {
+                    check_class(class)?;
+                }
+                Ok(ResolvedWorkload::Benchmark(BenchmarkSpec {
+                    name: intern_name(name),
+                    classes: Arc::from(classes.clone()),
+                    total_txs: *total_txs,
+                    expected: ExpectedProfile {
+                        similarity: Vec::new(),
+                        conflict_rows: Vec::new(),
+                        backoff_contention: 0.0,
+                    },
+                }))
+            }
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            WorkloadSpec::Preset { name, total_txs } => Json::obj([
+                ("kind", Json::Str("preset".into())),
+                ("name", Json::Str(name.clone())),
+                ("total_txs", Json::UInt(*total_txs)),
+            ]),
+            WorkloadSpec::Adversarial { name, total_txs } => Json::obj([
+                ("kind", Json::Str("adversarial".into())),
+                ("name", Json::Str(name.clone())),
+                ("total_txs", Json::UInt(*total_txs)),
+            ]),
+            WorkloadSpec::Inline {
+                name,
+                total_txs,
+                classes,
+            } => Json::obj([
+                (
+                    "classes",
+                    Json::Arr(classes.iter().map(class_to_json).collect()),
+                ),
+                ("kind", Json::Str("inline".into())),
+                ("name", Json::Str(name.clone())),
+                ("total_txs", Json::UInt(*total_txs)),
+            ]),
+        }
+    }
+
+    fn from_json(value: &Json) -> Result<Self, String> {
+        let name = value
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("workload needs a 'name' string")?
+            .to_string();
+        let total_txs = value
+            .get("total_txs")
+            .and_then(Json::as_u64)
+            .ok_or("workload needs a 'total_txs' integer")?;
+        match value.get("kind").and_then(Json::as_str) {
+            Some("preset") => Ok(WorkloadSpec::Preset { name, total_txs }),
+            Some("adversarial") => Ok(WorkloadSpec::Adversarial { name, total_txs }),
+            Some("inline") => Ok(WorkloadSpec::Inline {
+                name,
+                total_txs,
+                classes: value
+                    .get("classes")
+                    .and_then(Json::as_arr)
+                    .ok_or("inline workload needs a 'classes' array")?
+                    .iter()
+                    .map(class_from_json)
+                    .collect::<Result<_, _>>()?,
+            }),
+            Some(other) => Err(format!("unknown workload kind '{other}'")),
+            None => Err("workload is missing a 'kind' string".into()),
+        }
+    }
+}
+
+fn region_to_json(region: Region) -> Json {
+    Json::obj([
+        ("base", Json::UInt(region.base)),
+        ("lines", Json::UInt(region.lines)),
+    ])
+}
+
+fn region_from_json(value: &Json) -> Result<Region, String> {
+    let uint = |key: &str| {
+        value
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("region field '{key}' must be an unsigned integer"))
+    };
+    let lines = uint("lines")?;
+    if lines == 0 {
+        return Err("region must contain at least one line".into());
+    }
+    Ok(Region::new(uint("base")?, lines))
+}
+
+fn class_to_json(class: &TxClass) -> Json {
+    let mut pairs = vec![
+        (
+            "pre_work",
+            Json::Arr(vec![
+                Json::UInt(class.pre_work.0),
+                Json::UInt(class.pre_work.1),
+            ]),
+        ),
+        ("private_hot", Json::UInt(class.private_hot as u64)),
+        ("random_picks", Json::UInt(class.random_picks as u64)),
+        (
+            "random_region",
+            match class.random_region {
+                RandomRegion::Shared(region) => Json::obj([
+                    ("base", Json::UInt(region.base)),
+                    ("kind", Json::Str("shared".into())),
+                    ("lines", Json::UInt(region.lines)),
+                ]),
+                RandomRegion::PerThread { lines } => Json::obj([
+                    ("kind", Json::Str("per_thread".into())),
+                    ("lines", Json::UInt(lines)),
+                ]),
+            },
+        ),
+        ("shared_picks", Json::UInt(class.shared_picks as u64)),
+        ("shared_writes", Json::Bool(class.shared_writes)),
+        ("stx", Json::UInt(u64::from(class.stx))),
+        // f64s as bit patterns: the scenario hash is over the JSON text,
+        // so the text must be byte-stable.
+        ("weight_bits", Json::UInt(class.weight.to_bits())),
+        ("write_frac_bits", Json::UInt(class.write_frac.to_bits())),
+    ];
+    if let Some(pool) = class.shared_pool {
+        pairs.push(("shared_pool", region_to_json(pool)));
+    }
+    Json::obj(pairs)
+}
+
+fn class_from_json(value: &Json) -> Result<TxClass, String> {
+    let uint = |key: &str| {
+        value
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("class field '{key}' must be an unsigned integer"))
+    };
+    let pre_work = value
+        .get("pre_work")
+        .and_then(Json::as_arr)
+        .filter(|arr| arr.len() == 2)
+        .ok_or("class field 'pre_work' must be a [lo, hi] pair")?;
+    let random_region = value
+        .get("random_region")
+        .ok_or("class is missing 'random_region'")?;
+    let random_region = match random_region.get("kind").and_then(Json::as_str) {
+        Some("shared") => RandomRegion::Shared(region_from_json(random_region)?),
+        Some("per_thread") => RandomRegion::PerThread {
+            lines: random_region
+                .get("lines")
+                .and_then(Json::as_u64)
+                .ok_or("per_thread region needs a 'lines' integer")?,
+        },
+        _ => return Err("random_region needs a kind of shared|per_thread".into()),
+    };
+    Ok(TxClass {
+        stx: u32::try_from(uint("stx")?).map_err(|_| "class field 'stx' exceeds u32")?,
+        weight: f64::from_bits(uint("weight_bits")?),
+        private_hot: uint("private_hot")? as usize,
+        shared_picks: uint("shared_picks")? as usize,
+        shared_pool: match value.get("shared_pool") {
+            None => None,
+            Some(pool) => Some(region_from_json(pool)?),
+        },
+        shared_writes: matches!(value.get("shared_writes"), Some(Json::Bool(true))),
+        random_picks: uint("random_picks")? as usize,
+        random_region,
+        write_frac: f64::from_bits(uint("write_frac_bits")?),
+        pre_work: (
+            pre_work[0]
+                .as_u64()
+                .ok_or("pre_work entries must be unsigned integers")?,
+            pre_work[1]
+                .as_u64()
+                .ok_or("pre_work entries must be unsigned integers")?,
+        ),
+    })
+}
+
+/// Serialises a fault to the repro/scenario JSON form.
+pub fn fault_to_json(fault: &Fault) -> Json {
+    match *fault {
+        Fault::CostPerturb { max_percent } => Json::obj([
+            ("kind", Json::Str("cost_perturb".into())),
+            ("max_percent", Json::UInt(u64::from(max_percent))),
+        ]),
+        Fault::BloomCorrupt { rate_pct, bits } => Json::obj([
+            ("kind", Json::Str("bloom_corrupt".into())),
+            ("rate_pct", Json::UInt(u64::from(rate_pct))),
+            ("bits", Json::UInt(u64::from(bits))),
+        ]),
+        Fault::ConfPoison { period, saturate } => Json::obj([
+            ("kind", Json::Str("conf_poison".into())),
+            ("period", Json::UInt(period)),
+            ("saturate", Json::Bool(saturate)),
+        ]),
+    }
+}
+
+/// Parses a fault from its JSON form.
+pub fn fault_from_json(value: &Json) -> Result<Fault, String> {
+    let uint = |key: &str| {
+        value
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("fault field '{key}' must be an unsigned integer"))
+    };
+    let narrow = |key: &str| {
+        u32::try_from(uint(key)?).map_err(|_| format!("fault field '{key}' exceeds u32"))
+    };
+    match value.get("kind").and_then(Json::as_str) {
+        Some("cost_perturb") => Ok(Fault::CostPerturb {
+            max_percent: narrow("max_percent")?,
+        }),
+        Some("bloom_corrupt") => Ok(Fault::BloomCorrupt {
+            rate_pct: narrow("rate_pct")?,
+            bits: narrow("bits")?,
+        }),
+        Some("conf_poison") => Ok(Fault::ConfPoison {
+            period: uint("period")?,
+            saturate: matches!(value.get("saturate"), Some(Json::Bool(true))),
+        }),
+        Some(other) => Err(format!("unknown fault kind '{other}'")),
+        None => Err("fault is missing a 'kind' string".into()),
+    }
+}
+
+/// Serialises a fault plan to the repro/scenario JSON form.
+pub fn plan_to_json(plan: &FaultPlan) -> Json {
+    Json::obj([
+        ("seed", Json::UInt(plan.seed)),
+        (
+            "faults",
+            Json::Arr(plan.faults.iter().map(fault_to_json).collect()),
+        ),
+    ])
+}
+
+/// Parses a fault plan from its JSON form.
+pub fn plan_from_json(value: &Json) -> Result<FaultPlan, String> {
+    let seed = value
+        .get("seed")
+        .and_then(Json::as_u64)
+        .ok_or("plan is missing a 'seed' integer")?;
+    let faults = value
+        .get("faults")
+        .and_then(Json::as_arr)
+        .ok_or("plan is missing a 'faults' array")?
+        .iter()
+        .map(fault_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(FaultPlan { seed, faults })
+}
+
+fn trace_to_json(mode: TraceMode) -> Json {
+    match mode {
+        TraceMode::Off => Json::Str("off".into()),
+        TraceMode::Full => Json::Str("full".into()),
+        TraceMode::Ring(cap) => Json::obj([("ring", Json::UInt(cap as u64))]),
+    }
+}
+
+fn trace_from_json(value: &Json) -> Result<TraceMode, String> {
+    match value {
+        Json::Str(s) if s == "off" => Ok(TraceMode::Off),
+        Json::Str(s) if s == "full" => Ok(TraceMode::Full),
+        obj @ Json::Obj(_) => Ok(TraceMode::Ring(
+            obj.get("ring")
+                .and_then(Json::as_u64)
+                .ok_or("ring trace mode needs a 'ring' integer")? as usize,
+        )),
+        _ => Err("trace mode must be \"off\", \"full\" or {\"ring\": N}".into()),
+    }
+}
+
+/// One run, described completely: platform, cost flavour, workload,
+/// manager, optional fault plan and trace mode. The canonical JSON text
+/// of the [canonicalised](Scenario::canonical) value is what the content
+/// hash — the run's identity — commits to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// CPUs / threads / master seed.
+    pub platform: Platform,
+    /// Cost-model flavour.
+    pub costs: CostKind,
+    /// The workload.
+    pub workload: WorkloadSpec,
+    /// The contention-manager configuration.
+    pub manager: ManagerSpec,
+    /// Optional fault-injection plan (DESIGN.md §9). Serial baselines
+    /// always run clean.
+    pub faults: Option<FaultPlan>,
+    /// The event-recording mode the run is meant to execute with.
+    /// Descriptive for summary-producing paths (which choose their own
+    /// recording), binding for trace/fingerprint paths.
+    pub trace: TraceMode,
+}
+
+impl Scenario {
+    /// A clean HTM scenario with no tracing.
+    pub fn new(workload: WorkloadSpec, manager: ManagerSpec, platform: Platform) -> Self {
+        Self {
+            platform,
+            costs: CostKind::Htm,
+            workload,
+            manager,
+            faults: None,
+            trace: TraceMode::Off,
+        }
+    }
+
+    /// The canonical form equal runs map to: serial baselines pin the
+    /// 1×1 platform shape and drop fault plans (they always run clean),
+    /// empty fault plans normalise to none, Bloom geometry is dropped
+    /// from managers that never consult it, and BFGTS tunables round-trip
+    /// through the full configuration (so e.g. an explicit Bloom size on
+    /// the perfect-signature variant cannot mint a second identity for
+    /// the same run).
+    pub fn canonical(mut self) -> Self {
+        if let ManagerSpec::Kind { kind, bloom_bits } = &mut self.manager {
+            if !kind.uses_bloom() {
+                *bloom_bits = None;
+            }
+        }
+        if let ManagerSpec::Bfgts(tunables) = &self.manager {
+            self.manager = ManagerSpec::Bfgts(BfgtsTunables::from_config(&tunables.config()));
+        }
+        if matches!(self.manager, ManagerSpec::Serial) {
+            self.platform.cpus = 1;
+            self.platform.threads = 1;
+            self.faults = None;
+        }
+        if self.faults.as_ref().is_some_and(FaultPlan::is_empty) {
+            self.faults = None;
+        }
+        self
+    }
+
+    /// Serialises to the canonical scenario JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("costs", Json::Str(self.costs.key().into())),
+            ("manager", self.manager.to_json()),
+            ("platform", self.platform.to_json()),
+            ("trace", trace_to_json(self.trace)),
+            ("version", Json::UInt(SCENARIO_VERSION)),
+            ("workload", self.workload.to_json()),
+        ];
+        if let Some(plan) = &self.faults {
+            pairs.push(("faults", plan_to_json(plan)));
+        }
+        Json::obj(pairs)
+    }
+
+    /// Parses a scenario from its JSON document.
+    pub fn from_json(value: &Json) -> Result<Self, String> {
+        let version = value
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or("scenario is missing a 'version' integer")?;
+        if version != SCENARIO_VERSION {
+            return Err(format!(
+                "scenario version {version} unsupported (expected {SCENARIO_VERSION})"
+            ));
+        }
+        Ok(Self {
+            platform: Platform::from_json(
+                value
+                    .get("platform")
+                    .ok_or("scenario is missing 'platform'")?,
+            )?,
+            costs: value
+                .get("costs")
+                .and_then(Json::as_str)
+                .and_then(CostKind::from_key)
+                .ok_or("scenario needs a 'costs' of htm|stm")?,
+            workload: WorkloadSpec::from_json(
+                value
+                    .get("workload")
+                    .ok_or("scenario is missing 'workload'")?,
+            )?,
+            manager: ManagerSpec::from_json(
+                value
+                    .get("manager")
+                    .ok_or("scenario is missing 'manager'")?,
+            )?,
+            faults: match value.get("faults") {
+                None => None,
+                Some(plan) => Some(plan_from_json(plan)?),
+            },
+            trace: trace_from_json(value.get("trace").ok_or("scenario is missing 'trace'")?)?,
+        })
+    }
+
+    /// The two FNV-1a digests over the canonical JSON text of the
+    /// canonicalised scenario.
+    pub fn content_hash(&self) -> (u64, u64) {
+        let text = self.clone().canonical().to_json().to_string();
+        (fnv1a(&text, 0), fnv1a(&text, FNV_TWEAK))
+    }
+
+    /// The run identity: both content-hash digests as 32 hex digits.
+    /// Equal ids mean equal canonicalised descriptors — this string is
+    /// what cache keys, repro files and trace headers agree on.
+    pub fn id(&self) -> String {
+        let (a, b) = self.content_hash();
+        format!("{a:016x}{b:016x}")
+    }
+}
+
+/// Serialises a scenario list as a JSON array (the `--emit` format).
+pub fn scenarios_to_json(scenarios: &[Scenario]) -> Json {
+    Json::Arr(scenarios.iter().map(Scenario::to_json).collect())
+}
+
+/// Parses a scenario file: either a single scenario object or an array
+/// of them.
+pub fn scenarios_from_json(value: &Json) -> Result<Vec<Scenario>, String> {
+    match value {
+        Json::Arr(items) => items.iter().map(Scenario::from_json).collect(),
+        obj @ Json::Obj(_) => Ok(vec![Scenario::from_json(obj)?]),
+        _ => Err("a scenario document must be a JSON object or an array of objects".into()),
+    }
+}
+
+/// Parses a scenario file from raw text.
+pub fn scenarios_from_str(text: &str) -> Result<Vec<Scenario>, String> {
+    scenarios_from_json(&Json::parse(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Scenario {
+        Scenario::new(
+            WorkloadSpec::Preset {
+                name: "Kmeans".into(),
+                total_txs: 400,
+            },
+            ManagerSpec::Kind {
+                kind: ManagerKind::BfgtsHw,
+                bloom_bits: None,
+            },
+            Platform::small(),
+        )
+    }
+
+    #[test]
+    fn json_round_trips_to_a_fixed_point() {
+        let mut scenarios = vec![
+            sample(),
+            Scenario::new(
+                WorkloadSpec::Adversarial {
+                    name: "adv-hotspot-skew".into(),
+                    total_txs: 200,
+                },
+                ManagerSpec::Bfgts(BfgtsTunables::new(BfgtsVariant::HwBackoff).bloom_bits(512)),
+                Platform::paper(),
+            ),
+            Scenario::new(
+                WorkloadSpec::from_benchmark(&presets::kmeans().scaled(0.01)),
+                ManagerSpec::Serial,
+                Platform::small(),
+            ),
+        ];
+        scenarios[1].faults = Some(FaultPlan::randomized(7));
+        scenarios[1].trace = TraceMode::Full;
+        for scenario in &scenarios {
+            let text = scenario.to_json().to_string();
+            let parsed = Scenario::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(&parsed, scenario);
+            assert_eq!(parsed.to_json().to_string(), text, "fixed point");
+            assert_eq!(parsed.id(), scenario.id());
+        }
+    }
+
+    #[test]
+    fn inline_workloads_round_trip_and_resolve() {
+        let spec = {
+            let mut spec = presets::kmeans().scaled(0.01);
+            spec.name = "Kmeans-modified";
+            spec
+        };
+        let workload = WorkloadSpec::from_benchmark(&spec);
+        assert!(matches!(workload, WorkloadSpec::Inline { .. }));
+        let scenario = Scenario::new(
+            workload,
+            ManagerSpec::Kind {
+                kind: ManagerKind::Backoff,
+                bloom_bits: None,
+            },
+            Platform::small(),
+        );
+        let text = scenario.to_json().to_string();
+        let parsed = Scenario::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, scenario);
+        match parsed.workload.resolve().unwrap() {
+            ResolvedWorkload::Benchmark(resolved) => {
+                assert_eq!(resolved.name, "Kmeans-modified");
+                assert_eq!(resolved.total_txs, spec.total_txs);
+                assert_eq!(resolved.classes[..], spec.classes[..]);
+            }
+            other => panic!("resolved to {other:?}"),
+        }
+    }
+
+    #[test]
+    fn preset_detection_requires_matching_classes() {
+        let spec = presets::kmeans().scaled(0.25);
+        assert!(matches!(
+            WorkloadSpec::from_benchmark(&spec),
+            WorkloadSpec::Preset { .. }
+        ));
+        let mut tweaked = spec;
+        let mut classes = tweaked.classes.to_vec();
+        classes[0].private_hot += 1;
+        tweaked.classes = Arc::from(classes);
+        assert!(matches!(
+            WorkloadSpec::from_benchmark(&tweaked),
+            WorkloadSpec::Inline { .. }
+        ));
+    }
+
+    #[test]
+    fn canonicalisation_collapses_equal_runs() {
+        // Serial baselines ignore the platform shape.
+        let mut a = sample();
+        a.manager = ManagerSpec::Serial;
+        let mut b = a.clone();
+        b.platform = Platform::paper();
+        b.platform.seed = a.platform.seed;
+        b.faults = Some(FaultPlan::new(3));
+        assert_eq!(a.id(), b.id());
+        // An explicit Bloom size on the perfect-signature variant is
+        // inert and must not mint a second identity.
+        let c = Scenario::new(
+            a.workload.clone(),
+            ManagerSpec::Bfgts(BfgtsTunables::new(BfgtsVariant::NoOverhead).bloom_bits(512)),
+            Platform::small(),
+        );
+        let d = Scenario::new(
+            a.workload.clone(),
+            ManagerSpec::Bfgts(BfgtsTunables::new(BfgtsVariant::NoOverhead)),
+            Platform::small(),
+        );
+        assert_eq!(c.id(), d.id());
+        // Bloom geometry on a manager that never consults it is inert.
+        let e = Scenario::new(
+            a.workload.clone(),
+            ManagerSpec::Kind {
+                kind: ManagerKind::Backoff,
+                bloom_bits: Some(4096),
+            },
+            Platform::small(),
+        );
+        let f = Scenario::new(
+            a.workload.clone(),
+            ManagerSpec::Kind {
+                kind: ManagerKind::Backoff,
+                bloom_bits: None,
+            },
+            Platform::small(),
+        );
+        assert_eq!(e.id(), f.id());
+    }
+
+    #[test]
+    fn distinct_inputs_get_distinct_ids() {
+        let base = sample();
+        let mut variants = vec![base.clone()];
+        let mut v = base.clone();
+        v.platform.seed ^= 1;
+        variants.push(v);
+        let mut v = base.clone();
+        v.costs = CostKind::Stm;
+        variants.push(v);
+        let mut v = base.clone();
+        v.manager = ManagerSpec::Kind {
+            kind: ManagerKind::BfgtsHw,
+            bloom_bits: Some(8192),
+        };
+        variants.push(v);
+        let mut v = base.clone();
+        v.faults = Some(FaultPlan::randomized(3));
+        variants.push(v);
+        let mut v = base.clone();
+        v.faults = Some(FaultPlan::randomized(4));
+        variants.push(v);
+        let mut v = base.clone();
+        v.workload = WorkloadSpec::Preset {
+            name: "Kmeans".into(),
+            total_txs: 401,
+        };
+        variants.push(v);
+        let mut v = base.clone();
+        v.trace = TraceMode::Full;
+        variants.push(v);
+        let ids: std::collections::BTreeSet<String> = variants.iter().map(Scenario::id).collect();
+        assert_eq!(ids.len(), variants.len(), "colliding ids");
+    }
+
+    #[test]
+    fn manager_kind_keys_round_trip() {
+        for kind in ManagerKind::ALL {
+            assert_eq!(ManagerKind::from_key(kind.key()), Some(kind));
+        }
+        assert_eq!(ManagerKind::from_key("turbo"), None);
+        for variant in [
+            BfgtsVariant::Sw,
+            BfgtsVariant::Hw,
+            BfgtsVariant::HwBackoff,
+            BfgtsVariant::NoOverhead,
+        ] {
+            assert_eq!(variant_from_key(variant_key(variant)), Some(variant));
+        }
+    }
+
+    #[test]
+    fn tunables_expand_to_the_configs_the_bins_used_to_build() {
+        let hand = BfgtsConfig::hw()
+            .bloom_bits(1024)
+            .small_tx_interval(10)
+            .with_alias_slots(4)
+            .without_similarity_weighting();
+        let tunables = BfgtsTunables::from_config(&hand);
+        assert_eq!(tunables.config(), hand);
+        assert_eq!(
+            BfgtsTunables::new(BfgtsVariant::Sw).config(),
+            BfgtsConfig::sw()
+        );
+    }
+
+    #[test]
+    fn build_produces_matching_names() {
+        for kind in ManagerKind::ALL {
+            assert_eq!(kind.build(2048).name(), kind.label());
+        }
+    }
+
+    #[test]
+    fn custom_cells_are_neither_cacheable_nor_executable() {
+        let custom = ManagerSpec::Custom { tag: "x".into() };
+        assert!(!custom.cacheable());
+        assert!(!custom.executable());
+        assert!(custom.build("Kmeans", None).is_none());
+        assert!(ManagerSpec::Serial.cacheable());
+        assert!(ManagerSpec::Polka.build("Kmeans", None).is_some());
+    }
+
+    #[test]
+    fn scenario_files_accept_object_or_array() {
+        let one = sample();
+        let solo = scenarios_from_str(&one.to_json().to_string()).unwrap();
+        assert_eq!(solo, vec![one.clone()]);
+        let many = scenarios_from_str(&scenarios_to_json(&[one.clone(), one.clone()]).to_string())
+            .unwrap();
+        assert_eq!(many.len(), 2);
+        assert!(scenarios_from_str("42").is_err());
+        assert!(scenarios_from_str("{}").is_err());
+    }
+
+    #[test]
+    fn unknown_names_and_versions_are_rejected() {
+        let mut bad = sample();
+        bad.workload = WorkloadSpec::Preset {
+            name: "NoSuchBench".into(),
+            total_txs: 10,
+        };
+        assert!(bad.workload.resolve().is_err());
+        let mut doc = sample().to_json();
+        if let Json::Obj(map) = &mut doc {
+            map.insert("version".into(), Json::UInt(99));
+        }
+        assert!(Scenario::from_json(&doc).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Golden scenario fixtures: the canonical JSON and the content hash of
+//! a representative scenario set are pinned byte-for-byte.
+//!
+//! These goldens are the compatibility contract of the scenario layer:
+//! cache entries, fuzz repros and trace headers all key on
+//! [`Scenario::id`], so any change that shifts a fixture's canonical
+//! JSON or id silently invalidates every persisted artifact. Such a
+//! change must be deliberate — bump [`bfgts_scenario::SCENARIO_VERSION`]
+//! and re-bless the fixtures by running with `BLESS_SCENARIOS=1`.
+
+use bfgts_core::BfgtsVariant;
+use bfgts_faultsim::{Fault, FaultPlan};
+use bfgts_scenario::{
+    BfgtsTunables, CostKind, ManagerKind, ManagerSpec, Platform, Scenario, WorkloadSpec,
+};
+use bfgts_sim::TraceMode;
+use bfgts_workloads::{presets, AdversarialSpec};
+
+fn fixture_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+}
+
+/// The pinned fixture set: stable name, scenario value, expected id.
+fn fixtures() -> Vec<(&'static str, Scenario, &'static str)> {
+    let serial = Scenario::new(
+        WorkloadSpec::from_benchmark(&presets::delaunay()),
+        ManagerSpec::Serial,
+        Platform::paper(),
+    );
+
+    let mut tuned = Scenario::new(
+        WorkloadSpec::from_benchmark(&presets::vacation()),
+        ManagerSpec::Bfgts(
+            BfgtsTunables::new(BfgtsVariant::Hw)
+                .bloom_bits(1024)
+                .small_tx_interval(10),
+        ),
+        Platform::small(),
+    );
+    tuned.faults = Some(FaultPlan::new(7).fault(Fault::BloomCorrupt {
+        rate_pct: 25,
+        bits: 8,
+    }));
+    tuned.trace = TraceMode::Ring(4096);
+
+    let mut stm = Scenario::new(
+        WorkloadSpec::from_adversarial(&AdversarialSpec::hotspot_skew()),
+        ManagerSpec::Kind {
+            kind: ManagerKind::Ats,
+            bloom_bits: None,
+        },
+        Platform::paper(),
+    );
+    stm.costs = CostKind::Stm;
+
+    vec![
+        (
+            "serial_delaunay_paper",
+            serial,
+            "5be73d812d28941e7d39b45d0f02c819",
+        ),
+        (
+            "bfgts_hw_tuned_faulted_vacation",
+            tuned,
+            "aa9bd642f44321ac37702af902867d7f",
+        ),
+        (
+            "ats_stm_hotspot_skew",
+            stm,
+            "3f3fb01342cd9b334b7b2fa0c8213016",
+        ),
+    ]
+}
+
+fn canonical_text(scenario: &Scenario) -> String {
+    scenario.clone().canonical().to_json().to_string() + "\n"
+}
+
+#[test]
+fn golden_fixtures_are_byte_stable() {
+    let dir = fixture_dir();
+    // detlint: allow(D005) -- test-only bless switch; never read by a simulation
+    let bless = std::env::var_os("BLESS_SCENARIOS").is_some();
+    if bless {
+        std::fs::create_dir_all(&dir).unwrap();
+    }
+    for (name, scenario, golden_id) in fixtures() {
+        let path = dir.join(format!("{name}.scenario.json"));
+        let text = canonical_text(&scenario);
+        if bless {
+            std::fs::write(&path, &text).unwrap();
+            println!("blessed {name}: id {}", scenario.id());
+            continue;
+        }
+        let fixture = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+        assert_eq!(
+            fixture, text,
+            "{name}: canonical JSON drifted from the checked-in fixture \
+             (intentional? bump SCENARIO_VERSION and re-bless with BLESS_SCENARIOS=1)"
+        );
+        assert_eq!(
+            scenario.id(),
+            golden_id,
+            "{name}: content hash drifted — every cache entry, repro and \
+             trace header keyed on it is invalidated"
+        );
+    }
+}
+
+#[test]
+fn golden_fixtures_parse_back_to_the_same_scenario() {
+    for (name, scenario, _) in fixtures() {
+        let path = fixture_dir().join(format!("{name}.scenario.json"));
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            // The byte-stability test reports missing fixtures.
+            continue;
+        };
+        let parsed = Scenario::from_json(&bfgts_scenario::json::Json::parse(&text).unwrap())
+            .unwrap_or_else(|e| panic!("{name}: fixture does not parse: {e}"));
+        assert_eq!(parsed, scenario.clone().canonical(), "{name}");
+        assert_eq!(parsed.id(), scenario.id(), "{name}");
+    }
+}
+
+#[test]
+fn golden_ids_are_pairwise_distinct() {
+    let ids: Vec<String> = fixtures().iter().map(|(_, s, _)| s.id()).collect();
+    for (i, a) in ids.iter().enumerate() {
+        for b in &ids[i + 1..] {
+            assert_ne!(a, b);
+        }
+    }
+}

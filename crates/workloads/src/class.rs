@@ -53,7 +53,7 @@ pub enum RandomRegion {
 ///    the pool is small enough to repeat);
 /// 3. `random_picks` draws from the large random region — *transient*
 ///    conflicts.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TxClass {
     /// Static transaction id this class generates.
     pub stx: u32,
