@@ -149,10 +149,7 @@ fn main() -> ExitCode {
     };
     // Wall-clock is reported only in the --bench-json artifact, never on
     // stdout: the printed table must stay byte-identical across runs.
-    // detlint: allow(D002) -- benchmark wall-clock measurement, not simulation state
-    let started = std::time::Instant::now();
-    let results = run_grid(&cells, &opts);
-    let wall_ms = started.elapsed().as_millis() as u64;
+    let (results, wall_ms) = bfgts_bench::timed_ms(|| run_grid(&cells, &opts));
 
     println!(
         "{:<12} {:<18} {:<14} {:>12} {:>10} {:>8} {:>8}",

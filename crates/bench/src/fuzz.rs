@@ -168,6 +168,7 @@ pub fn scenario_for(cfg: &CellConfig, workload: &AdversarialSpec, plan: &FaultPl
             cpus: cfg.num_cpus,
             threads: cfg.num_threads,
             seed: cfg.run_seed,
+            shards: 1,
         },
     );
     scenario.faults = Some(plan.clone());

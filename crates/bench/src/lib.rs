@@ -68,6 +68,18 @@ pub fn serial_baseline(spec: &BenchmarkSpec, seed: u64) -> u64 {
     report.sim.makespan.as_u64()
 }
 
+/// Runs `f` and returns its result plus the elapsed wall-clock in
+/// milliseconds. The one sanctioned wall-clock read in this crate,
+/// shared by every benchmark binary (`bfgts_run --bench-json`,
+/// `bench_scale`, `bench_jobs`): wall time goes only into benchmark
+/// artifacts, never into printed result tables or simulation state.
+pub fn timed_ms<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    // detlint: allow(D002) -- benchmark wall-clock measurement, not simulation state
+    let started = std::time::Instant::now();
+    let out = f();
+    (out, started.elapsed().as_millis() as u64)
+}
+
 /// Speedup of a parallel run over the serial baseline.
 pub fn speedup(parallel: &TmRunReport, serial_makespan: u64) -> f64 {
     let span = parallel.sim.makespan.as_u64();

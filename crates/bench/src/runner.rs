@@ -210,6 +210,7 @@ impl RunCell {
         let mut cfg = scenario
             .costs
             .run_config(scenario.platform.cpus, scenario.platform.threads, seed)
+            .shards(scenario.platform.shards)
             .trace(trace);
         if let Some(plan) = plan {
             let pct = plan.cost_percent();

@@ -27,7 +27,9 @@ use bfgts_trace::{
 /// Version 2 added the fault-injection instants (`fault_bloom_corrupt`,
 /// `fault_conf_poison`, DESIGN.md §9); version 3 added the optional
 /// embedded scenario (`"scenario"`, DESIGN.md §10) so a trace file names
-/// the exact run that produced it.
+/// the exact run that produced it. Version 3 also carries the sharding
+/// instants (`shard_touch`, `cross_shard_commit`, DESIGN.md §11) — a
+/// purely additive extension, since unsharded traces never emit them.
 pub const TRACE_FORMAT_VERSION: u64 = 3;
 
 /// Serialises a recording plus its audit ground truth as JSONL.
@@ -63,13 +65,14 @@ pub fn to_jsonl_with_scenario(
     if let Some(scenario) = scenario {
         pairs.push(("scenario", scenario.to_json()));
     }
+    use std::fmt::Write as _;
     let header = Json::obj(pairs);
-    let mut out = String::with_capacity(64 + recording.events.len() * 96);
-    out.push_str(&header.to_string());
-    out.push('\n');
+    // Pre-size from the event count and stream every record straight
+    // into the one buffer — no per-record intermediate `String`.
+    let mut out = String::with_capacity(256 + recording.events.len() * 96);
+    let _ = writeln!(out, "{header}");
     for rec in &recording.events {
-        out.push_str(&rec_to_json(rec).to_string());
-        out.push('\n');
+        let _ = writeln!(out, "{}", rec_to_json(rec));
     }
     out
 }
@@ -301,6 +304,20 @@ fn rec_to_json(rec: &TraceRec) -> Json {
             ("raw_bits", Json::UInt(raw_bits)),
             ("clamped_bits", Json::UInt(clamped_bits)),
         ]),
+        TraceEvent::ShardTouch { thread, stx, shard } => {
+            pairs.extend([("thread", u(thread)), ("stx", u(stx)), ("shard", u(shard))]);
+        }
+        TraceEvent::CrossShardCommit {
+            thread,
+            stx,
+            shards,
+            cost,
+        } => pairs.extend([
+            ("thread", u(thread)),
+            ("stx", u(stx)),
+            ("shards", u(shards)),
+            ("cost", Json::UInt(cost)),
+        ]),
         TraceEvent::FaultBloomCorrupt { thread, stx, bits } => {
             pairs.extend([("thread", u(thread)), ("stx", u(stx)), ("bits", u(bits))]);
         }
@@ -403,6 +420,17 @@ fn rec_from_json(v: &Json) -> Option<TraceRec> {
             stx: u32f("stx")?,
             raw_bits: u64f("raw_bits")?,
             clamped_bits: u64f("clamped_bits")?,
+        },
+        "shard_touch" => TraceEvent::ShardTouch {
+            thread: u32f("thread")?,
+            stx: u32f("stx")?,
+            shard: u32f("shard")?,
+        },
+        "cross_shard_commit" => TraceEvent::CrossShardCommit {
+            thread: u32f("thread")?,
+            stx: u32f("stx")?,
+            shards: u32f("shards")?,
+            cost: u64f("cost")?,
         },
         "fault_bloom_corrupt" => TraceEvent::FaultBloomCorrupt {
             thread: u32f("thread")?,
@@ -635,6 +663,28 @@ pub fn to_chrome(recording: &TraceRecording, inputs: &AuditInputs) -> String {
                 format!("bloom_sample stx{stx}"),
                 Json::obj([("raw", float(raw_bits)), ("clamped", float(clamped_bits))]),
             ),
+            TraceEvent::ShardTouch { thread, stx, shard } => instant(
+                PID_THREADS,
+                u64::from(thread),
+                at,
+                format!("shard_touch stx{stx}"),
+                Json::obj([("shard", Json::UInt(u64::from(shard)))]),
+            ),
+            TraceEvent::CrossShardCommit {
+                thread,
+                stx,
+                shards,
+                cost,
+            } => instant(
+                PID_THREADS,
+                u64::from(thread),
+                at,
+                format!("cross_shard_commit stx{stx}"),
+                Json::obj([
+                    ("shards", Json::UInt(u64::from(shards))),
+                    ("cost", Json::UInt(cost)),
+                ]),
+            ),
             TraceEvent::FaultBloomCorrupt { thread, stx, bits } => instant(
                 PID_THREADS,
                 u64::from(thread),
@@ -753,6 +803,17 @@ mod tests {
                 raw_bits: (-0.3f64).to_bits(),
                 clamped_bits: 0.0f64.to_bits(),
             },
+            TraceEvent::ShardTouch {
+                thread: 1,
+                stx: 2,
+                shard: 5,
+            },
+            TraceEvent::CrossShardCommit {
+                thread: 1,
+                stx: 2,
+                shards: 2,
+                cost: 120,
+            },
             TraceEvent::FaultBloomCorrupt {
                 thread: 1,
                 stx: 2,
@@ -799,7 +860,7 @@ mod tests {
         let text = to_jsonl(&recording, &inputs);
         assert!(parse_jsonl("").is_err());
         assert!(parse_jsonl("{\"seq\":0}").is_err(), "missing header");
-        let bad_count = text.replace("\"events\":14", "\"events\":15");
+        let bad_count = text.replace("\"events\":16", "\"events\":17");
         assert!(parse_jsonl(&bad_count).is_err(), "event count mismatch");
         let bad_version = text.replace("\"version\":3", "\"version\":99");
         assert!(parse_jsonl(&bad_version).is_err(), "future version");

@@ -49,6 +49,15 @@ pub struct BfgtsCm {
     confidence: ConfidenceTable,
     stats: TxStatsTable,
     signatures: BTreeMap<u64, Sig>,
+    /// Per-shard signature tables (DESIGN.md §11): table `s` maps a
+    /// dTxID to the signature of the lines its last stored commit
+    /// touched *in shard `s`*. Empty on single-shard platforms, where
+    /// the monolithic `signatures` table serves every check; populated
+    /// lazily to the machine's shard count otherwise. The
+    /// `checkWasSerialized` intersection then consults only the shards
+    /// both transactions touched, so a partitioned machine never ships
+    /// whole filters across shards.
+    shard_sigs: Vec<BTreeMap<u64, Sig>>,
     predictors: Vec<HwPredictor>,
     pressure: Vec<f64>,
     faults: Option<FaultState>,
@@ -77,6 +86,7 @@ impl BfgtsCm {
             confidence,
             stats,
             signatures: BTreeMap::new(),
+            shard_sigs: Vec::new(),
             predictors: Vec::new(),
             pressure: Vec::new(),
             faults: None,
@@ -147,6 +157,34 @@ impl BfgtsCm {
     /// Builds this dTxID's signature from a committed read/write set.
     fn build_sig(&self, rw_set: &[bfgts_htm::LineAddr]) -> Sig {
         Sig::from_set(self.cfg.signature, self.cfg.bloom_hashes, rw_set)
+    }
+
+    /// Partitions `rw_set` by conflict-detection shard and builds one
+    /// signature per non-empty shard, in ascending shard order.
+    fn build_shard_sigs(&self, tm: &TmState, rw_set: &[bfgts_htm::LineAddr]) -> Vec<(u32, Sig)> {
+        let mut parts: BTreeMap<u32, Vec<bfgts_htm::LineAddr>> = BTreeMap::new();
+        for &addr in rw_set {
+            parts.entry(tm.shard_of(addr)).or_default().push(addr);
+        }
+        parts
+            .into_iter()
+            .map(|(shard, lines)| (shard, self.build_sig(&lines)))
+            .collect()
+    }
+
+    /// Replaces `dtx`'s entries in the per-shard signature tables with
+    /// fresh per-shard signatures of `rw_set` (sharded platforms only).
+    fn store_shard_sigs(&mut self, tm: &TmState, key: u64, rw_set: &[bfgts_htm::LineAddr]) {
+        let shards = tm.num_shards() as usize;
+        if self.shard_sigs.len() < shards {
+            self.shard_sigs.resize_with(shards, BTreeMap::new);
+        }
+        for table in &mut self.shard_sigs {
+            table.remove(&key);
+        }
+        for (shard, sig) in self.build_shard_sigs(tm, rw_set) {
+            self.shard_sigs[shard as usize].insert(key, sig);
+        }
     }
 
     fn is_free(&self) -> bool {
@@ -287,7 +325,7 @@ impl ContentionManager for BfgtsCm {
     fn on_commit(
         &mut self,
         rec: &CommitRecord<'_>,
-        _tm: &TmState,
+        tm: &TmState,
         costs: &CostModel,
         _rng: &mut SimRng,
         trace: &mut TraceSink,
@@ -396,21 +434,46 @@ impl ContentionManager for BfgtsCm {
 
         // checkWasSerialized: was the wait justified?
         if let Some(target) = waiting_on {
-            let my_sig = match &new_sig {
-                Some(s) => Some(s.clone()),
-                None => {
-                    // Need a signature for the intersection even if the
-                    // similarity update was batched away.
+            let verdict: Option<bool> = if tm.num_shards() > 1 {
+                // Sharded check: intersect only the shards both
+                // transactions touched, one per-shard filter at a time —
+                // whole signatures never cross a shard boundary.
+                if new_sig.is_none() {
                     cost += self.priced(2 * 32);
-                    Some(self.build_sig(rec.rw_set))
+                }
+                let mut verdict = None;
+                for (shard, mine) in &self.build_shard_sigs(tm, rec.rw_set) {
+                    let Some(theirs) = self
+                        .shard_sigs
+                        .get(*shard as usize)
+                        .and_then(|table| table.get(&target.pack()))
+                    else {
+                        continue;
+                    };
+                    cost += self.priced(costs.bloom_intersect(mine.word_count()));
+                    verdict = Some(verdict.unwrap_or(false) || mine.intersects(theirs));
+                }
+                verdict
+            } else {
+                let my_sig = match &new_sig {
+                    Some(s) => Some(s.clone()),
+                    None => {
+                        // Need a signature for the intersection even if
+                        // the similarity update was batched away.
+                        cost += self.priced(2 * 32);
+                        Some(self.build_sig(rec.rw_set))
+                    }
+                };
+                match (my_sig.as_ref(), self.signatures.get(&target.pack())) {
+                    (Some(mine), Some(theirs)) => {
+                        cost += self.priced(costs.bloom_intersect(mine.word_count()));
+                        Some(mine.intersects(theirs))
+                    }
+                    _ => None,
                 }
             };
-            if let (Some(mine), Some(theirs)) =
-                (my_sig.as_ref(), self.signatures.get(&target.pack()))
-            {
-                cost += self.priced(costs.bloom_intersect(mine.word_count()));
+            if let Some(justified) = verdict {
                 let (sim, sim_a, sim_b) = self.paired_sim_parts(rec.dtx, target);
-                let justified = mine.intersects(theirs);
                 let (kind, param, applied) = if justified {
                     (
                         ConfKind::WaitJustified,
@@ -438,6 +501,9 @@ impl ContentionManager for BfgtsCm {
         }
 
         if let Some(sig) = new_sig {
+            if tm.num_shards() > 1 {
+                self.store_shard_sigs(tm, rec.dtx.pack(), rec.rw_set);
+            }
             self.signatures.insert(rec.dtx.pack(), sig);
         }
 
@@ -889,6 +955,49 @@ mod tests {
             &mut TraceSink::disabled(),
         );
         assert!(cm.confidence().get(STxId(0), STxId(1)) < strengthened);
+    }
+
+    #[test]
+    fn sharded_wait_check_consults_only_cotouched_shards() {
+        let (mut tm, costs, mut rng) = env();
+        tm.configure_shards(2);
+        let mut cm = BfgtsCm::new(BfgtsConfig::no_overhead());
+        // Enemy's last commit lives entirely in shard 0 (block 0).
+        let enemy_rw = lines(0..30);
+        cm.on_commit(
+            &commit_rec(dtx(1, 1), &enemy_rw),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
+
+        // We waited, but commit only shard-1 lines (block 1): no
+        // co-touched shard, so checkWasSerialized has nothing to
+        // intersect and the confidence entry stays untouched.
+        cm.stats.entry(dtx(0, 0)).waiting_on = Some(dtx(1, 1));
+        let my_rw = lines(64..94);
+        cm.on_commit(
+            &commit_rec(dtx(0, 0), &my_rw),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
+        assert_eq!(cm.confidence().get(STxId(0), STxId(1)), 0.0);
+
+        // We waited and overlap the enemy inside shard 0: justified,
+        // confidence strengthens.
+        cm.stats.entry(dtx(0, 0)).waiting_on = Some(dtx(1, 1));
+        let my_rw = lines(20..50);
+        cm.on_commit(
+            &commit_rec(dtx(0, 0), &my_rw),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
+        assert!(cm.confidence().get(STxId(0), STxId(1)) > 0.0);
     }
 
     #[test]

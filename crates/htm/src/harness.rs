@@ -6,7 +6,7 @@ use crate::state::TmWorld;
 use crate::stats::TmStats;
 use crate::thread::{TxThreadConfig, TxThreadLogic};
 use crate::txn::TxSource;
-use bfgts_sim::{CostModel, Engine, EngineConfig, RunReport, TraceMode};
+use bfgts_sim::{CostModel, Engine, EngineConfig, EventQueueKind, RunReport, TraceMode};
 
 /// Default master seed of a run when none is given — the single source
 /// of truth shared by [`TmRunConfig::new`] and every layer above that
@@ -46,6 +46,16 @@ pub struct TmRunConfig {
     /// Event-trace recording mode ([`TraceMode::Off`] by default; the
     /// accounting audit needs [`TraceMode::Full`]).
     pub trace: TraceMode,
+    /// Engine pending-event structure. Results are byte-identical for
+    /// every kind (a pure wall-clock knob, measured by `bench_scale`),
+    /// so it is not part of any scenario's identity.
+    pub queue: EventQueueKind,
+    /// Conflict-detection shards the address space is partitioned into
+    /// (DESIGN.md §11). 1 (the default) is the classic monolithic table;
+    /// with more, cross-shard commits pay
+    /// `cross_shard_hop · (shards_touched − 1)` extra cycles and the
+    /// trace carries `ShardTouch`/`CrossShardCommit` events.
+    pub shards: u32,
 }
 
 impl TmRunConfig {
@@ -61,6 +71,8 @@ impl TmRunConfig {
             max_cycles: 50_000_000_000,
             record_history: false,
             trace: TraceMode::Off,
+            queue: EventQueueKind::default(),
+            shards: 1,
         }
     }
 
@@ -94,6 +106,18 @@ impl TmRunConfig {
     /// Replaces the trace mode.
     pub fn trace(mut self, trace: TraceMode) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Replaces the engine's pending-event structure.
+    pub fn queue(mut self, queue: EventQueueKind) -> Self {
+        self.queue = queue;
+        self
+    }
+
+    /// Replaces the conflict-detection shard count (0 is clamped to 1).
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
         self
     }
 
@@ -189,13 +213,15 @@ where
     );
     let cm_name = cm.name();
     let mut world = TmWorld::new(cfg.num_cpus, cfg.num_threads, cm);
+    world.tm.configure_shards(cfg.shards);
     if cfg.record_history {
         world.tm.enable_history();
     }
     let mut engine_cfg = EngineConfig::with_cpus(cfg.num_cpus)
         .costs(cfg.costs.clone())
         .seed(cfg.seed)
-        .trace(cfg.trace);
+        .trace(cfg.trace)
+        .queue(cfg.queue);
     engine_cfg.max_cycles = cfg.max_cycles;
     let mut engine = Engine::new(engine_cfg, world);
     for source in sources {
@@ -298,6 +324,48 @@ mod tests {
             summary.charged.iter().sum::<u64>(),
             report.sim.total().total_cycles()
         );
+    }
+
+    #[test]
+    fn sharded_contentious_run_pays_and_audits_cross_shard_charges() {
+        // Scripts straddle the 64-line shard blocks (lines 60..70 touch
+        // shards 0 and 1 of a 4-shard platform), so cross-shard commits
+        // must appear, pay their hop charge, and reconcile under I8.
+        let cfg = TmRunConfig::new(2, 4)
+            .seed(0xA0D17)
+            .shards(4)
+            .trace(TraceMode::Full);
+        let scripts: Vec<_> = (0..4u32)
+            .map(|t| {
+                ScriptSource::new(vec![
+                    TxInstance::writer_over(STxId(t % 2), 60..70, 40),
+                    TxInstance::writer_over(STxId(2), 120..132, 10),
+                ])
+            })
+            .collect();
+        let report = run_workload(&cfg, scripts, Box::new(NullCm));
+        let summary = report.audit_or_panic();
+        assert!(summary.cross_shard_commits > 0, "straddling txs must pay");
+        assert!(summary.shard_touches >= 2 * summary.cross_shard_commits);
+        // Identical run on one shard: same commits, strictly cheaper —
+        // the hop charge is the only behavioural delta.
+        let base = run_workload(
+            &TmRunConfig::new(2, 4).seed(0xA0D17).trace(TraceMode::Full),
+            (0..4u32)
+                .map(|t| {
+                    ScriptSource::new(vec![
+                        TxInstance::writer_over(STxId(t % 2), 60..70, 40),
+                        TxInstance::writer_over(STxId(2), 120..132, 10),
+                    ])
+                })
+                .collect(),
+            Box::new(NullCm),
+        );
+        let base_summary = base.audit_or_panic();
+        assert_eq!(base_summary.cross_shard_commits, 0);
+        assert_eq!(base_summary.shard_touches, 0);
+        assert_eq!(base.stats.commits(), report.stats.commits());
+        assert!(report.sim.makespan >= base.sim.makespan);
     }
 
     #[test]

@@ -48,6 +48,9 @@ struct ActiveTx {
     // not depend on hash randomisation (determinism policy, D001).
     read_set: BTreeSet<u64>,
     write_set: BTreeSet<u64>,
+    /// Conflict-detection shards this attempt has touched (empty on a
+    /// single-shard platform, where tracking is skipped entirely).
+    shards_touched: BTreeSet<u32>,
 }
 
 /// Exact ("perfect signature") transactional memory state: line ownership,
@@ -65,7 +68,16 @@ pub struct TmState {
     waiting_on: Vec<Option<ThreadId>>,
     stats: TmStats,
     history: Option<History>,
+    /// Conflict-detection shards the address space is partitioned into
+    /// (1 = the classic monolithic table; sharding is disabled).
+    shards: u32,
 }
+
+/// Cache lines per shard-interleaving block: addresses are mapped to
+/// shards in contiguous 64-line (4 kB) blocks, so a transaction walking
+/// one page stays on one shard while the address space as a whole
+/// round-robins across all of them.
+pub const SHARD_BLOCK_LINES: u64 = 64;
 
 impl TmState {
     /// Creates state for `num_cpus` CPUs and `num_threads` threads.
@@ -77,7 +89,55 @@ impl TmState {
             waiting_on: vec![None; num_threads],
             stats: TmStats::new(),
             history: None,
+            shards: 1,
         }
+    }
+
+    /// Partitions conflict detection into `shards` address-space shards
+    /// (ISSUE 6 / DESIGN.md §11). `shards` of 0 is clamped to 1. With a
+    /// single shard (the default) nothing changes: no per-attempt shard
+    /// tracking, no cross-shard charges, byte-identical behaviour to the
+    /// monolithic table.
+    pub fn configure_shards(&mut self, shards: u32) {
+        self.shards = shards.max(1);
+    }
+
+    /// Number of conflict-detection shards (1 = sharding disabled).
+    pub fn num_shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The shard owning `addr`: block-interleaved,
+    /// `(addr / SHARD_BLOCK_LINES) mod shards`.
+    pub fn shard_of(&self, addr: LineAddr) -> u32 {
+        ((addr.get() / SHARD_BLOCK_LINES) % u64::from(self.shards)) as u32
+    }
+
+    /// Records that `thread`'s active transaction touched `addr`'s shard.
+    /// Returns `Some(shard)` if this is the attempt's first touch of that
+    /// shard (the caller emits a `ShardTouch` event), `None` on repeat
+    /// touches or when the platform has a single shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread has no active transaction.
+    pub fn note_shard_touch(&mut self, thread: ThreadId, addr: LineAddr) -> Option<u32> {
+        if self.shards <= 1 {
+            return None;
+        }
+        let shard = self.shard_of(addr);
+        let tx = self.active[thread.index()]
+            .as_mut()
+            .expect("shard touch outside transaction");
+        tx.shards_touched.insert(shard).then_some(shard)
+    }
+
+    /// Distinct shards `thread`'s active transaction has touched (0 when
+    /// no transaction is active or the platform has a single shard).
+    pub fn active_shard_count(&self, thread: ThreadId) -> u32 {
+        self.active[thread.index()]
+            .as_ref()
+            .map_or(0, |tx| tx.shards_touched.len() as u32)
     }
 
     /// Enables execution-history recording (see [`crate::History`]).
@@ -157,6 +217,7 @@ impl TmState {
             attempt,
             read_set: BTreeSet::new(),
             write_set: BTreeSet::new(),
+            shards_touched: BTreeSet::new(),
         });
         self.cpu_table[cpu] = Some(dtx);
     }
@@ -515,6 +576,46 @@ mod tests {
     fn self_wait_is_deadlock() {
         let tm = state();
         assert!(tm.would_deadlock(ThreadId(0), ThreadId(0)));
+    }
+
+    #[test]
+    fn shard_mapping_is_block_interleaved() {
+        let mut tm = state();
+        tm.configure_shards(4);
+        assert_eq!(tm.num_shards(), 4);
+        // One block stays on one shard; consecutive blocks round-robin.
+        assert_eq!(tm.shard_of(LineAddr(0)), 0);
+        assert_eq!(tm.shard_of(LineAddr(SHARD_BLOCK_LINES - 1)), 0);
+        assert_eq!(tm.shard_of(LineAddr(SHARD_BLOCK_LINES)), 1);
+        assert_eq!(tm.shard_of(LineAddr(4 * SHARD_BLOCK_LINES)), 0);
+    }
+
+    #[test]
+    fn shard_touches_dedup_per_attempt_and_reset_on_abort() {
+        let mut tm = state();
+        tm.configure_shards(2);
+        tm.begin_tx(ThreadId(0), 0, dtx(0, 0), Cycle::ZERO);
+        assert_eq!(tm.note_shard_touch(ThreadId(0), LineAddr(0)), Some(0));
+        assert_eq!(tm.note_shard_touch(ThreadId(0), LineAddr(1)), None);
+        assert_eq!(
+            tm.note_shard_touch(ThreadId(0), LineAddr(SHARD_BLOCK_LINES)),
+            Some(1)
+        );
+        assert_eq!(tm.active_shard_count(ThreadId(0)), 2);
+        tm.abort_tx(ThreadId(0));
+        assert_eq!(tm.active_shard_count(ThreadId(0)), 0);
+        // A retry starts from an empty touch set.
+        tm.begin_tx(ThreadId(0), 0, dtx(0, 0), Cycle::ZERO);
+        assert_eq!(tm.note_shard_touch(ThreadId(0), LineAddr(0)), Some(0));
+    }
+
+    #[test]
+    fn single_shard_platform_tracks_nothing() {
+        let mut tm = state();
+        tm.begin_tx(ThreadId(0), 0, dtx(0, 0), Cycle::ZERO);
+        assert_eq!(tm.note_shard_touch(ThreadId(0), LineAddr(0)), None);
+        assert_eq!(tm.active_shard_count(ThreadId(0)), 0);
+        assert_eq!(tm.num_shards(), 1);
     }
 
     #[test]

@@ -306,6 +306,16 @@ impl<S: TxSource> TxThreadLogic<S> {
                 match result {
                     AccessResult::Granted => {
                         self.in_stall_episode = false;
+                        // Sharded platforms: record the first touch of
+                        // each conflict-detection shard (no-op, and no
+                        // event, when `shards == 1`).
+                        if let Some(shard) = world.tm.note_shard_touch(ctx.thread, access.addr) {
+                            ctx.trace.emit(ctx.now.as_u64(), || TraceEvent::ShardTouch {
+                                thread: ctx.thread.index() as u32,
+                                stx: my_stx.0,
+                                shard,
+                            });
+                        }
                         self.tx_work += self.cfg.access_cost;
                         self.phase = Phase::InTx { next: next + 1 };
                         Some(Action::work(self.cfg.access_cost, Bucket::Tx))
@@ -438,8 +448,27 @@ impl<S: TxSource> TxThreadLogic<S> {
                 Some(Action::work(chunk, Bucket::Abort))
             }
             Phase::CommitHtm => {
+                let touched = world.tm.active_shard_count(ctx.thread);
                 let (dtx, rw) = world.tm.commit_tx(ctx.thread);
                 let retries = self.retries;
+                let mut commit_cost = ctx.costs().tx_commit;
+                if touched >= 2 {
+                    // Cross-shard commit coordination: one directory hop
+                    // per remote shard, folded into this commit's
+                    // Tx-bucket charge so the accounting invariants hold
+                    // unchanged. Emitted before TxCommit, while the
+                    // attempt is still open, so the audit (I8) can match
+                    // it against the attempt's ShardTouch set.
+                    let extra = ctx.costs().cross_shard_hop * u64::from(touched - 1);
+                    commit_cost += extra;
+                    ctx.trace
+                        .emit(ctx.now.as_u64(), || TraceEvent::CrossShardCommit {
+                            thread: ctx.thread.index() as u32,
+                            stx: dtx.stx.0,
+                            shards: touched,
+                            cost: extra,
+                        });
+                }
                 ctx.trace.emit(ctx.now.as_u64(), || TraceEvent::TxCommit {
                     thread: ctx.thread.index() as u32,
                     stx: dtx.stx.0,
@@ -449,7 +478,7 @@ impl<S: TxSource> TxThreadLogic<S> {
                 self.commit_rw = rw;
                 self.commit_dtx = Some(dtx);
                 self.phase = Phase::CommitCm;
-                Some(Action::work(ctx.costs().tx_commit, Bucket::Tx))
+                Some(Action::work(commit_cost, Bucket::Tx))
             }
             Phase::CommitCm => {
                 let rec = CommitRecord {

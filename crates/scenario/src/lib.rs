@@ -71,6 +71,11 @@ pub struct Platform {
     pub threads: usize,
     /// Master seed.
     pub seed: u64,
+    /// Conflict-detection shards (DESIGN.md §11). 1 — the default, and
+    /// the only value any pre-sharding scenario ever had — is the
+    /// classic monolithic table. Serialised only when ≠ 1, so every
+    /// historical scenario id is unchanged.
+    pub shards: u32,
 }
 
 impl Platform {
@@ -80,6 +85,7 @@ impl Platform {
             cpus: bfgts_htm::PAPER_CPUS,
             threads: bfgts_htm::PAPER_THREADS,
             seed: EXPERIMENT_SEED,
+            shards: 1,
         }
     }
 
@@ -89,15 +95,26 @@ impl Platform {
             cpus: bfgts_htm::SMALL_CPUS,
             threads: bfgts_htm::SMALL_THREADS,
             seed: EXPERIMENT_SEED,
+            shards: 1,
         }
     }
 
+    /// Replaces the conflict-detection shard count (0 is clamped to 1).
+    pub fn sharded(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
     fn to_json(self) -> Json {
-        Json::obj([
+        let mut pairs = vec![
             ("cpus", Json::UInt(self.cpus as u64)),
             ("seed", Json::UInt(self.seed)),
             ("threads", Json::UInt(self.threads as u64)),
-        ])
+        ];
+        if self.shards != 1 {
+            pairs.push(("shards", Json::UInt(u64::from(self.shards))));
+        }
+        Json::obj(pairs)
     }
 
     fn from_json(value: &Json) -> Result<Self, String> {
@@ -112,10 +129,19 @@ impl Platform {
         if cpus == 0 || threads == 0 {
             return Err("platform needs at least one cpu and one thread".into());
         }
+        let shards = match value.get("shards") {
+            None => 1,
+            Some(v) => v
+                .as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .filter(|&n| n >= 1)
+                .ok_or("platform field 'shards' must be an integer ≥ 1 fitting u32")?,
+        };
         Ok(Self {
             cpus,
             threads,
             seed: uint("seed")?,
+            shards,
         })
     }
 }
@@ -1087,7 +1113,8 @@ impl Scenario {
     }
 
     /// The canonical form equal runs map to: serial baselines pin the
-    /// 1×1 platform shape and drop fault plans (they always run clean),
+    /// 1×1 unsharded platform shape and drop fault plans (they always
+    /// run clean),
     /// empty fault plans normalise to none, Bloom geometry is dropped
     /// from managers that never consult it, and BFGTS tunables round-trip
     /// through the full configuration (so e.g. an explicit Bloom size on
@@ -1105,6 +1132,9 @@ impl Scenario {
         if matches!(self.manager, ManagerSpec::Serial) {
             self.platform.cpus = 1;
             self.platform.threads = 1;
+            // A serial execution has no conflict detection to shard, so
+            // the shard count cannot change its outcome.
+            self.platform.shards = 1;
             self.faults = None;
         }
         if self.faults.as_ref().is_some_and(FaultPlan::is_empty) {
@@ -1372,6 +1402,9 @@ mod tests {
         variants.push(v);
         let mut v = base.clone();
         v.trace = TraceMode::Full;
+        variants.push(v);
+        let mut v = base.clone();
+        v.platform = v.platform.sharded(4);
         variants.push(v);
         let ids: std::collections::BTreeSet<String> = variants.iter().map(Scenario::id).collect();
         assert_eq!(ids.len(), variants.len(), "colliding ids");

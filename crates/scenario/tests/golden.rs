@@ -126,6 +126,41 @@ fn golden_fixtures_parse_back_to_the_same_scenario() {
 }
 
 #[test]
+fn default_shards_are_schema_invisible() {
+    // The `shards` platform field (DESIGN.md §11) evolved the schema.
+    // The default — one monolithic shard — must serialise away entirely,
+    // so every pre-sharding artifact keyed on a scenario id stays valid.
+    for (name, scenario, golden_id) in fixtures() {
+        assert_eq!(scenario.platform.shards, 1, "{name}");
+        assert!(
+            !canonical_text(&scenario).contains("shards"),
+            "{name}: default shard count must not appear in canonical JSON"
+        );
+        assert_eq!(scenario.id(), golden_id, "{name}");
+        // A shard-free document parses back to the default.
+        let parsed = Scenario::from_json(
+            &bfgts_scenario::json::Json::parse(&canonical_text(&scenario)).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(parsed.platform.shards, 1, "{name}");
+        // An explicitly sharded platform is a different run with a
+        // different id — except under Serial, where sharding is inert
+        // and canonicalisation normalises it away.
+        let mut sharded = scenario.clone();
+        sharded.platform = sharded.platform.sharded(8);
+        if matches!(scenario.manager, ManagerSpec::Serial) {
+            assert_eq!(sharded.id(), golden_id, "{name}");
+        } else {
+            assert_ne!(sharded.id(), golden_id, "{name}");
+            assert!(
+                canonical_text(&sharded).contains("\"shards\":8"),
+                "{name}: explicit shard count must serialise"
+            );
+        }
+    }
+}
+
+#[test]
 fn golden_ids_are_pairwise_distinct() {
     let ids: Vec<String> = fixtures().iter().map(|(_, s, _)| s.id()).collect();
     for (i, a) in ids.iter().enumerate() {

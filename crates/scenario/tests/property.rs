@@ -13,6 +13,9 @@ use bfgts_workloads::{presets, AdversarialSpec};
 fn random_platform(g: &mut Gen) -> Platform {
     let mut platform = *g.choose(&[Platform::paper(), Platform::small()]);
     platform.seed = g.u64();
+    if g.bool() {
+        platform = platform.sharded(g.u32_in(1, 16));
+    }
     platform
 }
 

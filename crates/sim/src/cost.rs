@@ -52,6 +52,13 @@ pub struct CostModel {
     pub futex_wake: u64,
     /// Preemption time quantum of the OS scheduler.
     pub quantum: u64,
+    /// Per-extra-shard commit coordination cost on a sharded platform:
+    /// a committing transaction that touched `s ≥ 2` conflict-detection
+    /// shards pays `cross_shard_hop · (s − 1)` extra commit cycles (one
+    /// directory hop per remote shard). Unused when the platform has a
+    /// single shard. Declared last so [`CostModel::perturbed`]'s draw
+    /// order for the pre-existing latencies is unchanged.
+    pub cross_shard_hop: u64,
 }
 
 impl Default for CostModel {
@@ -73,6 +80,7 @@ impl Default for CostModel {
             futex_block: 1500,
             futex_wake: 1200,
             quantum: 1_000_000,
+            cross_shard_hop: 120,
         }
     }
 }
@@ -158,6 +166,7 @@ impl CostModel {
             futex_block: jitter(self.futex_block),
             futex_wake: jitter(self.futex_wake),
             quantum: jitter(self.quantum),
+            cross_shard_hop: jitter(self.cross_shard_hop),
         }
     }
 }

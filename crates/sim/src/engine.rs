@@ -3,12 +3,12 @@
 
 use crate::accounting::{Bucket, TimeBuckets};
 use crate::cost::CostModel;
+use crate::equeue::{EventQueue, EventQueueKind};
 use crate::ids::{CpuId, ThreadId};
 use crate::rng::SimRng;
 use crate::time::Cycle;
 use bfgts_trace::{TraceEvent, TraceMode, TraceRecording, TraceSink};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 /// What a thread does next when the engine schedules it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -121,6 +121,10 @@ pub struct EngineConfig {
     /// Event recording mode (off by default; tracing-disabled runs pay
     /// one branch per would-be event).
     pub trace: TraceMode,
+    /// Pending-event structure. Results are byte-identical for every
+    /// kind, so this is a pure wall-clock knob and is deliberately not
+    /// part of any scenario's identity.
+    pub queue: EventQueueKind,
 }
 
 impl EngineConfig {
@@ -132,6 +136,7 @@ impl EngineConfig {
             seed: 0xBF67_5000,
             max_cycles: u64::MAX,
             trace: TraceMode::Off,
+            queue: EventQueueKind::default(),
         }
     }
 
@@ -150,6 +155,12 @@ impl EngineConfig {
     /// Replaces the trace mode.
     pub fn trace(mut self, trace: TraceMode) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Replaces the pending-event structure.
+    pub fn queue(mut self, queue: EventQueueKind) -> Self {
+        self.queue = queue;
         self
     }
 }
@@ -183,7 +194,9 @@ struct Cpu {
     /// (yield with an empty queue) skips the context-switch charge.
     last: Option<ThreadId>,
     ran_since_switch: u64,
-    /// True when a pickup/step event for this CPU is already in the heap.
+    /// True when a pickup/step event for this CPU is already in the
+    /// event queue — the per-CPU armed-event index that keeps the queue
+    /// at one pending event per CPU, maximum.
     armed: bool,
 }
 
@@ -236,7 +249,7 @@ pub struct Engine<W> {
     world: W,
     threads: Vec<ThreadSlot<W>>,
     cpus: Vec<Cpu>,
-    heap: BinaryHeap<Reverse<(Cycle, u64, usize)>>,
+    queue: EventQueue,
     seq: u64,
     now: Cycle,
     finished: usize,
@@ -253,12 +266,13 @@ impl<W> Engine<W> {
         assert!(config.num_cpus > 0, "engine needs at least one CPU");
         let cpus = (0..config.num_cpus).map(|_| Cpu::default()).collect();
         let trace = TraceSink::new(config.trace);
+        let queue = EventQueue::new(config.queue);
         Self {
             config,
             world,
             threads: Vec::new(),
             cpus,
-            heap: BinaryHeap::new(),
+            queue,
             seq: 0,
             now: Cycle::ZERO,
             finished: 0,
@@ -327,7 +341,7 @@ impl<W> Engine<W> {
         for cpu in 0..self.cpus.len() {
             self.arm(CpuId(cpu), Cycle::ZERO);
         }
-        while let Some(Reverse((time, _, cpu_idx))) = self.heap.pop() {
+        while let Some((time, _, cpu_idx)) = self.queue.pop() {
             debug_assert!(time >= self.now, "event time went backwards");
             self.now = time;
             assert!(
@@ -371,7 +385,7 @@ impl<W> Engine<W> {
         if !slot.armed {
             slot.armed = true;
             self.seq += 1;
-            self.heap.push(Reverse((time, self.seq, cpu.index())));
+            self.queue.push(time, self.seq, cpu.index());
         }
     }
 

@@ -51,6 +51,7 @@
 pub mod accounting;
 pub mod cost;
 mod engine;
+pub mod equeue;
 pub mod ids;
 pub mod rng;
 pub mod time;
@@ -58,6 +59,7 @@ pub mod time;
 pub use accounting::{Bucket, TimeBuckets};
 pub use cost::CostModel;
 pub use engine::{Action, Engine, EngineConfig, RunReport, ThreadCtx, ThreadLogic};
+pub use equeue::EventQueueKind;
 pub use ids::{CpuId, ThreadId};
 pub use rng::SimRng;
 pub use time::Cycle;

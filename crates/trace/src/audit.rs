@@ -29,6 +29,12 @@
 //! * **I7 — makespan closure.** No charge extends past the makespan, so
 //!   with I2, every CPU's busy + idle time equals the makespan and the
 //!   grand total equals `makespan × num_cpus`.
+//! * **I8 — cross-shard charges are earned.** Every
+//!   [`TraceEvent::CrossShardCommit`] names at least 2 shards, and its
+//!   count equals the number of distinct shards the open attempt named
+//!   via [`TraceEvent::ShardTouch`] events (each emitted at most once
+//!   per shard per attempt). Conversely, an attempt that touched ≥ 2
+//!   shards must not commit without its cross-shard charge.
 //!
 //! (I4 is the sequence-number density check folded into the drop
 //! detection: the audit requires a [`TraceMode::Full`] recording.)
@@ -103,14 +109,22 @@ pub struct AuditSummary {
     pub bloom_samples: u64,
     /// Injected faults seen (`FaultBloomCorrupt` + `FaultConfPoison`).
     pub faults: u64,
+    /// First-touch shard events verified (sharded platforms only).
+    pub shard_touches: u64,
+    /// Cross-shard commit charges verified against I8.
+    pub cross_shard_commits: u64,
 }
 
-/// Per-thread lifecycle state for I3.
-#[derive(Debug, Clone, Copy)]
+/// Per-thread lifecycle state for I3/I8.
+#[derive(Debug, Clone)]
 struct OpenTx {
     stx: u32,
     begin_seq: u64,
     conflict_seen: bool,
+    /// Distinct shards this attempt named via `ShardTouch`.
+    shards_touched: std::collections::BTreeSet<u32>,
+    /// `true` once the attempt's `CrossShardCommit` was seen.
+    cross_shard_seen: bool,
 }
 
 /// Replays `recording` and checks invariants I1–I7 against `inputs`.
@@ -239,7 +253,7 @@ pub fn audit(
             TraceEvent::ContextSwitch { .. } => summary.context_switches += 1,
             TraceEvent::TxBegin { thread, stx, .. } => {
                 if let Some(t) = tid(thread, &mut v) {
-                    if let Some(cur) = open[t] {
+                    if let Some(cur) = &open[t] {
                         v.push(bad(format!(
                             "thread {thread} begins stx {stx} while stx {} (begun at seq {}) \
                              is still open",
@@ -250,6 +264,8 @@ pub fn audit(
                         stx,
                         begin_seq: rec.seq,
                         conflict_seen: false,
+                        shards_touched: std::collections::BTreeSet::new(),
+                        cross_shard_seen: false,
                     });
                 }
             }
@@ -277,7 +293,7 @@ pub fn audit(
             TraceEvent::TxSuspend { thread, .. } => {
                 summary.suspends += 1;
                 if let Some(t) = tid(thread, &mut v) {
-                    if let Some(cur) = open[t] {
+                    if let Some(cur) = &open[t] {
                         v.push(bad(format!(
                             "thread {thread} is suspended by the scheduler while stx {} is \
                              already executing",
@@ -323,7 +339,92 @@ pub fn audit(
                             "thread {thread} commits stx {stx} but stx {} is the one open",
                             cur.stx
                         ))),
-                        Some(_) => {}
+                        Some(cur) => {
+                            // I8 (converse): a multi-shard attempt must
+                            // have paid its cross-shard charge.
+                            if cur.shards_touched.len() >= 2 && !cur.cross_shard_seen {
+                                v.push(bad(format!(
+                                    "thread {thread} commits stx {stx} after touching {} \
+                                     shards with no cross_shard_commit charge",
+                                    cur.shards_touched.len()
+                                )));
+                            }
+                        }
+                    }
+                }
+            }
+            TraceEvent::ShardTouch { thread, stx, shard } => {
+                summary.shard_touches += 1;
+                if let Some(t) = tid(thread, &mut v) {
+                    match open[t].as_mut() {
+                        None => v.push(bad(format!(
+                            "thread {thread} touches shard {shard} outside any transaction"
+                        ))),
+                        Some(cur) => {
+                            if cur.stx != stx {
+                                v.push(bad(format!(
+                                    "thread {thread} touches shard {shard} as stx {stx} but \
+                                     stx {} is the one open",
+                                    cur.stx
+                                )));
+                            }
+                            // I8: first-touch events are per-shard unique
+                            // within an attempt.
+                            if !cur.shards_touched.insert(shard) {
+                                v.push(bad(format!(
+                                    "thread {thread} stx {stx} touches shard {shard} twice \
+                                     (shard_touch must fire once per shard per attempt)"
+                                )));
+                            }
+                        }
+                    }
+                }
+            }
+            TraceEvent::CrossShardCommit {
+                thread,
+                stx,
+                shards,
+                ..
+            } => {
+                summary.cross_shard_commits += 1;
+                if let Some(t) = tid(thread, &mut v) {
+                    match open[t].as_mut() {
+                        None => v.push(bad(format!(
+                            "thread {thread} charges a cross-shard commit for stx {stx} \
+                             outside any transaction"
+                        ))),
+                        Some(cur) => {
+                            if cur.stx != stx {
+                                v.push(bad(format!(
+                                    "thread {thread} charges a cross-shard commit for stx \
+                                     {stx} but stx {} is the one open",
+                                    cur.stx
+                                )));
+                            }
+                            // I8: the charge names ≥ 2 shards, and exactly
+                            // the set this attempt actually touched.
+                            if shards < 2 {
+                                v.push(bad(format!(
+                                    "cross-shard commit for thread {thread} stx {stx} names \
+                                     {shards} shard(s); the charge only exists for ≥ 2"
+                                )));
+                            }
+                            if shards as usize != cur.shards_touched.len() {
+                                v.push(bad(format!(
+                                    "cross-shard commit for thread {thread} stx {stx} names \
+                                     {shards} shards but the attempt touched {} ({:?})",
+                                    cur.shards_touched.len(),
+                                    cur.shards_touched
+                                )));
+                            }
+                            if cur.cross_shard_seen {
+                                v.push(bad(format!(
+                                    "thread {thread} stx {stx} charges a second cross-shard \
+                                     commit in one attempt"
+                                )));
+                            }
+                            cur.cross_shard_seen = true;
+                        }
                     }
                 }
             }
@@ -800,6 +901,105 @@ mod tests {
         )];
         let errs = audit(&rec(noop), &inp).unwrap_err();
         assert!(errs.iter().any(|e| e.what.contains("zero")), "{errs:?}");
+    }
+
+    #[test]
+    fn cross_shard_charges_must_match_touched_shards() {
+        let begin = TraceEvent::TxBegin {
+            thread: 0,
+            stx: 1,
+            retries: 0,
+        };
+        let touch = |shard| TraceEvent::ShardTouch {
+            thread: 0,
+            stx: 1,
+            shard,
+        };
+        let cross = |shards| TraceEvent::CrossShardCommit {
+            thread: 0,
+            stx: 1,
+            shards,
+            cost: 120,
+        };
+        let commit = TraceEvent::TxCommit {
+            thread: 0,
+            stx: 1,
+            retries: 0,
+            rw_lines: 4,
+        };
+        let inp = inputs(100, 1, vec![[0; 5]]);
+
+        let ok = vec![
+            tx_event(0, begin),
+            tx_event(1, touch(0)),
+            tx_event(2, touch(3)),
+            tx_event(3, cross(2)),
+            tx_event(4, commit),
+        ];
+        let s = audit(&rec(ok), &inp).expect("charge matches the touched set");
+        assert_eq!(s.shard_touches, 2);
+        assert_eq!(s.cross_shard_commits, 1);
+
+        // The charge claims more shards than the attempt named.
+        let lying = vec![
+            tx_event(0, begin),
+            tx_event(1, touch(0)),
+            tx_event(2, cross(2)),
+            tx_event(3, commit),
+        ];
+        let errs = audit(&rec(lying), &inp).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.what.contains("the attempt touched")),
+            "{errs:?}"
+        );
+
+        // Two shards touched but the commit never paid the charge.
+        let unpaid = vec![
+            tx_event(0, begin),
+            tx_event(1, touch(0)),
+            tx_event(2, touch(1)),
+            tx_event(3, commit),
+        ];
+        let errs = audit(&rec(unpaid), &inp).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.what.contains("no cross_shard_commit")),
+            "{errs:?}"
+        );
+
+        // A repeated first-touch of the same shard is a lie.
+        let dup = vec![
+            tx_event(0, begin),
+            tx_event(1, touch(0)),
+            tx_event(2, touch(0)),
+            tx_event(3, commit),
+        ];
+        let errs = audit(&rec(dup), &inp).unwrap_err();
+        assert!(errs.iter().any(|e| e.what.contains("twice")), "{errs:?}");
+
+        // A single-shard charge should never exist.
+        let single = vec![
+            tx_event(0, begin),
+            tx_event(1, touch(0)),
+            tx_event(2, cross(1)),
+            tx_event(3, commit),
+        ];
+        let errs = audit(&rec(single), &inp).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.what.contains("only exists for")),
+            "{errs:?}"
+        );
+
+        // Shard events outside any transaction are flagged.
+        let outside = vec![tx_event(0, touch(0)), tx_event(1, cross(2))];
+        let errs = audit(&rec(outside), &inp).unwrap_err();
+        assert_eq!(
+            errs.iter()
+                .filter(|e| e.what.contains("outside any transaction"))
+                .count(),
+            2,
+            "{errs:?}"
+        );
     }
 
     #[test]

@@ -336,6 +336,35 @@ pub enum TraceEvent {
         /// idempotent, so fewer *new* bits may have appeared).
         bits: u32,
     },
+    /// A transaction touched a conflict-detection shard for the first
+    /// time in this attempt (sharded platforms only, `shards > 1`).
+    /// Emitted at most once per shard per attempt; the set of shards
+    /// named between a [`TraceEvent::TxBegin`] and its commit is exactly
+    /// the set the transaction accessed, which invariant I8 checks
+    /// against the matching [`TraceEvent::CrossShardCommit`].
+    ShardTouch {
+        /// Accessing thread.
+        thread: u32,
+        /// Its static transaction id.
+        stx: u32,
+        /// The shard first touched by this access.
+        shard: u32,
+    },
+    /// A committing transaction spanned multiple conflict-detection
+    /// shards and paid the cross-shard coordination cost (sharded
+    /// platforms only). Emitted before the matching
+    /// [`TraceEvent::TxCommit`], while the attempt is still open.
+    CrossShardCommit {
+        /// Committing thread.
+        thread: u32,
+        /// Its static transaction id.
+        stx: u32,
+        /// Distinct shards the attempt touched (always ≥ 2).
+        shards: u32,
+        /// Extra commit cycles charged: `cross_shard_hop · (shards − 1)`,
+        /// folded into the commit's Tx-bucket charge.
+        cost: u64,
+    },
     /// A fault-injection layer rewrote the confidence table mid-run
     /// (poisoning fault, DESIGN.md §9).
     FaultConfPoison {
@@ -365,6 +394,8 @@ impl TraceEvent {
             TraceEvent::SchedDecision { .. } => "sched_decision",
             TraceEvent::ConfUpdate { .. } => "conf_update",
             TraceEvent::BloomSample { .. } => "bloom_sample",
+            TraceEvent::ShardTouch { .. } => "shard_touch",
+            TraceEvent::CrossShardCommit { .. } => "cross_shard_commit",
             TraceEvent::FaultBloomCorrupt { .. } => "fault_bloom_corrupt",
             TraceEvent::FaultConfPoison { .. } => "fault_conf_poison",
         }
