@@ -139,7 +139,9 @@ impl BloomFilter {
         let (hashes, bits) = (self.params.hashes, self.params.bits);
         let words = self.words_mut();
         for pos in probe_positions(key, hashes, bits) {
-            words[(pos / 64) as usize] |= 1u64 << (pos % 64);
+            *words
+                .get_mut((pos / 64) as usize)
+                .expect("probe positions stay below the bit count") |= 1u64 << (pos % 64);
         }
     }
 
@@ -159,15 +161,23 @@ impl BloomFilter {
             "bit {pos} out of range for a {}-bit filter",
             self.params.bits
         );
-        self.words_mut()[(pos / 64) as usize] |= 1u64 << (pos % 64);
+        *self
+            .words_mut()
+            .get_mut((pos / 64) as usize)
+            .expect("bit position bounds-checked above") |= 1u64 << (pos % 64);
     }
 
     /// Membership test. False positives are possible, false negatives are
     /// not.
     pub fn may_contain(&self, key: u64) -> bool {
         let words = self.words();
-        probe_positions(key, self.params.hashes, self.params.bits)
-            .all(|pos| words[(pos / 64) as usize] & (1u64 << (pos % 64)) != 0)
+        probe_positions(key, self.params.hashes, self.params.bits).all(|pos| {
+            let word = words
+                .get((pos / 64) as usize)
+                .copied()
+                .expect("probe positions stay below the bit count");
+            word & (1u64 << (pos % 64)) != 0
+        })
     }
 
     /// Population count `t`: number of set bits.

@@ -42,6 +42,7 @@ impl Sig {
         match (self, other) {
             (Sig::Bloom(a), Sig::Bloom(b)) => a.intersection_estimate(b),
             (Sig::Perfect(a), Sig::Perfect(b)) => a.intersection_estimate(b),
+            // detlint: allow(P002) -- documented logic-error guard: one manager keeps every signature in one representation
             _ => panic!("signature representation mismatch"),
         }
     }
@@ -60,6 +61,7 @@ impl Sig {
         match (self, other) {
             (Sig::Bloom(a), Sig::Bloom(b)) => a.intersects(b),
             (Sig::Perfect(a), Sig::Perfect(b)) => a.intersects(b),
+            // detlint: allow(P002) -- documented logic-error guard: one manager keeps every signature in one representation
             _ => panic!("signature representation mismatch"),
         }
     }

@@ -1,0 +1,26 @@
+// detlint-fixture-crate: sim
+// A001: bare arithmetic on cycle-flavoured values; checked forms,
+// newtype boundaries and neutral names are sanctioned.
+
+fn account(state: &mut Accounting) {
+    let t = state.cursor + dist;
+    state.tx_work += state.cfg.access_cost;
+    let rest = left - chunk;
+    let hop = base * state.costs().cross_shard_hop;
+    keep(t, rest, hop);
+}
+
+fn sanctioned(now: Cycle, cycles: u64, extra: u64, count: u64) -> Cycle {
+    let safe = cycles.checked_add(extra).expect("cycle overflow");
+    let capped = cycles.saturating_mul(2);
+    let idx = count + 1;
+    keep_idx(idx);
+    now + Cycle::new(safe.max(capped))
+}
+
+#[cfg(test)]
+mod tests {
+    fn arithmetic_in_tests_is_free(cursor: u64) -> u64 {
+        cursor + 100
+    }
+}

@@ -1,0 +1,13 @@
+// detlint-fixture-crate: sim
+// detlint-fixture-mode: workspace
+// Waiver interaction under --workspace: a reasoned waiver holds, a
+// stale waiver is a hard error (W002 promoted).
+
+fn account(extra: u64, used: u64) -> u64 {
+    extra - used // detlint: allow(A001) -- saturation handled by the caller's min()
+}
+
+// detlint: allow(A001) -- stale: the next line is checked already
+fn checked_path(cycles: u64) -> u64 {
+    cycles.saturating_add(1)
+}

@@ -1,0 +1,24 @@
+// detlint-fixture-crate: sim
+// P001: `.unwrap()` severity splits between hot-path and cold fns;
+// `.expect("...")` is the sanctioned form; tests are exempt.
+
+impl CalendarQueue {
+    fn pop(&mut self) -> u64 {
+        self.overflow.first().unwrap()
+    }
+}
+
+fn build_queue(input: Option<u64>) -> u64 {
+    input.unwrap()
+}
+
+fn sanctioned(input: Option<u64>) -> u64 {
+    input.expect("caller guarantees a value after the len check")
+}
+
+#[cfg(test)]
+mod tests {
+    fn in_tests(input: Option<u64>) -> u64 {
+        input.unwrap()
+    }
+}

@@ -1,0 +1,14 @@
+// detlint-fixture-crate: sim
+// Waiver interaction: a reasoned waiver silences P001; a stale one is
+// still flagged as W002.
+
+impl Engine {
+    fn service_cpu(&mut self) -> u64 {
+        self.queue.peek().unwrap() // detlint: allow(P001) -- peek follows the non-empty check in step()
+    }
+}
+
+// detlint: allow(P001) -- stale: nothing on the next line unwraps
+fn clean() -> u64 {
+    7
+}

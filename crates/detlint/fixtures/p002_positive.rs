@@ -1,0 +1,21 @@
+// detlint-fixture-crate: htm
+// P002: panic-family macros split severity on hot paths; the assert
+// family is sanctioned (it names its own invariant).
+
+impl TxThreadLogic {
+    fn step(&mut self) {
+        panic!("no state machine progress");
+    }
+}
+
+fn configure(kind: u32) {
+    match kind {
+        0 => {}
+        _ => unreachable!("validated upstream"),
+    }
+}
+
+fn checked(cfg: &Config) {
+    assert!(cfg.cpus > 0, "asserts carry their own message");
+    debug_assert_eq!(cfg.shards % 2, 0);
+}

@@ -1,0 +1,19 @@
+// detlint-fixture-crate: sim
+// P003: raw indexing only fires inside hot-path fns; slice patterns,
+// array types, attributes and cold fns stay quiet.
+
+impl CalendarQueue {
+    #[inline]
+    fn find_next(&self) -> u64 {
+        self.words[self.cursor_word()]
+    }
+}
+
+impl CalendarQueue {
+    fn rebuild(&mut self, input: &[u64]) -> [u64; 4] {
+        let [a, b] = split(input);
+        let slice: &[u64] = input;
+        let first = input[0];
+        [a, b, first, slice.len() as u64]
+    }
+}

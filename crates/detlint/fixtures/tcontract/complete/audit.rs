@@ -1,0 +1,6 @@
+pub fn replay(ev: &TraceEvent) {
+    match ev {
+        TraceEvent::Charge { .. } => {}
+        TraceEvent::TxBegin { .. } => {}
+    }
+}

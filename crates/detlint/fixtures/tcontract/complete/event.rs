@@ -1,0 +1,15 @@
+// Contract fixture: every variant is audited and exported.
+
+pub enum TraceEvent {
+    Charge { at: u64, cycles: u64 },
+    TxBegin { tid: u32 },
+}
+
+impl TraceEvent {
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::Charge { .. } => "charge",
+            TraceEvent::TxBegin { .. } => "tx_begin",
+        }
+    }
+}

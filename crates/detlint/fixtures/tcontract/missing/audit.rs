@@ -1,0 +1,7 @@
+pub fn replay(ev: &TraceEvent) {
+    match ev {
+        TraceEvent::Charge { .. } => {}
+        TraceEvent::TxBegin { .. } => {}
+        _ => {}
+    }
+}

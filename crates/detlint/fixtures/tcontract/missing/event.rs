@@ -1,0 +1,18 @@
+// Contract fixture: TxAbort is missing from the audit and its
+// canonical name never reaches the exporter.
+
+pub enum TraceEvent {
+    Charge { at: u64, cycles: u64 },
+    TxBegin { tid: u32 },
+    TxAbort { tid: u32 },
+}
+
+impl TraceEvent {
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::Charge { .. } => "charge",
+            TraceEvent::TxBegin { .. } => "tx_begin",
+            TraceEvent::TxAbort { .. } => "tx_abort",
+        }
+    }
+}

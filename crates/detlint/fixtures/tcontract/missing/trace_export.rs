@@ -1,0 +1,8 @@
+pub fn rec_to_json(ev: &TraceEvent) -> &'static str {
+    match ev {
+        TraceEvent::Charge { .. } => "charge",
+        TraceEvent::TxBegin { .. } => "tx_begin",
+        // Ident is matched but the canonical name string is wrong.
+        TraceEvent::TxAbort { .. } => "txabort",
+    }
+}

@@ -1,0 +1,17 @@
+// Contract fixture: an experimental variant is uncovered everywhere,
+// but a reasoned waiver at the declaration keeps the lint clean.
+
+pub enum TraceEvent {
+    Charge { at: u64, cycles: u64 },
+    // detlint: allow(T001,T002) -- experimental kind, audit lands with the capacity-abort PR
+    ExperimentalProbe { at: u64 },
+}
+
+impl TraceEvent {
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::Charge { .. } => "charge",
+            TraceEvent::ExperimentalProbe { .. } => "experimental_probe",
+        }
+    }
+}

@@ -1,0 +1,6 @@
+pub fn rec_to_json(ev: &TraceEvent) -> &'static str {
+    match ev {
+        TraceEvent::Charge { .. } => "charge",
+        _ => "unknown",
+    }
+}

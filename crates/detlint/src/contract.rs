@@ -1,0 +1,307 @@
+//! T-rules: cross-file trace-contract coverage.
+//!
+//! The trace vocabulary is a three-party contract: `trace/src/event.rs`
+//! declares the `TraceEvent` enum, `trace/src/audit.rs` must match
+//! every variant when replaying a run against the I1–I8 invariants, and
+//! `bench/src/trace_export.rs` must give every variant a JSONL
+//! encoding. A new event kind that the audit silently ignores is
+//! exactly the hazard this pass turns into a hard lint error.
+//!
+//! The check is lexical, like the rest of detlint: it parses the enum
+//! body out of the token stream, takes the canonical snake-case names
+//! from the `name()` match arms (falling back to a camel→snake
+//! derivation), and then requires a `TraceEvent::Variant` token
+//! sequence in the audit and both the variant identifier and its
+//! canonical name string in the exporter. Findings are anchored at the
+//! variant's declaration line in `event.rs`, so the ordinary waiver
+//! syntax applies there.
+
+use crate::lexer::{lex, TokKind};
+use crate::rules::{RawDiag, Severity};
+
+/// Workspace-relative path of the enum declaration.
+pub const EVENT_PATH: &str = "crates/trace/src/event.rs";
+/// Workspace-relative path of the replay audit (T001 target).
+pub const AUDIT_PATH: &str = "crates/trace/src/audit.rs";
+/// Workspace-relative path of the JSONL exporter (T002 target).
+pub const EXPORT_PATH: &str = "crates/bench/src/trace_export.rs";
+
+/// One declared `TraceEvent` variant.
+#[derive(Debug)]
+pub struct Variant {
+    /// The variant identifier (`TxBegin`).
+    pub name: String,
+    /// The canonical snake-case name (`tx_begin`).
+    pub snake: String,
+    /// Declaration position in `event.rs` (diagnostics anchor here).
+    pub line: u32,
+    /// 1-based column of the variant identifier.
+    pub col: u32,
+}
+
+/// Parses the `TraceEvent` variants (names, canonical strings,
+/// declaration positions) out of `event.rs` source text.
+pub fn parse_variants(event_src: &str) -> Result<Vec<Variant>, String> {
+    let lexed =
+        lex(event_src).map_err(|(line, msg)| format!("cannot lex {EVENT_PATH}:{line}: {msg}"))?;
+    let toks = &lexed.tokens;
+
+    // Find `enum TraceEvent {` and walk its body at brace depth 1:
+    // variant identifiers sit directly after the opening brace or a
+    // `,`; their payload braces push the depth to 2 and are skipped.
+    let start = toks
+        .windows(2)
+        .position(|w| w[0].is_ident("enum") && w[1].is_ident("TraceEvent"))
+        .ok_or_else(|| format!("no `enum TraceEvent` found in {EVENT_PATH}"))?;
+    let open = (start..toks.len())
+        .find(|&i| toks[i].is_punct("{"))
+        .ok_or_else(|| format!("`enum TraceEvent` in {EVENT_PATH} has no body"))?;
+
+    let mut variants = Vec::new();
+    let mut depth = 1i32;
+    let mut at_variant_position = true;
+    let mut i = open + 1;
+    while i < toks.len() && depth > 0 {
+        let t = &toks[i];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+        } else if depth == 1 {
+            if t.is_punct(",") {
+                at_variant_position = true;
+            } else if at_variant_position && t.kind == TokKind::Ident {
+                variants.push(Variant {
+                    name: t.text.clone(),
+                    snake: camel_to_snake(&t.text),
+                    line: t.line,
+                    col: t.col,
+                });
+                at_variant_position = false;
+            }
+        }
+        i += 1;
+    }
+    if variants.is_empty() {
+        return Err(format!(
+            "`enum TraceEvent` in {EVENT_PATH} declares no variants"
+        ));
+    }
+
+    // The `name()` match arms are the authoritative canonical names:
+    // `TraceEvent::TxBegin { .. } => "tx_begin"`.
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("TraceEvent")
+            || !toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            || !toks.get(i + 2).is_some_and(|n| n.kind == TokKind::Ident)
+        {
+            continue;
+        }
+        let name = toks[i + 2].text.as_str();
+        // Scan a short window for `=> "literal"`.
+        for j in i + 3..(i + 24).min(toks.len().saturating_sub(1)) {
+            if toks[j].is_punct(";") || toks[j].is_ident("TraceEvent") {
+                break;
+            }
+            if toks[j].is_punct("=")
+                && toks.get(j + 1).is_some_and(|n| n.is_punct(">"))
+                && toks.get(j + 2).is_some_and(|n| n.kind == TokKind::Str)
+            {
+                if let Some(v) = variants.iter_mut().find(|v| v.name == name) {
+                    v.snake = toks[j + 2].text.clone();
+                }
+                break;
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn camel_to_snake(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// The set of variant names referenced as `TraceEvent::X` in `src`,
+/// plus every string literal (for the canonical-name check).
+fn coverage(src: &str, path: &str) -> Result<(Vec<String>, Vec<String>), String> {
+    let lexed = lex(src).map_err(|(line, msg)| format!("cannot lex {path}:{line}: {msg}"))?;
+    let toks = &lexed.tokens;
+    let mut idents = Vec::new();
+    let mut strs = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("TraceEvent")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|n| n.kind == TokKind::Ident)
+        {
+            idents.push(toks[i + 2].text.clone());
+        }
+        if t.kind == TokKind::Str {
+            strs.push(t.text.clone());
+        }
+    }
+    Ok((idents, strs))
+}
+
+fn variant_tokens(v: &Variant, code: &'static str, message: String, hint: &'static str) -> RawDiag {
+    RawDiag {
+        code,
+        severity: Severity::Error,
+        line: v.line,
+        col: v.col,
+        message,
+        hint,
+    }
+}
+
+/// Runs the full contract check over the three files' source text.
+/// Returns raw T-diagnostics anchored at variant declarations in
+/// `event.rs` (route them through [`crate::engine::scan_source`] as
+/// `extra` so waivers apply), or an error when the enum or a file
+/// cannot be parsed at all.
+pub fn check_sources(event: &str, audit: &str, export: &str) -> Result<Vec<RawDiag>, String> {
+    let variants = parse_variants(event)?;
+    let (audit_idents, _) = coverage(audit, AUDIT_PATH)?;
+    let (export_idents, export_strs) = coverage(export, EXPORT_PATH)?;
+
+    let mut out = Vec::new();
+    for v in &variants {
+        if !audit_idents.contains(&v.name) {
+            out.push(variant_tokens(
+                v,
+                "T001",
+                format!(
+                    "trace contract: variant `{}` has no `TraceEvent::{}` match in {AUDIT_PATH}",
+                    v.name, v.name
+                ),
+                "extend the replay audit to cover the new event kind so invariant \
+                 checking stays total; waive at the variant with \
+                 `// detlint: allow(T001) -- <why>`",
+            ));
+        }
+        if !export_idents.contains(&v.name) {
+            out.push(variant_tokens(
+                v,
+                "T002",
+                format!(
+                    "trace contract: variant `{}` is not handled in {EXPORT_PATH}",
+                    v.name
+                ),
+                T002_HINT,
+            ));
+        } else if !export_strs.contains(&v.snake) {
+            out.push(variant_tokens(
+                v,
+                "T002",
+                format!(
+                    "trace contract: canonical name \"{}\" for variant `{}` never appears \
+                     in {EXPORT_PATH}",
+                    v.snake, v.name
+                ),
+                T002_HINT,
+            ));
+        }
+    }
+    Ok(out)
+}
+
+const T002_HINT: &str = "teach rec_to_json/rec_from_json the new event kind (ident match \
+                         arm + canonical name string) so JSONL round-tripping stays total; \
+                         waive at the variant with `// detlint: allow(T002) -- <why>`";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EVENT: &str = r#"
+pub enum TraceEvent {
+    Charge { at: u64, cycles: u64 },
+    TxBegin { tid: u32 },
+    SchedDecision { cpu: u16 },
+}
+impl TraceEvent {
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::Charge { .. } => "charge",
+            TraceEvent::TxBegin { .. } => "tx_begin",
+            TraceEvent::SchedDecision { .. } => "sched",
+        }
+    }
+}
+"#;
+
+    #[test]
+    fn parses_variants_and_canonical_names() {
+        let vs = parse_variants(EVENT).unwrap();
+        let names: Vec<_> = vs.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, vec!["Charge", "TxBegin", "SchedDecision"]);
+        // `name()` arms win over camel→snake derivation.
+        assert_eq!(vs[2].snake, "sched");
+        assert_eq!(vs[1].snake, "tx_begin");
+    }
+
+    #[test]
+    fn camel_to_snake_fallback() {
+        assert_eq!(camel_to_snake("FaultBloomCorrupt"), "fault_bloom_corrupt");
+        assert_eq!(camel_to_snake("TxBegin"), "tx_begin");
+    }
+
+    #[test]
+    fn complete_coverage_is_clean() {
+        let audit = "fn replay(e: &TraceEvent) { match e {\
+                     TraceEvent::Charge { .. } => {}\
+                     TraceEvent::TxBegin { .. } => {}\
+                     TraceEvent::SchedDecision { .. } => {} } }";
+        let export = r#"fn to_json(e: &TraceEvent) { match e {
+                     TraceEvent::Charge { .. } => j("charge"),
+                     TraceEvent::TxBegin { .. } => j("tx_begin"),
+                     TraceEvent::SchedDecision { .. } => j("sched"), } }"#;
+        let raws = check_sources(EVENT, audit, export).unwrap();
+        assert!(raws.is_empty(), "{raws:?}");
+    }
+
+    #[test]
+    fn missing_audit_arm_is_t001() {
+        let audit = "fn replay(e: &TraceEvent) { match e {\
+                     TraceEvent::Charge { .. } => {}\
+                     TraceEvent::SchedDecision { .. } => {} _ => {} } }";
+        let export = r#"fn f() { let _ = (TraceEvent::Charge, "charge",
+                     TraceEvent::TxBegin, "tx_begin",
+                     TraceEvent::SchedDecision, "sched"); }"#;
+        let raws = check_sources(EVENT, audit, export).unwrap();
+        assert_eq!(raws.len(), 1);
+        assert_eq!(raws[0].code, "T001");
+        assert!(raws[0].message.contains("TxBegin"));
+        // Anchored at the variant's declaration line in event.rs.
+        assert_eq!(raws[0].line, 4);
+    }
+
+    #[test]
+    fn missing_export_string_is_t002() {
+        let audit = "fn f() { let _ = (TraceEvent::Charge, TraceEvent::TxBegin, \
+                     TraceEvent::SchedDecision); }";
+        // TxBegin ident present but canonical string misspelled.
+        let export = r#"fn f() { let _ = (TraceEvent::Charge, "charge",
+                     TraceEvent::TxBegin, "txbegin",
+                     TraceEvent::SchedDecision, "sched"); }"#;
+        let raws = check_sources(EVENT, audit, export).unwrap();
+        assert_eq!(raws.len(), 1);
+        assert_eq!(raws[0].code, "T002");
+        assert!(raws[0].message.contains("tx_begin"), "{}", raws[0].message);
+    }
+
+    #[test]
+    fn missing_enum_is_an_error() {
+        assert!(check_sources("fn f() {}", "", "").is_err());
+    }
+}

@@ -11,18 +11,22 @@
 //! A trailing waiver covers its own line; a standalone waiver covers
 //! the next line that contains code. Waivers that match nothing (W002)
 //! or don't parse (W001) are themselves diagnostics, so waivers cannot
-//! rot silently.
+//! rot silently — and under `--workspace`, W002 is a hard error.
 
+use crate::itemtree::ItemTree;
 use crate::lexer::{lex, Comment, Lexed};
-use crate::rules::{is_waivable, run_rules, CrateClass};
+use crate::rules::{is_waivable, run_rules, RawDiag, ScanCtx, Severity};
 use bfgts_bench::json::Json;
 
 /// A finished diagnostic, ready to render.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Rule code (`D001`..`D005`, `W001`/`W002` for waiver problems,
-    /// `E001` for files the lexer cannot read).
+    /// Rule code (`D001`.., `P001`.., `A001`, `T001`.., `W001`/`W002`
+    /// for waiver problems, `E001` for files the lexer cannot read).
     pub code: String,
+    /// Hot-path/contract error or advisory warning. Both fail the
+    /// lint; see [`Severity`].
+    pub severity: Severity,
     /// Path as displayed (workspace-relative for `--workspace` runs).
     pub file: String,
     /// 1-based line.
@@ -36,12 +40,18 @@ pub struct Diagnostic {
 }
 
 impl Diagnostic {
-    /// Renders the `file:line:col [CODE] message` form used by both the
-    /// CLI and the fixture goldens, plus an indented hint line if any.
+    /// Renders the `file:line:col [CODE:severity] message` form used by
+    /// both the CLI and the fixture goldens, plus an indented hint line
+    /// if any.
     pub fn render(&self) -> String {
         let mut s = format!(
-            "{}:{}:{} [{}] {}",
-            self.file, self.line, self.col, self.code, self.message
+            "{}:{}:{} [{}:{}] {}",
+            self.file,
+            self.line,
+            self.col,
+            self.code,
+            self.severity.as_str(),
+            self.message
         );
         if !self.hint.is_empty() {
             s.push_str("\n    hint: ");
@@ -124,15 +134,20 @@ fn next_code_line(lexed: &Lexed, comment_line: u32) -> u32 {
 
 /// Scans one file's source text.
 ///
-/// `file` is used verbatim in diagnostics; `crate_name` only flavours
-/// messages. Fixture tests and `--self-test` call this directly.
-pub fn scan_source(file: &str, src: &str, class: CrateClass, crate_name: &str) -> FileReport {
+/// `file` is used verbatim in diagnostics. `extra` carries raw
+/// diagnostics produced outside the per-file rules — the cross-file
+/// trace-contract pass (T-rules) anchors its findings at enum-variant
+/// lines in `event.rs` and routes them through here so waivers and
+/// W002 accounting treat every family identically. Fixture tests and
+/// `--self-test` call this directly.
+pub fn scan_source(file: &str, src: &str, ctx: &ScanCtx, extra: &[RawDiag]) -> FileReport {
     let lexed = match lex(src) {
         Ok(l) => l,
         Err((line, msg)) => {
             return FileReport {
                 diags: vec![Diagnostic {
                     code: "E001".into(),
+                    severity: Severity::Error,
                     file: file.into(),
                     line,
                     col: 0,
@@ -160,6 +175,7 @@ pub fn scan_source(file: &str, src: &str, class: CrateClass, crate_name: &str) -
             }),
             WaiverParse::Malformed(why) => report.diags.push(Diagnostic {
                 code: "W001".into(),
+                severity: Severity::Warning,
                 file: file.into(),
                 line: c.line,
                 col: 0,
@@ -169,7 +185,10 @@ pub fn scan_source(file: &str, src: &str, class: CrateClass, crate_name: &str) -
         }
     }
 
-    for raw in run_rules(&lexed.tokens, class, crate_name) {
+    let tree = ItemTree::build(&lexed.tokens);
+    let mut raws = run_rules(&lexed.tokens, &tree, ctx);
+    raws.extend(extra.iter().cloned());
+    for raw in raws {
         let waiver = waivers
             .iter_mut()
             .find(|w| w.target_line == raw.line && w.codes.iter().any(|c| c == raw.code));
@@ -179,6 +198,7 @@ pub fn scan_source(file: &str, src: &str, class: CrateClass, crate_name: &str) -
         } else {
             report.diags.push(Diagnostic {
                 code: raw.code.into(),
+                severity: raw.severity,
                 file: file.into(),
                 line: raw.line,
                 col: raw.col,
@@ -190,8 +210,16 @@ pub fn scan_source(file: &str, src: &str, class: CrateClass, crate_name: &str) -
 
     for w in &waivers {
         if !w.used {
+            // Stale waivers are debt: advisory in single-file runs,
+            // a hard error across the workspace.
+            let severity = if ctx.workspace {
+                Severity::Error
+            } else {
+                Severity::Warning
+            };
             report.diags.push(Diagnostic {
                 code: "W002".into(),
+                severity,
                 file: file.into(),
                 line: w.comment_line,
                 col: 0,
@@ -222,6 +250,7 @@ pub fn json_report(diags: &[Diagnostic], files_scanned: usize, waived: u32) -> J
         .map(|d| {
             Json::obj([
                 ("code", Json::Str(d.code.clone())),
+                ("severity", Json::Str(d.severity.as_str().into())),
                 ("file", Json::Str(d.file.clone())),
                 ("line", Json::UInt(u64::from(d.line))),
                 ("col", Json::UInt(u64::from(d.col))),
@@ -241,7 +270,7 @@ pub fn json_report(diags: &[Diagnostic], files_scanned: usize, waived: u32) -> J
         .collect();
     Json::obj([
         ("tool", Json::Str("detlint".into())),
-        ("schema_version", Json::UInt(1)),
+        ("schema_version", Json::UInt(2)),
         ("files_scanned", Json::UInt(files_scanned as u64)),
         ("waived", Json::UInt(u64::from(waived))),
         ("diagnostics", Json::Arr(items)),
@@ -252,9 +281,19 @@ pub fn json_report(diags: &[Diagnostic], files_scanned: usize, waived: u32) -> J
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rules::CrateClass;
+
+    fn ctx() -> ScanCtx<'static> {
+        ScanCtx {
+            class: CrateClass::Critical,
+            crate_name: "testcrate",
+            workspace: false,
+            test_file: false,
+        }
+    }
 
     fn scan(src: &str) -> FileReport {
-        scan_source("t.rs", src, CrateClass::Critical, "testcrate")
+        scan_source("t.rs", src, &ctx(), &[])
     }
 
     fn codes(r: &FileReport) -> Vec<&str> {
@@ -312,6 +351,52 @@ mod tests {
     fn unused_waiver_is_flagged() {
         let r = scan("// detlint: allow(D002) -- stale\nfn f() {}\n");
         assert_eq!(codes(&r), vec!["W002"]);
+        assert_eq!(r.diags[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn unused_waiver_is_an_error_in_workspace_mode() {
+        let mut c = ctx();
+        c.workspace = true;
+        let r = scan_source(
+            "t.rs",
+            "// detlint: allow(D002) -- stale\nfn f() {}\n",
+            &c,
+            &[],
+        );
+        assert_eq!(codes(&r), vec!["W002"]);
+        assert_eq!(r.diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn new_rule_codes_are_waivable() {
+        let r = scan("fn f() {} // detlint: allow(P001,A001,T001) -- exercising the parser\n");
+        // Parsed fine; unused (no matching diag), so exactly one W002.
+        assert_eq!(codes(&r), vec!["W002"]);
+    }
+
+    #[test]
+    fn extra_raw_diags_respect_waivers() {
+        let extra = [RawDiag {
+            code: "T001",
+            severity: Severity::Error,
+            line: 2,
+            col: 5,
+            message: "variant `TxBegin` unhandled".into(),
+            hint: "",
+        }];
+        let src = "fn f() {}\nfn g() {}\n";
+        let r = scan_source("event.rs", src, &ctx(), &extra);
+        assert_eq!(codes(&r), vec!["T001"]);
+
+        let waived = "fn f() {}\n// detlint: allow(T001) -- audited elsewhere\nfn g() {}\n";
+        let extra2 = [RawDiag {
+            line: 3,
+            ..extra[0].clone()
+        }];
+        let r2 = scan_source("event.rs", waived, &ctx(), &extra2);
+        assert!(r2.diags.is_empty(), "{:?}", r2.diags);
+        assert_eq!(r2.waived, 1);
     }
 
     #[test]
@@ -320,7 +405,7 @@ mod tests {
         assert_eq!(codes(&r), vec!["D001", "D001", "D002"]);
         let rendered = r.diags[0].render();
         assert!(rendered.starts_with("t.rs:1:"), "{rendered}");
-        assert!(rendered.contains("[D001]"));
+        assert!(rendered.contains("[D001:error]"));
         assert!(rendered.contains("hint:"));
     }
 
@@ -337,12 +422,12 @@ mod tests {
         let text = j.to_string();
         let parsed = Json::parse(&text).unwrap();
         assert_eq!(parsed.get("files_scanned").and_then(Json::as_u64), Some(1));
+        assert_eq!(parsed.get("schema_version").and_then(Json::as_u64), Some(2));
+        let diags = parsed.get("diagnostics").and_then(Json::as_arr).unwrap();
+        assert_eq!(diags.len(), 1);
         assert_eq!(
-            parsed
-                .get("diagnostics")
-                .and_then(Json::as_arr)
-                .map(<[Json]>::len),
-            Some(1)
+            diags[0].get("severity").and_then(Json::as_str),
+            Some("error")
         );
     }
 }

@@ -1,0 +1,382 @@
+//! A lightweight item tree over the token stream.
+//!
+//! The P- and A-rules need more structure than a flat token scan: *which
+//! function* a token sits in (hot-path severity), and whether it is
+//! inside a `#[cfg(test)]` region or `#[test]` fn (tests may panic and
+//! use bare arithmetic freely). Full parsing is out of scope — the
+//! build must work against an offline registry, so no `syn` — but
+//! brace-matching the token stream recovers exactly the structure the
+//! rules need: `fn` bodies qualified by their enclosing `impl` type,
+//! and the spans of test-only items.
+//!
+//! The tree is a heuristic, like every rule in this linter: pathological
+//! token sequences (macros that generate item syntax, `union` fields
+//! named `fn`) can confuse it, but on this workspace's style it is
+//! exact, and both failure modes are benign — a missed fn span only
+//! downgrades a diagnostic's severity, and a missed test span produces
+//! a diagnostic that an explicit waiver can silence.
+
+use crate::lexer::{TokKind, Token};
+
+/// Rust keywords that can directly precede `[` or an operator without
+/// being an operand (used by rules to tell `let [a, b]` from `xs[i]`).
+pub const KEYWORDS: &[&str] = &[
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "static", "struct", "trait", "type", "union", "unsafe", "use", "where", "while",
+];
+
+/// One brace-matched `fn` body.
+#[derive(Debug)]
+pub struct FnSpan {
+    /// `Type::name` when the fn sits in an `impl Type` block, else
+    /// `name`.
+    pub qualified: String,
+    /// Token index of the body's opening `{`.
+    pub open: usize,
+    /// Token index of the matching `}` (`tokens.len()` when the file
+    /// ends before the brace closes — lint tolerance, not an error).
+    pub close: usize,
+    /// True for `#[test]` fns and fns inside `#[cfg(test)]` items.
+    pub test: bool,
+}
+
+/// Brace-matched structure of one file: fn spans and test-only regions.
+#[derive(Debug, Default)]
+pub struct ItemTree {
+    fns: Vec<FnSpan>,
+    /// Token-index spans (open brace ..= close brace) of outermost
+    /// `#[cfg(test)]` / `#[test]` items.
+    tests: Vec<(usize, usize)>,
+}
+
+/// What kind of item a pending declaration will open.
+enum Pending {
+    Fn { name: String, test: bool },
+    Impl { ty: String, test: bool },
+    Other { test: bool },
+}
+
+enum FrameKind {
+    Fn(usize),
+    Impl(String),
+    Other,
+}
+
+struct Frame {
+    kind: FrameKind,
+    open: usize,
+    test: bool,
+}
+
+impl ItemTree {
+    /// Builds the tree in one pass over the token stream.
+    pub fn build(tokens: &[Token]) -> ItemTree {
+        let mut tree = ItemTree::default();
+        let mut stack: Vec<Frame> = Vec::new();
+        let mut pending: Option<Pending> = None;
+        let mut attr_test = false;
+        let mut i = 0usize;
+
+        while i < tokens.len() {
+            let t = &tokens[i];
+            // Outer attribute: scan `#[...]` for cfg(test) / test.
+            if t.is_punct("#") && tokens.get(i + 1).is_some_and(|n| n.is_punct("[")) {
+                let (is_test, after) = scan_attr(tokens, i + 1);
+                attr_test |= is_test;
+                i = after;
+                continue;
+            }
+            if t.kind == TokKind::Ident {
+                match t.text.as_str() {
+                    // `fn name(...)`: only an item when a name follows
+                    // (a `fn(u64) -> u64` pointer type has `(` next).
+                    "fn" if tokens.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident) => {
+                        pending = Some(Pending::Fn {
+                            name: tokens[i + 1].text.clone(),
+                            test: attr_test,
+                        });
+                        attr_test = false;
+                    }
+                    // Guard: `impl` in return/argument position
+                    // (`-> impl Iterator`) arrives while a fn is
+                    // pending; only a bare `impl` opens an item.
+                    "impl" if pending.is_none() => {
+                        pending = Some(Pending::Impl {
+                            ty: impl_type_name(tokens, i),
+                            test: attr_test,
+                        });
+                        attr_test = false;
+                    }
+                    "mod" | "struct" | "enum" | "union" | "trait" if pending.is_none() => {
+                        pending = Some(Pending::Other { test: attr_test });
+                        attr_test = false;
+                    }
+                    _ => {}
+                }
+                i += 1;
+                continue;
+            }
+            if t.is_punct(";") {
+                // Trait method decl, `mod foo;`, or end of statement:
+                // whatever was pending never opens a body.
+                pending = None;
+                attr_test = false;
+                i += 1;
+                continue;
+            }
+            if t.is_punct("{") {
+                let parent_test = stack.last().is_some_and(|f| f.test);
+                let frame = match pending.take() {
+                    Some(Pending::Fn { name, test }) => {
+                        let qualified = match innermost_impl(&stack) {
+                            Some(ty) => format!("{ty}::{name}"),
+                            None => name,
+                        };
+                        tree.fns.push(FnSpan {
+                            qualified,
+                            open: i,
+                            close: tokens.len(),
+                            test: test || parent_test,
+                        });
+                        Frame {
+                            kind: FrameKind::Fn(tree.fns.len() - 1),
+                            open: i,
+                            test: test || parent_test,
+                        }
+                    }
+                    Some(Pending::Impl { ty, test }) => Frame {
+                        kind: FrameKind::Impl(ty),
+                        open: i,
+                        test: test || parent_test,
+                    },
+                    Some(Pending::Other { test }) => Frame {
+                        kind: FrameKind::Other,
+                        open: i,
+                        test: test || parent_test,
+                    },
+                    None => Frame {
+                        kind: FrameKind::Other,
+                        open: i,
+                        test: parent_test,
+                    },
+                };
+                stack.push(frame);
+                i += 1;
+                continue;
+            }
+            if t.is_punct("}") {
+                if let Some(frame) = stack.pop() {
+                    if let FrameKind::Fn(idx) = frame.kind {
+                        tree.fns[idx].close = i;
+                    }
+                    let parent_test = stack.last().is_some_and(|f| f.test);
+                    if frame.test && !parent_test {
+                        tree.tests.push((frame.open, i));
+                    }
+                }
+                i += 1;
+                continue;
+            }
+            i += 1;
+        }
+        // Unclosed frames at EOF (tolerated): close test spans at the
+        // end of the stream so containment queries stay well-defined.
+        while let Some(frame) = stack.pop() {
+            let parent_test = stack.last().is_some_and(|f| f.test);
+            if frame.test && !parent_test {
+                tree.tests.push((frame.open, tokens.len()));
+            }
+        }
+        tree
+    }
+
+    /// The innermost fn whose body contains token `i`, if any.
+    pub fn fn_at(&self, i: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.open < i && i < f.close)
+            .max_by_key(|f| f.open)
+    }
+
+    /// True if token `i` sits inside a `#[cfg(test)]` item or `#[test]`
+    /// fn.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.tests
+            .iter()
+            .any(|&(open, close)| open < i && i < close)
+            || self.fn_at(i).is_some_and(|f| f.test)
+    }
+}
+
+/// Scans an attribute starting at its `[` token. Returns whether it
+/// marks a test item (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ..))]`
+/// — but not `#[cfg(not(test))]`) and the token index just past the
+/// closing `]`.
+fn scan_attr(tokens: &[Token], open: usize) -> (bool, usize) {
+    let mut depth = 0i32;
+    let mut idents: Vec<&str> = Vec::new();
+    let mut j = open;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                j += 1;
+                break;
+            }
+        } else if t.kind == TokKind::Ident {
+            idents.push(t.text.as_str());
+        }
+        j += 1;
+    }
+    let is_test = idents.contains(&"test")
+        && !idents.contains(&"not")
+        && matches!(idents.first(), Some(&"test") | Some(&"cfg"));
+    (is_test, j)
+}
+
+/// The self-type of an `impl` header at token `i`: the last path
+/// segment at angle-depth 0 before the body brace or a `where` clause,
+/// with segments after `for` winning (`impl Add for Cycle` → `Cycle`).
+fn impl_type_name(tokens: &[Token], i: usize) -> String {
+    let mut ty = String::new();
+    let mut angle = 0i32;
+    let mut j = i + 1;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct("{") || t.is_punct(";") || t.is_ident("where") {
+            break;
+        }
+        if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") {
+            // `->` in an `impl Fn(..) -> T` header: not a closer.
+            if !tokens.get(j - 1).is_some_and(|p| p.is_punct("-")) {
+                angle = (angle - 1).max(0);
+            }
+        } else if angle == 0 && t.kind == TokKind::Ident {
+            if t.text == "for" {
+                ty.clear();
+            } else if !KEYWORDS.contains(&t.text.as_str()) {
+                ty = t.text.clone();
+            }
+        }
+        j += 1;
+    }
+    ty
+}
+
+fn innermost_impl(stack: &[Frame]) -> Option<&str> {
+    stack.iter().rev().find_map(|f| match &f.kind {
+        FrameKind::Impl(ty) if !ty.is_empty() => Some(ty.as_str()),
+        _ => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree_of(src: &str) -> (Vec<Token>, ItemTree) {
+        let toks = lex(src).unwrap().tokens;
+        let tree = ItemTree::build(&toks);
+        (toks, tree)
+    }
+
+    fn fn_name_at_ident(src: &str, ident: &str) -> Option<String> {
+        let (toks, tree) = tree_of(src);
+        let i = toks.iter().position(|t| t.is_ident(ident)).unwrap();
+        tree.fn_at(i).map(|f| f.qualified.clone())
+    }
+
+    #[test]
+    fn free_fn_span() {
+        assert_eq!(
+            fn_name_at_ident("fn step() { let marker = 1; }", "marker").as_deref(),
+            Some("step")
+        );
+    }
+
+    #[test]
+    fn impl_qualifies_fn_names() {
+        let src = "impl<W: World> Engine<W> { fn pop(&mut self) { let marker = 1; } }";
+        assert_eq!(
+            fn_name_at_ident(src, "marker").as_deref(),
+            Some("Engine::pop")
+        );
+    }
+
+    #[test]
+    fn trait_impl_uses_self_type() {
+        let src = "impl fmt::Display for Cycle { fn fmt(&self) { let marker = 1; } }";
+        assert_eq!(
+            fn_name_at_ident(src, "marker").as_deref(),
+            Some("Cycle::fmt")
+        );
+    }
+
+    #[test]
+    fn nested_blocks_stay_in_the_fn() {
+        let src = "fn outer() { if x { match y { _ => { let marker = 1; } } } }";
+        assert_eq!(fn_name_at_ident(src, "marker").as_deref(), Some("outer"));
+    }
+
+    #[test]
+    fn innermost_fn_wins() {
+        let src = "fn outer() { fn inner() { let marker = 1; } }";
+        assert_eq!(fn_name_at_ident(src, "marker").as_deref(), Some("inner"));
+    }
+
+    #[test]
+    fn trait_method_decl_without_body_is_not_a_span() {
+        let src = "trait T { fn go(&self); } fn real() { let marker = 1; }";
+        assert_eq!(fn_name_at_ident(src, "marker").as_deref(), Some("real"));
+    }
+
+    #[test]
+    fn return_position_impl_does_not_open_a_frame() {
+        let src = "fn make() -> impl Iterator<Item = u64> { let marker = 1; }";
+        assert_eq!(fn_name_at_ident(src, "marker").as_deref(), Some("make"));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_region() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn helper() { let marker = 1; } }";
+        let (toks, tree) = tree_of(src);
+        let i = toks.iter().position(|t| t.is_ident("marker")).unwrap();
+        assert!(tree.in_test(i));
+        let j = toks.iter().position(|t| t.is_ident("live")).unwrap();
+        assert!(!tree.in_test(j));
+    }
+
+    #[test]
+    fn test_attr_fn_is_a_test_region() {
+        let src = "#[test]\nfn check() { let marker = 1; }\nfn live() { let other = 2; }";
+        let (toks, tree) = tree_of(src);
+        let i = toks.iter().position(|t| t.is_ident("marker")).unwrap();
+        assert!(tree.in_test(i));
+        let j = toks.iter().position(|t| t.is_ident("other")).unwrap();
+        assert!(!tree.in_test(j));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn live() { let marker = 1; }";
+        let (toks, tree) = tree_of(src);
+        let i = toks.iter().position(|t| t.is_ident("marker")).unwrap();
+        assert!(!tree.in_test(i));
+    }
+
+    #[test]
+    fn attributes_between_items_do_not_leak() {
+        let src = "#[derive(Debug)]\nstruct S { x: u64 }\nfn live() { let marker = 1; }";
+        let (toks, tree) = tree_of(src);
+        let i = toks.iter().position(|t| t.is_ident("marker")).unwrap();
+        assert!(!tree.in_test(i));
+        assert_eq!(fn_name_at_ident(src, "marker").as_deref(), Some("live"));
+    }
+}

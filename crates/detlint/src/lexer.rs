@@ -17,7 +17,10 @@ pub enum TokKind {
     Ident,
     /// A numeric literal.
     Number,
-    /// A string literal (cooked, raw or byte); content not retained.
+    /// A string literal (cooked, raw or byte). `text` holds the raw
+    /// content between the quotes (escapes not processed) so rules can
+    /// match exact literals, but `Str` tokens never match `is_ident`,
+    /// so identifier rules still ignore string contents.
     Str,
     /// A char or byte-char literal.
     CharLit,
@@ -33,7 +36,8 @@ pub enum TokKind {
 pub struct Token {
     /// What kind of token this is.
     pub kind: TokKind,
-    /// The token text (empty for string literals).
+    /// The token text (for string literals: the raw content between
+    /// the quotes, escapes unprocessed).
     pub text: String,
     /// 1-based source line.
     pub line: u32,
@@ -289,6 +293,7 @@ fn lex_number(cur: &mut Cursor, line: u32, col: u32) -> Token {
 
 fn lex_cooked_string(cur: &mut Cursor, line: u32, col: u32) -> Result<Token, (u32, String)> {
     cur.bump(); // opening quote
+    let mut text = String::new();
     loop {
         match cur.peek() {
             None => return Err((line, "unterminated string literal".into())),
@@ -297,17 +302,19 @@ fn lex_cooked_string(cur: &mut Cursor, line: u32, col: u32) -> Result<Token, (u3
                 break;
             }
             Some(b'\\') => {
-                cur.bump();
-                cur.bump();
+                text.push(cur.bump_char());
+                if cur.peek().is_some() {
+                    text.push(cur.bump_char());
+                }
             }
             Some(_) => {
-                cur.bump();
+                text.push(cur.bump_char());
             }
         }
     }
     Ok(Token {
         kind: TokKind::Str,
-        text: String::new(),
+        text,
         line,
         col,
     })
@@ -332,18 +339,20 @@ fn lex_raw_or_byte(cur: &mut Cursor, line: u32, col: u32) -> Result<Option<Token
         if cur.peek_at(j + hashes) == Some(b'"') {
             cur.bump_n(j + hashes + 1);
             let closer = format!("\"{}", "#".repeat(hashes));
+            let mut text = String::new();
             loop {
                 if cur.starts_with(&closer) {
                     cur.bump_n(closer.len());
                     break;
                 }
-                if cur.bump().is_none() {
+                if cur.peek().is_none() {
                     return Err((line, "unterminated raw string literal".into()));
                 }
+                text.push(cur.bump_char());
             }
             return Ok(Some(Token {
                 kind: TokKind::Str,
-                text: String::new(),
+                text,
                 line,
                 col,
             }));
@@ -449,6 +458,26 @@ mod tests {
         assert_eq!(idents(r#"let s = "HashMap::new()";"#), vec!["let", "s"]);
         assert_eq!(idents(r##"let s = r#"HashSet"#;"##), vec!["let", "s"]);
         assert_eq!(idents(r#"let s = b"HashMap";"#), vec!["let", "s"]);
+    }
+
+    #[test]
+    fn strings_retain_raw_content() {
+        let strs = |src: &str| -> Vec<String> {
+            lex(src)
+                .unwrap()
+                .tokens
+                .into_iter()
+                .filter(|t| t.kind == TokKind::Str)
+                .map(|t| t.text)
+                .collect()
+        };
+        assert_eq!(strs(r#"let s = "tx_begin";"#), vec!["tx_begin"]);
+        assert_eq!(
+            strs(r##"let s = r#"raw "inner""#;"##),
+            vec![r#"raw "inner""#]
+        );
+        // Escapes are kept raw, not processed.
+        assert_eq!(strs(r#"let s = "a\"b";"#), vec![r#"a\"b"#]);
     }
 
     #[test]

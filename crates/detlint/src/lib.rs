@@ -1,28 +1,47 @@
-//! `detlint` — the BFGTS workspace's determinism lint.
+//! `detlint` — the BFGTS workspace's static-analysis suite.
 //!
 //! Every headline number this repository reproduces (Fig. 4–6 speedups,
-//! Tables 1/4) rests on `bfgts-sim` being a *deterministic*
-//! discrete-event simulator: identical seeds must give bit-identical
-//! conflict orderings, similarity statistics and cycle counts. The
-//! classic way that property rots is innocuous-looking code — a
-//! `HashMap` iterated in a conflict-resolution path, a float sum over
-//! an unordered container, a stray wall-clock read. PR 1 caught exactly
-//! one such bug (`TmStats::measured_similarity` summed floats in
-//! `HashMap` order) by diffing benchmark bytes after the fact; this
-//! crate catches the whole class at lint time instead.
+//! Tables 1/4) rests on `bfgts-sim` being a *deterministic, panic-free,
+//! overflow-checked* discrete-event simulator: identical seeds must
+//! give bit-identical conflict orderings, similarity statistics and
+//! cycle counts, and a multi-million-event run must not die mid-flight
+//! on an unexplained `unwrap`. The classic way those properties rot is
+//! innocuous-looking code — a `HashMap` iterated in a
+//! conflict-resolution path, a bare `+` on a u64 cycle counter that
+//! silently wraps in release, a new trace event kind the replay audit
+//! never learns about. This crate catches those classes at lint time.
+//!
+//! Four rule families run over the workspace:
+//!
+//! - **D (determinism, D001–D005):** hash-ordered collections,
+//!   wall-clock reads, float-over-hash-order accumulation, hash
+//!   randomisation, ambient state.
+//! - **P (panic-safety, P001–P003):** `unwrap`, panic-family macros and
+//!   raw indexing in the panic-audited crates, with hot-path/cold-path
+//!   severity.
+//! - **A (cycle arithmetic, A001):** bare `+`/`-`/`*` on
+//!   cycle-flavoured values in the accounting crates must be
+//!   `checked_*`/`saturating_*`/`wrapping_*` or waived.
+//! - **T (trace contract, T001–T002):** every `TraceEvent` variant must
+//!   be matched by the replay audit and handled by the JSONL exporter.
 //!
 //! The tool is std-only (the build must survive an offline registry, so
-//! no `syn`): a small Rust lexer ([`lexer`]), a rule set over the token
-//! stream ([`rules`], D001–D005), waiver handling and output formats
-//! ([`engine`]), workspace discovery ([`workspace`]) and a
-//! fixture-driven self-test ([`selftest`]). See DESIGN.md §7 for the
-//! policy the rules encode, and README.md for waiver etiquette.
+//! no `syn`): a small Rust lexer ([`lexer`]), a brace-matched item tree
+//! ([`itemtree`]), per-file rules over the token stream ([`rules`]),
+//! the cross-file trace-contract pass ([`contract`]), waiver handling
+//! and output formats ([`engine`], [`sarif`]), workspace discovery
+//! ([`workspace`]) and a fixture-driven self-test ([`selftest`]). See
+//! DESIGN.md §7 for the policy the rules encode, and README.md for
+//! waiver etiquette.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod contract;
 pub mod engine;
+pub mod itemtree;
 pub mod lexer;
 pub mod rules;
+pub mod sarif;
 pub mod selftest;
 pub mod workspace;

@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run -p detlint -- --workspace            # lint the whole tree
 //! cargo run -p detlint -- crates/htm/src/state.rs
-//! cargo run -p detlint -- --workspace --json report.json
+//! cargo run -p detlint -- --workspace --json report.json --sarif report.sarif
 //! cargo run -p detlint -- --self-test            # run the rule fixtures
 //! cargo run -p detlint -- --list-rules
 //! ```
@@ -11,23 +11,29 @@
 //! Exit codes: `0` clean, `1` diagnostics found (or self-test failure),
 //! `2` usage or I/O error.
 
+use detlint::contract;
 use detlint::engine::{json_report, scan_source, Diagnostic};
-use detlint::rules::RULES;
-use detlint::workspace::{classify, collect_files, find_root};
+use detlint::rules::{RawDiag, ScanCtx, Severity, RULES};
+use detlint::sarif::sarif_report;
+use detlint::workspace::{classify, collect_files, find_root, is_test_path};
 use detlint::{selftest, workspace};
 use std::path::PathBuf;
 
 const USAGE: &str = "\
-detlint — determinism lint for the BFGTS workspace
+detlint — static analysis for the BFGTS workspace
+(determinism, panic-safety, cycle-arithmetic, trace-contract rules)
 
 USAGE:
-    detlint [--workspace | PATH...] [--json PATH] [--quiet]
+    detlint [--workspace | PATH...] [--json PATH] [--sarif PATH] [--quiet]
     detlint --self-test
     detlint --list-rules
 
 OPTIONS:
-    --workspace    lint every .rs file of the enclosing cargo workspace
+    --workspace    lint every .rs file of the enclosing cargo workspace;
+                   also runs the cross-file trace-contract pass (T-rules)
+                   and promotes unused waivers (W002) to errors
     --json PATH    also write a machine-readable report (use `-` for stdout)
+    --sarif PATH   also write a SARIF 2.1.0 report for CI code scanning
     --quiet        print only the summary line
     --self-test    check the rule fixtures against their golden output
     --list-rules   print the rule table
@@ -42,6 +48,7 @@ struct Args {
     list_rules: bool,
     quiet: bool,
     json: Option<String>,
+    sarif: Option<String>,
     paths: Vec<String>,
 }
 
@@ -52,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
         list_rules: false,
         quiet: false,
         json: None,
+        sarif: None,
         paths: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -63,6 +71,9 @@ fn parse_args() -> Result<Args, String> {
             "--quiet" | "-q" => args.quiet = true,
             "--json" => {
                 args.json = Some(it.next().ok_or("--json needs a path (or `-`)")?);
+            }
+            "--sarif" => {
+                args.sarif = Some(it.next().ok_or("--sarif needs a path")?);
             }
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -147,6 +158,39 @@ fn run() -> i32 {
     let mut diags: Vec<Diagnostic> = Vec::new();
     let mut waived = 0u32;
     let mut scanned = 0usize;
+
+    // The trace-contract pass (T-rules) reads three files at once, so
+    // it runs once up front in workspace mode; its findings are
+    // anchored at variant declarations in event.rs and injected into
+    // that file's scan so waivers and W002 accounting apply normally.
+    let mut contract_extras: Vec<RawDiag> = Vec::new();
+    if args.workspace {
+        let read = |rel: &str| std::fs::read_to_string(root.join(rel));
+        let sources = (
+            read(contract::EVENT_PATH),
+            read(contract::AUDIT_PATH),
+            read(contract::EXPORT_PATH),
+        );
+        let outcome = match sources {
+            (Ok(ev), Ok(au), Ok(ex)) => contract::check_sources(&ev, &au, &ex),
+            (Err(e), _, _) => Err(format!("cannot read {}: {e}", contract::EVENT_PATH)),
+            (_, Err(e), _) => Err(format!("cannot read {}: {e}", contract::AUDIT_PATH)),
+            (_, _, Err(e)) => Err(format!("cannot read {}: {e}", contract::EXPORT_PATH)),
+        };
+        match outcome {
+            Ok(raws) => contract_extras = raws,
+            Err(msg) => diags.push(Diagnostic {
+                code: "T001".into(),
+                severity: Severity::Error,
+                file: contract::EVENT_PATH.into(),
+                line: 0,
+                col: 0,
+                message: format!("trace contract check failed: {msg}"),
+                hint: "the T-rules need a parseable `enum TraceEvent`, audit and exporter".into(),
+            }),
+        }
+    }
+
     for file in &files {
         // Diagnostics use workspace-relative paths so output is stable
         // regardless of where the tool was invoked from.
@@ -170,7 +214,18 @@ fn run() -> i32 {
             }
         };
         let (crate_name, class) = classify(&display);
-        let report = scan_source(&display, &src, class, &crate_name);
+        let ctx = ScanCtx {
+            class,
+            crate_name: &crate_name,
+            workspace: args.workspace,
+            test_file: is_test_path(&display),
+        };
+        let extra: &[RawDiag] = if args.workspace && display == contract::EVENT_PATH {
+            &contract_extras
+        } else {
+            &[]
+        };
+        let report = scan_source(&display, &src, &ctx, extra);
         scanned += 1;
         waived += report.waived;
         diags.extend(report.diags);
@@ -192,6 +247,14 @@ fn run() -> i32 {
         if target == "-" {
             println!("{report}");
         } else if let Err(e) = std::fs::write(target, report + "\n") {
+            eprintln!("error: cannot write {target}: {e}");
+            return 2;
+        }
+    }
+
+    if let Some(target) = &args.sarif {
+        let report = sarif_report(&diags).to_string();
+        if let Err(e) = std::fs::write(target, report + "\n") {
             eprintln!("error: cannot write {target}: {e}");
             return 2;
         }

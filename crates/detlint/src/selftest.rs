@@ -3,9 +3,26 @@
 //! diagnostic listing under `fixtures/expected/`. `detlint --self-test`
 //! and `cargo test -p detlint` both run this, so the lint cannot drift
 //! from its own spec silently.
+//!
+//! Plain fixtures are single `.rs` files scanned as a critical crate
+//! named `fixture` unless a directive comment says otherwise:
+//!
+//! - `detlint-fixture-class: tooling` — scan as a tooling crate.
+//! - `detlint-fixture-crate: sim` — scan under that crate name (the
+//!   P/A-rules gate on explicit crate lists, so panic/arithmetic
+//!   fixtures opt in this way).
+//! - `detlint-fixture-mode: workspace` — scan with workspace-mode
+//!   semantics (W002 promoted to an error).
+//!
+//! Trace-contract (T-rule) fixtures are three-file trios under
+//! `fixtures/tcontract/<case>/{event.rs,audit.rs,trace_export.rs}`,
+//! checked with [`crate::contract::check_sources`] and rendered
+//! through the same waiver-aware engine; goldens live at
+//! `fixtures/expected/tcontract_<case>.txt`.
 
+use crate::contract;
 use crate::engine::scan_source;
-use crate::rules::CrateClass;
+use crate::rules::{CrateClass, ScanCtx};
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -28,6 +45,21 @@ impl SelfTest {
 /// Directive that marks a fixture as tooling-classed (see
 /// [`CrateClass`]); everything else is scanned as critical.
 const TOOLING_DIRECTIVE: &str = "detlint-fixture-class: tooling";
+/// Directive prefix that sets the crate name a fixture scans under.
+const CRATE_DIRECTIVE: &str = "detlint-fixture-crate:";
+/// Directive that turns on workspace-mode semantics for a fixture.
+const WORKSPACE_DIRECTIVE: &str = "detlint-fixture-mode: workspace";
+
+/// Extracts the value of a `key: value` directive from fixture source.
+fn directive_value<'a>(src: &'a str, key: &str) -> Option<&'a str> {
+    let pos = src.find(key)?;
+    src[pos + key.len()..]
+        .lines()
+        .next()
+        .map(str::trim)?
+        .split_whitespace()
+        .next()
+}
 
 /// Runs every fixture and compares against its golden file.
 pub fn run(fixture_dir: &Path) -> std::io::Result<SelfTest> {
@@ -53,22 +85,76 @@ pub fn run(fixture_dir: &Path) -> std::io::Result<SelfTest> {
         } else {
             CrateClass::Critical
         };
-        let report = scan_source(&name, &src, class, "fixture");
+        let crate_name = directive_value(&src, CRATE_DIRECTIVE).unwrap_or("fixture");
+        let ctx = ScanCtx {
+            class,
+            crate_name,
+            workspace: src.contains(WORKSPACE_DIRECTIVE),
+            test_file: false,
+        };
+        let report = scan_source(&name, &src, &ctx, &[]);
         let mut got = String::new();
         for d in &report.diags {
             writeln!(got, "{}", d.render()).unwrap();
         }
-        let golden_path = fixture_dir.join("expected").join(format!("{stem}.txt"));
-        let want = std::fs::read_to_string(&golden_path).unwrap_or_default();
-        result.fixtures += 1;
-        if normalise(&got) != normalise(&want) {
-            result.failures.push(format!(
-                "fixture {name}: diagnostics diverge from {}\n--- expected ---\n{want}\n--- got ---\n{got}",
-                golden_path.display()
-            ));
+        check_golden(fixture_dir, stem, &name, &got, &mut result);
+    }
+
+    // Trace-contract trios.
+    let tdir = fixture_dir.join("tcontract");
+    if tdir.is_dir() {
+        let mut cases: Vec<_> = std::fs::read_dir(&tdir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        cases.sort();
+        for case in cases {
+            let case_name = case
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("<case>")
+                .to_string();
+            let event = std::fs::read_to_string(case.join("event.rs"))?;
+            let audit = std::fs::read_to_string(case.join("audit.rs"))?;
+            let export = std::fs::read_to_string(case.join("trace_export.rs"))?;
+            let got = match contract::check_sources(&event, &audit, &export) {
+                Ok(raws) => {
+                    let ctx = ScanCtx {
+                        class: CrateClass::Critical,
+                        crate_name: "trace",
+                        workspace: true,
+                        test_file: false,
+                    };
+                    let file = format!("tcontract/{case_name}/event.rs");
+                    let report = scan_source(&file, &event, &ctx, &raws);
+                    let mut s = String::new();
+                    for d in &report.diags {
+                        writeln!(s, "{}", d.render()).unwrap();
+                    }
+                    s
+                }
+                Err(msg) => format!("contract error: {msg}\n"),
+            };
+            let stem = format!("tcontract_{case_name}");
+            let display = format!("tcontract/{case_name}");
+            check_golden(fixture_dir, &stem, &display, &got, &mut result);
         }
     }
     Ok(result)
+}
+
+fn check_golden(fixture_dir: &Path, stem: &str, name: &str, got: &str, result: &mut SelfTest) {
+    let golden_path = fixture_dir.join("expected").join(format!("{stem}.txt"));
+    let want = std::fs::read_to_string(&golden_path).unwrap_or_default();
+    result.fixtures += 1;
+    if normalise(got) != normalise(&want) {
+        result.failures.push(format!(
+            "fixture {name}: diagnostics diverge from {}\n--- expected ---\n{want}\n--- got ---\n{got}",
+            golden_path.display()
+        ));
+    }
 }
 
 fn normalise(text: &str) -> Vec<String> {

@@ -32,6 +32,13 @@ pub fn classify(rel_path: &str) -> (String, CrateClass) {
     (name, class)
 }
 
+/// True for paths under a `tests/` directory (integration tests):
+/// P/A-rules are test-exempt there, matching the `#[cfg(test)]`
+/// exemption inside source files.
+pub fn is_test_path(rel_path: &str) -> bool {
+    rel_path.split('/').any(|seg| seg == "tests")
+}
+
 /// Finds the workspace root by walking up from `start` until a
 /// `Cargo.toml` declaring `[workspace]` appears.
 pub fn find_root(start: &Path) -> Option<PathBuf> {
@@ -113,6 +120,14 @@ mod tests {
             classify("crates/newthing/src/lib.rs").1,
             CrateClass::Critical
         );
+    }
+
+    #[test]
+    fn test_paths_are_detected() {
+        assert!(is_test_path("crates/sim/tests/determinism.rs"));
+        assert!(is_test_path("tests/smoke.rs"));
+        assert!(!is_test_path("crates/sim/src/engine.rs"));
+        assert!(!is_test_path("crates/testkit/src/lib.rs"));
     }
 
     #[test]

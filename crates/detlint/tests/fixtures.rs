@@ -31,10 +31,18 @@ fn fixture_corpus_covers_every_rule() {
             goldens.push_str(&std::fs::read_to_string(&path).expect("read golden"));
         }
     }
-    for code in ["D001", "D002", "D003", "D004", "D005", "W001", "W002"] {
+    for code in [
+        "D001", "D002", "D003", "D004", "D005", "P001", "P002", "P003", "A001", "T001", "T002",
+        "W001", "W002",
+    ] {
         assert!(
-            goldens.contains(&format!("[{code}]")),
+            goldens.contains(&format!("[{code}:")),
             "no fixture exercises rule {code}"
         );
+    }
+    // Both severities and the workspace-mode W002 escalation must be
+    // pinned by at least one golden.
+    for tag in ["[P001:error]", "[P001:warn]", "[W002:error]", "[W002:warn]"] {
+        assert!(goldens.contains(tag), "no fixture pins {tag}");
     }
 }

@@ -184,6 +184,7 @@ impl TmRunReport {
                 for v in &violations {
                     msg.push_str(&format!("  {v}\n"));
                 }
+                // detlint: allow(P002) -- panicking on audit violations is this helper's documented contract
                 panic!("{msg}");
             }
         }

@@ -149,7 +149,7 @@ impl<S: TxSource> TxThreadLogic<S> {
             }
             Phase::PreWork { left } => {
                 let chunk = left.min(self.cfg.prework_chunk);
-                let rest = left - chunk;
+                let rest = left.checked_sub(chunk).expect("chunk is clamped to left");
                 self.phase = if rest > 0 {
                     Phase::PreWork { left: rest }
                 } else {
@@ -255,7 +255,9 @@ impl<S: TxSource> TxThreadLogic<S> {
                 if spun < self.cfg.spin_before_yield {
                     self.phase = Phase::PredictSpin {
                         target,
-                        spun: spun + self.cfg.predict_poll,
+                        spun: spun
+                            .checked_add(self.cfg.predict_poll)
+                            .expect("spin accounting overflowed u64"),
                     };
                     Some(Action::work(self.cfg.predict_poll, Bucket::Scheduling))
                 } else {
@@ -287,7 +289,9 @@ impl<S: TxSource> TxThreadLogic<S> {
                     return None;
                 }
                 let chunk = left.min(self.cfg.backoff_chunk);
-                self.phase = Phase::DelayWait { left: left - chunk };
+                self.phase = Phase::DelayWait {
+                    left: left.checked_sub(chunk).expect("chunk is clamped to left"),
+                };
                 Some(Action::work(chunk, Bucket::Abort))
             }
             Phase::InTx { next } => {
@@ -296,7 +300,11 @@ impl<S: TxSource> TxThreadLogic<S> {
                     self.phase = Phase::CommitHtm;
                     return None;
                 }
-                let access = tx.accesses[next];
+                let access = tx
+                    .accesses
+                    .get(next)
+                    .copied()
+                    .expect("access index bounds-checked above");
                 let my_stx = tx.stx;
                 let result = if access.is_write {
                     world.tm.write(ctx.thread, access.addr)
@@ -316,7 +324,10 @@ impl<S: TxSource> TxThreadLogic<S> {
                                 shard,
                             });
                         }
-                        self.tx_work += self.cfg.access_cost;
+                        self.tx_work = self
+                            .tx_work
+                            .checked_add(self.cfg.access_cost)
+                            .expect("transactional work accounting overflowed u64");
                         self.phase = Phase::InTx { next: next + 1 };
                         Some(Action::work(self.cfg.access_cost, Bucket::Tx))
                     }
@@ -383,8 +394,11 @@ impl<S: TxSource> TxThreadLogic<S> {
                             // deterministic retry loops cannot
                             // phase-lock into a livelock (LogTM
                             // randomises its retry for the same reason).
-                            let poll =
-                                self.cfg.conflict_poll + ctx.rng.jitter(self.cfg.conflict_poll);
+                            let poll = self
+                                .cfg
+                                .conflict_poll
+                                .checked_add(ctx.rng.jitter(self.cfg.conflict_poll))
+                                .expect("retry interval overflowed u64");
                             Some(Action::work(poll, Bucket::Abort))
                         }
                     }
@@ -404,7 +418,9 @@ impl<S: TxSource> TxThreadLogic<S> {
                 ctx.refile(
                     Bucket::Tx,
                     Bucket::Abort,
-                    self.tx_work + ctx.costs().tx_begin,
+                    self.tx_work
+                        .checked_add(ctx.costs().tx_begin)
+                        .expect("refiled work overflowed u64"),
                 );
                 self.tx_work = 0;
                 ctx.trace.emit(ctx.now.as_u64(), || TraceEvent::TxAbort {
@@ -414,8 +430,12 @@ impl<S: TxSource> TxThreadLogic<S> {
                 });
                 let enemy = self.commit_dtx.take().expect("abort without enemy");
                 self.phase = Phase::AbortCm { enemy };
-                let rollback =
-                    ctx.costs().abort_trap + ctx.costs().abort_per_line * undo_lines as u64;
+                let rollback = ctx
+                    .costs()
+                    .abort_per_line
+                    .checked_mul(undo_lines as u64)
+                    .and_then(|undo| ctx.costs().abort_trap.checked_add(undo))
+                    .expect("rollback cost overflowed u64");
                 Some(Action::work(rollback, Bucket::Abort))
             }
             Phase::AbortCm { enemy } => {
@@ -444,7 +464,9 @@ impl<S: TxSource> TxThreadLogic<S> {
                     return None;
                 }
                 let chunk = left.min(self.cfg.backoff_chunk);
-                self.phase = Phase::Backoff { left: left - chunk };
+                self.phase = Phase::Backoff {
+                    left: left.checked_sub(chunk).expect("chunk is clamped to left"),
+                };
                 Some(Action::work(chunk, Bucket::Abort))
             }
             Phase::CommitHtm => {
@@ -459,8 +481,14 @@ impl<S: TxSource> TxThreadLogic<S> {
                     // unchanged. Emitted before TxCommit, while the
                     // attempt is still open, so the audit (I8) can match
                     // it against the attempt's ShardTouch set.
-                    let extra = ctx.costs().cross_shard_hop * u64::from(touched - 1);
-                    commit_cost += extra;
+                    let extra = ctx
+                        .costs()
+                        .cross_shard_hop
+                        .checked_mul(u64::from(touched - 1))
+                        .expect("cross-shard coordination cost overflowed u64");
+                    commit_cost = commit_cost
+                        .checked_add(extra)
+                        .expect("commit cost overflowed u64");
                     ctx.trace
                         .emit(ctx.now.as_u64(), || TraceEvent::CrossShardCommit {
                             thread: ctx.thread.index() as u32,
@@ -516,6 +544,7 @@ impl<S: TxSource> ThreadLogic<TmWorld> for TxThreadLogic<S> {
                 return action;
             }
         }
+        // detlint: allow(P002) -- documented panic: a phase machine that spins without producing an action is a logic bug
         panic!(
             "thread {} made no progress in 64 phase transitions (phase {:?})",
             ctx.thread, self.phase

@@ -89,7 +89,10 @@ impl TimeBuckets {
     /// Adds `cycles` to `bucket`. (Named `charge` to avoid clashing with
     /// [`std::ops::Add::add`].)
     pub fn charge(&mut self, bucket: Bucket, cycles: u64) {
-        *self.slot(bucket) += cycles;
+        let slot = self.slot(bucket);
+        *slot = slot
+            .checked_add(cycles)
+            .expect("bucket accounting overflowed u64");
     }
 
     /// Adds a [`Cycle`] duration to `bucket`.
@@ -128,8 +131,14 @@ impl TimeBuckets {
     /// violation (see `bfgts_trace::audit`).
     pub fn transfer(&mut self, from: Bucket, to: Bucket, cycles: u64) -> u64 {
         let moved = cycles.min(self.get(from));
-        *self.slot(from) -= moved;
-        *self.slot(to) += moved;
+        let src = self.slot(from);
+        *src = src
+            .checked_sub(moved)
+            .expect("transfer moves at most the source balance");
+        let dst = self.slot(to);
+        *dst = dst
+            .checked_add(moved)
+            .expect("bucket accounting overflowed u64");
         moved
     }
 

@@ -142,12 +142,18 @@ impl CostModel {
     /// one `SimRng` state maps to exactly one perturbed model.
     pub fn perturbed(&self, rng: &mut crate::SimRng, max_percent: u64) -> Self {
         let mut jitter = |cost: u64| -> u64 {
-            let span = cost * max_percent / 100;
+            let span = cost
+                .checked_mul(max_percent)
+                .expect("jitter envelope overflowed u64")
+                / 100;
             if span == 0 {
                 return cost.max(1);
             }
             // Uniform in [cost - span, cost + span].
-            (cost - span + rng.gen_range(2 * span + 1)).max(1)
+            let lo = cost
+                .checked_sub(span)
+                .expect("jitter span exceeds the base cost (max_percent > 100?)");
+            (lo + rng.gen_range(2 * span + 1)).max(1)
         };
         Self {
             l1_hit: jitter(self.l1_hit),

@@ -310,6 +310,22 @@ impl<W> Engine<W> {
         id
     }
 
+    /// Slot for an engine-issued thread id. Ids come from `spawn*` and
+    /// never leave the engine's range, so a miss is an internal
+    /// invariant violation, not a caller error.
+    fn thread_mut(&mut self, tid: ThreadId) -> &mut ThreadSlot<W> {
+        self.threads
+            .get_mut(tid.index())
+            .expect("engine-issued ThreadId is in range")
+    }
+
+    /// Slot for an engine-issued CPU id (see [`Engine::thread_mut`]).
+    fn cpu_mut(&mut self, cpu: CpuId) -> &mut Cpu {
+        self.cpus
+            .get_mut(cpu.index())
+            .expect("engine-issued CpuId is in range")
+    }
+
     /// Shared world state.
     pub fn world(&self) -> &W {
         &self.world
@@ -349,7 +365,7 @@ impl<W> Engine<W> {
                 "simulation exceeded max_cycles={} (live-lock?)",
                 self.config.max_cycles
             );
-            self.cpus[cpu_idx].armed = false;
+            self.cpu_mut(CpuId(cpu_idx)).armed = false;
             self.service_cpu(CpuId(cpu_idx));
         }
         if self.finished != self.threads.len() {
@@ -360,6 +376,7 @@ impl<W> Engine<W> {
                 .filter(|(_, t)| t.state != ThreadState::Finished)
                 .map(|(i, t)| format!("{}:{:?}", ThreadId(i), t.state))
                 .collect();
+            // detlint: allow(P002) -- documented panic contract of run(): a deadlocked program under test is unrecoverable
             panic!(
                 "simulated deadlock at {}: stuck threads {stuck:?}",
                 self.now
@@ -381,7 +398,7 @@ impl<W> Engine<W> {
 
     /// Schedules a service event for `cpu` at `time` unless one is armed.
     fn arm(&mut self, cpu: CpuId, time: Cycle) {
-        let slot = &mut self.cpus[cpu.index()];
+        let slot = self.cpu_mut(cpu);
         if !slot.armed {
             slot.armed = true;
             self.seq += 1;
@@ -392,21 +409,19 @@ impl<W> Engine<W> {
     fn service_cpu(&mut self, cpu: CpuId) {
         let costs = self.config.costs.clone();
         // Pick up a thread if the CPU is free.
-        if self.cpus[cpu.index()].current.is_none() {
-            let Some(next) = self.cpus[cpu.index()].run_queue.pop_front() else {
+        if self.cpu_mut(cpu).current.is_none() {
+            let Some(next) = self.cpu_mut(cpu).run_queue.pop_front() else {
                 return; // idle: a future wake will re-arm us
             };
-            let slot = &mut self.cpus[cpu.index()];
+            let slot = self.cpu_mut(cpu);
             let switched = slot.last != Some(next);
             let switch = if switched { costs.context_switch } else { 0 };
             slot.current = Some(next);
             slot.last = Some(next);
             slot.ran_since_switch = 0;
-            self.threads[next.index()].state = ThreadState::Running;
+            self.thread_mut(next).state = ThreadState::Running;
             if switch > 0 {
-                self.threads[next.index()]
-                    .buckets
-                    .charge(Bucket::Kernel, switch);
+                self.thread_mut(next).buckets.charge(Bucket::Kernel, switch);
             }
             if switched {
                 let at = self.now.as_u64();
@@ -429,24 +444,26 @@ impl<W> Engine<W> {
             return;
         }
 
-        let tid = self.cpus[cpu.index()]
-            .current
-            .expect("current checked above");
+        let tid = self.cpu_mut(cpu).current.expect("current checked above");
 
         // Quantum preemption: only if someone else is waiting.
         {
-            let slot = &mut self.cpus[cpu.index()];
+            let slot = self.cpu_mut(cpu);
             if slot.ran_since_switch >= costs.quantum && !slot.run_queue.is_empty() {
                 slot.current = None;
                 slot.run_queue.push_back(tid);
-                self.threads[tid.index()].state = ThreadState::Ready;
+                self.thread_mut(tid).state = ThreadState::Ready;
                 self.arm(cpu, self.now);
                 return;
             }
         }
 
-        // Step the thread.
-        let thread = &mut self.threads[tid.index()];
+        // Step the thread. Direct field access (not `thread_mut`) so the
+        // context can borrow `rng`/`buckets` alongside `trace` and `world`.
+        let thread = self
+            .threads
+            .get_mut(tid.index())
+            .expect("engine-issued ThreadId is in range");
         let mut ctx = ThreadCtx {
             thread: tid,
             cpu,
@@ -463,7 +480,9 @@ impl<W> Engine<W> {
         // Charge wake costs to the waker and apply the wakes.
         let mut extra = 0u64;
         for target in wakes {
-            extra += costs.futex_wake;
+            extra = extra
+                .checked_add(costs.futex_wake)
+                .expect("wake-cost accounting overflowed u64");
             self.wake_internal(target);
         }
         // Charges within this step are serialised on the trace timeline:
@@ -471,12 +490,13 @@ impl<W> Engine<W> {
         // at now+extra. That is what lets the audit check that charge
         // intervals on one CPU never overlap (invariant I2).
         let at = self.now.as_u64();
+        let at_after = at
+            .checked_add(extra)
+            .expect("trace timestamp overflowed u64");
         let (cpu_u, thread_u) = (cpu.index() as u32, tid.index() as u32);
         let kernel = Bucket::Kernel.trace_kind();
         if extra > 0 {
-            self.threads[tid.index()]
-                .buckets
-                .charge(Bucket::Kernel, extra);
+            self.thread_mut(tid).buckets.charge(Bucket::Kernel, extra);
             self.trace.emit(at, || TraceEvent::Charge {
                 cpu: cpu_u,
                 thread: thread_u,
@@ -487,91 +507,103 @@ impl<W> Engine<W> {
 
         match action {
             Action::Work { cycles, bucket } => {
-                self.threads[tid.index()].buckets.charge(bucket, cycles);
+                self.thread_mut(tid).buckets.charge(bucket, cycles);
                 if cycles > 0 {
-                    self.trace.emit(at + extra, || TraceEvent::Charge {
+                    self.trace.emit(at_after, || TraceEvent::Charge {
                         cpu: cpu_u,
                         thread: thread_u,
                         bucket: bucket.trace_kind(),
                         cycles,
                     });
                 }
-                self.cpus[cpu.index()].ran_since_switch += cycles + extra;
+                let ran = cycles
+                    .checked_add(extra)
+                    .expect("step-cycle accounting overflowed u64");
+                let slot = self.cpu_mut(cpu);
+                slot.ran_since_switch = slot
+                    .ran_since_switch
+                    .checked_add(ran)
+                    .expect("quantum accounting overflowed u64");
                 // Clamp to >=1 so a degenerate zero-cost action stream
                 // (possible under all-zero cost models) cannot pin the
                 // event heap to one timestamp and starve other CPUs.
-                self.arm(cpu, self.now + Cycle::new((cycles + extra).max(1)));
+                self.arm(cpu, self.now + Cycle::new(ran.max(1)));
             }
             Action::Yield => {
-                self.threads[tid.index()]
+                self.thread_mut(tid)
                     .buckets
                     .charge(Bucket::Kernel, costs.yield_syscall);
                 if costs.yield_syscall > 0 {
-                    self.trace.emit(at + extra, || TraceEvent::Charge {
+                    self.trace.emit(at_after, || TraceEvent::Charge {
                         cpu: cpu_u,
                         thread: thread_u,
                         bucket: kernel,
                         cycles: costs.yield_syscall,
                     });
                 }
-                self.threads[tid.index()].state = ThreadState::Ready;
-                let slot = &mut self.cpus[cpu.index()];
+                self.thread_mut(tid).state = ThreadState::Ready;
+                let slot = self.cpu_mut(cpu);
                 slot.current = None;
                 slot.run_queue.push_back(tid);
+                let pause = costs
+                    .yield_syscall
+                    .checked_add(extra)
+                    .expect("yield-charge accounting overflowed u64");
                 // A yield must advance time even with a zero-cost OS
                 // model, or a lone yielding thread would re-arm at the
                 // same timestamp forever and starve other CPUs' events.
-                self.arm(
-                    cpu,
-                    self.now + Cycle::new((costs.yield_syscall + extra).max(1)),
-                );
+                self.arm(cpu, self.now + Cycle::new(pause.max(1)));
             }
             Action::Block => {
-                self.threads[tid.index()]
+                self.thread_mut(tid)
                     .buckets
                     .charge(Bucket::Kernel, costs.futex_block);
                 if costs.futex_block > 0 {
-                    self.trace.emit(at + extra, || TraceEvent::Charge {
+                    self.trace.emit(at_after, || TraceEvent::Charge {
                         cpu: cpu_u,
                         thread: thread_u,
                         bucket: kernel,
                         cycles: costs.futex_block,
                     });
                 }
-                let slot = &mut self.threads[tid.index()];
+                let slot = self.thread_mut(tid);
                 if slot.pending_wake {
                     // A wake raced ahead of the block: consume it and
                     // stay runnable (futex semantics).
                     slot.pending_wake = false;
                     slot.state = ThreadState::Ready;
-                    self.cpus[cpu.index()].run_queue.push_back(tid);
+                    self.cpu_mut(cpu).run_queue.push_back(tid);
                 } else {
                     slot.state = ThreadState::Blocked;
                 }
-                self.cpus[cpu.index()].current = None;
-                self.arm(
-                    cpu,
-                    self.now + Cycle::new((costs.futex_block + extra).max(1)),
-                );
+                self.cpu_mut(cpu).current = None;
+                let pause = costs
+                    .futex_block
+                    .checked_add(extra)
+                    .expect("block-charge accounting overflowed u64");
+                self.arm(cpu, self.now + Cycle::new(pause.max(1)));
             }
             Action::Finish => {
-                self.threads[tid.index()].state = ThreadState::Finished;
-                self.threads[tid.index()].finish_time = Some(self.now);
+                let now = self.now;
+                let slot = self.thread_mut(tid);
+                slot.state = ThreadState::Finished;
+                slot.finish_time = Some(now);
                 self.finished += 1;
-                self.cpus[cpu.index()].current = None;
+                self.cpu_mut(cpu).current = None;
                 self.arm(cpu, self.now + Cycle::new(extra));
             }
         }
     }
 
     fn wake_internal(&mut self, target: ThreadId) {
-        let slot = &mut self.threads[target.index()];
+        let slot = self.thread_mut(target);
         match slot.state {
             ThreadState::Blocked => {
                 slot.state = ThreadState::Ready;
                 let cpu = slot.cpu;
-                self.cpus[cpu.index()].run_queue.push_back(target);
-                if self.cpus[cpu.index()].current.is_none() {
+                let cpu_slot = self.cpu_mut(cpu);
+                cpu_slot.run_queue.push_back(target);
+                if cpu_slot.current.is_none() {
                     self.arm(cpu, self.now);
                 }
             }

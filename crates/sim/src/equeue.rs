@@ -145,9 +145,11 @@ impl CalendarQueue {
     /// which equals seq order exactly under that contract.
     pub fn push(&mut self, time: Cycle, seq: u64, cpu: usize) {
         let t = time.as_u64();
-        debug_assert!(t >= self.cursor, "event time precedes the cursor");
+        let ahead = t
+            .checked_sub(self.cursor)
+            .expect("event time precedes the cursor");
         self.len += 1;
-        if t - self.cursor >= WINDOW {
+        if ahead >= WINDOW {
             self.overflow_len += 1;
             self.overflow_min = self.overflow_min.min(t);
             self.overflow.entry(t).or_default().push((seq, cpu));
@@ -169,9 +171,18 @@ impl CalendarQueue {
         let start = (self.cursor & MASK) as usize;
         let idx = self.find_next(start);
         let dist = (idx as u64).wrapping_sub(self.cursor) & MASK;
-        let t = self.cursor + dist;
-        let slot = &mut self.buckets[idx];
-        let (seq, cpu) = slot.items[slot.head];
+        let t = self
+            .cursor
+            .checked_add(dist)
+            .expect("ring distance keeps event times in u64 range");
+        let slot = self
+            .buckets
+            .get_mut(idx)
+            .expect("find_next is a ring index");
+        let &(seq, cpu) = slot
+            .items
+            .get(slot.head)
+            .expect("occupied bucket has an undrained entry");
         slot.head += 1;
         if slot.is_drained() {
             self.clear_bit(idx);
@@ -186,15 +197,31 @@ impl CalendarQueue {
 
     fn ring_insert(&mut self, t: u64, seq: u64, cpu: usize) {
         let idx = (t & MASK) as usize;
-        self.buckets[idx].push(seq, cpu);
-        self.words[idx >> 6] |= 1 << (idx & 63);
-        self.summary[idx >> 12] |= 1 << ((idx >> 6) & 63);
+        self.buckets
+            .get_mut(idx)
+            .expect("masked time is a ring index")
+            .push(seq, cpu);
+        *self
+            .words
+            .get_mut(idx >> 6)
+            .expect("ring index maps into the bitmap") |= 1 << (idx & 63);
+        *self
+            .summary
+            .get_mut(idx >> 12)
+            .expect("ring index maps into the summary") |= 1 << ((idx >> 6) & 63);
     }
 
     fn clear_bit(&mut self, idx: usize) {
-        self.words[idx >> 6] &= !(1 << (idx & 63));
-        if self.words[idx >> 6] == 0 {
-            self.summary[idx >> 12] &= !(1 << ((idx >> 6) & 63));
+        let word = self
+            .words
+            .get_mut(idx >> 6)
+            .expect("ring index maps into the bitmap");
+        *word &= !(1 << (idx & 63));
+        if *word == 0 {
+            *self
+                .summary
+                .get_mut(idx >> 12)
+                .expect("ring index maps into the summary") &= !(1 << ((idx >> 6) & 63));
         }
     }
 
@@ -202,7 +229,12 @@ impl CalendarQueue {
     /// the window onto the ring. Called on every cursor advance, which
     /// is what keeps the two invariants above true.
     fn migrate(&mut self) {
-        while self.overflow_min - self.cursor < WINDOW {
+        while self
+            .overflow_min
+            .checked_sub(self.cursor)
+            .expect("overflow keys never precede the cursor")
+            < WINDOW
+        {
             let (t, items) = self
                 .overflow
                 .pop_first()
@@ -225,7 +257,8 @@ impl CalendarQueue {
     fn find_next(&self, start: usize) -> usize {
         debug_assert!(self.len > self.overflow_len, "ring is empty");
         let w0 = start >> 6;
-        let masked = self.words[w0] & (!0u64 << (start & 63));
+        let masked =
+            self.words.get(w0).copied().expect("start is a ring index") & (!0u64 << (start & 63));
         if masked != 0 {
             return (w0 << 6) | masked.trailing_zeros() as usize;
         }
@@ -233,7 +266,12 @@ impl CalendarQueue {
             .next_word(w0 + 1)
             .or_else(|| self.next_word(0))
             .expect("occupancy bitmap has a set bit");
-        (w << 6) | self.words[w].trailing_zeros() as usize
+        let word = self
+            .words
+            .get(w)
+            .copied()
+            .expect("next_word returns a bitmap index");
+        (w << 6) | word.trailing_zeros() as usize
     }
 
     /// First non-zero first-level word at index `>= from`, via the
@@ -243,13 +281,21 @@ impl CalendarQueue {
             return None;
         }
         let s0 = from >> 6;
-        let masked = self.summary[s0] & (!0u64 << (from & 63));
+        let masked = self
+            .summary
+            .get(s0)
+            .copied()
+            .expect("summary index derives from a ring index")
+            & (!0u64 << (from & 63));
         if masked != 0 {
             return Some((s0 << 6) | masked.trailing_zeros() as usize);
         }
-        ((s0 + 1)..SUMMARY_WORDS)
-            .find(|&s| self.summary[s] != 0)
-            .map(|s| (s << 6) | self.summary[s].trailing_zeros() as usize)
+        self.summary
+            .iter()
+            .enumerate()
+            .skip(s0 + 1)
+            .find(|&(_, &word)| word != 0)
+            .map(|(s, &word)| (s << 6) | word.trailing_zeros() as usize)
     }
 }
 

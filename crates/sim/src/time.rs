@@ -47,6 +47,7 @@ impl Cycle {
     pub fn since(self, earlier: Cycle) -> Cycle {
         match self.checked_since(earlier) {
             Some(d) => d,
+            // detlint: allow(P002) -- documented panic policy: a backwards clock must abort rather than corrupt accounting
             None => panic!(
                 "Cycle::since: time went backwards ({}cy is earlier than {}cy)",
                 self.0, earlier.0
@@ -73,14 +74,24 @@ impl Cycle {
 
 impl Add for Cycle {
     type Output = Cycle;
+    /// Panics in all builds on overflow. `Cycle` operators are the
+    /// workspace's sanctioned cycle-arithmetic boundary (detlint rule
+    /// A001 exempts them), so they must not wrap silently in release.
+    #[track_caller]
     fn add(self, rhs: Cycle) -> Cycle {
-        Cycle(self.0 + rhs.0)
+        Cycle(
+            self.0
+                .checked_add(rhs.0)
+                .expect("Cycle addition overflowed u64"),
+        )
     }
 }
 
 impl AddAssign for Cycle {
+    /// Shares the checked-overflow policy of [`Add`](Cycle::add).
+    #[track_caller]
     fn add_assign(&mut self, rhs: Cycle) {
-        self.0 += rhs.0;
+        *self = *self + rhs;
     }
 }
 
