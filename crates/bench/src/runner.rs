@@ -35,11 +35,11 @@ use crate::json::Json;
 use crate::{trace_export, CommonArgs, ManagerKind, Platform};
 use bfgts_baselines::BackoffCm;
 use bfgts_faultsim::FaultPlan;
-use bfgts_htm::{run_workload, ContentionManager, TmRunReport};
+use bfgts_htm::{run_workload, ContentionManager, LatencyDigest, TmRunReport};
 use bfgts_scenario::{fnv1a, ManagerSpec, ResolvedWorkload, Scenario, WorkloadSpec};
 use bfgts_sim::{Bucket, TimeBuckets, TraceMode};
 use bfgts_trace::Violation;
-use bfgts_workloads::BenchmarkSpec;
+use bfgts_workloads::{open_sources, ArrivalSpec, BenchmarkSpec};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -49,8 +49,9 @@ pub use bfgts_scenario::CostKind;
 
 /// Bump to invalidate every cached cell (e.g. after a change to the
 /// simulator, the cost model or the summary layout). Version 2 moved the
-/// key to the scenario content hash.
-pub const CACHE_VERSION: u64 = 2;
+/// key to the scenario content hash; version 3 added the optional
+/// open-system latency digest to the summary layout.
+pub const CACHE_VERSION: u64 = 3;
 
 /// One cell of an experiment grid: a [`Scenario`] plus, for the one
 /// escape hatch the scenario cannot express, a closure building an
@@ -167,6 +168,14 @@ impl RunCell {
         self
     }
 
+    /// Switches the cell to open-system mode: transactions stream in
+    /// under `spec`'s arrival processes instead of being queued up front.
+    pub fn open(mut self, spec: ArrivalSpec) -> Self {
+        self.scenario.arrivals = Some(spec);
+        self.scenario = self.scenario.canonical();
+        self
+    }
+
     /// Whether this cell's summary may be persisted to (and served from)
     /// the on-disk cache. False only for closure-built custom cells.
     pub fn cacheable(&self) -> bool {
@@ -198,13 +207,12 @@ impl RunCell {
         if matches!(scenario.manager, ManagerSpec::Serial) {
             // Serial baselines stay clean even under --faults: a
             // perturbed denominator would make every speedup
-            // incomparable across plans.
+            // incomparable across plans. Arrival specs are kept — an
+            // open serial baseline answers "what latency would a single
+            // CPU sustain under this offered load".
             let cfg = scenario.costs.run_config(1, 1, seed).trace(trace);
             let cm: Box<dyn ContentionManager> = Box::new(BackoffCm::default());
-            return match resolved {
-                ResolvedWorkload::Benchmark(spec) => run_workload(&cfg, spec.sources(1), cm),
-                ResolvedWorkload::Adversarial(spec) => run_workload(&cfg, spec.sources(1), cm),
-            };
+            return dispatch_sources(&cfg, resolved, scenario.arrivals.as_ref(), seed, 1, cm);
         }
         let plan = scenario.faults.as_ref();
         let mut cfg = scenario
@@ -229,9 +237,37 @@ impl RunCell {
                 .expect("non-custom managers build from data"),
         };
         let threads = scenario.platform.threads;
-        match resolved {
-            ResolvedWorkload::Benchmark(spec) => run_workload(&cfg, spec.sources(threads), cm),
-            ResolvedWorkload::Adversarial(spec) => run_workload(&cfg, spec.sources(threads), cm),
+        dispatch_sources(
+            &cfg,
+            resolved,
+            scenario.arrivals.as_ref(),
+            seed,
+            threads,
+            cm,
+        )
+    }
+}
+
+/// Builds the per-thread sources a resolved workload describes — wrapped
+/// into [`open_sources`] streams when an arrival spec is present — and
+/// runs them. The arrival streams derive from the run's master seed, so
+/// the schedule is pinned by the scenario id like every other input.
+fn dispatch_sources(
+    cfg: &bfgts_htm::TmRunConfig,
+    resolved: ResolvedWorkload,
+    arrivals: Option<&ArrivalSpec>,
+    seed: u64,
+    threads: usize,
+    cm: Box<dyn ContentionManager>,
+) -> TmRunReport {
+    match (resolved, arrivals) {
+        (ResolvedWorkload::Benchmark(spec), None) => run_workload(cfg, spec.sources(threads), cm),
+        (ResolvedWorkload::Benchmark(spec), Some(arrivals)) => {
+            run_workload(cfg, open_sources(spec.sources(threads), arrivals, seed), cm)
+        }
+        (ResolvedWorkload::Adversarial(spec), None) => run_workload(cfg, spec.sources(threads), cm),
+        (ResolvedWorkload::Adversarial(spec), Some(arrivals)) => {
+            run_workload(cfg, open_sources(spec.sources(threads), arrivals, seed), cm)
         }
     }
 }
@@ -259,6 +295,9 @@ pub struct CellSummary {
     /// Measured similarity per static transaction (only entries that
     /// committed at least twice), sorted by stx.
     pub similarity: Vec<(u32, f64)>,
+    /// Open-system latency digest (sojourn percentiles + sustained
+    /// throughput); `None` for closed (batch) runs.
+    pub latency: Option<LatencyDigest>,
 }
 
 impl CellSummary {
@@ -291,6 +330,7 @@ impl CellSummary {
                 .map(|(a, b)| (a.get(), b.get()))
                 .collect(),
             similarity,
+            latency: report.latency(),
         }
     }
 
@@ -355,7 +395,7 @@ impl CellSummary {
     }
 
     fn to_json(&self, key: &str) -> Json {
-        Json::obj([
+        let mut pairs = vec![
             ("v", Json::UInt(CACHE_VERSION)),
             ("key", Json::Str(key.to_string())),
             ("cm_name", Json::Str(self.cm_name.clone())),
@@ -405,7 +445,24 @@ impl CellSummary {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        // Mirrors the scenario's own protocol: closed runs serialise
+        // exactly as they did before latency existed.
+        if let Some(latency) = &self.latency {
+            pairs.push((
+                "latency",
+                Json::obj([
+                    ("count", Json::UInt(latency.count)),
+                    ("p50", Json::UInt(latency.p50)),
+                    ("p95", Json::UInt(latency.p95)),
+                    ("p99", Json::UInt(latency.p99)),
+                    ("total_cycles", Json::UInt(latency.total_cycles)),
+                    // f64 as bits, like similarity: byte-exact cache hits.
+                    ("tx_per_sec_bits", Json::UInt(latency.tx_per_sec.to_bits())),
+                ]),
+            ));
+        }
+        Json::obj(pairs)
     }
 
     fn from_json(value: &Json) -> Option<Self> {
@@ -464,6 +521,17 @@ impl CellSummary {
                 .iter()
                 .map(sim)
                 .collect::<Option<_>>()?,
+            latency: match value.get("latency") {
+                None => None,
+                Some(digest) => Some(LatencyDigest {
+                    count: digest.get("count")?.as_u64()?,
+                    total_cycles: digest.get("total_cycles")?.as_u64()?,
+                    p50: digest.get("p50")?.as_u64()?,
+                    p95: digest.get("p95")?.as_u64()?,
+                    p99: digest.get("p99")?.as_u64()?,
+                    tx_per_sec: f64::from_bits(digest.get("tx_per_sec_bits")?.as_u64()?),
+                }),
+            },
         })
     }
 }
@@ -1087,11 +1155,144 @@ mod tests {
             per_stx: vec![(0, 2, 1), (1, 2, 0)],
             conflict_edges: vec![(0, 1), (1, 1)],
             similarity: vec![(1, 0.5)],
+            latency: None,
         };
         assert_eq!(summary.conflict_row(1), vec![0, 1]);
         assert_eq!(summary.measured_similarity(1), Some(0.5));
         assert_eq!(summary.measured_similarity(9), None);
         assert!((summary.contention_rate() - 0.2).abs() < 1e-12);
         assert_eq!(summary.speedup_over(200), 2.0);
+    }
+
+    fn open_cell() -> RunCell {
+        RunCell::one(&tiny_spec(), ManagerKind::BfgtsHw, Platform::small())
+            .open(bfgts_workloads::ArrivalSpec::poisson(1500))
+    }
+
+    #[test]
+    fn open_cells_key_separately_and_report_latency() {
+        let closed = RunCell::one(&tiny_spec(), ManagerKind::BfgtsHw, Platform::small());
+        let open = open_cell();
+        assert_ne!(closed.cache_key(), open.cache_key());
+        let summary = open.execute();
+        let latency = summary.latency.expect("open runs report latency");
+        assert!(latency.count > 0);
+        assert!(latency.p50 <= latency.p95 && latency.p95 <= latency.p99);
+        assert!(latency.tx_per_sec > 0.0);
+        assert_eq!(closed.execute().latency, None, "closed runs report none");
+    }
+
+    #[test]
+    fn open_summaries_round_trip_and_audit_clean() {
+        let cell = open_cell();
+        let summary = cell.execute();
+        let round = CellSummary::from_json(&summary.to_json("k")).expect("parses");
+        assert_eq!(summary, round);
+        assert_eq!(
+            round.latency.unwrap().tx_per_sec.to_bits(),
+            summary.latency.unwrap().tx_per_sec.to_bits()
+        );
+        // The I9 arrival-causality invariant holds through the full
+        // scenario -> sources -> engine -> trace path.
+        let report = cell.execute_report(TraceMode::Full);
+        let audit = report.audit().expect("open-system audit clean");
+        assert!(audit.tx_arrivals > 0);
+        assert_eq!(audit.sojourn_cycles, report.stats.sojourn_total());
+    }
+
+    #[test]
+    fn open_scenarios_replay_from_their_files() {
+        let cell = open_cell();
+        let text = cell.scenario.to_json().to_string();
+        let parsed = bfgts_scenario::Scenario::from_json(&Json::parse(&text).unwrap()).unwrap();
+        let rebuilt = RunCell::from_scenario(parsed).unwrap();
+        assert_eq!(rebuilt.cache_key(), cell.cache_key());
+        assert_eq!(rebuilt.execute(), cell.execute());
+    }
+
+    #[test]
+    fn open_system_jsonl_identical_across_queue_kinds() {
+        // The arrival schedule is a pure function of (spec, seed,
+        // thread): the event-queue flavour must not leak into the
+        // open-system stream, down to the exported bytes.
+        let spec = tiny_spec();
+        let arrivals = bfgts_workloads::ArrivalSpec::poisson(1200);
+        let mk = |queue| {
+            let cfg = bfgts_htm::TmRunConfig::new(4, 8)
+                .seed(0xB16_B00B5)
+                .queue(queue)
+                .trace(TraceMode::Full);
+            let report = run_workload(
+                &cfg,
+                open_sources(spec.sources(8), &arrivals, 0xB16_B00B5),
+                Box::new(BackoffCm::default()),
+            );
+            report.audit_or_panic();
+            let inputs = report.sim.audit_inputs();
+            crate::trace_export::to_jsonl(&report.sim.trace, &inputs)
+        };
+        let heap = mk(bfgts_sim::EventQueueKind::Heap);
+        let calendar = mk(bfgts_sim::EventQueueKind::Calendar);
+        assert!(heap.contains("tx_arrival"), "stream records arrivals");
+        assert_eq!(heap, calendar, "queue flavour changed the stream");
+    }
+
+    #[test]
+    fn open_grids_identical_across_worker_counts() {
+        let spec = tiny_spec();
+        let p = Platform::small();
+        let cells = vec![
+            RunCell::serial(&spec, p),
+            open_cell(),
+            RunCell::one(&spec, ManagerKind::Backoff, p)
+                .open(bfgts_workloads::ArrivalSpec::poisson(900)),
+        ];
+        let solo = run_grid(
+            &cells,
+            &RunnerOptions {
+                jobs: 1,
+                cache_dir: None,
+            },
+        );
+        let four = run_grid(
+            &cells,
+            &RunnerOptions {
+                jobs: 4,
+                cache_dir: None,
+            },
+        );
+        assert_eq!(solo, four, "worker count changed an open-system grid");
+    }
+
+    #[test]
+    fn committed_open_fixtures_keep_their_golden_ids() {
+        // Golden ids of the committed open-system fixtures, plus the
+        // absent-key protocol: deleting the `arrivals` key from an open
+        // document must yield exactly the id the closed scenario had
+        // before the field existed.
+        let read = |name: &str| {
+            let path = format!("../../examples/scenarios/{name}");
+            let text = std::fs::read_to_string(&path).expect("fixture exists");
+            Json::parse(&text).expect("fixture parses")
+        };
+        let poisson = read("open_poisson_kmeans_paper.scenario.json");
+        let open = bfgts_scenario::Scenario::from_json(&poisson).unwrap();
+        assert_eq!(open.id(), "bae0d7f48138d24b95c6da12829a6ace");
+        assert_eq!(
+            bfgts_scenario::Scenario::from_json(&read("open_bursty_diurnal_small.scenario.json"))
+                .unwrap()
+                .id(),
+            "d3a1037bd7f0d0573ee3b7a4c1cd7018"
+        );
+        let mut closed_doc = poisson;
+        if let Json::Obj(map) = &mut closed_doc {
+            map.remove("arrivals");
+        }
+        let closed = bfgts_scenario::Scenario::from_json(&closed_doc).unwrap();
+        assert_eq!(closed.arrivals, None);
+        assert_eq!(closed.id(), "57d48c145435d44253daa69da69644fd");
+        let mut stripped = open.clone();
+        stripped.arrivals = None;
+        assert_eq!(stripped.id(), closed.id(), "absent-key id protocol");
     }
 }

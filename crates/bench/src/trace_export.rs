@@ -30,6 +30,9 @@ use bfgts_trace::{
 /// the exact run that produced it. Version 3 also carries the sharding
 /// instants (`shard_touch`, `cross_shard_commit`, DESIGN.md §11) — a
 /// purely additive extension, since unsharded traces never emit them.
+/// The open-system instants (`tx_arrival`, `queue_depth`, DESIGN.md §12)
+/// are additive in the same way — batch traces never emit them — so the
+/// version stays at 3 and every previously written file still parses.
 pub const TRACE_FORMAT_VERSION: u64 = 3;
 
 /// Serialises a recording plus its audit ground truth as JSONL.
@@ -330,6 +333,18 @@ fn rec_to_json(rec: &TraceRec) -> Json {
             ("saturate", Json::Bool(saturate)),
             ("entries", Json::UInt(entries)),
         ]),
+        TraceEvent::TxArrival {
+            thread,
+            stx,
+            arrival,
+        } => pairs.extend([
+            ("thread", u(thread)),
+            ("stx", u(stx)),
+            ("arrival", Json::UInt(arrival)),
+        ]),
+        TraceEvent::QueueDepth { thread, depth } => {
+            pairs.extend([("thread", u(thread)), ("depth", Json::UInt(depth))]);
+        }
     }
     Json::obj(pairs)
 }
@@ -441,6 +456,15 @@ fn rec_from_json(v: &Json) -> Option<TraceRec> {
             thread: u32f("thread")?,
             saturate: boolf("saturate")?,
             entries: u64f("entries")?,
+        },
+        "tx_arrival" => TraceEvent::TxArrival {
+            thread: u32f("thread")?,
+            stx: u32f("stx")?,
+            arrival: u64f("arrival")?,
+        },
+        "queue_depth" => TraceEvent::QueueDepth {
+            thread: u32f("thread")?,
+            depth: u64f("depth")?,
         },
         _ => return None,
     };
@@ -706,6 +730,24 @@ pub fn to_chrome(recording: &TraceRecording, inputs: &AuditInputs) -> String {
                     ("entries", Json::UInt(entries)),
                 ]),
             ),
+            TraceEvent::TxArrival {
+                thread,
+                stx,
+                arrival,
+            } => instant(
+                PID_THREADS,
+                u64::from(thread),
+                at,
+                format!("tx_arrival stx{stx}"),
+                Json::obj([("arrival", Json::UInt(arrival))]),
+            ),
+            TraceEvent::QueueDepth { thread, depth } => instant(
+                PID_THREADS,
+                u64::from(thread),
+                at,
+                "queue_depth".into(),
+                Json::obj([("depth", Json::UInt(depth))]),
+            ),
         });
     }
     let doc = Json::obj([
@@ -824,6 +866,15 @@ mod tests {
                 saturate: true,
                 entries: 16,
             },
+            TraceEvent::TxArrival {
+                thread: 1,
+                stx: 2,
+                arrival: 155,
+            },
+            TraceEvent::QueueDepth {
+                thread: 1,
+                depth: 3,
+            },
         ];
         let events = evs
             .into_iter()
@@ -860,7 +911,7 @@ mod tests {
         let text = to_jsonl(&recording, &inputs);
         assert!(parse_jsonl("").is_err());
         assert!(parse_jsonl("{\"seq\":0}").is_err(), "missing header");
-        let bad_count = text.replace("\"events\":16", "\"events\":17");
+        let bad_count = text.replace("\"events\":18", "\"events\":19");
         assert!(parse_jsonl(&bad_count).is_err(), "event count mismatch");
         let bad_version = text.replace("\"version\":3", "\"version\":99");
         assert!(parse_jsonl(&bad_version).is_err(), "future version");

@@ -149,6 +149,26 @@ pub struct TmRunReport {
     pub history: Option<crate::history::History>,
 }
 
+/// Open-system latency digest: sojourn (arrival → commit) percentiles
+/// plus sustained throughput. Only produced for runs whose sources
+/// stamped arrivals; a batch run has no meaningful sojourn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyDigest {
+    /// Committed open-system transactions.
+    pub count: u64,
+    /// Sum of all sojourns, in cycles.
+    pub total_cycles: u64,
+    /// Median sojourn (nearest-rank), in cycles.
+    pub p50: u64,
+    /// 95th-percentile sojourn, in cycles.
+    pub p95: u64,
+    /// 99th-percentile sojourn, in cycles.
+    pub p99: u64,
+    /// Sustained throughput: committed transactions per second of
+    /// simulated time at the nominal 2 GHz clock.
+    pub tx_per_sec: f64,
+}
+
 impl TmRunReport {
     /// Throughput proxy: committed transactions per million cycles of
     /// makespan. Zero for an empty run.
@@ -159,6 +179,28 @@ impl TmRunReport {
         } else {
             self.stats.commits() as f64 * 1.0e6 / span as f64
         }
+    }
+
+    /// The open-system latency digest, or `None` for a batch run (no
+    /// arrivals were stamped, so no sojourns exist).
+    pub fn latency(&self) -> Option<LatencyDigest> {
+        let count = self.stats.sojourn_count();
+        if count == 0 {
+            return None;
+        }
+        let span_secs = self.sim.makespan.as_seconds_at_2ghz();
+        Some(LatencyDigest {
+            count,
+            total_cycles: self.stats.sojourn_total(),
+            p50: self.stats.sojourn_percentile(50)?,
+            p95: self.stats.sojourn_percentile(95)?,
+            p99: self.stats.sojourn_percentile(99)?,
+            tx_per_sec: if span_secs > 0.0 {
+                count as f64 / span_secs
+            } else {
+                0.0
+            },
+        })
     }
 
     /// Replays this run's event trace through the accounting invariant
@@ -367,6 +409,84 @@ mod tests {
         assert_eq!(base_summary.shard_touches, 0);
         assert_eq!(base.stats.commits(), report.stats.commits());
         assert!(report.sim.makespan >= base.sim.makespan);
+    }
+
+    /// A scripted open-system source: yields each instance at its fixed
+    /// arrival time, parking the thread in between.
+    struct OpenScript {
+        items: std::collections::VecDeque<(u64, TxInstance)>,
+    }
+
+    impl crate::txn::TxSource for OpenScript {
+        fn next_tx(&mut self, _rng: &mut bfgts_sim::SimRng) -> Option<TxInstance> {
+            self.items.pop_front().map(|(_, tx)| tx)
+        }
+
+        fn poll_tx(&mut self, now: u64, _rng: &mut bfgts_sim::SimRng) -> crate::txn::TxPoll {
+            match self.items.front() {
+                None => crate::txn::TxPoll::Exhausted,
+                Some(&(t, _)) if t > now => crate::txn::TxPoll::NotBefore(t),
+                Some(_) => {
+                    let (t, tx) = self.items.pop_front().expect("front checked");
+                    let depth = self.items.iter().take_while(|&&(u, _)| u <= now).count() as u64;
+                    crate::txn::TxPoll::Ready {
+                        tx,
+                        arrival: Some(t),
+                        depth,
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn open_system_run_parks_audits_i9_and_reports_latency() {
+        // Two threads, arrivals spread far enough apart that each thread
+        // sleeps between transactions; the audit must verify I9 and its
+        // summed sojourn must equal the stats' latency accounting.
+        let cfg = TmRunConfig::new(2, 2).seed(0x0BE7).trace(TraceMode::Full);
+        let script = |base: u64, lines: std::ops::Range<u64>| OpenScript {
+            items: (0..4u64)
+                .map(|i| {
+                    (
+                        base + i * 5_000,
+                        TxInstance::writer_over(STxId(0), lines.clone(), 25),
+                    )
+                })
+                .collect(),
+        };
+        let report = run_workload(
+            &cfg,
+            vec![script(100, 0..6), script(2_600, 100..106)],
+            Box::new(NullCm),
+        );
+        assert_eq!(report.stats.commits(), 8);
+        let summary = report.audit_or_panic();
+        assert_eq!(summary.tx_arrivals, 8);
+        assert_eq!(summary.queue_depth_samples, 8);
+        // I9 conservation: audit-summed sojourn == run-reported sojourn.
+        assert_eq!(summary.sojourn_cycles, report.stats.sojourn_total());
+        let latency = report.latency().expect("open run has a digest");
+        assert_eq!(latency.count, 8);
+        assert!(latency.p50 <= latency.p95 && latency.p95 <= latency.p99);
+        assert!(latency.tx_per_sec > 0.0);
+        // The makespan covers the last arrival; threads really parked.
+        assert!(report.sim.makespan.as_u64() >= 2_600 + 3 * 5_000);
+    }
+
+    #[test]
+    fn batch_runs_have_no_latency_digest() {
+        let cfg = TmRunConfig::new(1, 1);
+        let report = run_workload(
+            &cfg,
+            vec![ScriptSource::new(vec![TxInstance::writer_over(
+                STxId(0),
+                0..3,
+                10,
+            )])],
+            Box::new(NullCm),
+        );
+        assert!(report.latency().is_none());
     }
 
     #[test]

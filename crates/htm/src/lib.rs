@@ -56,12 +56,12 @@ pub use cm::{
     ContentionManager, NullCm,
 };
 pub use harness::{
-    run_workload, TmRunConfig, TmRunReport, DEFAULT_RUN_SEED, PAPER_CPUS, PAPER_THREADS,
-    SMALL_CPUS, SMALL_THREADS,
+    run_workload, LatencyDigest, TmRunConfig, TmRunReport, DEFAULT_RUN_SEED, PAPER_CPUS,
+    PAPER_THREADS, SMALL_CPUS, SMALL_THREADS,
 };
 pub use history::{AttemptId, History, HistoryEvent, SerializabilityResult};
 pub use ids::{DTxId, LineAddr, STxId};
 pub use state::{AccessResult, TmState, TmWorld, SHARD_BLOCK_LINES};
 pub use stats::TmStats;
 pub use thread::{TxThreadConfig, TxThreadLogic};
-pub use txn::{Access, ScriptSource, TxInstance, TxSource};
+pub use txn::{Access, ScriptSource, TxInstance, TxPoll, TxSource};

@@ -20,6 +20,9 @@ pub struct TmStats {
     // BTreeMap, not HashMap: `measured_similarity` sums floats in
     // iteration order, so the order must not vary between map instances.
     similarity: BTreeMap<DTxId, SimTracker>,
+    // Sojourn times (commit − arrival, in cycles) of open-system
+    // transactions, in commit order. Empty for batch runs.
+    sojourns: Vec<u64>,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -172,6 +175,42 @@ impl TmStats {
     /// Records a NACK stall that did not lead to an abort.
     pub fn record_stall(&mut self) {
         self.stalls += 1;
+    }
+
+    /// Records one open-system sojourn: cycles from a transaction's
+    /// arrival (entering its thread's queue) to its commit. Batch runs
+    /// never call this.
+    pub fn record_sojourn(&mut self, cycles: u64) {
+        self.sojourns.push(cycles);
+    }
+
+    /// Number of recorded sojourns (committed open-system transactions).
+    pub fn sojourn_count(&self) -> u64 {
+        self.sojourns.len() as u64
+    }
+
+    /// Sum of all recorded sojourns, in cycles.
+    pub fn sojourn_total(&self) -> u64 {
+        self.sojourns
+            .iter()
+            .try_fold(0u64, |acc, &s| acc.checked_add(s))
+            .expect("sojourn total overflowed u64")
+    }
+
+    /// The `pct`-th percentile sojourn (nearest-rank on the sorted
+    /// sample), or `None` for a batch run. `pct` is clamped to `1..=100`.
+    pub fn sojourn_percentile(&self, pct: u32) -> Option<u64> {
+        if self.sojourns.is_empty() {
+            return None;
+        }
+        let mut sorted = self.sojourns.clone();
+        sorted.sort_unstable();
+        let pct = u64::from(pct.clamp(1, 100));
+        let n = sorted.len() as u64;
+        // Nearest-rank: the smallest value with at least pct% of the
+        // sample at or below it.
+        let rank = (pct * n).div_ceil(100).max(1);
+        sorted.get(rank as usize - 1).copied()
     }
 }
 

@@ -4,7 +4,7 @@
 use crate::cm::{BeginDecision, BeginQuery, CommitRecord, ConflictEvent};
 use crate::ids::{DTxId, LineAddr};
 use crate::state::{AccessResult, TmWorld};
-use crate::txn::{TxInstance, TxSource};
+use crate::txn::{TxInstance, TxPoll, TxSource};
 use bfgts_sim::{
     Action, Bucket, Cycle, DecisionKind, ThreadCtx, ThreadLogic, TraceEvent, NO_TARGET,
 };
@@ -83,6 +83,9 @@ pub struct TxThreadLogic<S> {
     cfg: TxThreadConfig,
     phase: Phase,
     cur: Option<TxInstance>,
+    /// Arrival cycle of the current transaction (open-system sources
+    /// only); drives sojourn accounting at commit.
+    cur_arrival: Option<u64>,
     timestamp: Option<Cycle>,
     retries: u32,
     waits: u32,
@@ -105,6 +108,7 @@ impl<S: TxSource> TxThreadLogic<S> {
             cfg,
             phase: Phase::FetchNext,
             cur: None,
+            cur_arrival: None,
             timestamp: None,
             retries: 0,
             waits: 0,
@@ -130,12 +134,33 @@ impl<S: TxSource> TxThreadLogic<S> {
                 self.retries = 0;
                 self.waits = 0;
                 self.timestamp = None;
-                match self.source.next_tx(ctx.rng) {
-                    None => {
+                match self.source.poll_tx(ctx.now.as_u64(), ctx.rng) {
+                    TxPoll::Exhausted => {
                         self.phase = Phase::Finished;
                         Some(Action::Finish)
                     }
-                    Some(tx) => {
+                    TxPoll::NotBefore(deadline) => {
+                        // Open system, queue empty: park on the clock
+                        // until the next arrival instead of finishing.
+                        // The phase stays FetchNext; the next step polls
+                        // again at (or after) the deadline.
+                        Some(Action::SleepUntil { deadline })
+                    }
+                    TxPoll::Ready { tx, arrival, depth } => {
+                        if let Some(at) = arrival {
+                            let stx = tx.stx.0;
+                            let thread = ctx.thread.index() as u32;
+                            ctx.trace.emit(ctx.now.as_u64(), || TraceEvent::TxArrival {
+                                thread,
+                                stx,
+                                arrival: at,
+                            });
+                            ctx.trace.emit(ctx.now.as_u64(), || TraceEvent::QueueDepth {
+                                thread,
+                                depth,
+                            });
+                        }
+                        self.cur_arrival = arrival;
                         let pre = tx.pre_work;
                         self.cur = Some(tx);
                         self.phase = if pre > 0 {
@@ -503,6 +528,17 @@ impl<S: TxSource> TxThreadLogic<S> {
                     retries,
                     rw_lines: rw.len() as u32,
                 });
+                if let Some(arrived) = self.cur_arrival.take() {
+                    // Sojourn = commit − arrival. A fetch never happens
+                    // before the arrival, so this cannot underflow
+                    // (invariant I9 re-proves it from the trace).
+                    let sojourn = ctx
+                        .now
+                        .as_u64()
+                        .checked_sub(arrived)
+                        .expect("transaction committed before it arrived");
+                    world.tm.stats_mut().record_sojourn(sojourn);
+                }
                 self.commit_rw = rw;
                 self.commit_dtx = Some(dtx);
                 self.phase = Phase::CommitCm;

@@ -77,14 +77,59 @@ impl TxInstance {
     }
 }
 
+/// What an arrival-aware poll of a [`TxSource`] produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxPoll {
+    /// A transaction is available now.
+    Ready {
+        /// The transaction to run.
+        tx: TxInstance,
+        /// The simulated cycle at which this transaction *arrived*
+        /// (entered the thread's queue). `None` for batch sources, whose
+        /// whole workload exists before cycle 0 and which therefore have
+        /// no meaningful sojourn time.
+        arrival: Option<u64>,
+        /// Arrivals still queued behind this one at fetch time (always 0
+        /// for batch sources).
+        depth: u64,
+    },
+    /// Nothing has arrived yet; the earliest possible arrival is at the
+    /// given absolute cycle. The thread should park until then.
+    NotBefore(u64),
+    /// The source will never produce another transaction.
+    Exhausted,
+}
+
 /// Supplies the stream of transactions one thread executes.
 ///
 /// Workload generators (the `bfgts-workloads` crate) implement this;
 /// `next_tx` draws from the thread's deterministic RNG stream.
+///
+/// Batch sources implement only [`TxSource::next_tx`]; open-system
+/// sources (timestamped arrival streams) override [`TxSource::poll_tx`],
+/// whose default forwards to `next_tx` with no arrival metadata.
 pub trait TxSource {
     /// The next transaction to run, or `None` when the thread's share of
     /// the benchmark is done.
     fn next_tx(&mut self, rng: &mut SimRng) -> Option<TxInstance>;
+
+    /// Arrival-aware variant of [`TxSource::next_tx`]: asks for work at
+    /// simulated time `now`. Open-system sources return
+    /// [`TxPoll::NotBefore`] while the queue is empty so the executing
+    /// thread can park instead of finishing. The default implementation
+    /// treats the source as a batch: every transaction is ready
+    /// immediately and carries no arrival timestamp.
+    fn poll_tx(&mut self, now: u64, rng: &mut SimRng) -> TxPoll {
+        let _ = now;
+        match self.next_tx(rng) {
+            Some(tx) => TxPoll::Ready {
+                tx,
+                arrival: None,
+                depth: 0,
+            },
+            None => TxPoll::Exhausted,
+        }
+    }
 }
 
 /// A [`TxSource`] that replays a fixed list of instances. Used by tests
@@ -133,6 +178,21 @@ mod tests {
     fn reader_over_builds_reads() {
         let tx = TxInstance::reader_over(STxId(1), 0..2, 0);
         assert!(tx.accesses.iter().all(|a| !a.is_write));
+    }
+
+    #[test]
+    fn default_poll_forwards_to_next_tx() {
+        let mut rng = SimRng::seed_from(0);
+        let mut s = ScriptSource::new(vec![TxInstance::writer_over(STxId(0), 0..1, 0)]);
+        match s.poll_tx(123, &mut rng) {
+            TxPoll::Ready {
+                tx,
+                arrival: None,
+                depth: 0,
+            } => assert_eq!(tx.stx, STxId(0)),
+            other => panic!("unexpected poll result {other:?}"),
+        }
+        assert_eq!(s.poll_tx(456, &mut rng), TxPoll::Exhausted);
     }
 
     #[test]

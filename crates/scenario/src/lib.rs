@@ -29,7 +29,8 @@ use bfgts_faultsim::{Fault, FaultPlan};
 use bfgts_htm::{ContentionManager, TmRunConfig};
 use bfgts_sim::TraceMode;
 use bfgts_workloads::{
-    presets, AdversarialSpec, BenchmarkSpec, ExpectedProfile, RandomRegion, Region, TxClass,
+    presets, AdversarialSpec, ArrivalProcess, ArrivalSpec, BenchmarkSpec, ExpectedProfile,
+    RandomRegion, Region, TxClass,
 };
 use json::Json;
 use std::sync::Arc;
@@ -710,6 +711,24 @@ fn check_class(class: &TxClass) -> Result<(), String> {
             class.stx
         ));
     }
+    if class.shared_picks > 0 && class.shared_pool.is_some_and(|pool| pool.lines == 0) {
+        return Err(format!(
+            "inline class sTx{} draws from an empty shared pool",
+            class.stx
+        ));
+    }
+    if class.random_picks > 0 {
+        let lines = match class.random_region {
+            RandomRegion::Shared(region) => region.lines,
+            RandomRegion::PerThread { lines } => lines,
+        };
+        if lines == 0 {
+            return Err(format!(
+                "inline class sTx{} draws random picks from an empty region",
+                class.stx
+            ));
+        }
+    }
     if !(0.0..=1.0).contains(&class.write_frac) {
         return Err(format!(
             "inline class sTx{}: write_frac out of range",
@@ -1055,6 +1074,141 @@ pub fn plan_from_json(value: &Json) -> Result<FaultPlan, String> {
     Ok(FaultPlan { seed, faults })
 }
 
+/// Serialises one arrival process to its scenario JSON form (a
+/// `"kind"`-discriminated object, like faults and workloads).
+pub fn process_to_json(process: &ArrivalProcess) -> Json {
+    match *process {
+        ArrivalProcess::Poisson { mean_gap } => Json::obj([
+            ("kind", Json::Str("poisson".into())),
+            ("mean_gap", Json::UInt(mean_gap)),
+        ]),
+        ArrivalProcess::Bursty {
+            burst,
+            gap_in,
+            gap_out,
+        } => Json::obj([
+            ("burst", Json::UInt(burst as u64)),
+            ("gap_in", Json::UInt(gap_in)),
+            ("gap_out", Json::UInt(gap_out)),
+            ("kind", Json::Str("bursty".into())),
+        ]),
+        ArrivalProcess::Diurnal {
+            period,
+            peak_gap,
+            trough_gap,
+        } => Json::obj([
+            ("kind", Json::Str("diurnal".into())),
+            ("peak_gap", Json::UInt(peak_gap)),
+            ("period", Json::UInt(period)),
+            ("trough_gap", Json::UInt(trough_gap)),
+        ]),
+    }
+}
+
+/// Parses one arrival process, mirroring [`ArrivalProcess::validate`] as
+/// recoverable errors (scenario files are user input; a bad document
+/// must not abort the process).
+pub fn process_from_json(value: &Json) -> Result<ArrivalProcess, String> {
+    let uint = |key: &str| {
+        value
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or(format!("arrival process is missing a '{key}' integer"))
+    };
+    let process = match value.get("kind").and_then(Json::as_str) {
+        Some("poisson") => ArrivalProcess::Poisson {
+            mean_gap: uint("mean_gap")?,
+        },
+        Some("bursty") => ArrivalProcess::Bursty {
+            burst: u32::try_from(uint("burst")?).map_err(|_| "bursty 'burst' exceeds u32")?,
+            gap_in: uint("gap_in")?,
+            gap_out: uint("gap_out")?,
+        },
+        Some("diurnal") => ArrivalProcess::Diurnal {
+            period: uint("period")?,
+            peak_gap: uint("peak_gap")?,
+            trough_gap: uint("trough_gap")?,
+        },
+        Some(other) => return Err(format!("unknown arrival process kind '{other}'")),
+        None => return Err("arrival process is missing a 'kind' string".into()),
+    };
+    // Mirror ArrivalProcess::validate (which panics on programmer error)
+    // as Err for data parsed from disk.
+    match process {
+        ArrivalProcess::Poisson { mean_gap: 0 } => {
+            return Err("poisson 'mean_gap' must be >= 1".into())
+        }
+        ArrivalProcess::Bursty { burst, gap_out, .. } if burst == 0 || gap_out == 0 => {
+            return Err("bursty 'burst' and 'gap_out' must be >= 1".into())
+        }
+        ArrivalProcess::Diurnal {
+            period, peak_gap, ..
+        } if period == 0 || peak_gap == 0 => {
+            return Err("diurnal 'period' and 'peak_gap' must be >= 1".into())
+        }
+        ArrivalProcess::Diurnal {
+            peak_gap,
+            trough_gap,
+            ..
+        } if trough_gap < peak_gap => {
+            return Err("diurnal 'trough_gap' must be >= 'peak_gap'".into())
+        }
+        _ => {}
+    }
+    Ok(process)
+}
+
+/// Serialises an arrival spec (the open-system half of a scenario).
+pub fn arrivals_to_json(spec: &ArrivalSpec) -> Json {
+    Json::obj([
+        (
+            "per_stx",
+            Json::Arr(
+                spec.per_stx
+                    .iter()
+                    .map(|(stx, process)| {
+                        Json::Arr(vec![Json::UInt(*stx as u64), process_to_json(process)])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("process", process_to_json(&spec.process)),
+    ])
+}
+
+/// Parses an arrival spec, enforcing the canonical strictly-increasing
+/// override order [`ArrivalSpec::validate`] asserts.
+pub fn arrivals_from_json(value: &Json) -> Result<ArrivalSpec, String> {
+    let process = process_from_json(
+        value
+            .get("process")
+            .ok_or("arrivals are missing a 'process' object")?,
+    )?;
+    let per_stx = value
+        .get("per_stx")
+        .and_then(Json::as_arr)
+        .ok_or("arrivals are missing a 'per_stx' array")?
+        .iter()
+        .map(|item| {
+            let pair = item
+                .as_arr()
+                .filter(|a| a.len() == 2)
+                .ok_or("each arrivals override must be a [stx, process] pair".to_string())?;
+            let stx = pair[0]
+                .as_u64()
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or("arrival override stx must be a u32".to_string())?;
+            Ok((stx, process_from_json(&pair[1])?))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    for window in per_stx.windows(2) {
+        if window[0].0 >= window[1].0 {
+            return Err("arrival overrides must be strictly increasing by stx".into());
+        }
+    }
+    Ok(ArrivalSpec { process, per_stx })
+}
+
 fn trace_to_json(mode: TraceMode) -> Json {
     match mode {
         TraceMode::Off => Json::Str("off".into()),
@@ -1067,11 +1221,17 @@ fn trace_from_json(value: &Json) -> Result<TraceMode, String> {
     match value {
         Json::Str(s) if s == "off" => Ok(TraceMode::Off),
         Json::Str(s) if s == "full" => Ok(TraceMode::Full),
-        obj @ Json::Obj(_) => Ok(TraceMode::Ring(
-            obj.get("ring")
+        obj @ Json::Obj(_) => {
+            let cap = obj
+                .get("ring")
                 .and_then(Json::as_u64)
-                .ok_or("ring trace mode needs a 'ring' integer")? as usize,
-        )),
+                .ok_or("ring trace mode needs a 'ring' integer")?;
+            // Matches TraceSink::new, which rejects zero-capacity rings.
+            if cap == 0 {
+                return Err("ring trace mode needs a capacity >= 1 (use \"off\")".into());
+            }
+            Ok(TraceMode::Ring(cap as usize))
+        }
         _ => Err("trace mode must be \"off\", \"full\" or {\"ring\": N}".into()),
     }
 }
@@ -1093,6 +1253,11 @@ pub struct Scenario {
     /// Optional fault-injection plan (DESIGN.md §9). Serial baselines
     /// always run clean.
     pub faults: Option<FaultPlan>,
+    /// Optional open-system arrival spec (DESIGN.md §12). `None` is the
+    /// closed (batch) system every scenario before this field described;
+    /// like `faults`, the key is serialised only when present, so every
+    /// historical scenario id is unchanged.
+    pub arrivals: Option<ArrivalSpec>,
     /// The event-recording mode the run is meant to execute with.
     /// Descriptive for summary-producing paths (which choose their own
     /// recording), binding for trace/fingerprint paths.
@@ -1108,6 +1273,7 @@ impl Scenario {
             workload,
             manager,
             faults: None,
+            arrivals: None,
             trace: TraceMode::Off,
         }
     }
@@ -1119,7 +1285,9 @@ impl Scenario {
     /// from managers that never consult it, and BFGTS tunables round-trip
     /// through the full configuration (so e.g. an explicit Bloom size on
     /// the perfect-signature variant cannot mint a second identity for
-    /// the same run).
+    /// the same run). Arrival specs pass through untouched — unlike
+    /// faults they change *what* runs, not how it is perturbed, so even
+    /// a serial baseline keeps them.
     pub fn canonical(mut self) -> Self {
         if let ManagerSpec::Kind { kind, bloom_bits } = &mut self.manager {
             if !kind.uses_bloom() {
@@ -1155,6 +1323,9 @@ impl Scenario {
         ];
         if let Some(plan) = &self.faults {
             pairs.push(("faults", plan_to_json(plan)));
+        }
+        if let Some(spec) = &self.arrivals {
+            pairs.push(("arrivals", arrivals_to_json(spec)));
         }
         Json::obj(pairs)
     }
@@ -1194,6 +1365,10 @@ impl Scenario {
             faults: match value.get("faults") {
                 None => None,
                 Some(plan) => Some(plan_from_json(plan)?),
+            },
+            arrivals: match value.get("arrivals") {
+                None => None,
+                Some(spec) => Some(arrivals_from_json(spec)?),
             },
             trace: trace_from_json(value.get("trace").ok_or("scenario is missing 'trace'")?)?,
         })
@@ -1468,6 +1643,156 @@ mod tests {
         assert_eq!(many.len(), 2);
         assert!(scenarios_from_str("42").is_err());
         assert!(scenarios_from_str("{}").is_err());
+    }
+
+    #[test]
+    fn ring_zero_trace_mode_rejected() {
+        // Regression: {"ring": 0} used to parse and then be silently
+        // clamped to Ring(1) by the sink.
+        let mut doc = sample().to_json();
+        if let Json::Obj(map) = &mut doc {
+            map.insert("trace".into(), Json::obj([("ring", Json::UInt(0))]));
+        }
+        let err = Scenario::from_json(&doc).unwrap_err();
+        assert!(err.contains("capacity >= 1"), "{err}");
+        if let Json::Obj(map) = &mut doc {
+            map.insert("trace".into(), Json::obj([("ring", Json::UInt(1))]));
+        }
+        assert!(Scenario::from_json(&doc).is_ok());
+    }
+
+    #[test]
+    fn zero_sized_inline_regions_rejected() {
+        let zero_random = TxClass {
+            stx: 0,
+            weight: 1.0,
+            private_hot: 1,
+            shared_picks: 0,
+            shared_pool: None,
+            shared_writes: false,
+            random_picks: 2,
+            random_region: RandomRegion::PerThread { lines: 0 },
+            write_frac: 0.0,
+            pre_work: (0, 0),
+        };
+        let workload = WorkloadSpec::Inline {
+            name: "degenerate".into(),
+            total_txs: 10,
+            classes: vec![zero_random],
+        };
+        let err = workload.resolve().unwrap_err();
+        assert!(err.contains("empty region"), "{err}");
+    }
+
+    /// An open spec exercising all three processes plus overrides.
+    fn open_spec() -> ArrivalSpec {
+        ArrivalSpec::poisson(1500)
+            .with_override(
+                1,
+                ArrivalProcess::Bursty {
+                    burst: 4,
+                    gap_in: 10,
+                    gap_out: 900,
+                },
+            )
+            .with_override(
+                3,
+                ArrivalProcess::Diurnal {
+                    period: 40_000,
+                    peak_gap: 200,
+                    trough_gap: 2_000,
+                },
+            )
+    }
+
+    #[test]
+    fn open_scenarios_round_trip_to_a_fixed_point() {
+        let mut scenario = sample();
+        scenario.arrivals = Some(open_spec());
+        let text = scenario.to_json().to_string();
+        let parsed = Scenario::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, scenario);
+        assert_eq!(parsed.to_json().to_string(), text, "fixed point");
+        assert_eq!(parsed.id(), scenario.id());
+    }
+
+    #[test]
+    fn absent_arrivals_serialise_to_no_key_at_all() {
+        // The shards/faults identity protocol: a closed-system scenario
+        // must serialise exactly as it did before the field existed, so
+        // every historical id, cache entry and trace header stays valid.
+        let closed = sample();
+        assert!(!closed.to_json().to_string().contains("arrivals"));
+        let mut open = closed.clone();
+        open.arrivals = Some(ArrivalSpec::poisson(1000));
+        assert_ne!(open.id(), closed.id(), "arrivals must be part of the id");
+        let mut other = closed.clone();
+        other.arrivals = Some(ArrivalSpec::poisson(1001));
+        assert_ne!(other.id(), open.id(), "the mean gap is part of the id");
+        // Serial canonicalisation keeps arrivals: an open serial baseline
+        // is a different run from a closed one.
+        let mut serial = open.clone();
+        serial.manager = ManagerSpec::Serial;
+        assert_eq!(serial.clone().canonical().arrivals, open.arrivals);
+    }
+
+    #[test]
+    fn invalid_arrival_documents_are_rejected_not_panicked() {
+        let mut base = sample();
+        base.arrivals = Some(ArrivalSpec::poisson(1000));
+        let patch = |process: Json| {
+            let mut doc = base.to_json();
+            if let Json::Obj(map) = &mut doc {
+                map.insert(
+                    "arrivals".into(),
+                    Json::obj([("per_stx", Json::Arr(vec![])), ("process", process)]),
+                );
+            }
+            Scenario::from_json(&doc)
+        };
+        let poisson0 = patch(Json::obj([
+            ("kind", Json::Str("poisson".into())),
+            ("mean_gap", Json::UInt(0)),
+        ]));
+        assert!(poisson0.unwrap_err().contains("mean_gap"));
+        let bursty0 = patch(Json::obj([
+            ("burst", Json::UInt(2)),
+            ("gap_in", Json::UInt(5)),
+            ("gap_out", Json::UInt(0)),
+            ("kind", Json::Str("bursty".into())),
+        ]));
+        assert!(bursty0.unwrap_err().contains("gap_out"));
+        let inverted = patch(Json::obj([
+            ("kind", Json::Str("diurnal".into())),
+            ("peak_gap", Json::UInt(500)),
+            ("period", Json::UInt(100)),
+            ("trough_gap", Json::UInt(100)),
+        ]));
+        assert!(inverted.unwrap_err().contains("trough_gap"));
+        assert!(patch(Json::obj([("kind", Json::Str("steady".into()))]))
+            .unwrap_err()
+            .contains("unknown arrival process kind"));
+        // Out-of-order overrides are non-canonical: reject, don't sort.
+        let dup = arrivals_from_json(&Json::obj([
+            (
+                "per_stx",
+                Json::Arr(vec![
+                    Json::Arr(vec![
+                        Json::UInt(2),
+                        process_to_json(&ArrivalProcess::Poisson { mean_gap: 7 }),
+                    ]),
+                    Json::Arr(vec![
+                        Json::UInt(2),
+                        process_to_json(&ArrivalProcess::Poisson { mean_gap: 9 }),
+                    ]),
+                ]),
+            ),
+            (
+                "process",
+                process_to_json(&ArrivalProcess::Poisson { mean_gap: 5 }),
+            ),
+        ]));
+        assert!(dup.unwrap_err().contains("strictly increasing"));
     }
 
     #[test]

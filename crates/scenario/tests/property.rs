@@ -8,7 +8,7 @@ use bfgts_scenario::{
 };
 use bfgts_sim::TraceMode;
 use bfgts_testkit::{run_cases, Gen};
-use bfgts_workloads::{presets, AdversarialSpec};
+use bfgts_workloads::{presets, AdversarialSpec, ArrivalProcess, ArrivalSpec};
 
 fn random_platform(g: &mut Gen) -> Platform {
     let mut platform = *g.choose(&[Platform::paper(), Platform::small()]);
@@ -70,11 +70,47 @@ fn random_manager(g: &mut Gen) -> ManagerSpec {
     }
 }
 
+fn random_process(g: &mut Gen) -> ArrivalProcess {
+    match g.below(3) {
+        0 => ArrivalProcess::Poisson {
+            mean_gap: u64::from(g.u32_in(1, 100_000)),
+        },
+        1 => ArrivalProcess::Bursty {
+            burst: g.u32_in(1, 64),
+            gap_in: u64::from(g.u32_in(0, 1_000)),
+            gap_out: u64::from(g.u32_in(1, 100_000)),
+        },
+        _ => {
+            let peak_gap = u64::from(g.u32_in(1, 10_000));
+            ArrivalProcess::Diurnal {
+                period: u64::from(g.u32_in(1, 1_000_000)),
+                peak_gap,
+                trough_gap: peak_gap + u64::from(g.u32_in(0, 100_000)),
+            }
+        }
+    }
+}
+
+fn random_arrivals(g: &mut Gen) -> ArrivalSpec {
+    let mut spec = ArrivalSpec {
+        process: random_process(g),
+        per_stx: Vec::new(),
+    };
+    for _ in 0..g.below(4) {
+        let stx = g.u32_in(0, 8);
+        spec = spec.with_override(stx, random_process(g));
+    }
+    spec
+}
+
 fn random_scenario(g: &mut Gen) -> Scenario {
     let mut scenario = Scenario::new(random_workload(g), random_manager(g), random_platform(g));
     scenario.costs = *g.choose(&[CostKind::Htm, CostKind::Stm]);
     if g.bool() {
         scenario.faults = Some(FaultPlan::randomized(g.u64()));
+    }
+    if g.bool() {
+        scenario.arrivals = Some(random_arrivals(g));
     }
     scenario.trace = match g.below(3) {
         0 => TraceMode::Off,

@@ -27,6 +27,16 @@ pub enum Action {
     /// Sleep until another thread calls [`ThreadCtx::wake`] for this
     /// thread. The futex block cost is charged to the kernel bucket.
     Block,
+    /// Sleep until the simulated clock reaches `deadline` (a timed wait
+    /// on an empty work queue, e.g. an open-system thread parked until
+    /// the next transaction arrival). The thread leaves the CPU without
+    /// charging anything — parked time is CPU idle time — and is
+    /// re-queued, Ready, once `deadline` passes. A deadline at or before
+    /// the current time degenerates to a re-queue.
+    SleepUntil {
+        /// Absolute simulated cycle at which the thread becomes runnable.
+        deadline: u64,
+    },
     /// The thread has finished its program.
     Finish,
 }
@@ -170,6 +180,9 @@ enum ThreadState {
     Ready,
     Running,
     Blocked,
+    /// Parked on a timed wait ([`Action::SleepUntil`]); the engine's
+    /// sleeper set holds the deadline.
+    Sleeping,
     Finished,
 }
 
@@ -196,8 +209,21 @@ struct Cpu {
     ran_since_switch: u64,
     /// True when a pickup/step event for this CPU is already in the
     /// event queue — the per-CPU armed-event index that keeps the queue
-    /// at one pending event per CPU, maximum.
+    /// at one *live* pending event per CPU, maximum.
     armed: bool,
+    /// Time of the live pending event, valid while `armed`.
+    armed_at: Cycle,
+    /// Sequence number of the live pending event. A preemptible armed
+    /// event re-armed *earlier* (a wake racing an idle CPU parked on a
+    /// sleeper deadline) is superseded: the new seq is recorded here and
+    /// the stale event is discarded on pop by seq mismatch.
+    armed_seq: u64,
+    /// Whether the live pending event is a pure idle timer (a sleeper
+    /// deadline) that an earlier arm may supersede. Events marking the
+    /// end of a charged interval ("CPU busy until T") must never be
+    /// pulled earlier — servicing mid-charge would overlap charges and
+    /// break audit invariant I2.
+    armed_preemptible: bool,
 }
 
 /// Outcome of a completed simulation run.
@@ -254,6 +280,9 @@ pub struct Engine<W> {
     now: Cycle,
     finished: usize,
     trace: TraceSink,
+    /// Threads parked on [`Action::SleepUntil`], ordered by
+    /// `(deadline, thread)` so promotion back to Ready is deterministic.
+    sleepers: std::collections::BTreeSet<(Cycle, ThreadId)>,
 }
 
 impl<W> Engine<W> {
@@ -277,6 +306,7 @@ impl<W> Engine<W> {
             now: Cycle::ZERO,
             finished: 0,
             trace,
+            sleepers: std::collections::BTreeSet::new(),
         }
     }
 
@@ -357,8 +387,16 @@ impl<W> Engine<W> {
         for cpu in 0..self.cpus.len() {
             self.arm(CpuId(cpu), Cycle::ZERO);
         }
-        while let Some((time, _, cpu_idx)) = self.queue.pop() {
+        while let Some((time, seq, cpu_idx)) = self.queue.pop() {
             debug_assert!(time >= self.now, "event time went backwards");
+            let live = {
+                let slot = self.cpu_mut(CpuId(cpu_idx));
+                slot.armed && slot.armed_seq == seq
+            };
+            if !live {
+                // Superseded by an earlier re-arm; already serviced.
+                continue;
+            }
             self.now = time;
             assert!(
                 self.now.as_u64() <= self.config.max_cycles,
@@ -397,21 +435,74 @@ impl<W> Engine<W> {
     }
 
     /// Schedules a service event for `cpu` at `time` unless one is armed.
+    /// The one exception: a *preemptible* armed event (an idle timer from
+    /// [`Engine::arm_timer`]) pending later than `time` is pulled earlier,
+    /// and the superseded event is ignored on pop via its stale sequence
+    /// number.
     fn arm(&mut self, cpu: CpuId, time: Cycle) {
-        let slot = self.cpu_mut(cpu);
-        if !slot.armed {
-            slot.armed = true;
+        self.arm_inner(cpu, time, false);
+    }
+
+    /// Arms an idle-timer event (a sleeper deadline on an otherwise idle
+    /// CPU). Unlike regular armed events — which mark the end of a
+    /// charged interval and must not be serviced early — a timer may be
+    /// superseded by an earlier [`Engine::arm`] (e.g. a wake arriving
+    /// before the deadline).
+    fn arm_timer(&mut self, cpu: CpuId, time: Cycle) {
+        self.arm_inner(cpu, time, true);
+    }
+
+    fn arm_inner(&mut self, cpu: CpuId, time: Cycle, preemptible: bool) {
+        let needs_push = {
+            let slot = self.cpu_mut(cpu);
+            !slot.armed || (slot.armed_preemptible && time < slot.armed_at)
+        };
+        if needs_push {
             self.seq += 1;
-            self.queue.push(time, self.seq, cpu.index());
+            let seq = self.seq;
+            let slot = self.cpu_mut(cpu);
+            slot.armed = true;
+            slot.armed_at = time;
+            slot.armed_seq = seq;
+            slot.armed_preemptible = preemptible;
+            self.queue.push(time, seq, cpu.index());
         }
     }
 
     fn service_cpu(&mut self, cpu: CpuId) {
         let costs = self.config.costs.clone();
+        // Promote due timed sleepers pinned to this CPU back into its run
+        // queue, in (deadline, thread) order, before any pickup decision.
+        if !self.sleepers.is_empty() {
+            let due: Vec<(Cycle, ThreadId)> = self
+                .sleepers
+                .iter()
+                .take_while(|&&(deadline, _)| deadline <= self.now)
+                .filter(|&&(_, tid)| self.threads.get(tid.index()).is_some_and(|t| t.cpu == cpu))
+                .copied()
+                .collect();
+            for entry in due {
+                self.sleepers.remove(&entry);
+                let tid = entry.1;
+                self.thread_mut(tid).state = ThreadState::Ready;
+                self.cpu_mut(cpu).run_queue.push_back(tid);
+            }
+        }
         // Pick up a thread if the CPU is free.
         if self.cpu_mut(cpu).current.is_none() {
             let Some(next) = self.cpu_mut(cpu).run_queue.pop_front() else {
-                return; // idle: a future wake will re-arm us
+                // Idle. If a timed sleeper is pinned here, re-arm for its
+                // deadline so the wake is never lost; otherwise a future
+                // wake will re-arm us.
+                let wake_at = self
+                    .sleepers
+                    .iter()
+                    .find(|&&(_, tid)| self.threads.get(tid.index()).is_some_and(|t| t.cpu == cpu))
+                    .map(|&(deadline, _)| deadline);
+                if let Some(deadline) = wake_at {
+                    self.arm_timer(cpu, deadline.max(self.now));
+                }
+                return;
             };
             let slot = self.cpu_mut(cpu);
             let switched = slot.last != Some(next);
@@ -583,6 +674,22 @@ impl<W> Engine<W> {
                     .expect("block-charge accounting overflowed u64");
                 self.arm(cpu, self.now + Cycle::new(pause.max(1)));
             }
+            Action::SleepUntil { deadline } => {
+                let deadline = Cycle::new(deadline);
+                if deadline <= self.now {
+                    // Already due: stay runnable at the back of the queue.
+                    self.thread_mut(tid).state = ThreadState::Ready;
+                    self.cpu_mut(cpu).run_queue.push_back(tid);
+                } else {
+                    self.thread_mut(tid).state = ThreadState::Sleeping;
+                    self.sleepers.insert((deadline, tid));
+                }
+                self.cpu_mut(cpu).current = None;
+                // Parked time is idle time: nothing is charged. Advance
+                // at least one cycle so a lone zero-cost sleeper cannot
+                // pin the event heap to one timestamp.
+                self.arm(cpu, self.now + Cycle::new(extra.max(1)));
+            }
             Action::Finish => {
                 let now = self.now;
                 let slot = self.thread_mut(tid);
@@ -610,7 +717,10 @@ impl<W> Engine<W> {
             ThreadState::Finished => {}
             // The target has not blocked yet: remember the wake so the
             // upcoming Block consumes it instead of sleeping forever.
-            ThreadState::Ready | ThreadState::Running => {
+            // Timed sleepers keep their deadline — a wake aimed at a
+            // thread parked on the clock is a protocol error upstream,
+            // so it is remembered, not honoured early.
+            ThreadState::Ready | ThreadState::Running | ThreadState::Sleeping => {
                 slot.pending_wake = true;
             }
         }
@@ -957,6 +1067,160 @@ mod tests {
                 report.makespan.as_u64()
             );
         }
+    }
+
+    /// Sleeps until a fixed deadline, works one slice, then finishes.
+    struct TimedSleeper {
+        phase: u32,
+        deadline: u64,
+    }
+
+    impl ThreadLogic<()> for TimedSleeper {
+        fn step(&mut self, _world: &mut (), ctx: &mut ThreadCtx) -> Action {
+            self.phase += 1;
+            match self.phase {
+                1 => Action::SleepUntil {
+                    deadline: self.deadline,
+                },
+                2 => {
+                    assert!(
+                        ctx.now.as_u64() >= self.deadline,
+                        "woke at {} before deadline {}",
+                        ctx.now,
+                        self.deadline
+                    );
+                    Action::work(10, Bucket::NonTx)
+                }
+                _ => Action::Finish,
+            }
+        }
+    }
+
+    #[test]
+    fn sleep_until_wakes_at_deadline() {
+        let cfg = EngineConfig::with_cpus(1).costs(quiet_costs());
+        let mut e = Engine::new(cfg, ());
+        e.spawn(Box::new(TimedSleeper {
+            phase: 0,
+            deadline: 500,
+        }));
+        let report = e.run();
+        // Parked 0..500, then one 10-cycle slice.
+        assert_eq!(report.makespan, Cycle::new(510));
+        assert_eq!(report.total().get(Bucket::NonTx), 10);
+    }
+
+    #[test]
+    fn past_deadline_sleep_degenerates_to_requeue() {
+        let cfg = EngineConfig::with_cpus(1).costs(quiet_costs());
+        let mut e = Engine::new(cfg, ());
+        e.spawn(Box::new(TimedSleeper {
+            phase: 0,
+            deadline: 0,
+        }));
+        let report = e.run();
+        assert_eq!(report.total().get(Bucket::NonTx), 10);
+    }
+
+    #[test]
+    fn timed_sleep_counts_as_idle_and_audits_clean() {
+        let cfg = EngineConfig::with_cpus(2)
+            .costs(quiet_costs())
+            .trace(TraceMode::Full);
+        let mut e = Engine::new(cfg, ());
+        e.spawn(Box::new(TimedSleeper {
+            phase: 0,
+            deadline: 300,
+        }));
+        e.spawn(Box::new(Looper {
+            slices: 2,
+            cycles: 40,
+            bucket: Bucket::NonTx,
+        }));
+        let report = e.run();
+        let summary = bfgts_trace::audit(&report.trace, &report.audit_inputs())
+            .unwrap_or_else(|v| panic!("audit violations: {v:#?}"));
+        // I7 must still close: the parked interval is CPU idle time.
+        for c in 0..2 {
+            assert_eq!(
+                summary.per_cpu_busy[c] + summary.per_cpu_idle[c],
+                report.makespan.as_u64()
+            );
+        }
+        assert_eq!(report.makespan, Cycle::new(310));
+    }
+
+    /// Blocks once, then works one slice after being woken.
+    struct BlockThenWork {
+        phase: u32,
+    }
+
+    impl ThreadLogic<()> for BlockThenWork {
+        fn step(&mut self, _world: &mut (), _ctx: &mut ThreadCtx) -> Action {
+            self.phase += 1;
+            match self.phase {
+                1 => Action::Block,
+                2 => Action::work(10, Bucket::NonTx),
+                _ => Action::Finish,
+            }
+        }
+    }
+
+    /// Works `cycles`, then wakes `target` and finishes.
+    struct WorkThenWake {
+        phase: u32,
+        cycles: u64,
+        target: ThreadId,
+    }
+
+    impl ThreadLogic<()> for WorkThenWake {
+        fn step(&mut self, _world: &mut (), ctx: &mut ThreadCtx) -> Action {
+            self.phase += 1;
+            match self.phase {
+                1 => Action::work(self.cycles, Bucket::NonTx),
+                _ => {
+                    if self.phase == 2 {
+                        ctx.wake(self.target);
+                    }
+                    Action::Finish
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wake_pulls_a_cpu_armed_on_a_sleeper_deadline_earlier() {
+        // cpu0 holds a far-future sleeper (t0) and a blocked thread (t2);
+        // cpu1's t1 wakes t2 at 500. The wake must supersede cpu0's
+        // pending 10_000-cycle service event, not wait for it.
+        let cfg = EngineConfig::with_cpus(2)
+            .costs(quiet_costs())
+            .trace(TraceMode::Full);
+        let mut e = Engine::new(cfg, ());
+        e.spawn(Box::new(TimedSleeper {
+            phase: 0,
+            deadline: 10_000,
+        })); // t0 on cpu0
+        e.spawn(Box::new(WorkThenWake {
+            phase: 0,
+            cycles: 500,
+            target: ThreadId(2),
+        })); // t1 on cpu1
+        e.spawn(Box::new(BlockThenWork { phase: 0 })); // t2 on cpu0
+        let report = e.run();
+        bfgts_trace::audit(&report.trace, &report.audit_inputs())
+            .unwrap_or_else(|v| panic!("audit violations: {v:#?}"));
+        // t2's post-wake slice is charged at 500, not after the sleeper.
+        assert!(
+            report
+                .trace
+                .events
+                .iter()
+                .any(|r| { r.at == 500 && matches!(r.ev, TraceEvent::Charge { thread: 2, .. }) }),
+            "woken thread should run at 500"
+        );
+        // The sleeper still wakes on time afterwards.
+        assert_eq!(report.makespan, Cycle::new(10_010));
     }
 
     #[test]

@@ -35,6 +35,15 @@
 //!   via [`TraceEvent::ShardTouch`] events (each emitted at most once
 //!   per shard per attempt). Conversely, an attempt that touched ≥ 2
 //!   shards must not commit without its cross-shard charge.
+//! * **I9 — causal arrivals.** Open-system runs only: every
+//!   [`TraceEvent::TxArrival`] is fetched at or after its recorded
+//!   arrival cycle, per-thread arrivals are FIFO (non-decreasing), no
+//!   [`TraceEvent::TxBegin`] of the fetched transaction precedes its
+//!   arrival, and the commit that consumes it does not either — so
+//!   every sojourn (commit − arrival) is non-negative, and the audit's
+//!   summed sojourn is exactly conserved against the run's reported
+//!   latency accounting. A fetched arrival that never commits is
+//!   flagged at end of trace.
 //!
 //! (I4 is the sequence-number density check folded into the drop
 //! detection: the audit requires a [`TraceMode::Full`] recording.)
@@ -113,6 +122,15 @@ pub struct AuditSummary {
     pub shard_touches: u64,
     /// Cross-shard commit charges verified against I8.
     pub cross_shard_commits: u64,
+    /// Open-system arrivals verified against I9 (0 for batch runs).
+    pub tx_arrivals: u64,
+    /// Queue-depth samples seen (one per arrival fetch).
+    pub queue_depth_samples: u64,
+    /// Largest queue depth observed at any fetch.
+    pub max_queue_depth: u64,
+    /// Total sojourn cycles (commit − arrival summed over every
+    /// committed open-system transaction); the conservation side of I9.
+    pub sojourn_cycles: u64,
 }
 
 /// Per-thread lifecycle state for I3/I8.
@@ -154,6 +172,11 @@ pub fn audit(
     let mut cpu_cursor: Vec<u64> = vec![0; inputs.num_cpus];
     let mut cpu_busy: Vec<u64> = vec![0; inputs.num_cpus];
     let mut open: Vec<Option<OpenTx>> = vec![None; threads];
+    // I9 state: the fetched-but-uncommitted arrival per thread
+    // (`(arrival, fetch seq)`), and the latest arrival cycle for the
+    // FIFO check.
+    let mut arrived: Vec<Option<(u64, u64)>> = vec![None; threads];
+    let mut last_arrival: Vec<u64> = vec![0; threads];
     let mut summary = AuditSummary {
         events: recording.events.len(),
         ..AuditSummary::default()
@@ -253,6 +276,17 @@ pub fn audit(
             TraceEvent::ContextSwitch { .. } => summary.context_switches += 1,
             TraceEvent::TxBegin { thread, stx, .. } => {
                 if let Some(t) = tid(thread, &mut v) {
+                    // I9: the fetched transaction must not begin before
+                    // its recorded arrival.
+                    if let Some((arrival, _)) = arrived[t] {
+                        if rec.at < arrival {
+                            v.push(bad(format!(
+                                "thread {thread} begins stx {stx} at {}cy, before its \
+                                 arrival at {arrival}cy",
+                                rec.at
+                            )));
+                        }
+                    }
                     if let Some(cur) = &open[t] {
                         v.push(bad(format!(
                             "thread {thread} begins stx {stx} while stx {} (begun at seq {}) \
@@ -331,6 +365,22 @@ pub fn audit(
             TraceEvent::TxCommit { thread, stx, .. } => {
                 summary.commits += 1;
                 if let Some(t) = tid(thread, &mut v) {
+                    // I9: the commit consumes the pending arrival; its
+                    // sojourn must be non-negative and is accumulated
+                    // for the conservation check.
+                    if let Some((arrival, _)) = arrived[t].take() {
+                        match rec.at.checked_sub(arrival) {
+                            Some(sojourn) => {
+                                summary.sojourn_cycles =
+                                    summary.sojourn_cycles.saturating_add(sojourn);
+                            }
+                            None => v.push(bad(format!(
+                                "thread {thread} commits stx {stx} at {}cy, before its \
+                                 arrival at {arrival}cy (negative sojourn)",
+                                rec.at
+                            ))),
+                        }
+                    }
                     match open[t].take() {
                         None => v.push(bad(format!(
                             "thread {thread} commits stx {stx} that never began"
@@ -489,6 +539,57 @@ pub fn audit(
                 }
             }
             TraceEvent::FaultConfPoison { .. } => summary.faults += 1,
+            TraceEvent::TxArrival {
+                thread,
+                stx,
+                arrival,
+            } => {
+                summary.tx_arrivals += 1;
+                if let Some(t) = tid(thread, &mut v) {
+                    // I9: fetch never precedes arrival.
+                    if arrival > rec.at {
+                        v.push(bad(format!(
+                            "thread {thread} fetches stx {stx} at {}cy, before its arrival \
+                             at {arrival}cy",
+                            rec.at
+                        )));
+                    }
+                    // I9: per-thread arrivals are FIFO.
+                    if arrival < last_arrival[t] {
+                        v.push(bad(format!(
+                            "thread {thread} fetches an arrival at {arrival}cy after one at \
+                             {}cy (arrival queue must be FIFO)",
+                            last_arrival[t]
+                        )));
+                    }
+                    last_arrival[t] = last_arrival[t].max(arrival);
+                    if let Some((prev, prev_seq)) = arrived[t] {
+                        v.push(bad(format!(
+                            "thread {thread} fetches a second arrival while the one fetched \
+                             at seq {prev_seq} ({prev}cy) has not committed"
+                        )));
+                    }
+                    arrived[t] = Some((arrival, rec.seq));
+                    if let Some(cur) = &open[t] {
+                        v.push(bad(format!(
+                            "thread {thread} fetches an arrival while stx {} is still open",
+                            cur.stx
+                        )));
+                    }
+                }
+            }
+            TraceEvent::QueueDepth { thread, depth } => {
+                summary.queue_depth_samples += 1;
+                if let Some(t) = tid(thread, &mut v) {
+                    if arrived[t].is_none() {
+                        v.push(bad(format!(
+                            "thread {thread} samples queue depth with no pending arrival \
+                             (queue_depth must follow its tx_arrival)"
+                        )));
+                    }
+                    summary.max_queue_depth = summary.max_queue_depth.max(depth);
+                }
+            }
         }
     }
 
@@ -498,6 +599,15 @@ pub fn audit(
             v.push(end(format!(
                 "thread {t} ends the run inside stx {} (begun at seq {})",
                 cur.stx, cur.begin_seq
+            )));
+        }
+    }
+    // I9: every fetched arrival must have committed.
+    for (t, pending) in arrived.iter().enumerate() {
+        if let Some((arrival, seq)) = pending {
+            v.push(end(format!(
+                "thread {t} fetched an arrival at seq {seq} ({arrival}cy) that never \
+                 committed"
             )));
         }
     }
@@ -998,6 +1108,155 @@ mod tests {
                 .filter(|e| e.what.contains("outside any transaction"))
                 .count(),
             2,
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn open_system_arrivals_audit_clean_and_sum_sojourns() {
+        let events = vec![
+            TraceRec {
+                seq: 0,
+                at: 30,
+                ev: TraceEvent::TxArrival {
+                    thread: 0,
+                    stx: 1,
+                    arrival: 10,
+                },
+            },
+            TraceRec {
+                seq: 1,
+                at: 30,
+                ev: TraceEvent::QueueDepth {
+                    thread: 0,
+                    depth: 2,
+                },
+            },
+            TraceRec {
+                seq: 2,
+                at: 30,
+                ev: TraceEvent::TxBegin {
+                    thread: 0,
+                    stx: 1,
+                    retries: 0,
+                },
+            },
+            TraceRec {
+                seq: 3,
+                at: 70,
+                ev: TraceEvent::TxCommit {
+                    thread: 0,
+                    stx: 1,
+                    retries: 0,
+                    rw_lines: 1,
+                },
+            },
+        ];
+        let inp = inputs(100, 1, vec![[0; 5]]);
+        let s = audit(&rec(events), &inp).expect("clean open-system trace");
+        assert_eq!(s.tx_arrivals, 1);
+        assert_eq!(s.queue_depth_samples, 1);
+        assert_eq!(s.max_queue_depth, 2);
+        assert_eq!(s.sojourn_cycles, 60, "sojourn = commit(70) − arrival(10)");
+    }
+
+    #[test]
+    fn i9_causality_violations_are_flagged() {
+        let inp = inputs(100, 1, vec![[0; 5]]);
+        let arrival = |seq, at, arrival| TraceRec {
+            seq,
+            at,
+            ev: TraceEvent::TxArrival {
+                thread: 0,
+                stx: 1,
+                arrival,
+            },
+        };
+        let begin = |seq, at| TraceRec {
+            seq,
+            at,
+            ev: TraceEvent::TxBegin {
+                thread: 0,
+                stx: 1,
+                retries: 0,
+            },
+        };
+        let commit = |seq, at| TraceRec {
+            seq,
+            at,
+            ev: TraceEvent::TxCommit {
+                thread: 0,
+                stx: 1,
+                retries: 0,
+                rw_lines: 1,
+            },
+        };
+
+        // Fetched before the recorded arrival.
+        let early_fetch = vec![arrival(0, 5, 10), begin(1, 12), commit(2, 20)];
+        let errs = audit(&rec(early_fetch), &inp).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.what.contains("before its arrival")),
+            "{errs:?}"
+        );
+
+        // Begins before the arrival (fetch timestamp lies).
+        let early_begin = vec![arrival(0, 10, 10), begin(1, 4), commit(2, 20)];
+        let errs = audit(&rec(early_begin), &inp).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.what.contains("begins stx 1 at 4cy, before its arrival")),
+            "{errs:?}"
+        );
+
+        // Commits before the arrival: negative sojourn.
+        let early_commit = vec![arrival(0, 10, 10), begin(1, 10), commit(2, 7)];
+        let errs = audit(&rec(early_commit), &inp).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.what.contains("negative sojourn")),
+            "{errs:?}"
+        );
+
+        // Out-of-order arrivals break the FIFO queue contract.
+        let lifo = vec![
+            arrival(0, 50, 50),
+            begin(1, 50),
+            commit(2, 60),
+            arrival(3, 60, 20),
+            begin(4, 60),
+            commit(5, 70),
+        ];
+        let errs = audit(&rec(lifo), &inp).unwrap_err();
+        assert!(errs.iter().any(|e| e.what.contains("FIFO")), "{errs:?}");
+
+        // A fetched arrival that never commits dangles at end of trace.
+        let dangling = vec![arrival(0, 10, 10)];
+        let errs = audit(&rec(dangling), &inp).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.what.contains("never committed")),
+            "{errs:?}"
+        );
+
+        // Queue depth with no pending arrival is orphaned.
+        let orphan_depth = vec![TraceRec {
+            seq: 0,
+            at: 10,
+            ev: TraceEvent::QueueDepth {
+                thread: 0,
+                depth: 1,
+            },
+        }];
+        let errs = audit(&rec(orphan_depth), &inp).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.what.contains("no pending arrival")),
+            "{errs:?}"
+        );
+
+        // Two fetches with no commit in between.
+        let double_fetch = vec![arrival(0, 10, 10), arrival(1, 20, 15)];
+        let errs = audit(&rec(double_fetch), &inp).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.what.contains("second arrival")),
             "{errs:?}"
         );
     }

@@ -365,6 +365,31 @@ pub enum TraceEvent {
         /// folded into the commit's Tx-bucket charge.
         cost: u64,
     },
+    /// An open-system transaction was fetched from its thread's arrival
+    /// queue (open-system runs only; batch runs never emit this).
+    /// `arrival` is the cycle the transaction *entered* the queue — the
+    /// anchor of invariant I9: the next [`TraceEvent::TxBegin`] on this
+    /// thread must not precede it, and the sojourn (commit − arrival) is
+    /// non-negative.
+    TxArrival {
+        /// Fetching thread.
+        thread: u32,
+        /// Static transaction id of the fetched instance.
+        stx: u32,
+        /// Cycle the transaction arrived (entered the queue). Never
+        /// after the fetch instant on the enclosing record.
+        arrival: u64,
+    },
+    /// Arrival-queue depth observed at a fetch: transactions already due
+    /// but still queued behind the one just fetched (open-system runs
+    /// only). Emitted immediately after the matching
+    /// [`TraceEvent::TxArrival`].
+    QueueDepth {
+        /// Observing thread.
+        thread: u32,
+        /// Due-but-queued arrivals behind the fetched transaction.
+        depth: u64,
+    },
     /// A fault-injection layer rewrote the confidence table mid-run
     /// (poisoning fault, DESIGN.md §9).
     FaultConfPoison {
@@ -397,6 +422,8 @@ impl TraceEvent {
             TraceEvent::ShardTouch { .. } => "shard_touch",
             TraceEvent::CrossShardCommit { .. } => "cross_shard_commit",
             TraceEvent::FaultBloomCorrupt { .. } => "fault_bloom_corrupt",
+            TraceEvent::TxArrival { .. } => "tx_arrival",
+            TraceEvent::QueueDepth { .. } => "queue_depth",
             TraceEvent::FaultConfPoison { .. } => "fault_conf_poison",
         }
     }

@@ -13,7 +13,8 @@ pub enum TraceMode {
     /// events as a violation.
     Full,
     /// Keep only the most recent `n` events (flight-recorder style, for
-    /// inspecting the tail of very long runs).
+    /// inspecting the tail of very long runs). `n` must be at least 1;
+    /// a run that should record nothing asks for [`TraceMode::Off`].
     Ring(usize),
 }
 
@@ -73,6 +74,12 @@ impl TraceSink {
     }
 
     /// A sink recording in the given mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `TraceMode::Ring(0)`: a zero-capacity ring used to be
+    /// silently clamped to 1, which recorded events the caller asked to
+    /// drop. "Record nothing" is spelled [`TraceMode::Off`].
     pub fn new(mode: TraceMode) -> Self {
         match mode {
             TraceMode::Off => TraceSink(None),
@@ -82,12 +89,15 @@ impl TraceSink {
                 seq: 0,
                 dropped: 0,
             }))),
-            TraceMode::Ring(n) => TraceSink(Some(Box::new(Inner {
-                events: VecDeque::with_capacity(n.min(1 << 20)),
-                cap: Some(n.max(1)),
-                seq: 0,
-                dropped: 0,
-            }))),
+            TraceMode::Ring(n) => {
+                assert!(n > 0, "TraceMode::Ring capacity must be >= 1 (use Off)");
+                TraceSink(Some(Box::new(Inner {
+                    events: VecDeque::with_capacity(n.min(1 << 20)),
+                    cap: Some(n),
+                    seq: 0,
+                    dropped: 0,
+                })))
+            }
         }
     }
 
@@ -182,6 +192,14 @@ mod tests {
         assert_eq!(rec.events.len(), 3);
         assert_eq!(rec.events[0].seq, 7);
         assert_eq!(rec.events[2].seq, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be >= 1")]
+    fn zero_capacity_ring_rejected() {
+        // Regression: Ring(0) used to be clamped to Ring(1) via
+        // `n.max(1)` and silently recorded one event.
+        TraceSink::new(TraceMode::Ring(0));
     }
 
     #[test]

@@ -107,7 +107,9 @@ impl TxClass {
     /// # Panics
     ///
     /// Panics if the class draws from a shared pool it does not define,
-    /// or performs no accesses.
+    /// performs no accesses, or draws random picks from a zero-sized
+    /// region (which would feed `gen_range` a degenerate bound deep in
+    /// instance generation).
     pub fn validate(&self) {
         assert!(
             self.size() > 0,
@@ -119,6 +121,28 @@ impl TxClass {
             "class sTx{} draws from a missing shared pool",
             self.stx
         );
+        if self.shared_picks > 0 {
+            // Region::new rejects lines == 0, but literal construction
+            // bypasses it; re-check here so the panic names the class.
+            if let Some(pool) = self.shared_pool {
+                assert!(
+                    pool.lines > 0,
+                    "class sTx{} draws from an empty shared pool",
+                    self.stx
+                );
+            }
+        }
+        if self.random_picks > 0 {
+            let lines = match self.random_region {
+                RandomRegion::Shared(region) => region.lines,
+                RandomRegion::PerThread { lines } => lines,
+            };
+            assert!(
+                lines > 0,
+                "class sTx{} draws random picks from an empty region",
+                self.stx
+            );
+        }
         assert!(
             (0.0..=1.0).contains(&self.write_frac),
             "write_frac out of range"
@@ -195,5 +219,53 @@ mod tests {
     #[test]
     fn valid_class_passes() {
         class().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "empty shared pool")]
+    fn zero_line_shared_pool_rejected() {
+        let mut c = class();
+        // Literal construction dodges Region::new's own assert.
+        c.shared_pool = Some(Region {
+            base: 100,
+            lines: 0,
+        });
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "empty region")]
+    fn zero_line_shared_random_region_rejected() {
+        let mut c = class();
+        c.random_region = RandomRegion::Shared(Region {
+            base: 1000,
+            lines: 0,
+        });
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "empty region")]
+    fn zero_line_per_thread_random_region_rejected() {
+        let mut c = class();
+        c.random_region = RandomRegion::PerThread { lines: 0 };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "pre_work range inverted")]
+    fn inverted_pre_work_rejected() {
+        let mut c = class();
+        c.pre_work = (200, 100);
+        c.validate();
+    }
+
+    #[test]
+    fn zero_regions_allowed_when_unused() {
+        // A zero-sized random region is fine when nothing draws from it.
+        let mut c = class();
+        c.random_picks = 0;
+        c.random_region = RandomRegion::PerThread { lines: 0 };
+        c.validate();
     }
 }

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod adversarial;
+mod arrivals;
 mod class;
 pub mod presets;
 mod source;
@@ -44,6 +45,7 @@ mod spec;
 mod synthetic;
 
 pub use adversarial::{AdversarialSource, AdversarialSpec};
+pub use arrivals::{open_sources, ArrivalProcess, ArrivalSpec, OpenSource};
 pub use class::{RandomRegion, Region, TxClass};
 pub use source::WorkloadSource;
 pub use spec::{BenchmarkSpec, ExpectedProfile};

@@ -27,6 +27,11 @@ impl WorkloadSource {
     /// Creates the source for thread `thread_index`, yielding `count`
     /// transactions.
     ///
+    /// Duplicate `stx` ids across classes are explicitly allowed: each
+    /// class is picked by its own weight and keeps its own private-line
+    /// slice (indexed by class position, not `stx`), so two classes may
+    /// model one static transaction with different dynamic shapes.
+    ///
     /// # Panics
     ///
     /// Panics if `classes` is empty or any class fails validation.
@@ -49,15 +54,15 @@ impl WorkloadSource {
         self.remaining
     }
 
-    fn pick_class<'a>(&'a self, rng: &mut SimRng) -> &'a TxClass {
+    fn pick_class(&self, rng: &mut SimRng) -> usize {
         let mut roll = rng.gen_f64() * self.total_weight;
-        for c in self.classes.iter() {
+        for (i, c) in self.classes.iter().enumerate() {
             if roll < c.weight {
-                return c;
+                return i;
             }
             roll -= c.weight;
         }
-        self.classes.last().expect("classes verified non-empty")
+        self.classes.len() - 1
     }
 
     fn private_base(&self, class_index: u64) -> u64 {
@@ -113,13 +118,7 @@ impl TxSource for WorkloadSource {
             return None;
         }
         self.remaining -= 1;
-        let class_index = {
-            let picked = self.pick_class(rng);
-            self.classes
-                .iter()
-                .position(|c| c.stx == picked.stx)
-                .expect("picked class comes from the list")
-        };
+        let class_index = self.pick_class(rng);
         Some(self.build_instance(class_index, rng))
     }
 }
@@ -292,5 +291,52 @@ mod tests {
     fn empty_classes_rejected() {
         let empty: Arc<[TxClass]> = Vec::new().into();
         WorkloadSource::new(empty, 0, 1);
+    }
+
+    #[test]
+    fn duplicate_stx_classes_keep_their_own_shapes() {
+        // Regression: the weighted pick used to be recovered via
+        // `position(|c| c.stx == picked.stx)`, which collapsed every
+        // duplicate-stx class onto the first match — the second shape
+        // below could never be generated.
+        let dup: Arc<[TxClass]> = vec![
+            TxClass {
+                stx: 7,
+                weight: 1.0,
+                private_hot: 2,
+                shared_picks: 0,
+                shared_pool: None,
+                shared_writes: false,
+                random_picks: 0,
+                random_region: RandomRegion::PerThread { lines: 1 },
+                write_frac: 0.0,
+                pre_work: (0, 0),
+            },
+            TxClass {
+                stx: 7,
+                weight: 1.0,
+                private_hot: 9,
+                shared_picks: 0,
+                shared_pool: None,
+                shared_writes: false,
+                random_picks: 0,
+                random_region: RandomRegion::PerThread { lines: 1 },
+                write_frac: 0.0,
+                pre_work: (0, 0),
+            },
+        ]
+        .into();
+        let mut src = WorkloadSource::new(dup, 0, 400);
+        let mut rng = SimRng::seed_from(11);
+        let mut sizes = BTreeSet::new();
+        while let Some(tx) = src.next_tx(&mut rng) {
+            assert_eq!(tx.stx.get(), 7);
+            sizes.insert(tx.len());
+        }
+        assert_eq!(
+            sizes.into_iter().collect::<Vec<_>>(),
+            vec![2, 9],
+            "both duplicate-stx shapes must be generated"
+        );
     }
 }
