@@ -10,7 +10,11 @@
 //! violation. `--tamper` is the checker's negative control: it perturbs
 //! the first charge by one cycle before auditing and *succeeds only if
 //! the audit fails* — a checker that accepts a corrupted trace is
-//! broken. `--chrome PATH` converts the file for `chrome://tracing`.
+//! broken. `--tamper-capacity` is the same control for invariant I10:
+//! it lowers the first capacity abort's recorded set size to the
+//! configured bound (so the abort no longer exceeded it) and requires
+//! the audit to reject. `--chrome PATH` converts the file for
+//! `chrome://tracing`.
 
 use bfgts_bench::trace_export::{parse_jsonl_full, to_chrome};
 use bfgts_trace::{audit, TraceEvent};
@@ -24,6 +28,10 @@ options:
                  checker; exit 1 on any violation
   --tamper       negative control: corrupt the first charge by one
                  cycle, then require the audit to fail
+  --tamper-capacity
+                 negative control for I10: lower the first capacity
+                 abort's set size to the configured bound, then
+                 require the audit to fail
   --chrome PATH  also convert the trace to Chrome trace_event JSON
   -h, --help     show this help";
 
@@ -32,6 +40,7 @@ fn main() -> ExitCode {
     let mut file = None;
     let mut do_audit = false;
     let mut tamper = false;
+    let mut tamper_capacity = false;
     let mut chrome_out = None;
     let mut i = 0;
     while i < args.len() {
@@ -42,6 +51,7 @@ fn main() -> ExitCode {
             }
             "--audit" => do_audit = true,
             "--tamper" => tamper = true,
+            "--tamper-capacity" => tamper_capacity = true,
             "--chrome" => {
                 i += 1;
                 match args.get(i) {
@@ -120,6 +130,41 @@ fn main() -> ExitCode {
             }
             Ok(_) => {
                 eprintln!("error: audit ACCEPTED a corrupted trace — the checker is broken");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if tamper_capacity {
+        // The I10 control: rewrite the first capacity abort so its
+        // recorded set size no longer exceeds the configured bound. A
+        // checker that still accepts the trace would also accept a
+        // simulator whose capacity aborts fire below the bound.
+        let Some(rec) = recording.events.iter_mut().find_map(|rec| match rec.ev {
+            TraceEvent::CapacityAbort { .. } => Some(rec),
+            _ => None,
+        }) else {
+            return fail("--tamper-capacity: trace has no capacity aborts to corrupt");
+        };
+        if let TraceEvent::CapacityAbort {
+            ref mut tracked,
+            capacity,
+            ..
+        } = rec.ev
+        {
+            *tracked = capacity;
+        }
+        return match audit(&recording, &inputs) {
+            Err(violations) => {
+                println!(
+                    "tamper-capacity control: audit correctly rejected the corrupted trace \
+                     ({} violations)",
+                    violations.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Ok(_) => {
+                eprintln!("error: audit ACCEPTED a corrupted trace — the I10 checker is broken");
                 ExitCode::FAILURE
             }
         };

@@ -18,8 +18,8 @@ use bfgts_core::BfgtsConfig;
 pub use bfgts_faultsim::run_cell;
 use bfgts_faultsim::{minimize, CellConfig, CellReport, Fault, FaultPlan};
 use bfgts_scenario::{
-    fnv1a, variant_key, BfgtsTunables, ManagerSpec, Platform, ResolvedWorkload, Scenario,
-    WorkloadSpec,
+    fnv1a, variant_key, BfgtsTunables, Detection, ManagerSpec, Platform, ResolvedWorkload,
+    Scenario, WorkloadSpec,
 };
 use bfgts_sim::TraceMode;
 use bfgts_testkit::Gen;
@@ -74,6 +74,18 @@ pub fn campaign_cell(seed: u64) -> CampaignCell {
     let bfgts_key = *g.choose(&BFGTS_KEYS);
     let mut cfg = CellConfig::quick(seed);
     cfg.bfgts = bfgts_config(bfgts_key).expect("BFGTS_KEYS entries are all mapped");
+    // Half the cells run on capacity-limited signature hardware, so the
+    // campaign hammers the bounded-detection path (false-positive and
+    // capacity aborts, fallback latch, I10) under the same fault plans
+    // as perfect detection. Small capacities are deliberate: quick-cell
+    // transactions must actually overflow them.
+    if g.bool() {
+        cfg.detection = Detection::BoundedSig {
+            bits: 64 * g.u32_in(1, 9),
+            hashes: g.u32_in(1, 5),
+            capacity: g.u32_in(4, 65),
+        };
+    }
     CampaignCell {
         seed,
         cfg,
@@ -169,6 +181,7 @@ pub fn scenario_for(cfg: &CellConfig, workload: &AdversarialSpec, plan: &FaultPl
             threads: cfg.num_threads,
             seed: cfg.run_seed,
             shards: 1,
+            detection: cfg.detection,
         },
     );
     scenario.faults = Some(plan.clone());
@@ -232,6 +245,7 @@ impl Repro {
             scale: 1.0,
             min_fraction_pct: self.min_fraction_pct,
             bfgts: tunables.config(),
+            detection: self.scenario.platform.detection,
         })
     }
 

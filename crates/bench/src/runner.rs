@@ -219,11 +219,19 @@ impl RunCell {
             .costs
             .run_config(scenario.platform.cpus, scenario.platform.threads, seed)
             .shards(scenario.platform.shards)
+            .detection(scenario.platform.detection)
             .trace(trace);
         if let Some(plan) = plan {
             let pct = plan.cost_percent();
             if pct > 0 {
                 cfg = cfg.perturb_costs(plan.seed, pct);
+            }
+            // On capacity-limited hardware a BloomCorrupt fault also
+            // flips live detection-signature bits (traced per begin).
+            if scenario.platform.detection.is_bounded() {
+                if let Some((rate_pct, bits)) = plan.bloom_corrupt() {
+                    cfg = cfg.detection_fault(u64::from(rate_pct), bits, plan.seed);
+                }
             }
         }
         let cm_faults = plan.and_then(|p| p.cm_faults());

@@ -324,6 +324,30 @@ fn rec_to_json(rec: &TraceRec) -> Json {
         TraceEvent::FaultBloomCorrupt { thread, stx, bits } => {
             pairs.extend([("thread", u(thread)), ("stx", u(stx)), ("bits", u(bits))]);
         }
+        TraceEvent::FalsePositiveConflict {
+            thread,
+            stx,
+            enemy_thread,
+            enemy_stx,
+            true_conflicts,
+        } => pairs.extend([
+            ("thread", u(thread)),
+            ("stx", u(stx)),
+            ("enemy_thread", u(enemy_thread)),
+            ("enemy_stx", u(enemy_stx)),
+            ("true_conflicts", u(true_conflicts)),
+        ]),
+        TraceEvent::CapacityAbort {
+            thread,
+            stx,
+            tracked,
+            capacity,
+        } => pairs.extend([
+            ("thread", u(thread)),
+            ("stx", u(stx)),
+            ("tracked", u(tracked)),
+            ("capacity", u(capacity)),
+        ]),
         TraceEvent::FaultConfPoison {
             thread,
             saturate,
@@ -451,6 +475,19 @@ fn rec_from_json(v: &Json) -> Option<TraceRec> {
             thread: u32f("thread")?,
             stx: u32f("stx")?,
             bits: u32f("bits")?,
+        },
+        "false_positive_conflict" => TraceEvent::FalsePositiveConflict {
+            thread: u32f("thread")?,
+            stx: u32f("stx")?,
+            enemy_thread: u32f("enemy_thread")?,
+            enemy_stx: u32f("enemy_stx")?,
+            true_conflicts: u32f("true_conflicts")?,
+        },
+        "capacity_abort" => TraceEvent::CapacityAbort {
+            thread: u32f("thread")?,
+            stx: u32f("stx")?,
+            tracked: u32f("tracked")?,
+            capacity: u32f("capacity")?,
         },
         "fault_conf_poison" => TraceEvent::FaultConfPoison {
             thread: u32f("thread")?,
@@ -716,6 +753,38 @@ pub fn to_chrome(recording: &TraceRecording, inputs: &AuditInputs) -> String {
                 format!("fault:bloom_corrupt stx{stx}"),
                 Json::obj([("bits", Json::UInt(u64::from(bits)))]),
             ),
+            TraceEvent::FalsePositiveConflict {
+                thread,
+                stx,
+                enemy_thread,
+                enemy_stx,
+                true_conflicts,
+            } => instant(
+                PID_THREADS,
+                u64::from(thread),
+                at,
+                format!("false_positive_conflict stx{stx}"),
+                Json::obj([
+                    ("enemy_thread", Json::UInt(u64::from(enemy_thread))),
+                    ("enemy_stx", Json::UInt(u64::from(enemy_stx))),
+                    ("true_conflicts", Json::UInt(u64::from(true_conflicts))),
+                ]),
+            ),
+            TraceEvent::CapacityAbort {
+                thread,
+                stx,
+                tracked,
+                capacity,
+            } => instant(
+                PID_THREADS,
+                u64::from(thread),
+                at,
+                format!("capacity_abort stx{stx}"),
+                Json::obj([
+                    ("tracked", Json::UInt(u64::from(tracked))),
+                    ("capacity", Json::UInt(u64::from(capacity))),
+                ]),
+            ),
             TraceEvent::FaultConfPoison {
                 thread,
                 saturate,
@@ -861,6 +930,19 @@ mod tests {
                 stx: 2,
                 bits: 64,
             },
+            TraceEvent::FalsePositiveConflict {
+                thread: 1,
+                stx: 2,
+                enemy_thread: 0,
+                enemy_stx: NO_TARGET,
+                true_conflicts: 0,
+            },
+            TraceEvent::CapacityAbort {
+                thread: 1,
+                stx: 2,
+                tracked: 9,
+                capacity: 8,
+            },
             TraceEvent::FaultConfPoison {
                 thread: 1,
                 saturate: true,
@@ -911,7 +993,7 @@ mod tests {
         let text = to_jsonl(&recording, &inputs);
         assert!(parse_jsonl("").is_err());
         assert!(parse_jsonl("{\"seq\":0}").is_err(), "missing header");
-        let bad_count = text.replace("\"events\":18", "\"events\":19");
+        let bad_count = text.replace("\"events\":20", "\"events\":21");
         assert!(parse_jsonl(&bad_count).is_err(), "event count mismatch");
         let bad_version = text.replace("\"version\":3", "\"version\":99");
         assert!(parse_jsonl(&bad_version).is_err(), "future version");

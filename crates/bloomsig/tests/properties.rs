@@ -166,6 +166,96 @@ fn prop_estimate_inverts_expectation() {
     });
 }
 
+/// Saturation: driving the fill ratio to 1 keeps every estimate finite,
+/// and a fully saturated filter reports exactly the documented
+/// one-unset-bit clamp (the largest value eq. 2 can express).
+#[test]
+fn prop_saturated_filters_estimate_finitely() {
+    run_cases("saturated_filters_estimate_finitely", CASES, |g| {
+        let bits = *g.choose(&[64u32, 128, 256]);
+        let mut f = BloomFilter::new(bits, 4);
+        let mut last = 0.0f64;
+        for round in 0.. {
+            assert!(round < 100_000, "filter never saturated");
+            f.insert(g.u64());
+            let est = f.estimate_len();
+            assert!(
+                est.is_finite(),
+                "estimate diverged at fill {}",
+                f.count_ones()
+            );
+            assert!(est >= last - 1e-9, "estimate shrank under insertion");
+            last = est;
+            if f.count_ones() == bits {
+                break;
+            }
+        }
+        assert_eq!(
+            f.estimate_len().to_bits(),
+            estimate::set_size(f.params(), bits).to_bits(),
+            "saturated estimate must be the one-unset-bit clamp"
+        );
+        // Two saturated filters: the inclusion–exclusion estimate stays
+        // finite and collapses to the saturated set-size estimate.
+        let est = f.intersection_estimate(&f.clone());
+        assert!(est.is_finite());
+        assert!((est - f.estimate_len()).abs() < 1e-9);
+    });
+}
+
+/// False positives are monotone in fill: bits are only ever set, so a
+/// probe that aliases once aliases forever, and at saturation every
+/// probe aliases. This is the monotone false-positive rate the bounded
+/// detection mode turns into (monotone) abort pressure.
+#[test]
+fn prop_false_positive_rate_monotone_in_fill() {
+    run_cases("fp_rate_monotone_in_fill", CASES, |g| {
+        let mut f = BloomFilter::new(256, 2);
+        // Probes are drawn from a key range disjoint from every insert,
+        // so any positive membership answer is a false positive.
+        let probes: Vec<u64> = (0..128).map(|_| g.u64_in(1 << 32, u64::MAX)).collect();
+        let mut last_fp = 0usize;
+        while f.count_ones() < f.bits() {
+            for _ in 0..8 {
+                f.insert(g.u64_in(0, 1 << 31));
+            }
+            let fp = probes.iter().filter(|&&p| f.may_contain(p)).count();
+            assert!(
+                fp >= last_fp,
+                "false-positive count dropped: {fp} < {last_fp}"
+            );
+            last_fp = fp;
+        }
+        assert_eq!(
+            last_fp,
+            probes.len(),
+            "a saturated filter aliases everything"
+        );
+    });
+}
+
+/// The clamp contract of eq. 3 holds over the whole popcount lattice:
+/// the clamped intersection is bit-for-bit `raw.max(0.0)` and never
+/// negative, for any geometry up to and including saturation.
+#[test]
+fn prop_intersection_clamp_contract() {
+    run_cases("intersection_clamp_contract", 256, |g| {
+        let bits = *g.choose(&[64u32, 256, 2048]);
+        let params = EstimateParams::new(bits, g.u32_in(1, 9));
+        let a = g.u32_in(0, bits + 1);
+        let b = g.u32_in(0, bits + 1);
+        let union = g.u32_in(a.max(b), (a + b).min(bits) + 1);
+        let raw = estimate::intersection_size(params, a, b, union);
+        let clamped = estimate::intersection_size_clamped(params, a, b, union);
+        assert!(clamped >= 0.0, "clamped estimate {clamped} went negative");
+        assert_eq!(
+            clamped.to_bits(),
+            raw.max(0.0).to_bits(),
+            "clamp must be exactly raw.max(0.0) (invariant I6 replays it bit-for-bit)"
+        );
+    });
+}
+
 /// Similarity is always within [0, 1].
 #[test]
 fn prop_similarity_bounded() {

@@ -2,5 +2,7 @@ pub fn replay(ev: &TraceEvent) {
     match ev {
         TraceEvent::Charge { .. } => {}
         TraceEvent::TxBegin { .. } => {}
+        TraceEvent::FalsePositiveConflict { .. } => {}
+        TraceEvent::CapacityAbort { .. } => {}
     }
 }

@@ -1,8 +1,11 @@
-// Contract fixture: every variant is audited and exported.
+// Contract fixture: every variant is audited and exported, including
+// the bounded-detection pair (false-positive and capacity aborts).
 
 pub enum TraceEvent {
     Charge { at: u64, cycles: u64 },
     TxBegin { tid: u32 },
+    FalsePositiveConflict { tid: u32, true_conflicts: u64 },
+    CapacityAbort { tid: u32, tracked: u32, capacity: u32 },
 }
 
 impl TraceEvent {
@@ -10,6 +13,8 @@ impl TraceEvent {
         match self {
             TraceEvent::Charge { .. } => "charge",
             TraceEvent::TxBegin { .. } => "tx_begin",
+            TraceEvent::FalsePositiveConflict { .. } => "false_positive_conflict",
+            TraceEvent::CapacityAbort { .. } => "capacity_abort",
         }
     }
 }

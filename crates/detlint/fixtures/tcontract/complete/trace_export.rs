@@ -2,5 +2,7 @@ pub fn rec_to_json(ev: &TraceEvent) -> &'static str {
     match ev {
         TraceEvent::Charge { .. } => "charge",
         TraceEvent::TxBegin { .. } => "tx_begin",
+        TraceEvent::FalsePositiveConflict { .. } => "false_positive_conflict",
+        TraceEvent::CapacityAbort { .. } => "capacity_abort",
     }
 }

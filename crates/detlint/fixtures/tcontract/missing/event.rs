@@ -1,10 +1,12 @@
 // Contract fixture: TxAbort is missing from the audit and its
-// canonical name never reaches the exporter.
+// canonical name never reaches the exporter; CapacityAbort is the
+// planted bounded-detection control, uncovered everywhere.
 
 pub enum TraceEvent {
     Charge { at: u64, cycles: u64 },
     TxBegin { tid: u32 },
     TxAbort { tid: u32 },
+    CapacityAbort { tid: u32, tracked: u32, capacity: u32 },
 }
 
 impl TraceEvent {
@@ -13,6 +15,7 @@ impl TraceEvent {
             TraceEvent::Charge { .. } => "charge",
             TraceEvent::TxBegin { .. } => "tx_begin",
             TraceEvent::TxAbort { .. } => "tx_abort",
+            TraceEvent::CapacityAbort { .. } => "capacity_abort",
         }
     }
 }

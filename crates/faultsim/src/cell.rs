@@ -3,7 +3,7 @@
 use crate::plan::FaultPlan;
 use bfgts_baselines::BackoffCm;
 use bfgts_core::{BfgtsCm, BfgtsConfig};
-use bfgts_htm::{run_workload, ContentionManager, TmRunConfig, TmRunReport};
+use bfgts_htm::{run_workload, ContentionManager, Detection, TmRunConfig, TmRunReport};
 use bfgts_sim::TraceMode;
 use bfgts_workloads::AdversarialSpec;
 
@@ -25,6 +25,11 @@ pub struct CellConfig {
     pub min_fraction_pct: u64,
     /// The BFGTS flavour under test.
     pub bfgts: BfgtsConfig,
+    /// Conflict-detection model of the simulated hardware. Bounded
+    /// cells exercise the signature path: false-positive aborts,
+    /// capacity aborts and the software-fallback latch all run under
+    /// the same audit and degradation bound as perfect detection.
+    pub detection: Detection,
 }
 
 impl CellConfig {
@@ -39,6 +44,7 @@ impl CellConfig {
             scale: 0.1,
             min_fraction_pct: 10,
             bfgts: BfgtsConfig::hw(),
+            detection: Detection::Perfect,
         }
     }
 }
@@ -94,10 +100,20 @@ fn audited(
 fn run_config(cfg: &CellConfig, plan: &FaultPlan) -> TmRunConfig {
     let mut run_cfg = TmRunConfig::new(cfg.num_cpus, cfg.num_threads)
         .seed(cfg.run_seed)
-        .trace(TraceMode::Full);
+        .trace(TraceMode::Full)
+        .detection(cfg.detection);
     let pct = plan.cost_percent();
     if pct > 0 {
         run_cfg = run_cfg.perturb_costs(plan.seed, pct);
+    }
+    // BloomCorrupt doubles as a detection-layer fault: on bounded
+    // hardware the same plan also flips bits in the live read/write
+    // signatures, so the audit must hold while the conflict oracle
+    // itself is being sabotaged (not just the scheduler's inputs).
+    if cfg.detection.is_bounded() {
+        if let Some((rate_pct, bits)) = plan.bloom_corrupt() {
+            run_cfg = run_cfg.detection_fault(u64::from(rate_pct), bits, plan.seed);
+        }
     }
     run_cfg
 }
@@ -198,6 +214,28 @@ mod tests {
         let report = run_cell(&cfg, &spec, &plan);
         assert!(report.passed(), "violations: {:?}", report.violations);
         assert!(report.faults_seen > 0, "faults must actually fire");
+    }
+
+    #[test]
+    fn bounded_detection_cell_audits_clean_and_replays() {
+        let mut cfg = CellConfig::quick(0xCE15);
+        cfg.detection = Detection::BoundedSig {
+            bits: 64,
+            hashes: 1,
+            capacity: 16,
+        };
+        let spec = AdversarialSpec::hotspot_skew();
+        let plan = FaultPlan::new(7).fault(Fault::BloomCorrupt {
+            rate_pct: 60,
+            bits: 16,
+        });
+        let a = run_cell(&cfg, &spec, &plan);
+        assert!(a.passed(), "violations: {:?}", a.violations);
+        assert!(
+            a.faults_seen > 0,
+            "detection-signature corruption must be traced"
+        );
+        assert_eq!(a, run_cell(&cfg, &spec, &plan), "replay");
     }
 
     #[test]

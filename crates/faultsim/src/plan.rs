@@ -145,6 +145,18 @@ impl FaultPlan {
             .unwrap_or(0)
     }
 
+    /// The Bloom-corruption envelope this plan requests, as
+    /// `(rate_pct, bits)` (`None` = no corruption; the last
+    /// `BloomCorrupt` fault wins). Consumers apply it both to the
+    /// scheduler's commit signatures (via [`Self::cm_faults`]) and, on
+    /// capacity-limited hardware, to the live detection signatures.
+    pub fn bloom_corrupt(&self) -> Option<(u32, u32)> {
+        self.faults.iter().rev().find_map(|f| match f {
+            Fault::BloomCorrupt { rate_pct, bits } => Some((*rate_pct, *bits)),
+            _ => None,
+        })
+    }
+
     /// The manager-level fault configuration this plan folds down to,
     /// or `None` if only engine-level faults are present.
     pub fn cm_faults(&self) -> Option<CmFaults> {

@@ -2,7 +2,7 @@
 //! a contention manager and collect both simulator and TM statistics.
 
 use crate::cm::ContentionManager;
-use crate::state::TmWorld;
+use crate::state::{Detection, TmWorld};
 use crate::stats::TmStats;
 use crate::thread::{TxThreadConfig, TxThreadLogic};
 use crate::txn::TxSource;
@@ -56,6 +56,16 @@ pub struct TmRunConfig {
     /// `cross_shard_hop · (shards_touched − 1)` extra cycles and the
     /// trace carries `ShardTouch`/`CrossShardCommit` events.
     pub shards: u32,
+    /// Conflict-detection mode (DESIGN.md §13). [`Detection::Perfect`]
+    /// (the default) is byte-identical to the pre-capacity simulator;
+    /// [`Detection::BoundedSig`] tracks read/write sets in bounded Bloom
+    /// signatures with false-positive and capacity aborts.
+    pub detection: Detection,
+    /// Detection-signature corruption fault `(rate_pct, bits, seed)`:
+    /// at each bounded transaction begin, with probability `rate_pct`%,
+    /// `bits` random signature positions are forced high. Not part of
+    /// any scenario's identity — a fault layer, like `perturb_costs`.
+    pub detection_fault: Option<(u64, u32, u64)>,
 }
 
 impl TmRunConfig {
@@ -73,6 +83,8 @@ impl TmRunConfig {
             trace: TraceMode::Off,
             queue: EventQueueKind::default(),
             shards: 1,
+            detection: Detection::Perfect,
+            detection_fault: None,
         }
     }
 
@@ -118,6 +130,20 @@ impl TmRunConfig {
     /// Replaces the conflict-detection shard count (0 is clamped to 1).
     pub fn shards(mut self, shards: u32) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Replaces the conflict-detection mode.
+    pub fn detection(mut self, detection: Detection) -> Self {
+        self.detection = detection;
+        self
+    }
+
+    /// Arms the detection-signature corruption fault (see
+    /// [`TmRunConfig::detection_fault`]). A `rate_pct` or `bits` of 0
+    /// disarms it.
+    pub fn detection_fault(mut self, rate_pct: u64, bits: u32, seed: u64) -> Self {
+        self.detection_fault = (rate_pct > 0 && bits > 0).then_some((rate_pct, bits, seed));
         self
     }
 
@@ -257,6 +283,10 @@ where
     let cm_name = cm.name();
     let mut world = TmWorld::new(cfg.num_cpus, cfg.num_threads, cm);
     world.tm.configure_shards(cfg.shards);
+    world.tm.configure_detection(cfg.detection);
+    if let Some((rate_pct, bits, seed)) = cfg.detection_fault {
+        world.tm.configure_detection_fault(rate_pct, bits, seed);
+    }
     if cfg.record_history {
         world.tm.enable_history();
     }
@@ -409,6 +439,124 @@ mod tests {
         assert_eq!(base_summary.shard_touches, 0);
         assert_eq!(base.stats.commits(), report.stats.commits());
         assert!(report.sim.makespan >= base.sim.makespan);
+    }
+
+    fn bounded_cfg() -> TmRunConfig {
+        // A deliberately starved geometry: 64-bit 1-hash signatures alias
+        // readily, and capacity 8 cannot hold a 12-line transaction, so
+        // both new abort causes must appear.
+        TmRunConfig::new(2, 4)
+            .seed(0xA0D17)
+            .detection(Detection::BoundedSig {
+                bits: 64,
+                hashes: 1,
+                capacity: 8,
+            })
+            .trace(TraceMode::Full)
+    }
+
+    fn bounded_scripts() -> Vec<ScriptSource> {
+        (0..4u64)
+            .map(|t| {
+                ScriptSource::new(vec![
+                    TxInstance::writer_over(STxId(t as u32), t * 100..t * 100 + 12, 40),
+                    TxInstance::writer_over(STxId(4), t * 100 + 50..t * 100 + 56, 10),
+                ])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bounded_detection_overflows_falls_back_and_audits_clean_under_i10() {
+        let report = run_workload(&bounded_cfg(), bounded_scripts(), Box::new(NullCm));
+        let summary = report.audit_or_panic();
+        assert_eq!(report.stats.commits(), 8, "fallback guarantees progress");
+        // Every thread's 12-line transaction overflows capacity 8 at
+        // least once before its retry runs in the exact fallback.
+        assert!(summary.capacity_aborts >= 4, "12-line txs must overflow");
+        // Each fatal detection event aborted its attempt.
+        assert!(
+            report.stats.aborts() >= summary.capacity_aborts + summary.false_positive_conflicts
+        );
+    }
+
+    #[test]
+    fn manufactured_alias_aborts_as_a_false_positive() {
+        // Thread 0 holds a long transaction over lines 0..8 (padded with
+        // repeat writes so its signature stays live); thread 1 starts
+        // later — strictly younger — and touches one address chosen by
+        // construction to alias thread 0's signature while being disjoint
+        // from its exact sets. The younger requester must abort with a
+        // FalsePositiveConflict the audit disconfirms (I10).
+        use crate::txn::Access;
+        use bfgts_bloomsig::BloomFilter;
+        let mut f = BloomFilter::new(64, 1);
+        for a in 0..8u64 {
+            f.insert(a);
+        }
+        let alias = (1000..u64::MAX)
+            .find(|&a| f.may_contain(a))
+            .expect("a 64-bit 1-hash filter aliases quickly");
+        let mut long_accesses: Vec<Access> = (0..8u64).map(Access::write).collect();
+        long_accesses.extend((0..200).map(|i| Access::write(i % 8)));
+        let scripts = vec![
+            ScriptSource::new(vec![TxInstance::new(STxId(0), long_accesses, 0)]),
+            ScriptSource::new(vec![TxInstance::new(
+                STxId(1),
+                vec![Access::write(alias)],
+                50,
+            )]),
+        ];
+        let cfg = TmRunConfig::new(2, 2)
+            .seed(0xA0D17)
+            .detection(Detection::BoundedSig {
+                bits: 64,
+                hashes: 1,
+                capacity: 16,
+            })
+            .trace(TraceMode::Full);
+        let report = run_workload(&cfg, scripts, Box::new(NullCm));
+        let summary = report.audit_or_panic();
+        assert_eq!(report.stats.commits(), 2);
+        assert!(
+            summary.false_positive_conflicts >= 1,
+            "the manufactured alias must surface as a false-positive abort"
+        );
+        assert_eq!(summary.capacity_aborts, 0);
+    }
+
+    #[test]
+    fn perfect_detection_emits_no_bounded_events() {
+        // The same contentious workload under the default mode: I10's
+        // quiet side — no capacity or false-positive events at all.
+        let cfg = TmRunConfig::new(2, 4).seed(0xA0D17).trace(TraceMode::Full);
+        let report = run_workload(&cfg, bounded_scripts(), Box::new(NullCm));
+        let summary = report.audit_or_panic();
+        assert_eq!(report.stats.commits(), 8);
+        assert_eq!(summary.capacity_aborts, 0);
+        assert_eq!(summary.false_positive_conflicts, 0);
+    }
+
+    #[test]
+    fn detection_fault_is_deterministic_and_audits_clean() {
+        // Force corruption on every begin: the run must still terminate,
+        // audit clean (the audit recomputes ground truth per event, so
+        // injected aliases are genuine false positives), and replay
+        // bit-identically.
+        let run = || {
+            run_workload(
+                &bounded_cfg().detection_fault(100, 8, 0xFA_17),
+                bounded_scripts(),
+                Box::new(NullCm),
+            )
+        };
+        let report = run();
+        let summary = report.audit_or_panic();
+        assert_eq!(report.stats.commits(), 8);
+        assert!(summary.faults > 0, "armed fault must declare itself");
+        let replay = run();
+        assert_eq!(report.sim.makespan, replay.sim.makespan);
+        assert_eq!(report.stats.aborts(), replay.stats.aborts());
     }
 
     /// A scripted open-system source: yields each instance at its fixed

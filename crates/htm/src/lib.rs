@@ -61,7 +61,7 @@ pub use harness::{
 };
 pub use history::{AttemptId, History, HistoryEvent, SerializabilityResult};
 pub use ids::{DTxId, LineAddr, STxId};
-pub use state::{AccessResult, TmState, TmWorld, SHARD_BLOCK_LINES};
+pub use state::{AccessResult, Detection, TmState, TmWorld, SHARD_BLOCK_LINES};
 pub use stats::TmStats;
 pub use thread::{TxThreadConfig, TxThreadLogic};
 pub use txn::{Access, ScriptSource, TxInstance, TxPoll, TxSource};

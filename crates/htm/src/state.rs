@@ -4,9 +4,75 @@ use crate::cm::ContentionManager;
 use crate::history::{AttemptId, History};
 use crate::ids::{DTxId, LineAddr, STxId};
 use crate::stats::TmStats;
-use bfgts_sim::{Cycle, ThreadId};
+use bfgts_bloomsig::BloomFilter;
+use bfgts_sim::{Cycle, SimRng, ThreadId};
 use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet};
+
+/// How per-thread read/write sets are tracked for conflict detection
+/// (DESIGN.md §13).
+///
+/// `Perfect` is the classic simulator idealisation: exact line-granular
+/// sets, unbounded tracking, no false positives — the only mode any
+/// pre-capacity run ever had. `BoundedSig` models a limited hardware TM
+/// in the style of LogTM-SE / Kafousis's limited read/write-set HTM:
+/// per-thread Bloom signatures answer the conflict filter (so aliasing
+/// produces *false-positive aborts*), and tracking more than `capacity`
+/// distinct addresses raises a *capacity abort* whose retry falls back
+/// to exact software tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Detection {
+    /// Exact line-granular read/write sets; unbounded, no false
+    /// positives. The default, and byte-identical to the pre-capacity
+    /// simulator.
+    #[default]
+    Perfect,
+    /// Bounded hardware signatures over [`bfgts_bloomsig::BloomFilter`].
+    BoundedSig {
+        /// Signature size in bits (multiple of 64, 64..=4096).
+        bits: u32,
+        /// Hash functions per signature (1..=16).
+        hashes: u32,
+        /// Distinct addresses one attempt may track before overflowing
+        /// (≥ 1).
+        capacity: u32,
+    },
+}
+
+impl Detection {
+    /// Validates the geometry against the hardware model's envelope.
+    pub fn validate(self) -> Result<(), String> {
+        match self {
+            Detection::Perfect => Ok(()),
+            Detection::BoundedSig {
+                bits,
+                hashes,
+                capacity,
+            } => {
+                if !bits.is_multiple_of(64) || !(64..=4096).contains(&bits) {
+                    return Err(format!(
+                        "detection signature bits must be a multiple of 64 in 64..=4096, \
+                         got {bits}"
+                    ));
+                }
+                if !(1..=16).contains(&hashes) {
+                    return Err(format!(
+                        "detection signature hashes must be in 1..=16, got {hashes}"
+                    ));
+                }
+                if capacity == 0 {
+                    return Err("detection capacity must be ≥ 1".into());
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// True for the bounded-signature mode.
+    pub fn is_bounded(self) -> bool {
+        matches!(self, Detection::BoundedSig { .. })
+    }
+}
 
 /// Result of attempting a transactional access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,6 +84,27 @@ pub enum AccessResult {
     Conflict {
         /// The thread whose transaction owns the line.
         owner: ThreadId,
+    },
+    /// Bounded detection only: the request hit another thread's Bloom
+    /// signature although the exact sets are disjoint. Hardware cannot
+    /// tell this from a real conflict, so the requester is NACKed all
+    /// the same — the driver arbitrates by age exactly as for
+    /// [`AccessResult::Conflict`], and a losing requester aborts with a
+    /// distinct traced cause.
+    FalseConflict {
+        /// The thread whose signature aliased the address.
+        owner: ThreadId,
+    },
+    /// Bounded detection only: granting the access would track more
+    /// distinct addresses than the signature capacity allows. The
+    /// attempt must abort; its retry runs in the exact software
+    /// fallback.
+    CapacityExceeded {
+        /// Distinct addresses the attempt would have had to track
+        /// (always `capacity + 1`).
+        tracked: u32,
+        /// The configured bound.
+        capacity: u32,
     },
 }
 
@@ -32,6 +119,33 @@ impl LineState {
     fn is_free(&self) -> bool {
         self.writer.is_none() && self.readers.is_empty()
     }
+}
+
+/// Bounded-signature tracking state of one attempt. Absent on perfect
+/// platforms and on fallback attempts (which track exactly).
+#[derive(Debug, Clone)]
+struct DetSig {
+    /// Read-set signature; other writers probe it.
+    read: BloomFilter,
+    /// Write-set signature; other readers and writers probe it.
+    write: BloomFilter,
+    /// Distinct addresses this attempt tracks (exact count — the
+    /// hardware counts insertions, it just can't enumerate them).
+    tracked: u32,
+    /// The configured bound.
+    capacity: u32,
+}
+
+/// Detection-signature corruption fault (DESIGN.md §9 applied to §13):
+/// at each bounded-signature transaction begin, with probability
+/// `rate_pct`%, `bits` random positions are forced high in the fresh
+/// attempt's signatures. Draws come from a dedicated stream derived from
+/// the fault seed, so the workload's own decisions replay unperturbed.
+#[derive(Debug, Clone)]
+struct DetFault {
+    rate_pct: u64,
+    bits: u32,
+    rng: SimRng,
 }
 
 /// The transaction a thread is currently executing.
@@ -51,6 +165,11 @@ struct ActiveTx {
     /// Conflict-detection shards this attempt has touched (empty on a
     /// single-shard platform, where tracking is skipped entirely).
     shards_touched: BTreeSet<u32>,
+    /// Bounded-signature state (`None` under perfect detection and in
+    /// the post-overflow software fallback). The exact sets above stay
+    /// authoritative either way: they are the ground truth the audit
+    /// recomputes false positives against.
+    sig: Option<DetSig>,
 }
 
 /// Exact ("perfect signature") transactional memory state: line ownership,
@@ -71,6 +190,17 @@ pub struct TmState {
     /// Conflict-detection shards the address space is partitioned into
     /// (1 = the classic monolithic table; sharding is disabled).
     shards: u32,
+    /// How read/write sets are tracked ([`Detection::Perfect`] default).
+    detection: Detection,
+    /// Per-thread software-fallback latch: set when an attempt overflows
+    /// its signature capacity, cleared by the instance's eventual commit.
+    /// A latched thread's next attempts track exactly (unbounded, no
+    /// false positives), modelling the serial-irrevocable software path
+    /// limited HTMs fall back to — and guaranteeing forward progress for
+    /// transactions larger than the signature capacity.
+    fallback: Vec<bool>,
+    /// Detection-signature corruption fault, when injected.
+    det_fault: Option<DetFault>,
 }
 
 /// Cache lines per shard-interleaving block: addresses are mapped to
@@ -90,7 +220,39 @@ impl TmState {
             stats: TmStats::new(),
             history: None,
             shards: 1,
+            detection: Detection::Perfect,
+            fallback: vec![false; num_threads],
+            det_fault: None,
         }
+    }
+
+    /// Selects the conflict-detection mode (ISSUE 9 / DESIGN.md §13).
+    /// With [`Detection::Perfect`] — the default — nothing changes: no
+    /// signatures are built, no false positives or capacity aborts can
+    /// occur, byte-identical behaviour to the pre-capacity simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounded geometry is invalid (see
+    /// [`Detection::validate`]).
+    pub fn configure_detection(&mut self, detection: Detection) {
+        detection
+            .validate()
+            // detlint: allow(P002) -- documented panic contract: an invalid detection geometry is a configuration bug, caught before any cycle runs
+            .unwrap_or_else(|e| panic!("invalid detection config: {e}"));
+        self.detection = detection;
+    }
+
+    /// The configured conflict-detection mode.
+    pub fn detection(&self) -> Detection {
+        self.detection
+    }
+
+    /// True if `thread` is latched into the exact software fallback
+    /// (its previous attempt overflowed the signature capacity and the
+    /// instance has not committed yet).
+    pub fn in_fallback(&self, thread: ThreadId) -> bool {
+        self.fallback[thread.index()]
     }
 
     /// Partitions conflict detection into `shards` address-space shards
@@ -211,6 +373,19 @@ impl TmState {
             "{thread} began a transaction while one is active"
         );
         let attempt = self.history.as_mut().map(|h| h.begin(dtx));
+        let sig = match self.detection {
+            Detection::BoundedSig {
+                bits,
+                hashes,
+                capacity,
+            } if !self.fallback[thread.index()] => Some(DetSig {
+                read: BloomFilter::new(bits, hashes),
+                write: BloomFilter::new(bits, hashes),
+                tracked: 0,
+                capacity,
+            }),
+            _ => None,
+        };
         self.active[thread.index()] = Some(ActiveTx {
             dtx,
             timestamp,
@@ -218,8 +393,125 @@ impl TmState {
             read_set: BTreeSet::new(),
             write_set: BTreeSet::new(),
             shards_touched: BTreeSet::new(),
+            sig,
         });
         self.cpu_table[cpu] = Some(dtx);
+    }
+
+    /// Bounded detection: scans the *other* threads' active signatures
+    /// for an alias of `addr`. Reads probe write signatures; writes
+    /// probe read and write signatures. Any exact conflict was already
+    /// caught against the line table (real owners insert the address
+    /// into their signature, so a real conflict is always a signature
+    /// hit too), which makes every hit found here a false positive.
+    /// Ascending thread order keeps the blamed owner deterministic.
+    fn signature_alias(
+        &self,
+        thread: ThreadId,
+        addr: LineAddr,
+        is_write: bool,
+    ) -> Option<ThreadId> {
+        let key = addr.get();
+        for (t, slot) in self.active.iter().enumerate() {
+            if t == thread.index() {
+                continue;
+            }
+            let Some(other) = slot.as_ref().and_then(|tx| tx.sig.as_ref()) else {
+                continue;
+            };
+            if other.write.may_contain(key) || (is_write && other.read.may_contain(key)) {
+                return Some(ThreadId(t));
+            }
+        }
+        None
+    }
+
+    /// Genuinely conflicting owners of `addr` for an access by `thread`,
+    /// counted from the exact line table — the ground truth a
+    /// `FalsePositiveConflict` event records so the audit (I10) can hold
+    /// the hardware model to its own claim of innocence.
+    pub fn true_conflict_count(&self, thread: ThreadId, addr: LineAddr, is_write: bool) -> u32 {
+        let Some(line) = self.lines.get(&addr.get()) else {
+            return 0;
+        };
+        let mut n = 0u32;
+        if let Some(writer) = line.writer {
+            if writer != thread {
+                n += 1;
+            }
+        }
+        if is_write {
+            n += line.readers.iter().filter(|&&r| r != thread).count() as u32;
+        }
+        n
+    }
+
+    /// Fault hook: forces `positions` high in both of `thread`'s active
+    /// detection signatures (BloomCorrupt perturbing *detection*, not
+    /// just the scheduler's commit signatures). Returns how many
+    /// positions actually flipped a previously-clear bit in either
+    /// signature — 0 under perfect detection, in the fallback, or when
+    /// every position was already set (no-op corruptions must not emit
+    /// a fault event, per the audit).
+    pub fn corrupt_detection_signatures(&mut self, thread: ThreadId, positions: &[u32]) -> u32 {
+        let Some(sig) = self.active[thread.index()]
+            .as_mut()
+            .and_then(|tx| tx.sig.as_mut())
+        else {
+            return 0;
+        };
+        let mut flipped = 0u32;
+        for &pos in positions {
+            let pos = pos % sig.read.bits();
+            // `set_bit` has no readback; detect the flip via popcount.
+            let before = sig.read.count_ones() + sig.write.count_ones();
+            sig.read.set_bit(pos);
+            sig.write.set_bit(pos);
+            if sig.read.count_ones() + sig.write.count_ones() > before {
+                flipped += 1;
+            }
+        }
+        flipped
+    }
+
+    /// Arms the detection-signature corruption fault: at each bounded
+    /// transaction begin, with probability `rate_pct`% (clamped to 100),
+    /// `bits` random positions are forced high in the fresh signatures.
+    /// `rate_pct` or `bits` of 0 disarms. The draws come from a stream
+    /// derived from `seed`, independent of the run's own randomness.
+    pub fn configure_detection_fault(&mut self, rate_pct: u64, bits: u32, seed: u64) {
+        self.det_fault = (rate_pct > 0 && bits > 0).then(|| DetFault {
+            rate_pct: rate_pct.min(100),
+            bits,
+            rng: SimRng::seed_from(seed).derive(0xDE7_FA17),
+        });
+    }
+
+    /// Rolls the armed detection fault (if any) against `thread`'s fresh
+    /// attempt. Returns how many signature bits actually flipped; the
+    /// caller emits the `FaultBloomCorrupt` event for a non-zero result.
+    /// Always 0 with no fault armed, under perfect detection, or in the
+    /// software fallback (there is no signature to corrupt).
+    pub fn maybe_corrupt_detection(&mut self, thread: ThreadId) -> u32 {
+        let sig_bits = match self.active[thread.index()]
+            .as_ref()
+            .and_then(|tx| tx.sig.as_ref())
+        {
+            Some(sig) => sig.read.bits(),
+            None => return 0,
+        };
+        let positions: Vec<u32> = match self.det_fault.as_mut() {
+            Some(f) => {
+                if f.rng.gen_range(100) >= f.rate_pct {
+                    return 0;
+                }
+                (0..f.bits)
+                    .map(|_| f.rng.gen_range(u64::from(sig_bits)) as u32)
+                    .collect()
+            }
+            None => return 0,
+        };
+        self.corrupt_detection_signatures(thread, &positions)
     }
 
     /// Attempts a transactional read of `addr` by `thread`.
@@ -229,19 +521,48 @@ impl TmState {
     /// Panics if the thread has no active transaction.
     pub fn read(&mut self, thread: ThreadId, addr: LineAddr) -> AccessResult {
         let tx = self.active[thread.index()]
-            .as_mut()
+            .as_ref()
             .expect("read outside transaction");
         if tx.read_set.contains(&addr.get()) || tx.write_set.contains(&addr.get()) {
             return AccessResult::Granted;
         }
-        let line = self.lines.entry(addr.get()).or_default();
-        if let Some(writer) = line.writer {
-            if writer != thread {
-                return AccessResult::Conflict { owner: writer };
+        // Real conflicts first: the exact line table is the ground
+        // truth, and every real conflict is a signature hit anyway.
+        if let Some(line) = self.lines.get(&addr.get()) {
+            if let Some(writer) = line.writer {
+                if writer != thread {
+                    return AccessResult::Conflict { owner: writer };
+                }
             }
         }
+        if tx.sig.is_some() {
+            // Bounded mode: the signature filter sees aliases the exact
+            // sets disconfirm, and tracking a new address costs one
+            // capacity slot.
+            if let Some(owner) = self.signature_alias(thread, addr, false) {
+                return AccessResult::FalseConflict { owner };
+            }
+            let sig = self.active[thread.index()]
+                .as_ref()
+                .and_then(|tx| tx.sig.as_ref())
+                .expect("signature checked above");
+            if sig.tracked >= sig.capacity {
+                let (tracked, capacity) = (sig.tracked + 1, sig.capacity);
+                // Latch the software fallback: the retry tracks exactly.
+                self.fallback[thread.index()] = true;
+                return AccessResult::CapacityExceeded { tracked, capacity };
+            }
+        }
+        let line = self.lines.entry(addr.get()).or_default();
         line.readers.push(thread);
+        let tx = self.active[thread.index()]
+            .as_mut()
+            .expect("read outside transaction");
         tx.read_set.insert(addr.get());
+        if let Some(sig) = tx.sig.as_mut() {
+            sig.read.insert(addr.get());
+            sig.tracked += 1;
+        }
         let attempt = tx.attempt;
         if let (Some(h), Some(a)) = (self.history.as_mut(), attempt) {
             h.access(a, addr, false);
@@ -256,22 +577,50 @@ impl TmState {
     /// Panics if the thread has no active transaction.
     pub fn write(&mut self, thread: ThreadId, addr: LineAddr) -> AccessResult {
         let tx = self.active[thread.index()]
-            .as_mut()
+            .as_ref()
             .expect("write outside transaction");
         if tx.write_set.contains(&addr.get()) {
             return AccessResult::Granted;
         }
-        let line = self.lines.entry(addr.get()).or_default();
-        if let Some(writer) = line.writer {
-            if writer != thread {
-                return AccessResult::Conflict { owner: writer };
+        if let Some(line) = self.lines.get(&addr.get()) {
+            if let Some(writer) = line.writer {
+                if writer != thread {
+                    return AccessResult::Conflict { owner: writer };
+                }
+            }
+            if let Some(&reader) = line.readers.iter().find(|&&r| r != thread) {
+                return AccessResult::Conflict { owner: reader };
             }
         }
-        if let Some(&reader) = line.readers.iter().find(|&&r| r != thread) {
-            return AccessResult::Conflict { owner: reader };
+        if tx.sig.is_some() {
+            if let Some(owner) = self.signature_alias(thread, addr, true) {
+                return AccessResult::FalseConflict { owner };
+            }
+            // A read→write upgrade is already tracked; only a genuinely
+            // new address costs a capacity slot.
+            let tx = self.active[thread.index()]
+                .as_ref()
+                .expect("write outside transaction");
+            let sig = tx.sig.as_ref().expect("signature checked above");
+            if !tx.read_set.contains(&addr.get()) && sig.tracked >= sig.capacity {
+                let (tracked, capacity) = (sig.tracked + 1, sig.capacity);
+                self.fallback[thread.index()] = true;
+                return AccessResult::CapacityExceeded { tracked, capacity };
+            }
         }
+        let line = self.lines.entry(addr.get()).or_default();
         line.writer = Some(thread);
+        let tx = self.active[thread.index()]
+            .as_mut()
+            .expect("write outside transaction");
+        let newly_tracked = !tx.read_set.contains(&addr.get());
         tx.write_set.insert(addr.get());
+        if let Some(sig) = tx.sig.as_mut() {
+            sig.write.insert(addr.get());
+            if newly_tracked {
+                sig.tracked += 1;
+            }
+        }
         let attempt = tx.attempt;
         if let (Some(h), Some(a)) = (self.history.as_mut(), attempt) {
             h.access(a, addr, true);
@@ -291,6 +640,10 @@ impl TmState {
         let tx = self.active[thread.index()]
             .take()
             .expect("commit outside transaction");
+        // The commit ends the instance, so the overflow latch (if any)
+        // is consumed: the *next* instance gets hardware signatures
+        // again. Aborts keep the latch — the retry is the fallback.
+        self.fallback[thread.index()] = false;
         self.release_lines(thread, &tx);
         self.clear_cpu_broadcast(tx.dtx);
         if let (Some(h), Some(a)) = (self.history.as_mut(), tx.attempt) {
@@ -616,6 +969,202 @@ mod tests {
         assert_eq!(tm.note_shard_touch(ThreadId(0), LineAddr(0)), None);
         assert_eq!(tm.active_shard_count(ThreadId(0)), 0);
         assert_eq!(tm.num_shards(), 1);
+    }
+
+    fn bounded(bits: u32, hashes: u32, capacity: u32) -> TmState {
+        let mut tm = state();
+        tm.configure_detection(Detection::BoundedSig {
+            bits,
+            hashes,
+            capacity,
+        });
+        tm
+    }
+
+    /// An address that aliases `target` in a `bits`-bit, `hashes`-hash
+    /// filter without being equal to it.
+    fn aliasing_addr(target: u64, bits: u32, hashes: u32) -> u64 {
+        let mut f = BloomFilter::new(bits, hashes);
+        f.insert(target);
+        (0..u64::MAX)
+            .find(|&a| a != target && f.may_contain(a))
+            .expect("a 64-bit 1-hash filter aliases quickly")
+    }
+
+    #[test]
+    fn detection_geometry_is_validated() {
+        assert!(Detection::Perfect.validate().is_ok());
+        let ok = Detection::BoundedSig {
+            bits: 256,
+            hashes: 2,
+            capacity: 8,
+        };
+        assert!(ok.validate().is_ok() && ok.is_bounded());
+        for bad in [
+            Detection::BoundedSig {
+                bits: 100,
+                hashes: 2,
+                capacity: 8,
+            },
+            Detection::BoundedSig {
+                bits: 8192,
+                hashes: 2,
+                capacity: 8,
+            },
+            Detection::BoundedSig {
+                bits: 256,
+                hashes: 0,
+                capacity: 8,
+            },
+            Detection::BoundedSig {
+                bits: 256,
+                hashes: 2,
+                capacity: 0,
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid detection config")]
+    fn invalid_detection_config_panics() {
+        state().configure_detection(Detection::BoundedSig {
+            bits: 63,
+            hashes: 1,
+            capacity: 1,
+        });
+    }
+
+    #[test]
+    fn capacity_overflow_aborts_and_latches_the_fallback() {
+        let mut tm = bounded(2048, 4, 2);
+        tm.begin_tx(ThreadId(0), 0, dtx(0, 0), Cycle::ZERO);
+        assert_eq!(tm.read(ThreadId(0), LineAddr(1)), AccessResult::Granted);
+        assert_eq!(tm.write(ThreadId(0), LineAddr(2)), AccessResult::Granted);
+        // Third distinct address: one past the bound.
+        assert_eq!(
+            tm.read(ThreadId(0), LineAddr(3)),
+            AccessResult::CapacityExceeded {
+                tracked: 3,
+                capacity: 2
+            }
+        );
+        assert!(tm.in_fallback(ThreadId(0)));
+        tm.abort_tx(ThreadId(0));
+        // The retry tracks exactly: unbounded, and the latch survives
+        // the abort...
+        assert!(tm.in_fallback(ThreadId(0)));
+        tm.begin_tx(ThreadId(0), 0, dtx(0, 0), Cycle::ZERO);
+        for i in 1..=10 {
+            assert_eq!(tm.read(ThreadId(0), LineAddr(i)), AccessResult::Granted);
+        }
+        tm.commit_tx(ThreadId(0));
+        // ...until the commit consumes it.
+        assert!(!tm.in_fallback(ThreadId(0)));
+    }
+
+    #[test]
+    fn upgrades_do_not_consume_capacity() {
+        let mut tm = bounded(2048, 4, 2);
+        tm.begin_tx(ThreadId(0), 0, dtx(0, 0), Cycle::ZERO);
+        assert_eq!(tm.read(ThreadId(0), LineAddr(1)), AccessResult::Granted);
+        assert_eq!(tm.read(ThreadId(0), LineAddr(2)), AccessResult::Granted);
+        // The upgrade re-tracks nothing; the repeat reads are free too.
+        assert_eq!(tm.write(ThreadId(0), LineAddr(1)), AccessResult::Granted);
+        assert_eq!(tm.read(ThreadId(0), LineAddr(2)), AccessResult::Granted);
+        assert!(!tm.in_fallback(ThreadId(0)));
+    }
+
+    #[test]
+    fn real_conflicts_stay_exact_under_bounded_detection() {
+        let mut tm = bounded(2048, 4, 64);
+        tm.begin_tx(ThreadId(0), 0, dtx(0, 0), Cycle::ZERO);
+        tm.begin_tx(ThreadId(1), 1, dtx(1, 0), Cycle::ZERO);
+        assert_eq!(tm.write(ThreadId(0), LineAddr(7)), AccessResult::Granted);
+        assert_eq!(
+            tm.write(ThreadId(1), LineAddr(7)),
+            AccessResult::Conflict { owner: ThreadId(0) }
+        );
+        assert_eq!(tm.true_conflict_count(ThreadId(1), LineAddr(7), true), 1);
+    }
+
+    #[test]
+    fn signature_alias_is_a_false_conflict_the_exact_sets_disconfirm() {
+        // A deliberately tiny 1-hash signature so aliases are easy to
+        // manufacture.
+        let mut tm = bounded(64, 1, 64);
+        let written = 7u64;
+        let alias = aliasing_addr(written, 64, 1);
+        tm.begin_tx(ThreadId(0), 0, dtx(0, 0), Cycle::ZERO);
+        tm.begin_tx(ThreadId(1), 1, dtx(1, 0), Cycle::ZERO);
+        assert_eq!(
+            tm.write(ThreadId(0), LineAddr(written)),
+            AccessResult::Granted
+        );
+        assert_eq!(
+            tm.read(ThreadId(1), LineAddr(alias)),
+            AccessResult::FalseConflict { owner: ThreadId(0) }
+        );
+        // The ground truth disconfirms it — that is what I10 audits.
+        assert_eq!(
+            tm.true_conflict_count(ThreadId(1), LineAddr(alias), false),
+            0
+        );
+        // An address that misses the signature is granted as usual.
+        let mut probe = BloomFilter::new(64, 1);
+        probe.insert(written);
+        let clean = (0..u64::MAX)
+            .find(|&a| a != written && !probe.may_contain(a))
+            .expect("most addresses miss a nearly-empty filter");
+        assert_eq!(tm.read(ThreadId(1), LineAddr(clean)), AccessResult::Granted);
+    }
+
+    #[test]
+    fn fallback_attempts_carry_no_signature_and_cause_no_aliases() {
+        let mut tm = bounded(64, 1, 1);
+        // Overflow thread 0 into the fallback.
+        tm.begin_tx(ThreadId(0), 0, dtx(0, 0), Cycle::ZERO);
+        assert_eq!(tm.read(ThreadId(0), LineAddr(1)), AccessResult::Granted);
+        assert!(matches!(
+            tm.read(ThreadId(0), LineAddr(2)),
+            AccessResult::CapacityExceeded { .. }
+        ));
+        tm.abort_tx(ThreadId(0));
+        tm.begin_tx(ThreadId(0), 0, dtx(0, 0), Cycle::ZERO);
+        let written = 7u64;
+        assert_eq!(
+            tm.write(ThreadId(0), LineAddr(written)),
+            AccessResult::Granted
+        );
+        // Thread 1 probes an alias of the fallback thread's write: no
+        // signature to hit, and the exact sets do not conflict.
+        let alias = aliasing_addr(written, 64, 1);
+        tm.begin_tx(ThreadId(1), 1, dtx(1, 0), Cycle::ZERO);
+        assert_eq!(tm.read(ThreadId(1), LineAddr(alias)), AccessResult::Granted);
+    }
+
+    #[test]
+    fn perfect_detection_is_the_default_and_never_overflows() {
+        let mut tm = state();
+        assert_eq!(tm.detection(), Detection::Perfect);
+        tm.begin_tx(ThreadId(0), 0, dtx(0, 0), Cycle::ZERO);
+        for i in 0..1000 {
+            assert_eq!(tm.read(ThreadId(0), LineAddr(i)), AccessResult::Granted);
+        }
+        assert!(!tm.in_fallback(ThreadId(0)));
+        // Corruption has nothing to corrupt under perfect detection.
+        assert_eq!(tm.corrupt_detection_signatures(ThreadId(0), &[1, 2, 3]), 0);
+    }
+
+    #[test]
+    fn detection_corruption_counts_fresh_bits_only() {
+        let mut tm = bounded(64, 1, 8);
+        tm.begin_tx(ThreadId(0), 0, dtx(0, 0), Cycle::ZERO);
+        let first = tm.corrupt_detection_signatures(ThreadId(0), &[5, 9]);
+        assert_eq!(first, 2);
+        // Re-forcing the same positions flips nothing.
+        assert_eq!(tm.corrupt_detection_signatures(ThreadId(0), &[5, 9]), 0);
     }
 
     #[test]

@@ -54,6 +54,22 @@ impl TxThreadConfig {
     }
 }
 
+/// Why the current attempt is rolling back. Carried from the point of
+/// detection (inside `InTx`) to the post-rollback dispatch, where it
+/// decides whether the contention manager hears about the abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AbortCause {
+    /// A genuine data conflict lost age arbitration to `enemy`.
+    Conflict { enemy: DTxId },
+    /// A bounded-signature intersection that the exact sets disprove;
+    /// the contention manager still hears about `enemy` — the noisy
+    /// oracle is exactly what the scheduler must learn from.
+    FalsePositive { enemy: DTxId },
+    /// The bounded signature overflowed its tracking capacity. A pure
+    /// hardware event: no enemy, no contention-manager consult.
+    Capacity,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     FetchNext,
@@ -93,6 +109,7 @@ pub struct TxThreadLogic<S> {
     in_stall_episode: bool,
     commit_rw: Vec<LineAddr>,
     commit_dtx: Option<DTxId>,
+    abort_cause: Option<AbortCause>,
 }
 
 impl<S: TxSource> TxThreadLogic<S> {
@@ -116,6 +133,7 @@ impl<S: TxSource> TxThreadLogic<S> {
             in_stall_episode: false,
             commit_rw: Vec::new(),
             commit_dtx: None,
+            abort_cause: None,
         }
     }
 
@@ -268,6 +286,18 @@ impl<S: TxSource> TxThreadLogic<S> {
                     stx: dtx.stx.0,
                     retries,
                 });
+                // Detection-signature corruption fault (armed via the
+                // harness): rolled against the fresh attempt's signatures,
+                // declared in the trace only when bits actually flipped.
+                let corrupted = world.tm.maybe_corrupt_detection(ctx.thread);
+                if corrupted > 0 {
+                    ctx.trace
+                        .emit(ctx.now.as_u64(), || TraceEvent::FaultBloomCorrupt {
+                            thread: ctx.thread.index() as u32,
+                            stx: dtx.stx.0,
+                            bits: corrupted,
+                        });
+                }
                 Some(Action::work(ctx.costs().tx_begin, Bucket::Tx))
             }
             Phase::PredictSpin { target, spun } => {
@@ -386,7 +416,7 @@ impl<S: TxSource> TxThreadLogic<S> {
                             self.in_stall_episode = false;
                             self.phase = Phase::AbortRollback;
                             // Remember who beat us for the conflict hook.
-                            self.commit_dtx = Some(enemy);
+                            self.abort_cause = Some(AbortCause::Conflict { enemy });
                             ctx.trace.emit(ctx.now.as_u64(), || TraceEvent::TxConflict {
                                 thread: ctx.thread.index() as u32,
                                 stx: my_stx.0,
@@ -427,6 +457,103 @@ impl<S: TxSource> TxThreadLogic<S> {
                             Some(Action::work(poll, Bucket::Abort))
                         }
                     }
+                    AccessResult::FalseConflict { owner } => {
+                        // The bounded signatures report an intersection
+                        // the exact line table disproves. The hardware
+                        // cannot tell the difference, so arbitration runs
+                        // under the same age order as a real conflict —
+                        // the deadlock-freedom argument carries over
+                        // unchanged.
+                        if let Some(enemy_stx) = world.tm.active_stx(owner) {
+                            world.tm.stats_mut().record_conflict(my_stx, enemy_stx);
+                        }
+                        let my_key = (self.timestamp.expect("in tx"), ctx.thread);
+                        let owner_key = match world.tm.active_timestamp(owner) {
+                            Some(ts) => (ts, owner),
+                            // Owner finished between detection and now —
+                            // its signature is gone, so retry the access.
+                            None => {
+                                self.phase = Phase::InTx { next };
+                                return None;
+                            }
+                        };
+                        if my_key > owner_key {
+                            let enemy = world
+                                .tm
+                                .active_dtx(owner)
+                                .unwrap_or(DTxId::new(owner, my_stx));
+                            // Recompute the ground truth while both exact
+                            // sets are still intact; the audit (I10)
+                            // re-derives this count and requires zero.
+                            let true_conflicts = world.tm.true_conflict_count(
+                                ctx.thread,
+                                access.addr,
+                                access.is_write,
+                            );
+                            self.in_stall_episode = false;
+                            self.phase = Phase::AbortRollback;
+                            self.abort_cause = Some(AbortCause::FalsePositive { enemy });
+                            ctx.trace.emit(ctx.now.as_u64(), || {
+                                TraceEvent::FalsePositiveConflict {
+                                    thread: ctx.thread.index() as u32,
+                                    stx: my_stx.0,
+                                    enemy_thread: enemy.thread.index() as u32,
+                                    enemy_stx: enemy.stx.0,
+                                    true_conflicts,
+                                }
+                            });
+                            None
+                        } else {
+                            // Older requester: stall on the aliasing
+                            // owner exactly as on a real conflict; the
+                            // NACK clears when the owner's signature
+                            // does.
+                            if !self.in_stall_episode {
+                                self.in_stall_episode = true;
+                                world.tm.stats_mut().record_stall();
+                                ctx.trace.emit(ctx.now.as_u64(), || TraceEvent::TxStall {
+                                    thread: ctx.thread.index() as u32,
+                                    stx: my_stx.0,
+                                });
+                            }
+                            world.tm.set_waiting(ctx.thread, owner);
+                            let enemy_stx =
+                                world.tm.active_stx(owner).map(|s| s.0).unwrap_or(NO_TARGET);
+                            ctx.trace.emit(ctx.now.as_u64(), || TraceEvent::TxConflict {
+                                thread: ctx.thread.index() as u32,
+                                stx: my_stx.0,
+                                enemy_thread: owner.index() as u32,
+                                enemy_stx,
+                                stalled: true,
+                            });
+                            self.phase = Phase::ConflictStall { next };
+                            let poll = self
+                                .cfg
+                                .conflict_poll
+                                .checked_add(ctx.rng.jitter(self.cfg.conflict_poll))
+                                .expect("retry interval overflowed u64");
+                            Some(Action::work(poll, Bucket::Abort))
+                        }
+                    }
+                    AccessResult::CapacityExceeded { tracked, capacity } => {
+                        // Signature overflow: the bounded filter cannot
+                        // track another address. Abort, fall back to
+                        // unbounded tracking for the retry (the latch in
+                        // `TmState` clears at the next commit), and skip
+                        // the contention manager — overflow is a hardware
+                        // capacity event, not contention.
+                        self.in_stall_episode = false;
+                        self.phase = Phase::AbortRollback;
+                        self.abort_cause = Some(AbortCause::Capacity);
+                        ctx.trace
+                            .emit(ctx.now.as_u64(), || TraceEvent::CapacityAbort {
+                                thread: ctx.thread.index() as u32,
+                                stx: my_stx.0,
+                                tracked,
+                                capacity,
+                            });
+                        None
+                    }
                 }
             }
             Phase::ConflictStall { next } => {
@@ -453,8 +580,22 @@ impl<S: TxSource> TxThreadLogic<S> {
                     stx: dtx.stx.0,
                     undo_lines: undo_lines as u32,
                 });
-                let enemy = self.commit_dtx.take().expect("abort without enemy");
-                self.phase = Phase::AbortCm { enemy };
+                match self
+                    .abort_cause
+                    .take()
+                    .expect("abort without recorded cause")
+                {
+                    AbortCause::Conflict { enemy } | AbortCause::FalsePositive { enemy } => {
+                        self.phase = Phase::AbortCm { enemy };
+                    }
+                    AbortCause::Capacity => {
+                        // No contention-manager consult and no backoff:
+                        // nobody beat us, so retry immediately under the
+                        // software fallback.
+                        self.retries += 1;
+                        self.phase = Phase::Backoff { left: 0 };
+                    }
+                }
                 let rollback = ctx
                     .costs()
                     .abort_per_line

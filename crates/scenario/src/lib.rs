@@ -26,6 +26,7 @@ pub mod json;
 use bfgts_baselines::{AtsCm, BackoffCm, PolkaCm, PtsCm, PtsConfig, StallCm};
 use bfgts_core::{BfgtsCm, BfgtsConfig, BfgtsVariant, CmFaults};
 use bfgts_faultsim::{Fault, FaultPlan};
+pub use bfgts_htm::Detection;
 use bfgts_htm::{ContentionManager, TmRunConfig};
 use bfgts_sim::TraceMode;
 use bfgts_workloads::{
@@ -77,6 +78,12 @@ pub struct Platform {
     /// classic monolithic table. Serialised only when ≠ 1, so every
     /// historical scenario id is unchanged.
     pub shards: u32,
+    /// Conflict-detection mode (DESIGN.md §13).
+    /// [`Detection::Perfect`] — the default, and the only mode any
+    /// pre-capacity scenario ever had — is serialised as an *absent*
+    /// key, the same identity protocol as `shards`/`faults`/`arrivals`,
+    /// so every historical scenario id is unchanged.
+    pub detection: Detection,
 }
 
 impl Platform {
@@ -87,6 +94,7 @@ impl Platform {
             threads: bfgts_htm::PAPER_THREADS,
             seed: EXPERIMENT_SEED,
             shards: 1,
+            detection: Detection::Perfect,
         }
     }
 
@@ -97,12 +105,23 @@ impl Platform {
             threads: bfgts_htm::SMALL_THREADS,
             seed: EXPERIMENT_SEED,
             shards: 1,
+            detection: Detection::Perfect,
         }
     }
 
     /// Replaces the conflict-detection shard count (0 is clamped to 1).
     pub fn sharded(mut self, shards: u32) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Selects bounded-signature conflict detection (DESIGN.md §13).
+    pub fn bounded(mut self, bits: u32, hashes: u32, capacity: u32) -> Self {
+        self.detection = Detection::BoundedSig {
+            bits,
+            hashes,
+            capacity,
+        };
         self
     }
 
@@ -114,6 +133,21 @@ impl Platform {
         ];
         if self.shards != 1 {
             pairs.push(("shards", Json::UInt(u64::from(self.shards))));
+        }
+        if let Detection::BoundedSig {
+            bits,
+            hashes,
+            capacity,
+        } = self.detection
+        {
+            pairs.push((
+                "detection",
+                Json::obj([
+                    ("bits", Json::UInt(u64::from(bits))),
+                    ("capacity", Json::UInt(u64::from(capacity))),
+                    ("hashes", Json::UInt(u64::from(hashes))),
+                ]),
+            ));
         }
         Json::obj(pairs)
     }
@@ -138,11 +172,36 @@ impl Platform {
                 .filter(|&n| n >= 1)
                 .ok_or("platform field 'shards' must be an integer ≥ 1 fitting u32")?,
         };
+        let detection = match value.get("detection") {
+            None => Detection::Perfect,
+            Some(doc) => {
+                let field = |key: &str| {
+                    doc.get(key)
+                        .and_then(Json::as_u64)
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| {
+                            format!(
+                                "platform detection field '{key}' must be an integer fitting u32"
+                            )
+                        })
+                };
+                let detection = Detection::BoundedSig {
+                    bits: field("bits")?,
+                    hashes: field("hashes")?,
+                    capacity: field("capacity")?,
+                };
+                detection
+                    .validate()
+                    .map_err(|e| format!("platform detection: {e}"))?;
+                detection
+            }
+        };
         Ok(Self {
             cpus,
             threads,
             seed: uint("seed")?,
             shards,
+            detection,
         })
     }
 }
@@ -1301,8 +1360,13 @@ impl Scenario {
             self.platform.cpus = 1;
             self.platform.threads = 1;
             // A serial execution has no conflict detection to shard, so
-            // the shard count cannot change its outcome.
+            // the shard count cannot change its outcome. Detection is
+            // pinned to Perfect for the same reason faults are dropped:
+            // the serial baseline is the *ideal* single-CPU reference
+            // every speedup divides by, so it never pays capacity
+            // aborts (the runner's serial path ignores both knobs).
             self.platform.shards = 1;
+            self.platform.detection = Detection::Perfect;
             self.faults = None;
         }
         if self.faults.as_ref().is_some_and(FaultPlan::is_empty) {
@@ -1734,6 +1798,58 @@ mod tests {
         let mut serial = open.clone();
         serial.manager = ManagerSpec::Serial;
         assert_eq!(serial.clone().canonical().arrivals, open.arrivals);
+    }
+
+    #[test]
+    fn absent_detection_serialises_to_no_key_at_all() {
+        // Same identity protocol as shards/faults/arrivals: perfect
+        // detection — the only semantics any pre-capacity scenario ever
+        // had — serialises without the key, so every historical id,
+        // cache entry and trace header stays valid.
+        let perfect = sample();
+        assert!(!perfect.to_json().to_string().contains("detection"));
+        let mut bounded = perfect.clone();
+        bounded.platform = bounded.platform.bounded(256, 2, 48);
+        assert_ne!(bounded.id(), perfect.id(), "detection must be in the id");
+        let mut other = perfect.clone();
+        other.platform = other.platform.bounded(256, 2, 49);
+        assert_ne!(other.id(), bounded.id(), "capacity is part of the id");
+        let text = bounded.to_json().to_string();
+        let parsed = Scenario::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, bounded);
+        assert_eq!(parsed.to_json().to_string(), text, "fixed point");
+        // Serial canonicalisation pins Perfect: the serial baseline is
+        // the ideal reference and never pays capacity aborts.
+        let mut serial = bounded.clone();
+        serial.manager = ManagerSpec::Serial;
+        let mut serial_perfect = perfect.clone();
+        serial_perfect.manager = ManagerSpec::Serial;
+        assert_eq!(serial.id(), serial_perfect.id());
+    }
+
+    #[test]
+    fn invalid_detection_documents_are_rejected_not_panicked() {
+        let bounded = {
+            let mut s = sample();
+            s.platform = s.platform.bounded(128, 2, 16);
+            s
+        };
+        let patch = |key: &str, value: u64| {
+            let mut doc = bounded.to_json();
+            if let Json::Obj(map) = &mut doc {
+                if let Some(Json::Obj(platform)) = map.get_mut("platform") {
+                    if let Some(Json::Obj(detection)) = platform.get_mut("detection") {
+                        detection.insert(key.into(), Json::UInt(value));
+                    }
+                }
+            }
+            Scenario::from_json(&doc)
+        };
+        assert!(patch("bits", 63).unwrap_err().contains("bits"));
+        assert!(patch("bits", 8192).unwrap_err().contains("bits"));
+        assert!(patch("hashes", 0).unwrap_err().contains("hash"));
+        assert!(patch("hashes", 17).unwrap_err().contains("hash"));
+        assert!(patch("capacity", 0).unwrap_err().contains("capacity"));
     }
 
     #[test]

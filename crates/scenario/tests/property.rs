@@ -16,6 +16,9 @@ fn random_platform(g: &mut Gen) -> Platform {
     if g.bool() {
         platform = platform.sharded(g.u32_in(1, 16));
     }
+    if g.bool() {
+        platform = platform.bounded(64 * g.u32_in(1, 64), g.u32_in(1, 16), g.u32_in(1, 256));
+    }
     platform
 }
 

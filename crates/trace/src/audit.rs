@@ -44,6 +44,18 @@
 //!   summed sojourn is exactly conserved against the run's reported
 //!   latency accounting. A fetched arrival that never commits is
 //!   flagged at end of trace.
+//! * **I10 — bounded detection is honest.** Capacity-limited runs only:
+//!   every [`TraceEvent::CapacityAbort`] records a set size that
+//!   actually exceeded the configured bound (`tracked > capacity`,
+//!   `capacity ≥ 1`), every [`TraceEvent::FalsePositiveConflict`] is
+//!   *dis*confirmed by the exact sets (`true_conflicts == 0` — a
+//!   non-zero count means a real conflict was mislabeled as signature
+//!   noise), both happen only inside an open transaction whose stx
+//!   matches, both count as the conflict that licenses the attempt's
+//!   abort under I3, and an attempt that saw either must abort — a
+//!   commit after a fatal detection event is a violation. `Perfect`
+//!   runs emit neither event, which CI enforces byte-for-byte against
+//!   the golden pre-capacity traces.
 //!
 //! (I4 is the sequence-number density check folded into the drop
 //! detection: the audit requires a [`TraceMode::Full`] recording.)
@@ -131,6 +143,12 @@ pub struct AuditSummary {
     /// Total sojourn cycles (commit − arrival summed over every
     /// committed open-system transaction); the conservation side of I9.
     pub sojourn_cycles: u64,
+    /// False-positive conflicts verified against I10 (0 for runs with
+    /// perfect detection).
+    pub false_positive_conflicts: u64,
+    /// Capacity aborts verified against I10 (0 for runs with perfect
+    /// detection).
+    pub capacity_aborts: u64,
 }
 
 /// Per-thread lifecycle state for I3/I8.
@@ -143,6 +161,10 @@ struct OpenTx {
     shards_touched: std::collections::BTreeSet<u32>,
     /// `true` once the attempt's `CrossShardCommit` was seen.
     cross_shard_seen: bool,
+    /// `true` once a fatal bounded-detection event (false positive or
+    /// capacity overflow) was seen: the attempt must end in an abort
+    /// (I10), and a second fatal event in the same attempt is a lie.
+    fatal_detection_seen: bool,
 }
 
 /// Replays `recording` and checks invariants I1–I7 against `inputs`.
@@ -300,6 +322,7 @@ pub fn audit(
                         conflict_seen: false,
                         shards_touched: std::collections::BTreeSet::new(),
                         cross_shard_seen: false,
+                        fatal_detection_seen: false,
                     });
                 }
             }
@@ -397,6 +420,16 @@ pub fn audit(
                                     "thread {thread} commits stx {stx} after touching {} \
                                      shards with no cross_shard_commit charge",
                                     cur.shards_touched.len()
+                                )));
+                            }
+                            // I10 (converse): a fatal detection event
+                            // dooms the attempt; committing anyway means
+                            // the hardware model ignored its own abort.
+                            if cur.fatal_detection_seen {
+                                v.push(bad(format!(
+                                    "thread {thread} commits stx {stx} after a fatal \
+                                     detection event (false positive / capacity overflow) \
+                                     in the same attempt"
                                 )));
                             }
                         }
@@ -575,6 +608,102 @@ pub fn audit(
                             "thread {thread} fetches an arrival while stx {} is still open",
                             cur.stx
                         )));
+                    }
+                }
+            }
+            TraceEvent::FalsePositiveConflict {
+                thread,
+                stx,
+                enemy_thread,
+                enemy_stx: _,
+                true_conflicts,
+            } => {
+                summary.false_positive_conflicts += 1;
+                tid(enemy_thread, &mut v);
+                if let Some(t) = tid(thread, &mut v) {
+                    match open[t].as_mut() {
+                        None => v.push(bad(format!(
+                            "thread {thread} reports a false-positive conflict outside any \
+                             transaction"
+                        ))),
+                        Some(cur) => {
+                            if cur.stx != stx {
+                                v.push(bad(format!(
+                                    "thread {thread} reports a false-positive conflict as \
+                                     stx {stx} but stx {} is the one open",
+                                    cur.stx
+                                )));
+                            }
+                            // I10: the exact sets must disconfirm the
+                            // signature hit — any genuinely conflicting
+                            // line means a real conflict was mislabeled.
+                            if true_conflicts != 0 {
+                                v.push(bad(format!(
+                                    "false-positive conflict for thread {thread} stx {stx} \
+                                     has {true_conflicts} genuinely conflicting line(s) — a \
+                                     real conflict mislabeled as signature noise"
+                                )));
+                            }
+                            if cur.fatal_detection_seen {
+                                v.push(bad(format!(
+                                    "thread {thread} stx {stx} reports a second fatal \
+                                     detection event in one attempt"
+                                )));
+                            }
+                            cur.fatal_detection_seen = true;
+                            // The false positive is the conflict that
+                            // licenses the abort under I3.
+                            cur.conflict_seen = true;
+                        }
+                    }
+                }
+            }
+            TraceEvent::CapacityAbort {
+                thread,
+                stx,
+                tracked,
+                capacity,
+            } => {
+                summary.capacity_aborts += 1;
+                if let Some(t) = tid(thread, &mut v) {
+                    match open[t].as_mut() {
+                        None => v.push(bad(format!(
+                            "thread {thread} reports a capacity abort outside any transaction"
+                        ))),
+                        Some(cur) => {
+                            if cur.stx != stx {
+                                v.push(bad(format!(
+                                    "thread {thread} reports a capacity abort as stx {stx} \
+                                     but stx {} is the one open",
+                                    cur.stx
+                                )));
+                            }
+                            // I10: the recorded set size must actually
+                            // exceed the configured bound.
+                            if capacity == 0 {
+                                v.push(bad(format!(
+                                    "capacity abort for thread {thread} stx {stx} claims a \
+                                     zero-capacity signature (the bound is always ≥ 1)"
+                                )));
+                            }
+                            if tracked <= capacity {
+                                v.push(bad(format!(
+                                    "capacity abort for thread {thread} stx {stx} tracked \
+                                     {tracked} address(es), which does not exceed the \
+                                     configured bound {capacity}"
+                                )));
+                            }
+                            if cur.fatal_detection_seen {
+                                v.push(bad(format!(
+                                    "thread {thread} stx {stx} reports a second fatal \
+                                     detection event in one attempt"
+                                )));
+                            }
+                            cur.fatal_detection_seen = true;
+                            // Overflow is the conflict-equivalent that
+                            // licenses the abort under I3.
+                            cur.conflict_seen = true;
+                        }
                     }
                 }
             }
@@ -1257,6 +1386,161 @@ mod tests {
         let errs = audit(&rec(double_fetch), &inp).unwrap_err();
         assert!(
             errs.iter().any(|e| e.what.contains("second arrival")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn i10_bounded_detection_events_audit_clean() {
+        let begin = TraceEvent::TxBegin {
+            thread: 0,
+            stx: 1,
+            retries: 0,
+        };
+        let abort = TraceEvent::TxAbort {
+            thread: 0,
+            stx: 1,
+            undo_lines: 2,
+        };
+        let inp = inputs(100, 1, vec![[0; 5], [0; 5]]);
+
+        // A false positive, then an abort: the fatal event licenses it.
+        let fp = vec![
+            tx_event(0, begin),
+            tx_event(
+                1,
+                TraceEvent::FalsePositiveConflict {
+                    thread: 0,
+                    stx: 1,
+                    enemy_thread: 1,
+                    enemy_stx: 3,
+                    true_conflicts: 0,
+                },
+            ),
+            tx_event(2, abort),
+        ];
+        let s = audit(&rec(fp), &inp).expect("disconfirmed false positive");
+        assert_eq!(s.false_positive_conflicts, 1);
+        assert_eq!(s.aborts, 1);
+
+        // A capacity overflow, then an abort.
+        let cap = vec![
+            tx_event(0, begin),
+            tx_event(
+                1,
+                TraceEvent::CapacityAbort {
+                    thread: 0,
+                    stx: 1,
+                    tracked: 9,
+                    capacity: 8,
+                },
+            ),
+            tx_event(2, abort),
+        ];
+        let s = audit(&rec(cap), &inp).expect("overflow exceeds the bound");
+        assert_eq!(s.capacity_aborts, 1);
+    }
+
+    #[test]
+    fn i10_violations_are_flagged() {
+        let begin = TraceEvent::TxBegin {
+            thread: 0,
+            stx: 1,
+            retries: 0,
+        };
+        let abort = TraceEvent::TxAbort {
+            thread: 0,
+            stx: 1,
+            undo_lines: 2,
+        };
+        let commit = TraceEvent::TxCommit {
+            thread: 0,
+            stx: 1,
+            retries: 0,
+            rw_lines: 4,
+        };
+        let cap = |tracked, capacity| TraceEvent::CapacityAbort {
+            thread: 0,
+            stx: 1,
+            tracked,
+            capacity,
+        };
+        let fp = |true_conflicts| TraceEvent::FalsePositiveConflict {
+            thread: 0,
+            stx: 1,
+            enemy_thread: 1,
+            enemy_stx: 3,
+            true_conflicts,
+        };
+        let inp = inputs(100, 1, vec![[0; 5], [0; 5]]);
+
+        // The tamper control: a recorded set size at or below the bound.
+        let under = vec![
+            tx_event(0, begin),
+            tx_event(1, cap(8, 8)),
+            tx_event(2, abort),
+        ];
+        let errs = audit(&rec(under), &inp).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.what.contains("does not exceed")),
+            "{errs:?}"
+        );
+
+        // A zero-capacity claim is structurally impossible.
+        let zero = vec![
+            tx_event(0, begin),
+            tx_event(1, cap(1, 0)),
+            tx_event(2, abort),
+        ];
+        let errs = audit(&rec(zero), &inp).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.what.contains("zero-capacity")),
+            "{errs:?}"
+        );
+
+        // A "false positive" the exact sets confirm is a mislabeled
+        // real conflict.
+        let confirmed = vec![tx_event(0, begin), tx_event(1, fp(2)), tx_event(2, abort)];
+        let errs = audit(&rec(confirmed), &inp).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.what.contains("mislabeled")),
+            "{errs:?}"
+        );
+
+        // Committing after a fatal detection event ignores the abort.
+        let committed = vec![
+            tx_event(0, begin),
+            tx_event(1, cap(9, 8)),
+            tx_event(2, commit),
+        ];
+        let errs = audit(&rec(committed), &inp).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.what.contains("fatal detection event")),
+            "{errs:?}"
+        );
+
+        // Two fatal events in one attempt: the first already doomed it.
+        let double = vec![
+            tx_event(0, begin),
+            tx_event(1, fp(0)),
+            tx_event(2, cap(9, 8)),
+            tx_event(3, abort),
+        ];
+        let errs = audit(&rec(double), &inp).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.what.contains("second fatal")),
+            "{errs:?}"
+        );
+
+        // Both events outside any transaction are flagged.
+        let outside = vec![tx_event(0, fp(0)), tx_event(1, cap(9, 8))];
+        let errs = audit(&rec(outside), &inp).unwrap_err();
+        assert_eq!(
+            errs.iter()
+                .filter(|e| e.what.contains("outside any transaction"))
+                .count(),
+            2,
             "{errs:?}"
         );
     }

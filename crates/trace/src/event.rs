@@ -401,6 +401,45 @@ pub enum TraceEvent {
         /// Table entries rewritten.
         entries: u64,
     },
+    /// A bounded-signature access was denied by a Bloom intersection that
+    /// the exact line table *dis*confirms (capacity-limited detection,
+    /// DESIGN.md §13): the signatures overlapped, the real sets did not.
+    /// The false positive is a real abort — the requester rolls back —
+    /// which is exactly the noisy-oracle regime the scheduler must
+    /// survive. Invariant I10 recomputes `true_conflicts` from the
+    /// ground-truth sets and requires it to be zero.
+    FalsePositiveConflict {
+        /// The requesting (aborting) thread.
+        thread: u32,
+        /// Its static transaction id.
+        stx: u32,
+        /// The thread whose signature collided with the access.
+        enemy_thread: u32,
+        /// The signature owner's static transaction id.
+        enemy_stx: u32,
+        /// Genuinely conflicting lines for the denied access, recomputed
+        /// from the exact line table at emission. Always 0 — a non-zero
+        /// value means a real conflict was mislabeled, and I10 rejects
+        /// the trace.
+        true_conflicts: u32,
+    },
+    /// A bounded-signature transaction tried to track one address more
+    /// than its hardware `capacity` allows and aborted on overflow
+    /// (capacity-limited detection, DESIGN.md §13). Invariant I10
+    /// requires `tracked > capacity`: the recorded set size must actually
+    /// exceed the configured bound. The retry runs in the software
+    /// fallback with exact tracking, so the instance still commits.
+    CapacityAbort {
+        /// The overflowing thread.
+        thread: u32,
+        /// Its static transaction id.
+        stx: u32,
+        /// Distinct addresses the attempt would have had to track,
+        /// including the one that overflowed (always `capacity + 1`).
+        tracked: u32,
+        /// The configured hardware tracking bound (always ≥ 1).
+        capacity: u32,
+    },
 }
 
 impl TraceEvent {
@@ -425,6 +464,8 @@ impl TraceEvent {
             TraceEvent::TxArrival { .. } => "tx_arrival",
             TraceEvent::QueueDepth { .. } => "queue_depth",
             TraceEvent::FaultConfPoison { .. } => "fault_conf_poison",
+            TraceEvent::FalsePositiveConflict { .. } => "false_positive_conflict",
+            TraceEvent::CapacityAbort { .. } => "capacity_abort",
         }
     }
 }
