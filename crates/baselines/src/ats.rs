@@ -245,6 +245,7 @@ mod tests {
             rw_set: &[],
             now: Cycle::ZERO,
             retries: 0,
+            remaining: None,
         };
         cm.on_commit(&rec, &tm, &costs, &mut rng, &mut TraceSink::disabled());
         assert!(cm.intensity_of(ThreadId(0)) < after_abort);
@@ -289,6 +290,7 @@ mod tests {
             rw_set: &[],
             now: Cycle::ZERO,
             retries: 0,
+            remaining: None,
         };
         let out = cm.on_commit(&rec, &tm, &costs, &mut rng, &mut TraceSink::disabled());
         assert_eq!(out.wake, vec![ThreadId(1)]);
@@ -330,6 +332,7 @@ mod tests {
             rw_set: &[],
             now: Cycle::ZERO,
             retries: 0,
+            remaining: None,
         };
         let out = cm.on_commit(&rec, &tm, &costs, &mut rng, &mut TraceSink::disabled());
         assert!(out.wake.is_empty());

@@ -13,6 +13,12 @@
 //!   Scherer & Scott's best all-round manager (paper §2).
 //! * [`StallCm`] — stall-on-abort (Zilles & Baugh / Ansari et al.):
 //!   a retry waits out the specific transaction it lost to.
+//! * [`WindowGreedyCm`] — window-based randomized greedy (Sharma,
+//!   Estrade & Busch, arXiv:1002.4182): per-window randomized priorities,
+//!   the lower-priority side of a conflict yields.
+//! * [`BalancedGreedyCm`] — balanced-workload greedy (Sharma & Busch,
+//!   arXiv:1009.0056): conflicts won by the thread with more remaining
+//!   work, randomized-priority tie-break.
 //!
 //! All of these implement [`bfgts_htm::ContentionManager`]; their modelled
 //! cycle costs reflect their software footprint the way the paper's
@@ -24,12 +30,16 @@
 
 mod ats;
 mod backoff;
+mod balanced_greedy;
 mod polka;
 mod pts;
 mod stall;
+mod window_greedy;
 
 pub use ats::{AtsCm, AtsConfig};
 pub use backoff::{BackoffCm, BackoffConfig};
+pub use balanced_greedy::{BalancedGreedyCm, BalancedGreedyConfig};
 pub use polka::{PolkaCm, PolkaConfig};
 pub use pts::{PtsCm, PtsConfig};
 pub use stall::{StallCm, StallConfig};
+pub use window_greedy::{WindowGreedyCm, WindowGreedyConfig};

@@ -178,6 +178,7 @@ mod tests {
                 rw_set: &big,
                 now: Cycle::ZERO,
                 retries: 0,
+                remaining: None,
             };
             cm.on_commit(&rec, &tm, &costs, &mut rng, &mut TraceSink::disabled());
         }

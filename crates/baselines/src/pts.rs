@@ -344,6 +344,7 @@ mod tests {
             rw_set: &[LineAddr(5), LineAddr(6)],
             now: Cycle::ZERO,
             retries: 0,
+            remaining: None,
         };
         cm.on_commit(
             &enemy_rec,
@@ -360,6 +361,7 @@ mod tests {
             rw_set: &[LineAddr(6), LineAddr(9)],
             now: Cycle::ZERO,
             retries: 0,
+            remaining: None,
         };
         cm.on_commit(&my_rec, &tm, &costs, &mut rng, &mut TraceSink::disabled());
         assert!(cm.conf(dtx(0, 0), dtx(1, 1)) > before);
@@ -375,6 +377,7 @@ mod tests {
             rw_set: &[LineAddr(100)],
             now: Cycle::ZERO,
             retries: 0,
+            remaining: None,
         };
         cm.on_commit(
             &enemy_rec,
@@ -389,6 +392,7 @@ mod tests {
             rw_set: &[LineAddr(200)],
             now: Cycle::ZERO,
             retries: 0,
+            remaining: None,
         };
         cm.on_commit(&my_rec, &tm, &costs, &mut rng, &mut TraceSink::disabled());
         assert!(cm.conf(dtx(0, 0), dtx(1, 1)) < 120.0);
@@ -405,6 +409,7 @@ mod tests {
                 rw_set: &[LineAddr(1)],
                 now: Cycle::ZERO,
                 retries: 0,
+                remaining: None,
             };
             cm.on_commit(&rec, &tm, &costs, &mut rng, &mut TraceSink::disabled());
         }

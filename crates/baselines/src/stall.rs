@@ -223,6 +223,7 @@ mod tests {
             rw_set: &[LineAddr(0)],
             now: Cycle::ZERO,
             retries: 1,
+            remaining: None,
         };
         cm.on_commit(&rec, &tm, &costs, &mut rng, &mut TraceSink::disabled());
         let out = cm.on_begin(&query(0), &tm, &costs, &mut rng, &mut TraceSink::disabled());

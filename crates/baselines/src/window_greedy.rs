@@ -1,0 +1,326 @@
+//! Window-based randomized greedy scheduling (Sharma, Estrade & Busch,
+//! arXiv:1002.4182).
+
+use bfgts_htm::{
+    AbortPlan, BeginOutcome, BeginQuery, CommitOutcome, CommitRecord, ConflictEvent,
+    ContentionManager, TmState,
+};
+use bfgts_sim::{window_priority, CostModel, SimRng, ThreadId, TraceEvent, TraceSink};
+
+/// Exponential-growth cap for the losing side's backoff window.
+const MAX_SHIFT: u32 = 6;
+
+/// Tunables of the window-greedy manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowGreedyConfig {
+    /// Commits per execution window: after this many commits a thread
+    /// advances to its next window and redraws its priority.
+    pub window_size: u32,
+    /// Backoff quantum in cycles for the losing (lower-priority) side.
+    pub base_delay: u64,
+}
+
+impl Default for WindowGreedyConfig {
+    fn default() -> Self {
+        Self {
+            window_size: 4,
+            base_delay: 300,
+        }
+    }
+}
+
+/// The window-based randomized greedy manager: each thread executes its
+/// transactions in *windows* of `window_size` commits, drawing one random
+/// priority per window. On a conflict the lower-priority side yields (it
+/// backs off exponentially) while the higher-priority side retries almost
+/// immediately — the greedy "older wins" rule with randomized ages, which
+/// the analysis in arXiv:1002.4182 shows is O(s + log n)-competitive per
+/// window for s-length windows.
+///
+/// Priorities come from [`bfgts_sim::window_priority`], a pure keyed hash
+/// of (run seed, thread, window), so every draw is reproducible bit for
+/// bit by the I11 trace audit. Window advances are announced via
+/// [`TraceEvent::WindowAdvance`].
+///
+/// # Example
+///
+/// ```
+/// use bfgts_baselines::WindowGreedyCm;
+/// use bfgts_htm::ContentionManager;
+/// assert_eq!(WindowGreedyCm::default().name(), "WindowGreedy");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WindowGreedyCm {
+    cfg: WindowGreedyConfig,
+    /// The run seed, present once `on_run_start` has been called.
+    seed: Option<u64>,
+    /// Per-thread current window position (all threads start in 0).
+    windows: Vec<u64>,
+    /// Per-thread commits inside the current window.
+    commits: Vec<u32>,
+    /// Per-thread priority for the current window.
+    priorities: Vec<u64>,
+}
+
+impl WindowGreedyCm {
+    /// Creates a manager with the given tunables.
+    pub fn new(cfg: WindowGreedyConfig) -> Self {
+        Self {
+            cfg,
+            ..Self::default()
+        }
+    }
+
+    /// The priority of `thread`'s current window, or `None` when the run
+    /// has not started or the thread is unknown.
+    fn priority_of(&self, thread: ThreadId) -> Option<u64> {
+        self.priorities.get(thread.0).copied()
+    }
+
+    /// Shared commit-side window bookkeeping: counts the commit and, when
+    /// the window fills, advances it, redraws the priority and announces
+    /// the step on the trace. Also used by [`BalancedGreedyCm`].
+    ///
+    /// [`BalancedGreedyCm`]: crate::BalancedGreedyCm
+    fn count_commit(&mut self, rec: &CommitRecord<'_>, trace: &mut TraceSink) {
+        let t = rec.dtx.thread.0;
+        let (Some(seed), Some(c)) = (self.seed, self.commits.get_mut(t)) else {
+            return;
+        };
+        *c += 1;
+        if *c >= self.cfg.window_size.max(1) {
+            *c = 0;
+            self.windows[t] += 1;
+            let window = self.windows[t];
+            let priority = window_priority(seed, t as u32, window);
+            self.priorities[t] = priority;
+            trace.emit(rec.now.as_u64(), || TraceEvent::WindowAdvance {
+                thread: t as u32,
+                window,
+                priority,
+            });
+        }
+    }
+
+    /// The greedy abort rule shared with the balanced variant: the winner
+    /// retries after a short jitter, the loser yields an exponentially
+    /// growing window.
+    pub(crate) fn greedy_backoff(&self, lost: bool, retries: u32, rng: &mut SimRng) -> u64 {
+        let base = self.cfg.base_delay.max(1);
+        if lost {
+            rng.jitter(base << retries.min(MAX_SHIFT))
+        } else {
+            rng.jitter(base / 4 + 1)
+        }
+    }
+}
+
+impl ContentionManager for WindowGreedyCm {
+    fn name(&self) -> &'static str {
+        "WindowGreedy"
+    }
+
+    fn on_run_start(&mut self, seed: u64, num_threads: usize) {
+        self.seed = Some(seed);
+        self.windows = vec![0; num_threads];
+        self.commits = vec![0; num_threads];
+        self.priorities = (0..num_threads)
+            .map(|t| window_priority(seed, t as u32, 0))
+            .collect();
+    }
+
+    fn window_seed(&self) -> Option<u64> {
+        self.seed
+    }
+
+    fn window_position(&self, thread: ThreadId) -> Option<u64> {
+        self.windows.get(thread.0).copied()
+    }
+
+    fn on_begin(
+        &mut self,
+        _q: &BeginQuery,
+        _tm: &TmState,
+        _costs: &CostModel,
+        _rng: &mut SimRng,
+        _trace: &mut TraceSink,
+    ) -> BeginOutcome {
+        BeginOutcome::PROCEED_FREE
+    }
+
+    fn on_conflict_abort(
+        &mut self,
+        ev: &ConflictEvent,
+        _tm: &TmState,
+        _costs: &CostModel,
+        rng: &mut SimRng,
+        _trace: &mut TraceSink,
+    ) -> AbortPlan {
+        // Higher priority wins the window; the LogTM requester aborted
+        // either way, but the winner comes back almost immediately while
+        // the loser leaves its enemy room to finish the window.
+        let mine = self.priority_of(ev.aborter.thread);
+        let theirs = self.priority_of(ev.enemy.thread);
+        let lost = match (mine, theirs) {
+            (Some(m), Some(e)) => m < e,
+            // Before `on_run_start` (direct harness tests) nobody holds a
+            // priority: treat every abort as a loss, plain backoff.
+            _ => true,
+        };
+        AbortPlan {
+            backoff: self.greedy_backoff(lost, ev.retries, rng),
+            cost: 1,
+        }
+    }
+
+    fn on_commit(
+        &mut self,
+        rec: &CommitRecord<'_>,
+        _tm: &TmState,
+        _costs: &CostModel,
+        _rng: &mut SimRng,
+        trace: &mut TraceSink,
+    ) -> CommitOutcome {
+        self.count_commit(rec, trace);
+        CommitOutcome {
+            cost: 1,
+            wake: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfgts_htm::{DTxId, LineAddr, STxId};
+    use bfgts_sim::{Cycle, TraceMode};
+
+    fn dtx(t: usize) -> DTxId {
+        DTxId::new(ThreadId(t), STxId(0))
+    }
+
+    fn commit_rec(t: usize) -> CommitRecord<'static> {
+        CommitRecord {
+            dtx: dtx(t),
+            rw_set: &[LineAddr(1)],
+            now: Cycle::ZERO,
+            retries: 0,
+            remaining: None,
+        }
+    }
+
+    fn conflict(aborter: usize, enemy: usize) -> ConflictEvent {
+        ConflictEvent {
+            aborter: dtx(aborter),
+            enemy: dtx(enemy),
+            addr: LineAddr(0),
+            now: Cycle::ZERO,
+            retries: 0,
+        }
+    }
+
+    fn env() -> (TmState, CostModel, SimRng) {
+        (
+            TmState::new(2, 4),
+            CostModel::default(),
+            SimRng::seed_from(3),
+        )
+    }
+
+    #[test]
+    fn begin_is_free_and_windows_appear_after_run_start() {
+        let (tm, costs, mut rng) = env();
+        let mut cm = WindowGreedyCm::default();
+        assert_eq!(cm.window_seed(), None);
+        assert_eq!(cm.window_position(ThreadId(0)), None);
+        cm.on_run_start(7, 2);
+        assert_eq!(cm.window_seed(), Some(7));
+        assert_eq!(cm.window_position(ThreadId(0)), Some(0));
+        let q = BeginQuery {
+            thread: ThreadId(0),
+            cpu: 0,
+            dtx: dtx(0),
+            now: Cycle::ZERO,
+            retries: 0,
+            waits: 0,
+        };
+        assert_eq!(
+            cm.on_begin(&q, &tm, &costs, &mut rng, &mut TraceSink::disabled())
+                .cost,
+            0
+        );
+    }
+
+    #[test]
+    fn windows_advance_every_window_size_commits() {
+        let (tm, costs, mut rng) = env();
+        let mut cm = WindowGreedyCm::new(WindowGreedyConfig {
+            window_size: 3,
+            base_delay: 300,
+        });
+        cm.on_run_start(7, 2);
+        let mut trace = TraceSink::new(TraceMode::Full);
+        for _ in 0..3 {
+            cm.on_commit(&commit_rec(0), &tm, &costs, &mut rng, &mut trace);
+        }
+        assert_eq!(cm.window_position(ThreadId(0)), Some(1));
+        assert_eq!(cm.window_position(ThreadId(1)), Some(0));
+        let rec = trace.take();
+        assert_eq!(rec.events.len(), 1);
+        assert_eq!(
+            rec.events[0].ev,
+            TraceEvent::WindowAdvance {
+                thread: 0,
+                window: 1,
+                priority: window_priority(7, 0, 1),
+            }
+        );
+    }
+
+    #[test]
+    fn lower_priority_side_backs_off_longer() {
+        let (tm, costs, mut rng) = env();
+        let mut cm = WindowGreedyCm::default();
+        let seed = 7;
+        cm.on_run_start(seed, 2);
+        let (p0, p1) = (window_priority(seed, 0, 0), window_priority(seed, 1, 0));
+        assert_ne!(p0, p1, "64-bit draws should differ");
+        let (loser, winner) = if p0 < p1 { (0, 1) } else { (1, 0) };
+        let sum = |cm: &mut WindowGreedyCm, rng: &mut SimRng, a: usize, e: usize| -> u64 {
+            (0..200)
+                .map(|_| {
+                    cm.on_conflict_abort(
+                        &conflict(a, e),
+                        &tm,
+                        &costs,
+                        rng,
+                        &mut TraceSink::disabled(),
+                    )
+                    .backoff
+                })
+                .sum()
+        };
+        let losing = sum(&mut cm, &mut rng, loser, winner);
+        let winning = sum(&mut cm, &mut rng, winner, loser);
+        assert!(
+            losing > winning * 2,
+            "the losing side should yield the window ({losing} vs {winning})"
+        );
+    }
+
+    #[test]
+    fn unknown_threads_fall_back_to_plain_backoff() {
+        let (tm, costs, mut rng) = env();
+        let mut cm = WindowGreedyCm::default();
+        // No on_run_start: the plan must still be well-formed.
+        let plan = cm.on_conflict_abort(
+            &conflict(0, 1),
+            &tm,
+            &costs,
+            &mut rng,
+            &mut TraceSink::disabled(),
+        );
+        assert!(plan.backoff <= WindowGreedyConfig::default().base_delay);
+        assert_eq!(plan.cost, 1);
+    }
+}

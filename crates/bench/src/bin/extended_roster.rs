@@ -1,6 +1,8 @@
-//! Extended manager roster: adds the related-work reactive managers the
-//! paper surveys but does not plot (Polka-style investment backoff,
-//! Zilles/Ansari stall-on-abort) to the Figure 4 comparison.
+//! Extended manager roster: adds the related-work managers the paper
+//! surveys but does not plot — Polka-style investment backoff,
+//! Zilles/Ansari stall-on-abort, and the theory-grounded greedy pair
+//! (window-based randomized greedy, balanced-workload greedy; DESIGN.md
+//! §14) — to the Figure 4 comparison.
 //!
 //! ```text
 //! cargo run -p bfgts-bench --release --bin extended_roster [--quick] [--jobs N]
@@ -10,7 +12,14 @@ use bfgts_bench::runner::{run_grid_with_args, RunCell};
 use bfgts_bench::{parse_common_args, ManagerKind, ManagerSpec};
 use bfgts_workloads::presets;
 
-const LABELS: [&str; 4] = ["Backoff", "Polka", "StallOnAbort", "BFGTS-HW"];
+const LABELS: [&str; 6] = [
+    "Backoff",
+    "Polka",
+    "StallOnAbort",
+    "WindowGreedy",
+    "BalancedGreedy",
+    "BFGTS-HW",
+];
 
 fn main() {
     let args = parse_common_args();
@@ -35,6 +44,19 @@ fn main() {
             args.platform,
             ManagerSpec::Stall,
         ));
+        cells.push(RunCell::with_manager(
+            spec,
+            args.platform,
+            ManagerSpec::WindowGreedy {
+                window_size: None,
+                base_delay: None,
+            },
+        ));
+        cells.push(RunCell::with_manager(
+            spec,
+            args.platform,
+            ManagerSpec::BalancedGreedy { window_size: None },
+        ));
         cells.push(RunCell::one(spec, ManagerKind::BfgtsHw, args.platform));
     }
     let results = run_grid_with_args(&cells, &args);
@@ -47,7 +69,7 @@ fn main() {
     );
     print!("{:<10}", "Benchmark");
     for label in LABELS {
-        print!(" {:>14}", label);
+        print!(" {:>15}", label);
     }
     println!("   (speedup over one core; contention in parentheses)");
     for (b, spec) in specs.iter().enumerate() {
@@ -56,7 +78,7 @@ fn main() {
         for k in 0..LABELS.len() {
             let summary = &results[b * stride + 1 + k];
             print!(
-                " {:>6.2} ({:>4.1}%)",
+                " {:>7.2} ({:>4.1}%)",
                 summary.speedup_over(serial),
                 summary.contention_rate() * 100.0
             );
@@ -66,6 +88,9 @@ fn main() {
     println!(
         "\nStall-on-abort targets the *specific* enemy, sitting between blind\n\
          Backoff and predictive BFGTS; Polka's investment scaling helps where\n\
-         big transactions lose to small ones."
+         big transactions lose to small ones. The greedy pair brings the\n\
+         theory line: windowed randomized priorities (arXiv:1002.4182) and\n\
+         remaining-work balancing (arXiv:1009.0056), both audited through\n\
+         invariant I11."
     );
 }

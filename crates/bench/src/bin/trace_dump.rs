@@ -13,8 +13,10 @@
 //! broken. `--tamper-capacity` is the same control for invariant I10:
 //! it lowers the first capacity abort's recorded set size to the
 //! configured bound (so the abort no longer exceeded it) and requires
-//! the audit to reject. `--chrome PATH` converts the file for
-//! `chrome://tracing`.
+//! the audit to reject. `--tamper-window` is the control for I11: it
+//! flips one bit in the first window advance's announced priority —
+//! the audit recomputes every draw from the declared seed and must
+//! notice. `--chrome PATH` converts the file for `chrome://tracing`.
 
 use bfgts_bench::trace_export::{parse_jsonl_full, to_chrome};
 use bfgts_trace::{audit, TraceEvent};
@@ -32,6 +34,10 @@ options:
                  negative control for I10: lower the first capacity
                  abort's set size to the configured bound, then
                  require the audit to fail
+  --tamper-window
+                 negative control for I11: flip one bit in the first
+                 window advance's announced priority, then require
+                 the audit to fail
   --chrome PATH  also convert the trace to Chrome trace_event JSON
   -h, --help     show this help";
 
@@ -41,6 +47,7 @@ fn main() -> ExitCode {
     let mut do_audit = false;
     let mut tamper = false;
     let mut tamper_capacity = false;
+    let mut tamper_window = false;
     let mut chrome_out = None;
     let mut i = 0;
     while i < args.len() {
@@ -52,6 +59,7 @@ fn main() -> ExitCode {
             "--audit" => do_audit = true,
             "--tamper" => tamper = true,
             "--tamper-capacity" => tamper_capacity = true,
+            "--tamper-window" => tamper_window = true,
             "--chrome" => {
                 i += 1;
                 match args.get(i) {
@@ -165,6 +173,39 @@ fn main() -> ExitCode {
             }
             Ok(_) => {
                 eprintln!("error: audit ACCEPTED a corrupted trace — the I10 checker is broken");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if tamper_window {
+        // The I11 control: flip one bit in the first announced window
+        // priority. The checker recomputes every draw from the declared
+        // seed, so any divergence — a manager rolling its own RNG, a
+        // doctored trace — must surface as a violation.
+        let Some(rec) = recording.events.iter_mut().find_map(|rec| match rec.ev {
+            TraceEvent::WindowAdvance { .. } => Some(rec),
+            _ => None,
+        }) else {
+            return fail("--tamper-window: trace has no window advances to corrupt");
+        };
+        if let TraceEvent::WindowAdvance {
+            ref mut priority, ..
+        } = rec.ev
+        {
+            *priority ^= 1;
+        }
+        return match audit(&recording, &inputs) {
+            Err(violations) => {
+                println!(
+                    "tamper-window control: audit correctly rejected the corrupted trace \
+                     ({} violations)",
+                    violations.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Ok(_) => {
+                eprintln!("error: audit ACCEPTED a corrupted trace — the I11 checker is broken");
                 ExitCode::FAILURE
             }
         };

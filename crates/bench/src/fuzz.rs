@@ -196,7 +196,7 @@ pub fn trace_jsonl(scenario: &Scenario) -> String {
     let cell =
         RunCell::from_scenario(scenario.clone()).expect("fuzz scenarios are always executable");
     let report = cell.execute_report(TraceMode::Full);
-    let inputs = report.sim.audit_inputs();
+    let inputs = report.audit_inputs();
     trace_export::to_jsonl_with_scenario(&report.sim.trace, &inputs, Some(&cell.scenario))
 }
 
@@ -440,7 +440,7 @@ mod tests {
         let report = bfgts_faultsim::bfgts_run(&cell.cfg, &cell.workload, &cell.plan);
         let direct = trace_export::to_jsonl_with_scenario(
             &report.sim.trace,
-            &report.sim.audit_inputs(),
+            &report.audit_inputs(),
             Some(&scenario),
         );
         assert_eq!(trace_jsonl(&scenario), direct);

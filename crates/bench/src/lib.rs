@@ -26,7 +26,7 @@ pub use bfgts_scenario::{
 };
 
 use bfgts_baselines::BackoffCm;
-use bfgts_htm::{run_workload, ContentionManager, TmRunConfig, TmRunReport};
+use bfgts_htm::{run_workload, TmRunConfig, TmRunReport};
 use bfgts_workloads::BenchmarkSpec;
 
 /// Runs `spec` under `kind` on `platform` with the benchmark's optimal
@@ -45,17 +45,6 @@ pub fn run_one_with_bloom(
 ) -> TmRunReport {
     let cfg = TmRunConfig::new(platform.cpus, platform.threads).seed(platform.seed);
     run_workload(&cfg, spec.sources(platform.threads), kind.build(bloom_bits))
-}
-
-/// Runs `spec` under an explicitly constructed manager (used by the
-/// §5.3.2 interval sweep and the ablation benches).
-pub fn run_custom(
-    spec: &BenchmarkSpec,
-    platform: Platform,
-    cm: Box<dyn ContentionManager>,
-) -> TmRunReport {
-    let cfg = TmRunConfig::new(platform.cpus, platform.threads).seed(platform.seed);
-    run_workload(&cfg, spec.sources(platform.threads), cm)
 }
 
 /// Runs the serial baseline: the same total work on one CPU with one

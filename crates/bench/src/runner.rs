@@ -112,8 +112,14 @@ impl RunCell {
     /// actual configuration is invisible to the scenario, the cell is
     /// executed fresh every grid and never persisted to the disk cache
     /// (a cached summary keyed only on the tag could silently go stale
-    /// when the builder changes). Prefer [`RunCell::with_manager`]
-    /// whenever the configuration is expressible.
+    /// when the builder changes).
+    ///
+    /// **Test support only.** Every production configuration is
+    /// expressible as a structured [`ManagerSpec`] and must go through
+    /// [`RunCell::with_manager`] so its scenarios cache, emit and replay;
+    /// no binary in `src/bin/` constructs custom cells (pinned by
+    /// `roster_constructors_emit_cacheable_scenarios`). This remains
+    /// `pub` solely for the cache-exclusion integration tests.
     pub fn custom(
         spec: &BenchmarkSpec,
         platform: Platform,
@@ -831,7 +837,7 @@ pub fn chrome_trace_path(path: &Path) -> PathBuf {
 pub fn export_cell_trace(cell: &RunCell, path: &Path) -> std::io::Result<()> {
     let report = cell.execute_report(TraceMode::Full);
     report.audit_or_panic();
-    let inputs = report.sim.audit_inputs();
+    let inputs = report.audit_inputs();
     let mut scenario = cell.scenario.clone();
     scenario.trace = TraceMode::Full;
     if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
@@ -988,6 +994,44 @@ mod tests {
         keys.push(seeded.cache_key());
         let unique: std::collections::HashSet<_> = keys.iter().collect();
         assert_eq!(unique.len(), keys.len(), "colliding keys: {keys:#?}");
+    }
+
+    #[test]
+    fn roster_constructors_emit_cacheable_scenarios() {
+        // Every structured constructor a roster binary uses must produce
+        // cells that cache, emit and replay from data alone — the
+        // closure-built escape hatch is test support, nothing more.
+        let spec = tiny_spec();
+        let p = Platform::small();
+        let mut cells = vec![
+            RunCell::serial(&spec, p),
+            RunCell::with_bloom(&spec, ManagerKind::BfgtsHw, p, 1024),
+            RunCell::with_manager(&spec, p, ManagerSpec::Polka),
+            RunCell::with_manager(&spec, p, ManagerSpec::Stall),
+            RunCell::with_manager(
+                &spec,
+                p,
+                ManagerSpec::WindowGreedy {
+                    window_size: None,
+                    base_delay: None,
+                },
+            ),
+            RunCell::with_manager(&spec, p, ManagerSpec::BalancedGreedy { window_size: None }),
+        ];
+        for kind in ManagerKind::ALL {
+            cells.push(RunCell::one(&spec, kind, p));
+        }
+        for cell in &cells {
+            assert!(
+                cell.cacheable(),
+                "{} must be cacheable",
+                cell.scenario.manager.label()
+            );
+            // Emit-and-replay: the scenario alone rebuilds the cell.
+            let rebuilt = RunCell::from_scenario(cell.scenario.clone())
+                .unwrap_or_else(|e| panic!("{}: {e}", cell.scenario.manager.label()));
+            assert_eq!(rebuilt.cache_key(), cell.cache_key());
+        }
     }
 
     #[test]
@@ -1236,7 +1280,7 @@ mod tests {
                 Box::new(BackoffCm::default()),
             );
             report.audit_or_panic();
-            let inputs = report.sim.audit_inputs();
+            let inputs = report.audit_inputs();
             crate::trace_export::to_jsonl(&report.sim.trace, &inputs)
         };
         let heap = mk(bfgts_sim::EventQueueKind::Heap);

@@ -65,6 +65,11 @@ pub fn to_jsonl_with_scenario(
         ("events", Json::UInt(recording.events.len() as u64)),
         ("dropped", Json::UInt(recording.dropped)),
     ];
+    // Absent-key protocol: only runs under a window-based greedy manager
+    // declare a seed, so every pre-I11 trace file serialises unchanged.
+    if let Some(seed) = inputs.window_seed {
+        pairs.push(("window_seed", Json::UInt(seed)));
+    }
     if let Some(scenario) = scenario {
         pairs.push(("scenario", scenario.to_json()));
     }
@@ -139,6 +144,13 @@ pub fn parse_jsonl_full(
         })
         .collect::<Option<_>>()
         .ok_or("line 1: malformed 'per_thread' row")?;
+    let window_seed = match header.get("window_seed") {
+        None => None,
+        Some(doc) => Some(
+            doc.as_u64()
+                .ok_or("line 1: header field 'window_seed' malformed")?,
+        ),
+    };
     let scenario = match header.get("scenario") {
         None => None,
         Some(doc) => {
@@ -164,6 +176,7 @@ pub fn parse_jsonl_full(
             makespan,
             num_cpus,
             per_thread,
+            window_seed,
         },
         scenario,
     ))
@@ -369,6 +382,15 @@ fn rec_to_json(rec: &TraceRec) -> Json {
         TraceEvent::QueueDepth { thread, depth } => {
             pairs.extend([("thread", u(thread)), ("depth", Json::UInt(depth))]);
         }
+        TraceEvent::WindowAdvance {
+            thread,
+            window,
+            priority,
+        } => pairs.extend([
+            ("thread", u(thread)),
+            ("window", Json::UInt(window)),
+            ("priority", Json::UInt(priority)),
+        ]),
     }
     Json::obj(pairs)
 }
@@ -502,6 +524,11 @@ fn rec_from_json(v: &Json) -> Option<TraceRec> {
         "queue_depth" => TraceEvent::QueueDepth {
             thread: u32f("thread")?,
             depth: u64f("depth")?,
+        },
+        "window_advance" => TraceEvent::WindowAdvance {
+            thread: u32f("thread")?,
+            window: u64f("window")?,
+            priority: u64f("priority")?,
         },
         _ => return None,
     };
@@ -817,6 +844,17 @@ pub fn to_chrome(recording: &TraceRecording, inputs: &AuditInputs) -> String {
                 "queue_depth".into(),
                 Json::obj([("depth", Json::UInt(depth))]),
             ),
+            TraceEvent::WindowAdvance {
+                thread,
+                window,
+                priority,
+            } => instant(
+                PID_THREADS,
+                u64::from(thread),
+                at,
+                format!("window_advance w{window}"),
+                Json::obj([("priority", Json::UInt(priority))]),
+            ),
         });
     }
     let doc = Json::obj([
@@ -957,6 +995,11 @@ mod tests {
                 thread: 1,
                 depth: 3,
             },
+            TraceEvent::WindowAdvance {
+                thread: 1,
+                window: 4,
+                priority: bfgts_trace::window_priority(0xB16_B00B5, 1, 4),
+            },
         ];
         let events = evs
             .into_iter()
@@ -972,6 +1015,7 @@ mod tests {
             makespan: 1000,
             num_cpus: 2,
             per_thread: vec![[1, 2, 3, 4, 5], [10, 20, 30, 40, 50]],
+            window_seed: Some(0xB16_B00B5),
         };
         (recording, inputs)
     }
@@ -993,7 +1037,7 @@ mod tests {
         let text = to_jsonl(&recording, &inputs);
         assert!(parse_jsonl("").is_err());
         assert!(parse_jsonl("{\"seq\":0}").is_err(), "missing header");
-        let bad_count = text.replace("\"events\":20", "\"events\":21");
+        let bad_count = text.replace("\"events\":21", "\"events\":22");
         assert!(parse_jsonl(&bad_count).is_err(), "event count mismatch");
         let bad_version = text.replace("\"version\":3", "\"version\":99");
         assert!(parse_jsonl(&bad_version).is_err(), "future version");

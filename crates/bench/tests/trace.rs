@@ -43,7 +43,7 @@ fn traced_jsonl(cm: Box<dyn ContentionManager>) -> String {
         .seed(0x00D0_0D1E)
         .trace(TraceMode::Full);
     let report = run_workload(&cfg, conflicting_scripts(4, 5), cm);
-    to_jsonl(&report.sim.trace, &report.sim.audit_inputs())
+    to_jsonl(&report.sim.trace, &report.audit_inputs())
 }
 
 #[test]

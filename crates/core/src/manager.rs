@@ -563,6 +563,7 @@ mod tests {
             rw_set: rw,
             now: Cycle::ZERO,
             retries: 0,
+            remaining: None,
         }
     }
 

@@ -4,5 +4,6 @@ pub fn replay(ev: &TraceEvent) {
         TraceEvent::TxBegin { .. } => {}
         TraceEvent::FalsePositiveConflict { .. } => {}
         TraceEvent::CapacityAbort { .. } => {}
+        TraceEvent::WindowAdvance { .. } => {}
     }
 }

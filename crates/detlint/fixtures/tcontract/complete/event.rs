@@ -1,11 +1,13 @@
 // Contract fixture: every variant is audited and exported, including
-// the bounded-detection pair (false-positive and capacity aborts).
+// the bounded-detection pair (false-positive and capacity aborts) and
+// the window-advance announcement the I11 audit recomputes.
 
 pub enum TraceEvent {
     Charge { at: u64, cycles: u64 },
     TxBegin { tid: u32 },
     FalsePositiveConflict { tid: u32, true_conflicts: u64 },
     CapacityAbort { tid: u32, tracked: u32, capacity: u32 },
+    WindowAdvance { thread: u32, window: u64, priority: u64 },
 }
 
 impl TraceEvent {
@@ -15,6 +17,7 @@ impl TraceEvent {
             TraceEvent::TxBegin { .. } => "tx_begin",
             TraceEvent::FalsePositiveConflict { .. } => "false_positive_conflict",
             TraceEvent::CapacityAbort { .. } => "capacity_abort",
+            TraceEvent::WindowAdvance { .. } => "window_advance",
         }
     }
 }

@@ -4,5 +4,6 @@ pub fn rec_to_json(ev: &TraceEvent) -> &'static str {
         TraceEvent::TxBegin { .. } => "tx_begin",
         TraceEvent::FalsePositiveConflict { .. } => "false_positive_conflict",
         TraceEvent::CapacityAbort { .. } => "capacity_abort",
+        TraceEvent::WindowAdvance { .. } => "window_advance",
     }
 }

@@ -1,12 +1,13 @@
 // Contract fixture: TxAbort is missing from the audit and its
-// canonical name never reaches the exporter; CapacityAbort is the
-// planted bounded-detection control, uncovered everywhere.
+// canonical name never reaches the exporter; CapacityAbort and
+// WindowAdvance are the planted controls, uncovered everywhere.
 
 pub enum TraceEvent {
     Charge { at: u64, cycles: u64 },
     TxBegin { tid: u32 },
     TxAbort { tid: u32 },
     CapacityAbort { tid: u32, tracked: u32, capacity: u32 },
+    WindowAdvance { thread: u32, window: u64, priority: u64 },
 }
 
 impl TraceEvent {
@@ -16,6 +17,7 @@ impl TraceEvent {
             TraceEvent::TxBegin { .. } => "tx_begin",
             TraceEvent::TxAbort { .. } => "tx_abort",
             TraceEvent::CapacityAbort { .. } => "capacity_abort",
+            TraceEvent::WindowAdvance { .. } => "window_advance",
         }
     }
 }

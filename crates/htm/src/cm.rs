@@ -128,6 +128,12 @@ pub struct CommitRecord<'a> {
     pub now: Cycle,
     /// How many times the instance aborted before committing.
     pub retries: u32,
+    /// Transactions still pending in the committing thread's source
+    /// after this one, when the source can count them (the
+    /// remaining-work hint balanced greedy managers weigh, DESIGN.md
+    /// §14). `None` for sources with no cheap count — managers must
+    /// treat the two identically apart from the hint's value.
+    pub remaining: Option<u64>,
 }
 
 /// The manager's commit-time bookkeeping result.
@@ -189,6 +195,29 @@ pub trait ContentionManager {
     /// deadlocked, and proceeded instead. Managers that recorded
     /// "waiting on" state in `on_begin` can undo it here.
     fn on_wait_skipped(&mut self, _dtx: DTxId) {}
+
+    /// Called once by the harness before the engine starts, with the
+    /// run's master seed and thread count. Window-based greedy managers
+    /// derive their priority stream here (DESIGN.md §14); every other
+    /// manager keeps the default no-op, which is what pins the existing
+    /// roster byte-identical to the pre-window golden results.
+    fn on_run_start(&mut self, _seed: u64, _num_threads: usize) {}
+
+    /// The seed of this manager's window-priority stream, or `None` for
+    /// managers without execution windows. The harness declares it in
+    /// the run's audit inputs (and the JSONL trace header) so invariant
+    /// I11 can recompute every priority draw bit for bit via
+    /// `bfgts_sim::window_priority`.
+    fn window_seed(&self) -> Option<u64> {
+        None
+    }
+
+    /// The given thread's current execution-window position (threads
+    /// start in window 0), or `None` for managers without execution
+    /// windows.
+    fn window_position(&self, _thread: ThreadId) -> Option<u64> {
+        None
+    }
 }
 
 /// The trivial manager: always proceed, no backoff, no bookkeeping.
@@ -290,6 +319,7 @@ mod tests {
             rw_set: &[LineAddr(9)],
             now: Cycle::ZERO,
             retries: 1,
+            remaining: None,
         };
         let out = cm.on_commit(&rec, &tm, &costs, &mut rng, &mut TraceSink::disabled());
         assert_eq!(out.cost, 0);

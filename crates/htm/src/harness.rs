@@ -173,6 +173,11 @@ pub struct TmRunReport {
     /// The execution history, when [`TmRunConfig::record_history`] was
     /// set.
     pub history: Option<crate::history::History>,
+    /// The contention manager's window-priority seed
+    /// ([`ContentionManager::window_seed`]): `Some` only for runs under
+    /// a window-based greedy manager. Declared to the audit (I11) and
+    /// stamped into exported trace headers.
+    pub window_seed: Option<u64>,
 }
 
 /// Open-system latency digest: sojourn (arrival → commit) percentiles
@@ -236,7 +241,16 @@ impl TmRunReport {
     /// [`TraceMode::Full`]: an untraced or ring-buffered recording cannot
     /// reproduce the reported buckets and fails the audit.
     pub fn audit(&self) -> Result<bfgts_trace::AuditSummary, Vec<bfgts_trace::Violation>> {
-        bfgts_trace::audit(&self.sim.trace, &self.sim.audit_inputs())
+        bfgts_trace::audit(&self.sim.trace, &self.audit_inputs())
+    }
+
+    /// The run's audit ground truth: the simulator's accounting plus
+    /// the manager's declared window seed (I11). Prefer this over
+    /// `self.sim.audit_inputs()`, which cannot know about windows.
+    pub fn audit_inputs(&self) -> bfgts_trace::AuditInputs {
+        let mut inputs = self.sim.audit_inputs();
+        inputs.window_seed = self.window_seed;
+        inputs
     }
 
     /// Like [`TmRunReport::audit`] but panics with a readable report of
@@ -281,6 +295,12 @@ where
         "need exactly one source per thread"
     );
     let cm_name = cm.name();
+    let mut cm = cm;
+    // Window-based greedy managers derive their priority stream from
+    // the run seed here; every other manager's default is a no-op, so
+    // the pre-window roster is untouched (golden byte-identity).
+    cm.on_run_start(cfg.seed, cfg.num_threads);
+    let window_seed = cm.window_seed();
     let mut world = TmWorld::new(cfg.num_cpus, cfg.num_threads, cm);
     world.tm.configure_shards(cfg.shards);
     world.tm.configure_detection(cfg.detection);
@@ -306,6 +326,7 @@ where
         stats: world.tm.stats().clone(),
         cm_name,
         history: world.tm.take_history(),
+        window_seed,
     }
 }
 

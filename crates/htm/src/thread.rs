@@ -691,6 +691,7 @@ impl<S: TxSource> TxThreadLogic<S> {
                     rw_set: &self.commit_rw,
                     now: ctx.now,
                     retries: self.retries,
+                    remaining: self.source.remaining_hint(),
                 };
                 let costs = ctx.costs().clone();
                 let out = world

@@ -130,6 +130,17 @@ pub trait TxSource {
             None => TxPoll::Exhausted,
         }
     }
+
+    /// How many transactions this source still holds beyond the current
+    /// one, when it can count them cheaply. The thread driver forwards
+    /// the count at commit time as the contention manager's
+    /// remaining-work hint (`CommitRecord::remaining`). Batch sources
+    /// with a known backlog override it; the default reports "unknown",
+    /// and managers must not change behaviour on `Some(_)` vs `None`
+    /// beyond weighing the hinted value.
+    fn remaining_hint(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// A [`TxSource`] that replays a fixed list of instances. Used by tests
@@ -151,6 +162,10 @@ impl ScriptSource {
 impl TxSource for ScriptSource {
     fn next_tx(&mut self, _rng: &mut SimRng) -> Option<TxInstance> {
         self.script.next()
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        Some(self.script.len() as u64)
     }
 }
 

@@ -23,7 +23,10 @@
 
 pub mod json;
 
-use bfgts_baselines::{AtsCm, BackoffCm, PolkaCm, PtsCm, PtsConfig, StallCm};
+use bfgts_baselines::{
+    AtsCm, BackoffCm, BalancedGreedyCm, BalancedGreedyConfig, PolkaCm, PtsCm, PtsConfig, StallCm,
+    WindowGreedyCm, WindowGreedyConfig,
+};
 use bfgts_core::{BfgtsCm, BfgtsConfig, BfgtsVariant, CmFaults};
 use bfgts_faultsim::{Fault, FaultPlan};
 pub use bfgts_htm::Detection;
@@ -568,6 +571,24 @@ pub enum ManagerSpec {
     Polka,
     /// The stall-on-abort baseline (extended roster).
     Stall,
+    /// The window-based randomized greedy baseline (extended roster,
+    /// arXiv:1002.4182). `None` tunables select the manager defaults
+    /// and stay absent from the canonical JSON, so pre-window scenario
+    /// ids are untouched by this schema extension.
+    WindowGreedy {
+        /// Commits per execution window, or `None` for the default.
+        window_size: Option<u32>,
+        /// Losing-side backoff quantum in cycles, or `None` for the
+        /// default.
+        base_delay: Option<u32>,
+    },
+    /// The balanced-workload greedy baseline (extended roster,
+    /// arXiv:1009.0056): remaining-work hints win conflicts, windows
+    /// pace the randomized tie-break.
+    BalancedGreedy {
+        /// Commits per execution window, or `None` for the default.
+        window_size: Option<u32>,
+    },
     /// An opaque, closure-built manager known only by a tag. The one
     /// escape hatch left for configurations the structured variants
     /// cannot express — it cannot be rebuilt from JSON and must never
@@ -605,6 +626,14 @@ impl ManagerSpec {
             ManagerSpec::Bfgts(tunables) => tunables.variant.label().to_string(),
             ManagerSpec::Polka => "Polka".to_string(),
             ManagerSpec::Stall => "Stall".to_string(),
+            ManagerSpec::WindowGreedy { window_size, .. } => match window_size {
+                Some(w) => format!("WindowGreedy (w{w})"),
+                None => "WindowGreedy".to_string(),
+            },
+            ManagerSpec::BalancedGreedy { window_size } => match window_size {
+                Some(w) => format!("BalancedGreedy (w{w})"),
+                None => "BalancedGreedy".to_string(),
+            },
             ManagerSpec::Custom { tag } => format!("custom:{tag}"),
         }
     }
@@ -630,6 +659,23 @@ impl ManagerSpec {
             }),
             ManagerSpec::Polka => Some(Box::new(PolkaCm::default())),
             ManagerSpec::Stall => Some(Box::new(StallCm::default())),
+            ManagerSpec::WindowGreedy {
+                window_size,
+                base_delay,
+            } => {
+                let defaults = WindowGreedyConfig::default();
+                Some(Box::new(WindowGreedyCm::new(WindowGreedyConfig {
+                    window_size: window_size.unwrap_or(defaults.window_size),
+                    base_delay: base_delay.map_or(defaults.base_delay, u64::from),
+                })))
+            }
+            ManagerSpec::BalancedGreedy { window_size } => {
+                let defaults = BalancedGreedyConfig::default();
+                Some(Box::new(BalancedGreedyCm::new(BalancedGreedyConfig {
+                    window_size: window_size.unwrap_or(defaults.window_size),
+                    base_delay: defaults.base_delay,
+                })))
+            }
             ManagerSpec::Custom { .. } => None,
         }
     }
@@ -650,6 +696,28 @@ impl ManagerSpec {
             ManagerSpec::Bfgts(tunables) => tunables.to_json(),
             ManagerSpec::Polka => Json::obj([("kind", Json::Str("polka".into()))]),
             ManagerSpec::Stall => Json::obj([("kind", Json::Str("stall".into()))]),
+            ManagerSpec::WindowGreedy {
+                window_size,
+                base_delay,
+            } => {
+                // Default tunables serialise away (absent-key protocol):
+                // a defaults-only spec prints as {"kind":"window_greedy"}.
+                let mut pairs = vec![("kind", Json::Str("window_greedy".into()))];
+                if let Some(w) = window_size {
+                    pairs.push(("window_size", Json::UInt(u64::from(*w))));
+                }
+                if let Some(d) = base_delay {
+                    pairs.push(("base_delay", Json::UInt(u64::from(*d))));
+                }
+                Json::obj(pairs)
+            }
+            ManagerSpec::BalancedGreedy { window_size } => {
+                let mut pairs = vec![("kind", Json::Str("balanced_greedy".into()))];
+                if let Some(w) = window_size {
+                    pairs.push(("window_size", Json::UInt(u64::from(*w))));
+                }
+                Json::obj(pairs)
+            }
             ManagerSpec::Custom { tag } => Json::obj([
                 ("kind", Json::Str("custom".into())),
                 ("tag", Json::Str(tag.clone())),
@@ -679,6 +747,13 @@ impl ManagerSpec {
             Some("bfgts") => Ok(ManagerSpec::Bfgts(BfgtsTunables::from_json(value)?)),
             Some("polka") => Ok(ManagerSpec::Polka),
             Some("stall") => Ok(ManagerSpec::Stall),
+            Some("window_greedy") => Ok(ManagerSpec::WindowGreedy {
+                window_size: Self::opt_u32(value, "window_size")?,
+                base_delay: Self::opt_u32(value, "base_delay")?,
+            }),
+            Some("balanced_greedy") => Ok(ManagerSpec::BalancedGreedy {
+                window_size: Self::opt_u32(value, "window_size")?,
+            }),
             Some("custom") => Ok(ManagerSpec::Custom {
                 tag: value
                     .get("tag")
@@ -688,6 +763,19 @@ impl ManagerSpec {
             }),
             Some(other) => Err(format!("unknown manager kind '{other}'")),
             None => Err("manager is missing a 'kind' string".into()),
+        }
+    }
+
+    /// An optional u32 tunable under the absent-key protocol: a missing
+    /// key means "use the manager default" and never re-serialises.
+    fn opt_u32(value: &Json, key: &str) -> Result<Option<u32>, String> {
+        match value.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .map(Some)
+                .ok_or_else(|| format!("manager field '{key}' must fit u32")),
         }
     }
 }

@@ -55,6 +55,22 @@ fn fixtures() -> Vec<(&'static str, Scenario, &'static str)> {
     );
     stm.costs = CostKind::Stm;
 
+    let windowed = Scenario::new(
+        WorkloadSpec::from_benchmark(&presets::kmeans()),
+        ManagerSpec::WindowGreedy {
+            window_size: Some(8),
+            base_delay: None,
+        },
+        Platform::paper(),
+    );
+
+    let mut balanced = Scenario::new(
+        WorkloadSpec::from_adversarial(&AdversarialSpec::hotspot_skew()),
+        ManagerSpec::BalancedGreedy { window_size: None },
+        Platform::small(),
+    );
+    balanced.trace = TraceMode::Full;
+
     vec![
         (
             "serial_delaunay_paper",
@@ -70,6 +86,16 @@ fn fixtures() -> Vec<(&'static str, Scenario, &'static str)> {
             "ats_stm_hotspot_skew",
             stm,
             "3f3fb01342cd9b334b7b2fa0c8213016",
+        ),
+        (
+            "window_greedy_w8_kmeans_paper",
+            windowed,
+            "7969f6de5fe57953c9c0955a8c073f0a",
+        ),
+        (
+            "balanced_greedy_traced_hotspot_small",
+            balanced,
+            "515ee388a9272a72e000c694ddddb88f",
         ),
     ]
 }
@@ -158,6 +184,55 @@ fn default_shards_are_schema_invisible() {
             );
         }
     }
+}
+
+#[test]
+fn default_window_tunables_are_schema_invisible() {
+    // The window-greedy tunables (DESIGN.md §14) evolved the manager
+    // schema. Like `shards`, default (`None`) tunables must serialise
+    // away entirely, so the window-era parser prints pre-window-era
+    // documents byte-identically and every historical scenario id —
+    // including the three pinned above — survives the extension.
+    let defaults = Scenario::new(
+        WorkloadSpec::from_benchmark(&presets::kmeans()),
+        ManagerSpec::WindowGreedy {
+            window_size: None,
+            base_delay: None,
+        },
+        Platform::paper(),
+    );
+    let text = canonical_text(&defaults);
+    assert!(
+        !text.contains("window_size") && !text.contains("base_delay"),
+        "default window tunables must not appear in canonical JSON"
+    );
+    assert!(text.contains("\"kind\":\"window_greedy\""));
+    // A tunable-free document parses back to the defaults.
+    let parsed = Scenario::from_json(&bfgts_scenario::json::Json::parse(&text).unwrap()).unwrap();
+    assert_eq!(
+        parsed.manager,
+        ManagerSpec::WindowGreedy {
+            window_size: None,
+            base_delay: None,
+        }
+    );
+    // Pinning a tunable is a different run with a different id.
+    let mut pinned = defaults.clone();
+    pinned.manager = ManagerSpec::WindowGreedy {
+        window_size: Some(8),
+        base_delay: None,
+    };
+    assert_ne!(pinned.id(), defaults.id());
+    assert!(canonical_text(&pinned).contains("\"window_size\":8"));
+    // Same protocol for the balanced variant.
+    let mut balanced = defaults.clone();
+    balanced.manager = ManagerSpec::BalancedGreedy { window_size: None };
+    let text = canonical_text(&balanced);
+    assert!(
+        !text.contains("window_size"),
+        "default balanced tunables must not appear in canonical JSON"
+    );
+    assert!(text.contains("\"kind\":\"balanced_greedy\""));
 }
 
 #[test]

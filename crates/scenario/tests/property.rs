@@ -35,7 +35,7 @@ fn random_workload(g: &mut Gen) -> WorkloadSpec {
 }
 
 fn random_manager(g: &mut Gen) -> ManagerSpec {
-    match g.below(4) {
+    match g.below(5) {
         0 => ManagerSpec::Serial,
         1 => ManagerSpec::Kind {
             kind: *g.choose(&ManagerKind::ALL),
@@ -63,11 +63,23 @@ fn random_manager(g: &mut Gen) -> ManagerSpec {
             }
             ManagerSpec::Bfgts(tunables)
         }
-        _ => {
+        3 => {
             if g.bool() {
                 ManagerSpec::Polka
             } else {
                 ManagerSpec::Stall
+            }
+        }
+        _ => {
+            if g.bool() {
+                ManagerSpec::WindowGreedy {
+                    window_size: g.bool().then(|| g.u32_in(1, 16)),
+                    base_delay: g.bool().then(|| g.u32_in(50, 2000)),
+                }
+            } else {
+                ManagerSpec::BalancedGreedy {
+                    window_size: g.bool().then(|| g.u32_in(1, 16)),
+                }
             }
         }
     }

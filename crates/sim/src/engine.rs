@@ -263,6 +263,9 @@ impl RunReport {
                     row
                 })
                 .collect(),
+            // The engine knows nothing about window-based managers; the
+            // TM harness overrides this for runs that declared a seed.
+            window_seed: None,
         }
     }
 }

@@ -66,5 +66,6 @@ pub use time::Cycle;
 // Re-exported so downstream crates can configure tracing without a direct
 // `bfgts-trace` dependency.
 pub use bfgts_trace::{
-    BucketKind, ConfKind, DecisionKind, TraceEvent, TraceMode, TraceRecording, TraceSink, NO_TARGET,
+    window_priority, BucketKind, ConfKind, DecisionKind, TraceEvent, TraceMode, TraceRecording,
+    TraceSink, NO_TARGET,
 };

@@ -56,6 +56,15 @@
 //!   commit after a fatal detection event is a violation. `Perfect`
 //!   runs emit neither event, which CI enforces byte-for-byte against
 //!   the golden pre-capacity traces.
+//! * **I11 — window discipline.** Runs under a window-based greedy
+//!   manager declare their window-priority seed
+//!   ([`AuditInputs::window_seed`]); every [`TraceEvent::WindowAdvance`]
+//!   then satisfies three contracts: per-thread window positions are
+//!   strictly increasing, the recorded priority equals
+//!   [`window_priority`]`(seed, thread, window)` *bit for bit*, and no
+//!   advance happens while the thread has an open transaction — so
+//!   every commit lands inside the window that began it. An advance in
+//!   a run that declared no seed is itself a violation.
 //!
 //! (I4 is the sequence-number density check folded into the drop
 //! detection: the audit requires a [`TraceMode::Full`] recording.)
@@ -64,6 +73,24 @@
 
 use crate::event::{BucketKind, ConfKind, TraceEvent};
 use crate::sink::TraceRecording;
+
+/// The shared randomized-priority draw of the window-based greedy
+/// managers (DESIGN.md §14): a keyed splitmix64-style hash of
+/// `(seed, thread, window)`. Pure and dependency-free so the managers
+/// (via `bfgts-sim`'s re-export) and invariant I11 compute the exact
+/// same bits from the scenario seed, without sharing any RNG state with
+/// the run's decision streams.
+pub fn window_priority(seed: u64, thread: u32, window: u64) -> u64 {
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    mix(seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(mix(u64::from(thread).wrapping_add(0x5851_F42D_4C95_7F2D)))
+        .wrapping_add(mix(window.wrapping_add(0x1405_7B7E_F767_814F))))
+}
 
 /// The run-level ground truth the trace is audited against.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,6 +102,11 @@ pub struct AuditInputs {
     /// Reported per-thread bucket totals, indexed by thread id then
     /// [`BucketKind::index`].
     pub per_thread: Vec<[u64; BucketKind::COUNT]>,
+    /// Seed of the window-priority stream, declared by runs under a
+    /// window-based greedy manager and `None` for every other run.
+    /// [`TraceEvent::WindowAdvance`] events are only legal when a seed
+    /// is declared, and I11 recomputes each event's priority from it.
+    pub window_seed: Option<u64>,
 }
 
 /// One broken invariant.
@@ -149,6 +181,9 @@ pub struct AuditSummary {
     /// Capacity aborts verified against I10 (0 for runs with perfect
     /// detection).
     pub capacity_aborts: u64,
+    /// Window advances verified against I11 (0 for runs without a
+    /// window-based greedy manager).
+    pub window_advances: u64,
 }
 
 /// Per-thread lifecycle state for I3/I8.
@@ -199,6 +234,9 @@ pub fn audit(
     // FIFO check.
     let mut arrived: Vec<Option<(u64, u64)>> = vec![None; threads];
     let mut last_arrival: Vec<u64> = vec![0; threads];
+    // I11 state: each thread's current window position (every thread
+    // starts in the implicit window 0).
+    let mut window_pos: Vec<u64> = vec![0; threads];
     let mut summary = AuditSummary {
         events: recording.events.len(),
         ..AuditSummary::default()
@@ -707,6 +745,52 @@ pub fn audit(
                     }
                 }
             }
+            TraceEvent::WindowAdvance {
+                thread,
+                window,
+                priority,
+            } => {
+                summary.window_advances += 1;
+                if let Some(t) = tid(thread, &mut v) {
+                    // I11: the priority draw is reproducible bit-exactly
+                    // from the declared window seed — and a run that
+                    // declared none must not advance windows at all.
+                    match inputs.window_seed {
+                        None => v.push(bad(format!(
+                            "thread {thread} advances to window {window} but the run \
+                             declared no window seed"
+                        ))),
+                        Some(seed) => {
+                            let expect = window_priority(seed, thread, window);
+                            if expect != priority {
+                                v.push(bad(format!(
+                                    "thread {thread} window {window} draws priority \
+                                     {priority} but the declared seed gives {expect}"
+                                )));
+                            }
+                        }
+                    }
+                    // I11: per-thread window positions are strictly
+                    // increasing.
+                    if window <= window_pos[t] {
+                        v.push(bad(format!(
+                            "thread {thread} advances to window {window} at or below its \
+                             current window {}",
+                            window_pos[t]
+                        )));
+                    }
+                    window_pos[t] = window_pos[t].max(window);
+                    // I11: no advance while a transaction is open, so
+                    // every commit lands inside the window that began it.
+                    if let Some(cur) = &open[t] {
+                        v.push(bad(format!(
+                            "thread {thread} advances to window {window} while stx {} is \
+                             still open",
+                            cur.stx
+                        )));
+                    }
+                }
+            }
             TraceEvent::QueueDepth { thread, depth } => {
                 summary.queue_depth_samples += 1;
                 if let Some(t) = tid(thread, &mut v) {
@@ -793,6 +877,7 @@ mod tests {
             makespan,
             num_cpus: cpus,
             per_thread,
+            window_seed: None,
         }
     }
 
@@ -1541,6 +1626,136 @@ mod tests {
                 .filter(|e| e.what.contains("outside any transaction"))
                 .count(),
             2,
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn window_priority_is_a_stable_pure_function() {
+        // Deterministic, seed-sensitive, thread-sensitive,
+        // window-sensitive — the contract I11 relies on.
+        assert_eq!(window_priority(7, 0, 1), window_priority(7, 0, 1));
+        assert_ne!(window_priority(7, 0, 1), window_priority(8, 0, 1));
+        assert_ne!(window_priority(7, 0, 1), window_priority(7, 1, 1));
+        assert_ne!(window_priority(7, 0, 1), window_priority(7, 0, 2));
+    }
+
+    #[test]
+    fn i11_window_advances_audit_clean() {
+        let seed = 0xB16_B00B5;
+        let adv = |seq, thread, window| {
+            tx_event(
+                seq,
+                TraceEvent::WindowAdvance {
+                    thread,
+                    window,
+                    priority: window_priority(seed, thread, window),
+                },
+            )
+        };
+        let events = vec![
+            adv(0, 0, 1),
+            tx_event(
+                1,
+                TraceEvent::TxBegin {
+                    thread: 0,
+                    stx: 1,
+                    retries: 0,
+                },
+            ),
+            tx_event(
+                2,
+                TraceEvent::TxCommit {
+                    thread: 0,
+                    stx: 1,
+                    retries: 0,
+                    rw_lines: 1,
+                },
+            ),
+            adv(3, 0, 2),
+            adv(4, 1, 5),
+        ];
+        let mut inp = inputs(100, 1, vec![[0; 5], [0; 5]]);
+        inp.window_seed = Some(seed);
+        let s = audit(&rec(events), &inp).expect("clean window trace");
+        assert_eq!(s.window_advances, 3);
+    }
+
+    #[test]
+    fn i11_violations_are_flagged() {
+        let seed = 0xB16_B00B5;
+        let adv = |seq, thread, window| {
+            tx_event(
+                seq,
+                TraceEvent::WindowAdvance {
+                    thread,
+                    window,
+                    priority: window_priority(seed, thread, window),
+                },
+            )
+        };
+        let mut inp = inputs(100, 1, vec![[0; 5], [0; 5]]);
+        inp.window_seed = Some(seed);
+
+        // A tampered priority draw does not reproduce from the seed.
+        let tampered = vec![tx_event(
+            0,
+            TraceEvent::WindowAdvance {
+                thread: 0,
+                window: 1,
+                priority: window_priority(seed, 0, 1) ^ 1,
+            },
+        )];
+        let errs = audit(&rec(tampered), &inp).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.what.contains("declared seed gives")),
+            "{errs:?}"
+        );
+
+        // Window positions must be strictly increasing per thread.
+        let regress = vec![adv(0, 0, 2), adv(1, 0, 2)];
+        let errs = audit(&rec(regress), &inp).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.what.contains("at or below its current window")),
+            "{errs:?}"
+        );
+
+        // An advance while a transaction is open breaks the commit-in-
+        // window discipline.
+        let mid_tx = vec![
+            tx_event(
+                0,
+                TraceEvent::TxBegin {
+                    thread: 0,
+                    stx: 1,
+                    retries: 0,
+                },
+            ),
+            adv(1, 0, 1),
+            tx_event(
+                2,
+                TraceEvent::TxCommit {
+                    thread: 0,
+                    stx: 1,
+                    retries: 0,
+                    rw_lines: 1,
+                },
+            ),
+        ];
+        let errs = audit(&rec(mid_tx), &inp).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.what.contains("while stx 1 is still open")),
+            "{errs:?}"
+        );
+
+        // An advance in a run that declared no window seed is a lie.
+        let undeclared = vec![adv(0, 0, 1)];
+        let errs = audit(&rec(undeclared), &inputs(100, 1, vec![[0; 5]])).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.what.contains("declared no window seed")),
             "{errs:?}"
         );
     }

@@ -440,6 +440,22 @@ pub enum TraceEvent {
         /// The configured hardware tracking bound (always ≥ 1).
         capacity: u32,
     },
+    /// A window-based greedy contention manager moved a thread into its
+    /// next execution window and drew the window's randomized priority
+    /// (DESIGN.md §14). Invariant I11 requires the run header to declare
+    /// a window seed and recomputes `priority` as
+    /// `window_priority(seed, thread, window)` bit-for-bit; per-thread
+    /// windows are strictly increasing, and no advance happens while
+    /// that thread's transaction attempt is open.
+    WindowAdvance {
+        /// The advancing thread.
+        thread: u32,
+        /// The window just entered (threads start in window 0, so the
+        /// first advance announces window 1).
+        window: u64,
+        /// The priority drawn for this window, higher wins conflicts.
+        priority: u64,
+    },
 }
 
 impl TraceEvent {
@@ -466,6 +482,7 @@ impl TraceEvent {
             TraceEvent::FaultConfPoison { .. } => "fault_conf_poison",
             TraceEvent::FalsePositiveConflict { .. } => "false_positive_conflict",
             TraceEvent::CapacityAbort { .. } => "capacity_abort",
+            TraceEvent::WindowAdvance { .. } => "window_advance",
         }
     }
 }

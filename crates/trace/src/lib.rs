@@ -43,6 +43,6 @@ pub mod audit;
 mod event;
 mod sink;
 
-pub use audit::{audit, AuditInputs, AuditSummary, Violation};
+pub use audit::{audit, window_priority, AuditInputs, AuditSummary, Violation};
 pub use event::{BucketKind, ConfKind, DecisionKind, TraceEvent, NO_TARGET};
 pub use sink::{TraceMode, TraceRec, TraceRecording, TraceSink};

@@ -255,6 +255,10 @@ impl TxSource for AdversarialSource {
         self.remaining -= 1;
         self.phase_sources[phase].next_tx(rng)
     }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        Some(self.remaining)
+    }
 }
 
 #[cfg(test)]

@@ -39,6 +39,7 @@
 mod adversarial;
 mod arrivals;
 mod class;
+mod conflict;
 pub mod presets;
 mod source;
 mod spec;
@@ -47,6 +48,7 @@ mod synthetic;
 pub use adversarial::{AdversarialSource, AdversarialSpec};
 pub use arrivals::{open_sources, ArrivalProcess, ArrivalSpec, OpenSource};
 pub use class::{RandomRegion, Region, TxClass};
+pub use conflict::{drain_canonical, ConflictGraph, LbCosts, LowerBound, TxNode};
 pub use source::WorkloadSource;
 pub use spec::{BenchmarkSpec, ExpectedProfile};
 pub use synthetic::{ClassSpec, Contention, SyntheticBuilder};

@@ -121,6 +121,10 @@ impl TxSource for WorkloadSource {
         let class_index = self.pick_class(rng);
         Some(self.build_instance(class_index, rng))
     }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        Some(self.remaining)
+    }
 }
 
 #[cfg(test)]
